@@ -1,0 +1,143 @@
+//! Fig 5 runners: regular (batch) vs streaming aggregation with partial-
+//! result error tracking.
+
+use std::sync::Arc;
+
+use exo_rt::{Payload, RtHandle};
+use exo_shuffle::{simple_shuffle, streaming_shuffle, StreamingConfig};
+use exo_sim::SimDuration;
+
+use crate::metrics::{kl_divergence, lang_distribution};
+use crate::workload::{fold_state, pageview_job, PageviewSpec, NUM_LANGS};
+
+/// Experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AggConfig {
+    /// The workload.
+    pub spec: PageviewSpec,
+    /// Streaming rounds.
+    pub rounds: usize,
+}
+
+/// One partial-result sample from the streaming run.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundSample {
+    /// Round index.
+    pub round: usize,
+    /// Virtual time of the partial result.
+    pub at: SimDuration,
+    /// KL divergence of the partial statistic vs. the true one.
+    pub kl: f64,
+}
+
+/// Run the batch aggregation; returns (completion time, true per-language
+/// distribution).
+pub fn regular_aggregation(rt: &RtHandle, cfg: &AggConfig) -> (SimDuration, [f64; NUM_LANGS]) {
+    let t0 = rt.now();
+    let job = pageview_job(cfg.spec);
+    let outs = simple_shuffle(rt, &job);
+    let states = rt.get(&outs).expect("aggregation outputs");
+    let views: Vec<&[u8]> = states.iter().map(|p| &p.data[..]).collect();
+    (rt.now() - t0, lang_distribution(&views))
+}
+
+/// Run the streaming aggregation; partial statistics are compared against
+/// `truth` after every round. Returns the samples and the total run time.
+pub fn streaming_aggregation(
+    rt: &RtHandle,
+    cfg: &AggConfig,
+    truth: &[f64; NUM_LANGS],
+) -> (Vec<RoundSample>, SimDuration) {
+    let t0 = rt.now();
+    let job = pageview_job(cfg.spec);
+    let mut samples = Vec::with_capacity(cfg.rounds);
+    let truth = *truth;
+    let start = t0;
+    let reduce_state = Arc::new(|_r: usize, prev: Option<&Payload>, blocks: &[Payload]| {
+        Payload::inline(fold_state(prev.map(|p| &p.data[..]), blocks))
+    });
+    let now_fn = rt.clone();
+    streaming_shuffle(
+        rt,
+        &job,
+        StreamingConfig { rounds: cfg.rounds, reduce_state },
+        |round, states| {
+            let views: Vec<&[u8]> = states.iter().map(|p| &p.data[..]).collect();
+            let partial = lang_distribution(&views);
+            samples.push(RoundSample {
+                round,
+                at: now_fn.now() - start,
+                kl: kl_divergence(&truth, &partial),
+            });
+        },
+    );
+    (samples, rt.now() - t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_rt::RtConfig;
+    use exo_sim::{ClusterSpec, NodeSpec};
+
+    fn cfg() -> AggConfig {
+        AggConfig {
+            spec: PageviewSpec {
+                data_bytes: 100_000_000,
+                num_maps: 16,
+                num_reduces: 8,
+                entries_per_map: 2000,
+                pages: 50_000,
+                seed: 3,
+            },
+            rounds: 8,
+        }
+    }
+
+    fn rt_cfg() -> RtConfig {
+        RtConfig::new(ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 4))
+    }
+
+    #[test]
+    fn streaming_error_decreases_and_hits_zero() {
+        let c = cfg();
+        let (_rep, (samples, _total)) = exo_rt::run(rt_cfg(), |rt| {
+            let (_t, truth) = regular_aggregation(rt, &c);
+            streaming_aggregation(rt, &c, &truth)
+        });
+        assert_eq!(samples.len(), 8);
+        let first = samples.first().expect("rounds").kl;
+        let last = samples.last().expect("rounds").kl;
+        assert!(last <= first, "error must refine: first {first}, last {last}");
+        assert!(last < 1e-9, "final round sees all data; KL should be ~0, got {last}");
+    }
+
+    #[test]
+    fn partial_results_arrive_earlier_than_batch_completion() {
+        let c = cfg();
+        let (_rep, (t_batch, first_partial_at)) = exo_rt::run(rt_cfg(), |rt| {
+            let (t_batch, truth) = regular_aggregation(rt, &c);
+            let (samples, _) = streaming_aggregation(rt, &c, &truth);
+            (t_batch, samples.first().expect("rounds").at)
+        });
+        assert!(
+            first_partial_at < t_batch,
+            "first partial {first_partial_at} should beat batch {t_batch}"
+        );
+    }
+
+    #[test]
+    fn streaming_total_is_slower_than_batch() {
+        // The paper: streaming takes ~1.4x longer in total.
+        let c = cfg();
+        let (_rep, (t_batch, t_stream)) = exo_rt::run(rt_cfg(), |rt| {
+            let (t_batch, truth) = regular_aggregation(rt, &c);
+            let (_, t_stream) = streaming_aggregation(rt, &c, &truth);
+            (t_batch, t_stream)
+        });
+        assert!(
+            t_stream > t_batch,
+            "streaming {t_stream} should cost more than batch {t_batch}"
+        );
+    }
+}

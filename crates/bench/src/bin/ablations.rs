@@ -1,0 +1,82 @@
+//! Design-choice ablations called out in DESIGN.md §7: each toggles one
+//! optimisation of the push shuffles and reports its cost on a 1 TB HDD
+//! sort.
+//!
+//! - node-affinity merge placement (ES-push) — locality vs scattered
+//!   merges;
+//! - `wait` backpressure (ES-push*) — bounded rounds vs flooding the
+//!   store;
+//! - generator merges (ES-push*) — streamed vs monolithic merge outputs;
+//! - eager ref release (ES-push*) — evict vs spill map outputs (the
+//!   ES-push vs ES-push* write-amplification trade-off, §4.3.1).
+
+use exo_bench::{quick_mode, Table};
+use exo_rt::RtConfig;
+use exo_shuffle::{push_shuffle, push_star_shuffle, PushConfig, PushStarConfig};
+use exo_sim::{ClusterSpec, NodeSpec};
+use exo_sort::{sort_job, SortSpec};
+
+struct Outcome {
+    jct: f64,
+    net_gb: f64,
+    spilled_gb: f64,
+}
+
+fn run(data: u64, parts: usize, f: impl Fn(&exo_rt::RtHandle, &exo_shuffle::ShuffleJob) -> Vec<exo_rt::ObjectRef> + Send + Sync) -> Outcome {
+    let cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 10));
+    let spec = SortSpec {
+        data_bytes: data,
+        num_maps: parts,
+        num_reduces: parts,
+        scale: (data / 50_000_000).max(1),
+        seed: 7,
+    };
+    let (report, jct) = exo_rt::run(cfg, |rt| {
+        let job = sort_job(spec);
+        let t0 = rt.now();
+        let outs = f(rt, &job);
+        rt.wait_all(&outs);
+        rt.now() - t0
+    });
+    Outcome {
+        jct: jct.as_secs_f64(),
+        net_gb: report.metrics.net_bytes as f64 / 1e9,
+        spilled_gb: report.metrics.store.spilled_bytes as f64 / 1e9,
+    }
+}
+
+fn main() {
+    let data: u64 = if quick_mode() { 50_000_000_000 } else { 200_000_000_000 };
+    let parts = if quick_mode() { 100 } else { 200 };
+    println!("# Ablations — {} GB sort, 10× d3.2xlarge, {parts} partitions\n", data / 1_000_000_000);
+
+    let mut t = Table::new(&["configuration", "JCT (s)", "net (GB)", "spilled (GB)"]);
+    let mut add = |name: &str, o: Outcome| {
+        t.row(vec![
+            name.into(),
+            format!("{:.0}", o.jct),
+            format!("{:.1}", o.net_gb),
+            format!("{:.1}", o.spilled_gb),
+        ]);
+    };
+
+    add("ES-push (affinity on)", run(data, parts, |rt, job| {
+        push_shuffle(rt, job, PushConfig::new(8))
+    }));
+    add("ES-push (affinity OFF)", run(data, parts, |rt, job| {
+        push_shuffle(rt, job, PushConfig { factor: 8, affinity: false })
+    }));
+    add("ES-push* (all on)", run(data, parts, |rt, job| {
+        push_star_shuffle(rt, job, PushStarConfig::new(2))
+    }));
+    add("ES-push* (backpressure OFF)", run(data, parts, |rt, job| {
+        push_star_shuffle(rt, job, PushStarConfig { backpressure: false, ..PushStarConfig::new(2) })
+    }));
+    add("ES-push* (generators OFF)", run(data, parts, |rt, job| {
+        push_star_shuffle(rt, job, PushStarConfig { generators: false, ..PushStarConfig::new(2) })
+    }));
+    add("ES-push* (eager release OFF)", run(data, parts, |rt, job| {
+        push_star_shuffle(rt, job, PushStarConfig { eager_release: false, ..PushStarConfig::new(2) })
+    }));
+    t.print();
+}

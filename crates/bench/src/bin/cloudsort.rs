@@ -1,0 +1,63 @@
+//! CloudSort-style cost accounting: dollars per terabyte sorted, for each
+//! shuffle variant and the Spark baselines. (The Exoshuffle architecture
+//! set the 2022 CloudSort record; this reproduces the cost math on the
+//! simulated runs.)
+
+use exo_bench::runs::{default_scale, variant_name};
+use exo_bench::{quick_mode, run_es_sort, EsSortParams, Table};
+use exo_monolith::{spark_sort, SparkConfig};
+use exo_shuffle::ShuffleVariant;
+use exo_sim::{ClusterSpec, NodeSpec};
+use exo_sort::{usd_per_tb, D3_2XLARGE};
+
+fn main() {
+    let node = NodeSpec::d3_2xlarge();
+    let nodes = 10;
+    let data: u64 = if quick_mode() { 50_000_000_000 } else { 200_000_000_000 };
+    let parts = if quick_mode() { 100 } else { 200 };
+    let cluster = ClusterSpec::homogeneous(node, nodes);
+
+    println!(
+        "# CloudSort cost — {} GB sort, {nodes}× {} @ ${}/h\n",
+        data / 1_000_000_000,
+        D3_2XLARGE.name,
+        D3_2XLARGE.usd_per_hour
+    );
+    let mut t = Table::new(&["system", "JCT (s)", "$ / TB"]);
+    for v in [
+        ShuffleVariant::Simple,
+        ShuffleVariant::Merge { factor: 8 },
+        ShuffleVariant::Push { factor: 8 },
+        ShuffleVariant::PushStar { map_parallelism: 4 },
+    ] {
+        let r = run_es_sort(EsSortParams {
+            node,
+            nodes,
+            data_bytes: data,
+            partitions: parts,
+            scale: default_scale(data),
+            variant: v,
+            failure: None,
+            in_memory: false,
+            store_capacity: None,
+        });
+        t.row(vec![
+            variant_name(v).into(),
+            format!("{:.0}", r.jct.as_secs_f64()),
+            format!("{:.3}", usd_per_tb(D3_2XLARGE, nodes, r.jct, data)),
+        ]);
+    }
+    let spark = spark_sort(&SparkConfig::native(cluster), data, parts, parts);
+    t.row(vec![
+        "Spark".into(),
+        format!("{:.0}", spark.jct.as_secs_f64()),
+        format!("{:.3}", usd_per_tb(D3_2XLARGE, nodes, spark.jct, data)),
+    ]);
+    let push = spark_sort(&SparkConfig::push(cluster), data, parts, parts);
+    t.row(vec![
+        "Spark-push".into(),
+        format!("{:.0}", push.jct.as_secs_f64()),
+        format!("{:.3}", usd_per_tb(D3_2XLARGE, nodes, push.jct, data)),
+    ]);
+    t.print();
+}

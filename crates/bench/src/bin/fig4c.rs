@@ -1,0 +1,48 @@
+//! Figure 4c: in-memory sort on 10 SSD nodes — ES-simple vs ES-push*
+//! across partition counts.
+//!
+//! Expected shape (paper): when data fits in memory, ES-simple is 20–70%
+//! *faster* at low partition counts (merging is pure overhead without a
+//! disk bottleneck), and ES-push* wins back at 200+ partitions where
+//! pipelining and fewer, larger transfers dominate. "The most performant
+//! shuffle algorithm depends on data size, layout and hardware."
+
+use exo_bench::runs::{default_scale, variant_name};
+use exo_bench::{quick_mode, run_es_sort, EsSortParams, Table};
+use exo_shuffle::ShuffleVariant;
+use exo_sim::NodeSpec;
+
+fn main() {
+    let node = NodeSpec::i3_2xlarge();
+    let nodes = 10;
+    // Fits comfortably in the aggregate object store (10 × 18 GiB).
+    let data: u64 = if quick_mode() { 8_000_000_000 } else { 32_000_000_000 };
+    let sweeps: &[usize] = if quick_mode() { &[80, 200] } else { &[80, 200, 400, 800] };
+
+    println!("# Figure 4c — in-memory sort ({} GB), 10× i3.2xlarge\n", data / 1_000_000_000);
+
+    let mut table = Table::new(&["partitions", "variant", "JCT (s)", "spilled (GB)", "net (GB)"]);
+    for &parts in sweeps {
+        for v in [ShuffleVariant::Simple, ShuffleVariant::PushStar { map_parallelism: 4 }] {
+            let r = run_es_sort(EsSortParams {
+                node,
+                nodes,
+                data_bytes: data,
+                partitions: parts,
+                scale: default_scale(data),
+                variant: v,
+                failure: None,
+                in_memory: true,
+                store_capacity: None,
+            });
+            table.row(vec![
+                parts.to_string(),
+                variant_name(v).into(),
+                format!("{:.1}", r.jct.as_secs_f64()),
+                format!("{:.1}", r.spilled as f64 / 1e9),
+                format!("{:.1}", r.net as f64 / 1e9),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,40 @@
+//! Figure 6: single-node DataFrame sort on Dask vs Ray backends
+//! (§5.3.1) — the shared-memory object-store comparison.
+//!
+//! Expected shape (paper): on small data, Dask multiprocessing ≈
+//! Dask-on-Ray while multithreading is ~3× slower (GIL); on large data,
+//! multiprocessing OOMs from cross-process copies while the shared-memory
+//! store keeps finishing.
+
+use exo_bench::Table;
+use exo_monolith::{dask_sort, DaskMode, DaskOutcome, DaskSortConfig};
+use exo_sim::{ClusterSpec, NodeSpec};
+
+fn main() {
+    let cfg = DaskSortConfig::paper_default(ClusterSpec::homogeneous(
+        NodeSpec::dask_comparison_node(),
+        1,
+    ));
+    const GB: u64 = 1_000_000_000;
+    let sizes = [1 * GB, 10 * GB, 50 * GB, 100 * GB, 200 * GB];
+    let modes: [(&str, DaskMode); 4] = [
+        ("Dask 32p x 1t", DaskMode::Multiprocessing { procs: 32 }),
+        ("Dask 8p x 4t", DaskMode::Mixed { procs: 8, threads: 4 }),
+        ("Dask 1p x 32t", DaskMode::Multithreading { threads: 32 }),
+        ("Dask-on-Ray (shared mem)", DaskMode::SharedMemoryStore),
+    ];
+
+    println!("# Figure 6 — single-node DataFrame sort, 32 vCPU / 244 GB\n");
+    let mut t = Table::new(&["backend", "1GB", "10GB", "50GB", "100GB", "200GB"]);
+    for (name, mode) in modes {
+        let mut row = vec![name.to_string()];
+        for &size in &sizes {
+            row.push(match dask_sort(&cfg, mode, size) {
+                DaskOutcome::Finished(d) => format!("{:.1}s", d.as_secs_f64()),
+                DaskOutcome::OutOfMemory { .. } => "OOM".to_string(),
+            });
+        }
+        t.row(row);
+    }
+    t.print();
+}

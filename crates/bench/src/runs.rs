@@ -1,0 +1,133 @@
+//! Shared experiment runners.
+
+use exo_rt::{NodeId, RtConfig};
+use exo_shuffle::{run_shuffle, ShuffleVariant};
+use exo_sim::{ClusterSpec, NodeSpec, SimDuration, SimTime};
+use exo_sort::{sort_job, SortSpec};
+
+/// Parameters for one Exoshuffle sort run.
+#[derive(Clone, Copy, Debug)]
+pub struct EsSortParams {
+    /// Node hardware.
+    pub node: NodeSpec,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Logical dataset bytes.
+    pub data_bytes: u64,
+    /// Partition count (`M = R = partitions`, as in the paper's sweeps).
+    pub partitions: usize,
+    /// Payload scale factor (logical:real).
+    pub scale: u64,
+    /// Shuffle variant.
+    pub variant: ShuffleVariant,
+    /// Inject a node failure: (victim, at, restart_after).
+    pub failure: Option<(usize, SimTime, SimDuration)>,
+    /// In-memory mode: no input read / output write charges (Fig 4c).
+    pub in_memory: bool,
+    /// Override the per-node object-store capacity (scaled-down runs must
+    /// also scale memory to preserve the paper's data:memory ratio).
+    pub store_capacity: Option<u64>,
+}
+
+/// Result of one sort run.
+#[derive(Clone, Debug)]
+pub struct SortRunResult {
+    /// Job completion time.
+    pub jct: SimDuration,
+    /// Bytes spilled to disk by the object stores.
+    pub spilled: u64,
+    /// Network bytes moved.
+    pub net: u64,
+    /// Total disk reads.
+    pub disk_read: u64,
+    /// Total disk writes.
+    pub disk_write: u64,
+    /// Lineage re-executions (failure runs).
+    pub reexecuted: u64,
+}
+
+/// Execute a sort under the given parameters and return its metrics.
+/// Output is validated when the run is failure-free (re-execution changes
+/// nothing, but validation via `get` would distort JCT measurement, so
+/// failure runs skip it here — the integration tests cover correctness
+/// under failures).
+pub fn run_es_sort(p: EsSortParams) -> SortRunResult {
+    let cluster = ClusterSpec::homogeneous(p.node, p.nodes);
+    let mut cfg = RtConfig::new(cluster);
+    cfg.object_store_capacity = p.store_capacity;
+    let spec = SortSpec {
+        data_bytes: p.data_bytes,
+        num_maps: p.partitions,
+        num_reduces: p.partitions,
+        scale: p.scale,
+        seed: 7,
+    };
+    let (report, jct) = exo_rt::run(cfg, |rt| {
+        if let Some((victim, at, restart)) = p.failure {
+            rt.kill_node(NodeId(victim), at, Some(restart));
+        }
+        let mut job = sort_job(spec);
+        if p.in_memory {
+            job.map_input_bytes = 0;
+            job.reduce_output_bytes = 0;
+        }
+        let t0 = rt.now();
+        let outs = run_shuffle(rt, &job, p.variant);
+        rt.wait_all(&outs);
+        rt.now() - t0
+    });
+    SortRunResult {
+        jct,
+        spilled: report.metrics.store.spilled_bytes,
+        net: report.metrics.net_bytes,
+        disk_read: report.metrics.disk_read_bytes,
+        disk_write: report.metrics.disk_write_bytes,
+        reexecuted: report.metrics.tasks_reexecuted,
+    }
+}
+
+/// Default payload scale factor for a dataset size: keeps real bytes in
+/// the tens of megabytes so paper-scale runs stay fast.
+pub fn default_scale(data_bytes: u64) -> u64 {
+    (data_bytes / 50_000_000).max(1)
+}
+
+/// Variant display names matching the paper's legends.
+pub fn variant_name(v: ShuffleVariant) -> &'static str {
+    match v {
+        ShuffleVariant::Simple => "ES-simple",
+        ShuffleVariant::Merge { .. } => "ES-merge",
+        ShuffleVariant::Push { .. } => "ES-push",
+        ShuffleVariant::PushStar { .. } => "ES-push*",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sort_run_produces_sane_metrics() {
+        let r = run_es_sort(EsSortParams {
+            node: NodeSpec::i3_2xlarge(),
+            nodes: 4,
+            data_bytes: 1_000_000_000,
+            partitions: 16,
+            scale: 1000,
+            variant: ShuffleVariant::PushStar { map_parallelism: 2 },
+            failure: None,
+            in_memory: false,
+            store_capacity: None,
+        });
+        assert!(r.jct > SimDuration::ZERO);
+        // External sort reads and writes at least 2 passes.
+        assert!(r.disk_read >= 1_000_000_000);
+        assert!(r.disk_write >= 1_000_000_000);
+    }
+
+    #[test]
+    fn default_scale_keeps_real_data_small() {
+        assert_eq!(default_scale(1_000_000), 1);
+        assert_eq!(default_scale(100_000_000_000_000) * 50_000_000, 100_000_000_000_000);
+    }
+}

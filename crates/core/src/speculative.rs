@@ -1,0 +1,201 @@
+//! Straggler mitigation via `wait` + speculative re-execution (§4.3.2).
+//!
+//! "Runtime introspection enables … straggler mitigation via the `wait`
+//! API, which returns a list of tasks that do not complete within a
+//! timeout. By exposing information about which objects are still pending
+//! computation, the shuffle library can detect stragglers and submit
+//! speculative tasks."
+//!
+//! This module is deliberately an *application-level* library: the runtime
+//! knows nothing about speculation. The driver waits on a round of map
+//! outputs with a timeout, resubmits clones of the laggards (spread to
+//! other nodes), and the reduce stage consumes whichever copy of each
+//! partition block becomes available first. Determinism of task bodies
+//! makes either copy equally valid.
+
+use exo_rt::{ObjectRef, RtHandle, SchedulingStrategy, TaskCtx};
+use exo_sim::SimDuration;
+
+use crate::job::ShuffleJob;
+
+/// Speculation policy.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculationConfig {
+    /// How long to wait for the slowest maps before cloning them.
+    pub straggler_timeout: SimDuration,
+    /// Cap on speculative clones (fraction of `M`, 0.0–1.0).
+    pub max_clone_fraction: f64,
+}
+
+/// Outcome counters from a speculative run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpeculationReport {
+    /// Map tasks that were cloned.
+    pub cloned: usize,
+    /// Clones that won (their output was used for at least one partition).
+    pub clone_wins: usize,
+}
+
+/// Simple shuffle with speculative map re-execution; returns the reduce
+/// outputs plus a speculation report.
+pub fn speculative_simple_shuffle(
+    rt: &RtHandle,
+    job: &ShuffleJob,
+    cfg: SpeculationConfig,
+) -> (Vec<ObjectRef>, SpeculationReport) {
+    let (m_total, r_total) = (job.num_maps, job.num_reduces);
+    let submit_map = |m: usize| {
+        let map = job.map.clone();
+        rt.task(move |ctx: TaskCtx| {
+            let mut rng = ctx.rng;
+            map(m, r_total, &mut rng)
+        })
+        .num_returns(r_total)
+        .strategy(SchedulingStrategy::Spread)
+        .cpu(job.map_cpu)
+        .reads_input(job.map_input_bytes)
+        .label("map")
+        .submit()
+    };
+    let submit_map_on = |m: usize, node: exo_rt::NodeId| {
+        let map = job.map.clone();
+        rt.task(move |ctx: TaskCtx| {
+            let mut rng = ctx.rng;
+            map(m, r_total, &mut rng)
+        })
+        .num_returns(r_total)
+        .on_node(node)
+        .cpu(job.map_cpu)
+        .reads_input(job.map_input_bytes)
+        .label("map-speculative")
+        .submit()
+    };
+    let map_out: Vec<Vec<ObjectRef>> = (0..m_total).map(submit_map).collect();
+
+    // Detect stragglers: wait for all first-block outputs with a timeout.
+    let probes: Vec<ObjectRef> = map_out.iter().map(|row| row[0].clone()).collect();
+    let (ready, pending) = rt.wait(&probes, probes.len(), Some(cfg.straggler_timeout));
+    let max_clones = ((m_total as f64) * cfg.max_clone_fraction).ceil() as usize;
+    let mut report = SpeculationReport::default();
+    // Runtime introspection (§4.3.2): nodes hosting completed map outputs
+    // are demonstrably healthy; nodes with none by the timeout are the
+    // straggler suspects. Pin clones to the healthiest nodes so a clone
+    // never lands back on the machine it is escaping.
+    let nodes = rt.num_nodes();
+    let mut completions = vec![0usize; nodes];
+    for &i in &ready {
+        for n in rt.locations(&probes[i]) {
+            completions[n.0] += 1;
+        }
+    }
+    let mut healthy: Vec<usize> = (0..nodes).collect();
+    healthy.sort_by(|&a, &b| completions[b].cmp(&completions[a]).then(a.cmp(&b)));
+    let healthy: Vec<usize> = if nodes > 1 {
+        healthy[..nodes.div_ceil(2)].to_vec()
+    } else {
+        healthy
+    };
+    // Clone the laggards (bounded); both copies keep running — whichever
+    // block appears first feeds the reducers.
+    let mut clones: Vec<Option<Vec<ObjectRef>>> = vec![None; m_total];
+    for (k, &mi) in pending.iter().take(max_clones).enumerate() {
+        let target = exo_rt::NodeId(healthy[k % healthy.len()]);
+        clones[mi] = Some(submit_map_on(mi, target));
+        report.cloned += 1;
+    }
+
+    let reduces: Vec<ObjectRef> = (0..r_total)
+        .map(|r| {
+            let reduce = job.reduce.clone();
+            // For each map, pick the copy whose block is ready first.
+            let mut chosen: Vec<ObjectRef> = Vec::with_capacity(m_total);
+            for m in 0..m_total {
+                let orig = map_out[m][r].clone();
+                match &clones[m] {
+                    None => chosen.push(orig),
+                    Some(clone_row) => {
+                        let clone = clone_row[r].clone();
+                        let pair = [orig.clone(), clone.clone()];
+                        let (ready, _) = rt.wait(&pair, 1, None);
+                        if ready.first() == Some(&1) {
+                            report.clone_wins += 1;
+                            chosen.push(clone);
+                        } else {
+                            chosen.push(orig);
+                        }
+                    }
+                }
+            }
+            rt.task(move |ctx: TaskCtx| vec![reduce(r, &ctx.args)])
+                .args(chosen.iter())
+                .cpu(job.reduce_cpu)
+                .writes_output(job.reduce_output_bytes)
+                .label("reduce")
+                .submit_one()
+        })
+        .collect();
+    (reduces, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{key_sum_job, key_sum_total};
+    use exo_rt::{CpuCost, RtConfig};
+    use exo_sim::{ClusterSpec, NodeSpec};
+
+    fn slow_node_cfg(factor: f64) -> RtConfig {
+        RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4))
+            .with_slow_node(1, factor)
+    }
+
+    fn cpu_heavy_job() -> crate::job::ShuffleJob {
+        key_sum_job(16, 4, 50).with_cpu(
+            CpuCost::fixed(SimDuration::from_secs(10)),
+            CpuCost::fixed(SimDuration::from_millis(1)),
+            CpuCost::fixed(SimDuration::from_millis(1)),
+        )
+    }
+
+    #[test]
+    fn speculation_is_correct_with_and_without_stragglers() {
+        let cfg = SpeculationConfig {
+            straggler_timeout: SimDuration::from_secs(15),
+            max_clone_fraction: 0.5,
+        };
+        let (_rep, total) = exo_rt::run(slow_node_cfg(8.0), |rt| {
+            let job = cpu_heavy_job();
+            let (outs, _) = speculative_simple_shuffle(rt, &job, cfg);
+            key_sum_total(&rt.get(&outs).unwrap())
+        });
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn speculation_beats_waiting_for_a_straggler() {
+        let spec_cfg = SpeculationConfig {
+            straggler_timeout: SimDuration::from_secs(15),
+            max_clone_fraction: 1.0,
+        };
+        // With speculation.
+        let (rep_spec, report) = exo_rt::run(slow_node_cfg(10.0), |rt| {
+            let job = cpu_heavy_job();
+            let (outs, report) = speculative_simple_shuffle(rt, &job, spec_cfg);
+            rt.wait_all(&outs);
+            report
+        });
+        // Without.
+        let (rep_plain, _) = exo_rt::run(slow_node_cfg(10.0), |rt| {
+            let job = cpu_heavy_job();
+            let outs = crate::simple::simple_shuffle(rt, &job);
+            rt.wait_all(&outs);
+        });
+        assert!(report.cloned > 0, "straggler should be detected");
+        assert!(
+            rep_spec.end_time < rep_plain.end_time,
+            "speculative {} should beat plain {} under a 10x straggler",
+            rep_spec.end_time,
+            rep_plain.end_time
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Logistic regression trained with mini-batch SGD.
+//!
+//! Deliberately simple: the experiment measures how *data order* (shuffle
+//! quality) and *pipelining* affect training, and plain SGD exposes both
+//! without GPU dependencies.
+
+use crate::dataset::FEATURES;
+
+/// A logistic-regression model.
+#[derive(Clone, Debug)]
+pub struct LogisticModel {
+    /// Feature weights.
+    pub w: [f32; FEATURES],
+    /// Bias.
+    pub b: f32,
+}
+
+impl Default for LogisticModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticModel {
+    /// Zero-initialised model.
+    pub fn new() -> LogisticModel {
+        LogisticModel { w: [0.0; FEATURES], b: 0.0 }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict(&self, x: &[f32; FEATURES]) -> f32 {
+        let z: f32 = x.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f32>() + self.b;
+        sigmoid(z)
+    }
+
+    /// One SGD step on a mini-batch (mean gradient of the log loss).
+    pub fn sgd_batch(&mut self, xs: &[[f32; FEATURES]], ys: &[f32], lr: f32) {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return;
+        }
+        let n = xs.len() as f32;
+        let mut gw = [0f32; FEATURES];
+        let mut gb = 0f32;
+        for (x, &y) in xs.iter().zip(ys) {
+            let err = self.predict(x) - y;
+            for (g, &xi) in gw.iter_mut().zip(x) {
+                *g += err * xi;
+            }
+            gb += err;
+        }
+        for (w, g) in self.w.iter_mut().zip(&gw) {
+            *w -= lr * g / n;
+        }
+        self.b -= lr * gb / n;
+    }
+
+    /// Train over a block in mini-batches, in the given order.
+    pub fn train_block(&mut self, xs: &[[f32; FEATURES]], ys: &[f32], batch: usize, lr: f32) {
+        let batch = batch.max(1);
+        let mut i = 0;
+        while i < xs.len() {
+            let j = (i + batch).min(xs.len());
+            self.sgd_batch(&xs[i..j], &ys[i..j], lr);
+            i = j;
+        }
+    }
+
+    /// Classification accuracy at the 0.5 threshold.
+    pub fn accuracy(&self, xs: &[[f32; FEATURES]], ys: &[f32]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| (self.predict(x) > 0.5) == (y > 0.5))
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{decode_block, gen_block, test_set, DatasetSpec};
+    use exo_sim::SplitMix64;
+
+    fn spec() -> DatasetSpec {
+        DatasetSpec::new(8000, 8, 5)
+    }
+
+    #[test]
+    fn learns_the_synthetic_task_when_data_is_shuffled() {
+        let s = spec();
+        // Gather all data, globally shuffle, train.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for m in 0..s.partitions {
+            let (x, y) = decode_block(&gen_block(&s, m));
+            xs.extend(x);
+            ys.extend(y);
+        }
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        SplitMix64::new(1).shuffle(&mut order);
+        let sx: Vec<_> = order.iter().map(|&i| xs[i]).collect();
+        let sy: Vec<_> = order.iter().map(|&i| ys[i]).collect();
+        let mut model = LogisticModel::new();
+        for _ in 0..3 {
+            model.train_block(&sx, &sy, 64, 0.5);
+        }
+        let (tx, ty) = test_set(&s, 2000);
+        let acc = model.accuracy(&tx, &ty);
+        assert!(acc > 0.85, "shuffled training should learn well, got {acc}");
+    }
+
+    #[test]
+    fn unshuffled_label_ordered_training_is_worse() {
+        let s = spec();
+        let train = |shuffled: bool| {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for m in 0..s.partitions {
+                let (x, y) = decode_block(&gen_block(&s, m));
+                xs.extend(x);
+                ys.extend(y);
+            }
+            if shuffled {
+                let mut order: Vec<usize> = (0..xs.len()).collect();
+                SplitMix64::new(1).shuffle(&mut order);
+                xs = order.iter().map(|&i| xs[i]).collect();
+                ys = order.iter().map(|&i| ys[i]).collect();
+            }
+            let mut model = LogisticModel::new();
+            model.train_block(&xs, &ys, 64, 0.5);
+            let (tx, ty) = test_set(&s, 2000);
+            model.accuracy(&tx, &ty)
+        };
+        let acc_shuffled = train(true);
+        let acc_ordered = train(false);
+        assert!(
+            acc_shuffled > acc_ordered + 0.03,
+            "order bias should hurt: shuffled {acc_shuffled} vs ordered {acc_ordered}"
+        );
+    }
+
+    #[test]
+    fn sgd_batch_moves_toward_labels() {
+        let mut m = LogisticModel::new();
+        let xs = [[1.0; FEATURES]];
+        let ys = [1.0];
+        let before = m.predict(&xs[0]);
+        for _ in 0..50 {
+            m.sgd_batch(&xs, &ys, 0.1);
+        }
+        assert!(m.predict(&xs[0]) > before);
+    }
+}

@@ -1,0 +1,220 @@
+//! A Dask-like distributed-futures backend model for the shared-memory
+//! object-store comparison (§5.3.1, Fig 6).
+//!
+//! Dask stores objects in *executor memory*, so on one machine the user
+//! chooses between:
+//!
+//! - **multiprocessing**: real parallelism, but same-node object sharing
+//!   requires copying between process heaps (extra memory + memcpy CPU) —
+//!   at large data sizes the copies OOM the workers;
+//! - **multithreading**: shared heap, but the Python GIL caps effective
+//!   compute parallelism.
+//!
+//! Ray's shared-memory store (the `SharedMemory` mode) gets both: zero-copy
+//! sharing *and* full multi-process parallelism, plus spilling instead of
+//! OOM. These are exactly the effects Fig 6 shows; we model the DataFrame
+//! sort task graph analytically on the same device parameters.
+
+use exo_sim::{ClusterSpec, SimDuration};
+
+/// Store/executor architecture under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DaskMode {
+    /// Dask with `procs` worker processes, 1 thread each.
+    Multiprocessing {
+        /// Worker process count.
+        procs: usize,
+    },
+    /// Dask with 1 process and `threads` threads (GIL-bound).
+    Multithreading {
+        /// Thread count.
+        threads: usize,
+    },
+    /// A mixed configuration.
+    Mixed {
+        /// Process count.
+        procs: usize,
+        /// Threads per process.
+        threads: usize,
+    },
+    /// Ray-style shared-memory object store, one executor per core
+    /// (Dask-on-Ray in the paper; no tuning needed).
+    SharedMemoryStore,
+}
+
+/// Fig 6 experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DaskSortConfig {
+    /// The machine (the paper uses 32 vCPUs / 244 GB).
+    pub cluster: ClusterSpec,
+    /// Partition count of the DataFrame (100 in the paper).
+    pub partitions: usize,
+    /// Effective parallel compute per GIL-bound process (pandas releases
+    /// the GIL in native code some of the time; ~2.5 empirically).
+    pub gil_effective_parallelism: f64,
+    /// memcpy bandwidth for cross-process object copies, bytes/sec.
+    pub memcpy_bw: f64,
+    /// Per-core sort throughput, bytes/sec.
+    pub sort_throughput: f64,
+}
+
+impl DaskSortConfig {
+    /// The paper's single-node setup.
+    pub fn paper_default(cluster: ClusterSpec) -> DaskSortConfig {
+        DaskSortConfig {
+            cluster,
+            partitions: 100,
+            gil_effective_parallelism: 2.5,
+            memcpy_bw: 2.0 * 1e9,
+            sort_throughput: 120.0 * 1e6,
+        }
+    }
+}
+
+/// Outcome of a run: a completion time, or an OOM crash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DaskOutcome {
+    /// Finished.
+    Finished(SimDuration),
+    /// Worker killed by the OOM killer at the given memory demand.
+    OutOfMemory {
+        /// Peak bytes demanded by one worker process.
+        demanded: u64,
+        /// The per-process budget it exceeded.
+        budget: u64,
+    },
+}
+
+impl DaskOutcome {
+    /// Completion time, if the run finished.
+    pub fn time(&self) -> Option<SimDuration> {
+        match self {
+            DaskOutcome::Finished(t) => Some(*t),
+            DaskOutcome::OutOfMemory { .. } => None,
+        }
+    }
+}
+
+/// Model a single-node DataFrame sort of `data_bytes` under `mode`.
+///
+/// The task graph is the standard two-phase sort: partition-sort tasks,
+/// an all-to-all exchange, then merge tasks. Compute volume ≈ 2 passes
+/// over the data; exchange volume ≈ 1 pass.
+pub fn dask_sort(cfg: &DaskSortConfig, mode: DaskMode, data_bytes: u64) -> DaskOutcome {
+    let cores = cfg.cluster.node.cpus as f64;
+    let heap = cfg.cluster.node.heap_bytes;
+    let compute_secs = 2.0 * data_bytes as f64 / cfg.sort_throughput;
+
+    match mode {
+        DaskMode::SharedMemoryStore => {
+            // Zero-copy exchange through shared memory; full parallelism;
+            // spilling handles any overflow (adds disk time at large
+            // sizes).
+            let mut t = compute_secs / cores;
+            let store = cfg.cluster.node.object_store_bytes;
+            if data_bytes > store {
+                let spill = (data_bytes - store) as f64;
+                t += 2.0 * spill / cfg.cluster.node.disk.seq_bw;
+            }
+            DaskOutcome::Finished(SimDuration::from_secs_f64(t))
+        }
+        DaskMode::Multiprocessing { procs } => {
+            run_procs(cfg, procs.max(1), 1.0, heap, data_bytes, compute_secs)
+        }
+        DaskMode::Multithreading { threads } => {
+            let par = cfg.gil_effective_parallelism.min(threads as f64).max(1.0);
+            // Single heap: no copies, no per-proc cap below the machine.
+            let t = compute_secs / par;
+            if 2 * data_bytes > heap {
+                return DaskOutcome::OutOfMemory { demanded: 2 * data_bytes, budget: heap };
+            }
+            DaskOutcome::Finished(SimDuration::from_secs_f64(t))
+        }
+        DaskMode::Mixed { procs, threads } => {
+            let par_per_proc = cfg.gil_effective_parallelism.min(threads as f64).max(1.0);
+            run_procs(cfg, procs.max(1), par_per_proc, heap, data_bytes, compute_secs)
+        }
+    }
+}
+
+fn run_procs(
+    cfg: &DaskSortConfig,
+    procs: usize,
+    par_per_proc: f64,
+    heap: u64,
+    data_bytes: u64,
+    compute_secs: f64,
+) -> DaskOutcome {
+    let cores = cfg.cluster.node.cpus as f64;
+    let par = (procs as f64 * par_per_proc).min(cores);
+    // Exchange: all-to-all between processes. A fraction (p-1)/p of the
+    // data crosses process boundaries and is copied twice (serialise +
+    // deserialise).
+    let cross = data_bytes as f64 * (procs as f64 - 1.0) / procs as f64;
+    let copy_secs = 2.0 * cross / cfg.memcpy_bw;
+    // Memory: each process holds its input shard plus copies of received
+    // shards — roughly 3× its share during the exchange.
+    let per_proc_budget = heap / procs as u64;
+    let demanded = 3 * data_bytes / procs as u64;
+    if demanded > per_proc_budget {
+        return DaskOutcome::OutOfMemory { demanded, budget: per_proc_budget };
+    }
+    DaskOutcome::Finished(SimDuration::from_secs_f64(compute_secs / par + copy_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_sim::NodeSpec;
+
+    fn cfg() -> DaskSortConfig {
+        DaskSortConfig::paper_default(ClusterSpec::homogeneous(
+            NodeSpec::dask_comparison_node(),
+            1,
+        ))
+    }
+
+    const GB: u64 = 1_000_000_000;
+
+    #[test]
+    fn multithreading_is_slower_than_multiprocessing_small_data() {
+        let c = cfg();
+        let mt = dask_sort(&c, DaskMode::Multithreading { threads: 32 }, 10 * GB)
+            .time()
+            .expect("fits");
+        let mp = dask_sort(&c, DaskMode::Multiprocessing { procs: 32 }, 10 * GB)
+            .time()
+            .expect("fits");
+        let ratio = mt.as_secs_f64() / mp.as_secs_f64();
+        assert!(ratio > 2.0, "GIL should cost ~3x, got {ratio:.1}x");
+    }
+
+    #[test]
+    fn multiprocessing_ooms_on_large_data() {
+        let c = cfg();
+        // 32 procs on 171 GB heap → ~5.3 GB/proc budget; 3× copies blow it
+        // well before the machine itself is full.
+        let out = dask_sort(&c, DaskMode::Multiprocessing { procs: 32 }, 100 * GB);
+        assert!(matches!(out, DaskOutcome::OutOfMemory { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn shared_memory_store_finishes_all_sizes() {
+        let c = cfg();
+        for gb in [1, 10, 100, 200] {
+            let out = dask_sort(&c, DaskMode::SharedMemoryStore, gb * GB);
+            assert!(out.time().is_some(), "{gb} GB should finish: {out:?}");
+        }
+    }
+
+    #[test]
+    fn shared_memory_is_fastest_or_close_on_small_data() {
+        let c = cfg();
+        let shared =
+            dask_sort(&c, DaskMode::SharedMemoryStore, 10 * GB).time().expect("fits");
+        let mp = dask_sort(&c, DaskMode::Multiprocessing { procs: 32 }, 10 * GB)
+            .time()
+            .expect("fits");
+        assert!(shared.as_secs_f64() <= mp.as_secs_f64() * 1.05);
+    }
+}

@@ -1,0 +1,25 @@
+//! # exo-monolith — monolithic shuffle baselines
+//!
+//! The systems the paper compares Exoshuffle *against*, rebuilt on the same
+//! `exo-sim` device models so the comparisons are apples-to-apples:
+//!
+//! - [`spark`]: a Spark-like BSP engine with stage barriers, map-side
+//!   shuffle files served by an external shuffle service, optional
+//!   compression (the 100 TB runs use it, §5.1.4), and an optional
+//!   Magnet-style push-merge service (`Spark-push`).
+//! - [`dasklike`]: a Dask-like single-node distributed-futures backend with
+//!   executor-heap object stores — per-process copies (multiprocessing) or
+//!   GIL-limited parallelism (multithreading) — for the shared-memory
+//!   object-store comparison of §5.3.1 (Fig 6).
+//!
+//! These are *performance models*, not data planes: they produce job
+//! completion times and I/O volumes, which is all the paper's figures
+//! need from the baselines.
+
+pub mod dasklike;
+pub mod spark;
+pub mod stage;
+
+pub use dasklike::{dask_sort, DaskMode, DaskOutcome, DaskSortConfig};
+pub use spark::{spark_sort, SparkConfig, SparkReport};
+pub use stage::{Op, StageSim};

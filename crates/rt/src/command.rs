@@ -1,0 +1,132 @@
+//! Driver → runtime commands and runtime errors.
+
+use exo_sim::engine::Reply;
+use exo_sim::{SimDuration, SimTime};
+
+use crate::ids::{NodeId, ObjectId};
+use crate::metrics::RtMetrics;
+use crate::object::Payload;
+use crate::task::TaskSpec;
+
+/// Errors surfaced to the driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtError {
+    /// An allocation could not be satisfied and neither spilling nor
+    /// fallback was available (executor-heap store modes only).
+    OutOfMemory {
+        /// Node that OOMed.
+        node: NodeId,
+    },
+    /// An object was lost and cannot be reconstructed (its lineage was
+    /// released or its producer is gone).
+    ObjectLost {
+        /// The unrecoverable object.
+        obj: ObjectId,
+    },
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::OutOfMemory { node } => write!(f, "out of memory on {node}"),
+            RtError::ObjectLost { obj } => write!(f, "object {obj:?} lost and unrecoverable"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Commands the driver can issue. Every command carries a reply so the
+/// virtual-time engine can account for parked drivers deterministically.
+pub enum RtCommand {
+    /// Submit a task; replies with the ids of its return objects.
+    Submit {
+        /// Task to run.
+        spec: TaskSpec,
+        /// Return-object ids (one per declared return).
+        reply: Reply<Vec<ObjectId>>,
+    },
+    /// Put an inline value into the cluster from the driver.
+    Put {
+        /// The value.
+        value: Payload,
+        /// The new object's id.
+        reply: Reply<ObjectId>,
+    },
+    /// Block until all objects are available, then fetch their payloads.
+    Get {
+        /// Objects to fetch.
+        objs: Vec<ObjectId>,
+        /// Payloads in request order, or an error.
+        reply: Reply<Result<Vec<Payload>, RtError>>,
+    },
+    /// Block until `num_ready` of the objects are available or the timeout
+    /// elapses; replies with (ready, pending) index lists.
+    Wait {
+        /// Objects to watch.
+        objs: Vec<ObjectId>,
+        /// How many must be ready before returning (clamped to len).
+        num_ready: usize,
+        /// Optional timeout.
+        timeout: Option<SimDuration>,
+        /// Indices into `objs`: (ready, not-ready).
+        reply: Reply<(Vec<usize>, Vec<usize>)>,
+    },
+    /// Drop one driver reference to an object (posted, no reply).
+    Release {
+        /// The object.
+        obj: ObjectId,
+    },
+    /// Current virtual time.
+    Now {
+        /// The clock.
+        reply: Reply<SimTime>,
+    },
+    /// Sleep for a virtual duration.
+    Sleep {
+        /// How long.
+        dur: SimDuration,
+        /// Wakes at the deadline.
+        reply: Reply<()>,
+    },
+    /// Nodes currently holding a copy of an object (runtime introspection,
+    /// §4.3.2 — used by Riffle-style locality grouping).
+    Locations {
+        /// The object.
+        obj: ObjectId,
+        /// Nodes with a copy (any residency).
+        reply: Reply<Vec<NodeId>>,
+    },
+    /// Schedule a node failure (and optional restart) — fault-injection
+    /// for §5.1.5.
+    KillNode {
+        /// Victim node.
+        node: NodeId,
+        /// When to kill it.
+        at: SimTime,
+        /// Restart delay after the kill, if any.
+        restart_after: Option<SimDuration>,
+        /// Ack (immediate; the kill happens later).
+        reply: Reply<()>,
+    },
+    /// Kill all executor processes on a node at a time (the store and its
+    /// objects survive — §4.2.3's executor-failure case).
+    KillExecutors {
+        /// Victim node.
+        node: NodeId,
+        /// When.
+        at: SimTime,
+        /// Ack.
+        reply: Reply<()>,
+    },
+    /// Snapshot of runtime metrics.
+    Metrics {
+        /// The counters.
+        reply: Reply<RtMetrics>,
+    },
+    /// Number of nodes in the cluster.
+    NumNodes {
+        /// Count (including dead ones).
+        reply: Reply<usize>,
+    },
+}

@@ -1,0 +1,240 @@
+//! Driver-side API: the handle shuffle libraries program against.
+//!
+//! Mirrors the Ray surface used in the paper's listings: `task(...)`
+//! builders instead of `@ray.remote`, [`RtHandle::get`]/[`RtHandle::wait`]
+//! for consumption and backpressure, `locations` for runtime introspection,
+//! and `kill_node` for fault injection.
+
+use bytes::Bytes;
+use exo_sim::engine::{run_with_driver, DriverConn};
+use exo_sim::{SimDuration, SimTime};
+
+use crate::command::{RtCommand, RtError};
+use crate::ids::{NodeId, ObjectId};
+use crate::metrics::RtMetrics;
+use crate::object::{ObjectRef, Payload};
+use crate::runtime::{validate_config, RtConfig, Runtime};
+use crate::task::{ArgSpec, CpuCost, SchedulingStrategy, TaskCtx, TaskFn, TaskOptions, TaskSpec};
+
+/// Handle through which a driver program talks to the runtime.
+#[derive(Clone)]
+pub struct RtHandle {
+    conn: DriverConn<RtCommand>,
+}
+
+/// Summary of a finished run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Virtual time when the driver program finished.
+    pub end_time: SimTime,
+    /// Final runtime metrics.
+    pub metrics: RtMetrics,
+}
+
+/// Build and run a driver program against a simulated cluster; returns the
+/// run report and the driver's result.
+pub fn run<R: Send>(cfg: RtConfig, driver: impl FnOnce(&RtHandle) -> R + Send) -> (RunReport, R) {
+    validate_config(&cfg);
+    let runtime = Runtime::new(cfg);
+    let (runtime, end, (result, metrics)) = run_with_driver(runtime, move |conn| {
+        let rt = RtHandle { conn };
+        let result = driver(&rt);
+        let metrics = rt.metrics();
+        (result, metrics)
+    });
+    drop(runtime);
+    (RunReport { end_time: end, metrics }, result)
+}
+
+impl RtHandle {
+    /// Start building a task around `func`. The function must be
+    /// deterministic in its `TaskCtx` (lineage reconstruction re-runs it).
+    pub fn task<F>(&self, func: F) -> TaskBuilder
+    where
+        F: Fn(TaskCtx) -> Vec<Payload> + Send + Sync + 'static,
+    {
+        TaskBuilder {
+            rt: self.clone(),
+            func: std::sync::Arc::new(func),
+            args: Vec::new(),
+            opts: TaskOptions::default(),
+        }
+    }
+
+    /// Put a value into the cluster from the driver.
+    pub fn put(&self, value: Payload) -> ObjectRef {
+        let id = self.conn.call(|reply| RtCommand::Put { value, reply });
+        ObjectRef::new(id, self.conn.clone())
+    }
+
+    /// Block until all objects are available and fetch their payloads.
+    pub fn get(&self, refs: &[ObjectRef]) -> Result<Vec<Payload>, RtError> {
+        let objs: Vec<ObjectId> = refs.iter().map(|r| r.id()).collect();
+        self.conn.call(|reply| RtCommand::Get { objs, reply })
+    }
+
+    /// Convenience: get a single object.
+    pub fn get_one(&self, r: &ObjectRef) -> Result<Payload, RtError> {
+        Ok(self.get(std::slice::from_ref(r))?.pop().expect("one payload"))
+    }
+
+    /// Block until `num_ready` of `refs` are available (or the timeout
+    /// fires); returns indices of (ready, not-ready) refs.
+    pub fn wait(
+        &self,
+        refs: &[ObjectRef],
+        num_ready: usize,
+        timeout: Option<SimDuration>,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let objs: Vec<ObjectId> = refs.iter().map(|r| r.id()).collect();
+        self.conn.call(|reply| RtCommand::Wait { objs, num_ready, timeout, reply })
+    }
+
+    /// Wait for every ref to be available without fetching payloads.
+    pub fn wait_all(&self, refs: &[ObjectRef]) {
+        if !refs.is_empty() {
+            let _ = self.wait(refs, refs.len(), None);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.conn.call(|reply| RtCommand::Now { reply })
+    }
+
+    /// Sleep for a virtual duration.
+    pub fn sleep(&self, dur: SimDuration) {
+        self.conn.call(|reply| RtCommand::Sleep { dur, reply })
+    }
+
+    /// Nodes currently holding a copy of the object (§4.3.2 runtime
+    /// introspection).
+    pub fn locations(&self, r: &ObjectRef) -> Vec<NodeId> {
+        let obj = r.id();
+        self.conn.call(|reply| RtCommand::Locations { obj, reply })
+    }
+
+    /// Schedule a node kill at `at`, restarting after `restart_after` if
+    /// given (fault injection, §5.1.5).
+    pub fn kill_node(&self, node: NodeId, at: SimTime, restart_after: Option<SimDuration>) {
+        self.conn.call(|reply| RtCommand::KillNode { node, at, restart_after, reply })
+    }
+
+    /// Kill all executor processes on `node` at `at`; the node's object
+    /// store survives (executor-failure injection, §4.2.3).
+    pub fn kill_executors(&self, node: NodeId, at: SimTime) {
+        self.conn.call(|reply| RtCommand::KillExecutors { node, at, reply })
+    }
+
+    /// Snapshot runtime metrics.
+    pub fn metrics(&self) -> RtMetrics {
+        self.conn.call(|reply| RtCommand::Metrics { reply })
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.conn.call(|reply| RtCommand::NumNodes { reply })
+    }
+
+    pub(crate) fn submit_spec(&self, spec: TaskSpec) -> Vec<ObjectRef> {
+        let ids = self.conn.call(|reply| RtCommand::Submit { spec, reply });
+        ids.into_iter().map(|id| ObjectRef::new(id, self.conn.clone())).collect()
+    }
+}
+
+/// Fluent builder for a task submission (the `.options(...).remote(...)`
+/// pattern from the paper's listings).
+pub struct TaskBuilder {
+    rt: RtHandle,
+    func: TaskFn,
+    args: Vec<ArgSpec>,
+    opts: TaskOptions,
+}
+
+impl TaskBuilder {
+    /// Pass a distributed future as an argument.
+    pub fn arg(mut self, r: &ObjectRef) -> Self {
+        self.args.push(ArgSpec::Object(r.id()));
+        self
+    }
+
+    /// Pass many futures.
+    pub fn args<'a>(mut self, rs: impl IntoIterator<Item = &'a ObjectRef>) -> Self {
+        for r in rs {
+            self.args.push(ArgSpec::Object(r.id()));
+        }
+        self
+    }
+
+    /// Pass a small inline value.
+    pub fn arg_inline(mut self, data: impl Into<Bytes>) -> Self {
+        self.args.push(ArgSpec::Inline(Payload::inline(data)));
+        self
+    }
+
+    /// Pass an inline payload (e.g. a ghost payload carrying parameters).
+    pub fn arg_payload(mut self, p: Payload) -> Self {
+        self.args.push(ArgSpec::Inline(p));
+        self
+    }
+
+    /// Declare the number of return objects (multiple-returns API).
+    pub fn num_returns(mut self, n: usize) -> Self {
+        self.opts.num_returns = n;
+        self
+    }
+
+    /// Set the placement strategy.
+    pub fn strategy(mut self, s: SchedulingStrategy) -> Self {
+        self.opts.strategy = s;
+        self
+    }
+
+    /// Pin to a node (soft affinity).
+    pub fn on_node(mut self, node: NodeId) -> Self {
+        self.opts.strategy = SchedulingStrategy::NodeAffinity(node);
+        self
+    }
+
+    /// Set the CPU cost model.
+    pub fn cpu(mut self, c: CpuCost) -> Self {
+        self.opts.cpu = c;
+        self
+    }
+
+    /// Charge a sequential read of job input at the executing node.
+    pub fn reads_input(mut self, bytes: u64) -> Self {
+        self.opts.reads_input = bytes;
+        self
+    }
+
+    /// Charge a sequential write of job output at the executing node.
+    pub fn writes_output(mut self, bytes: u64) -> Self {
+        self.opts.writes_output = bytes;
+        self
+    }
+
+    /// Yield outputs one at a time (remote generator).
+    pub fn generator(mut self) -> Self {
+        self.opts.generator = true;
+        self
+    }
+
+    /// Label for progress metrics.
+    pub fn label(mut self, label: &'static str) -> Self {
+        self.opts.label = label;
+        self
+    }
+
+    /// Submit; returns one `ObjectRef` per declared return. Non-blocking.
+    pub fn submit(self) -> Vec<ObjectRef> {
+        let spec = TaskSpec { func: self.func, args: self.args, opts: self.opts };
+        self.rt.submit_spec(spec)
+    }
+
+    /// Submit a single-return task and get its one ref.
+    pub fn submit_one(self) -> ObjectRef {
+        assert_eq!(self.opts.num_returns, 1, "submit_one requires num_returns == 1");
+        self.submit().pop().expect("one return")
+    }
+}

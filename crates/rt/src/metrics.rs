@@ -1,0 +1,57 @@
+//! Cluster-wide runtime metrics.
+
+use exo_sim::SimTime;
+use exo_store::StoreMetrics;
+
+/// A labelled task-completion sample for progress curves (Fig 5).
+#[derive(Clone, Debug)]
+pub struct ProgressSample {
+    /// Completion time.
+    pub at: SimTime,
+    /// The task's label (e.g. `"map"`, `"reduce"`).
+    pub label: &'static str,
+}
+
+/// Aggregated counters across all nodes.
+#[derive(Clone, Debug, Default)]
+pub struct RtMetrics {
+    /// Tasks completed.
+    pub tasks_completed: u64,
+    /// Task executions that were lineage-reconstruction re-runs.
+    pub tasks_reexecuted: u64,
+    /// Bytes moved over the network between nodes.
+    pub net_bytes: u64,
+    /// Network transfer operations.
+    pub net_ops: u64,
+    /// Bytes read from disk (restores, remote reads of spilled objects,
+    /// job input).
+    pub disk_read_bytes: u64,
+    /// Bytes written to disk (spills, fallback allocations, job output).
+    pub disk_write_bytes: u64,
+    /// Sum of per-node store metrics.
+    pub store: StoreMetrics,
+    /// Objects reconstructed through lineage.
+    pub objects_reconstructed: u64,
+    /// Node failures injected.
+    pub node_failures: u64,
+    /// Executor-process failures injected (objects survive these).
+    pub executor_failures: u64,
+    /// Completion samples, in completion order.
+    pub progress: Vec<ProgressSample>,
+}
+
+impl RtMetrics {
+    pub(crate) fn add_store(&mut self, m: StoreMetrics) {
+        let s = &mut self.store;
+        s.spilled_bytes += m.spilled_bytes;
+        s.spill_files += m.spill_files;
+        s.spilled_objects += m.spilled_objects;
+        s.restored_bytes += m.restored_bytes;
+        s.restore_ops += m.restore_ops;
+        s.fallback_bytes += m.fallback_bytes;
+        s.fallback_allocs += m.fallback_allocs;
+        s.spill_writes_elided += m.spill_writes_elided;
+        s.peak_used = s.peak_used.max(m.peak_used);
+        s.evicted_unwritten += m.evicted_unwritten;
+    }
+}

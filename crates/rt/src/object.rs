@@ -1,0 +1,88 @@
+//! Payloads and distributed futures (`ObjectRef`).
+
+use bytes::Bytes;
+use exo_sim::engine::DriverConn;
+
+use crate::command::RtCommand;
+use crate::ids::ObjectId;
+
+/// The value of a distributed object: real bytes plus a *logical* size.
+///
+/// The logical size is what every accounting path (store capacity, spill
+/// volume, transfer time, CPU cost) uses. For laptop-scale runs it equals
+/// `data.len()`; for paper-scale experiments the workload layer scales real
+/// payloads down (e.g. 1:1000) while keeping logical sizes at full scale,
+/// so correctness is exercised on real data and performance is modelled at
+/// 100 TB.
+#[derive(Clone, Debug)]
+pub struct Payload {
+    /// Actual bytes (moved through the object table, returned by `get`).
+    pub data: Bytes,
+    /// Size used for all performance accounting.
+    pub logical: u64,
+}
+
+impl Payload {
+    /// A payload whose logical size is its real size.
+    pub fn inline(data: impl Into<Bytes>) -> Payload {
+        let data = data.into();
+        let logical = data.len() as u64;
+        Payload { data, logical }
+    }
+
+    /// A payload carrying real `data` that *stands for* `logical` bytes.
+    pub fn scaled(data: impl Into<Bytes>, logical: u64) -> Payload {
+        Payload { data: data.into(), logical }
+    }
+
+    /// A data-free payload of a given logical size (for experiments that
+    /// only need the accounting, e.g. the spill microbenchmark).
+    pub fn ghost(logical: u64) -> Payload {
+        Payload { data: Bytes::new(), logical }
+    }
+}
+
+struct RefInner {
+    id: ObjectId,
+    conn: DriverConn<RtCommand>,
+}
+
+impl Drop for RefInner {
+    fn drop(&mut self) {
+        // Tell the runtime this driver reference is gone. Posted rather
+        // than called: the engine processes it in FIFO order with the
+        // driver's other commands, and the clock cannot advance while this
+        // thread keeps running, so the release point is deterministic —
+        // without paying a blocking round-trip per dropped ref.
+        self.conn.post(RtCommand::Release { obj: self.id });
+    }
+}
+
+/// A distributed future: a first-class reference to an object that may not
+/// exist yet and may live anywhere in the cluster (§3.1).
+///
+/// Clones share one runtime-visible reference; the runtime count drops when
+/// the last clone is dropped. Passing an `ObjectRef` as a task argument
+/// does *not* consume it — the runtime independently pins arguments of
+/// in-flight tasks.
+#[derive(Clone)]
+pub struct ObjectRef {
+    inner: std::sync::Arc<RefInner>,
+}
+
+impl ObjectRef {
+    pub(crate) fn new(id: ObjectId, conn: DriverConn<RtCommand>) -> ObjectRef {
+        ObjectRef { inner: std::sync::Arc::new(RefInner { id, conn }) }
+    }
+
+    /// The object this future refers to.
+    pub fn id(&self) -> ObjectId {
+        self.inner.id
+    }
+}
+
+impl std::fmt::Debug for ObjectRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectRef({:?})", self.inner.id)
+    }
+}

@@ -1,0 +1,1619 @@
+//! The runtime proper: an `exo_sim::Simulation` implementing task
+//! execution, the object directory, transfers, spilling, scheduling and
+//! lineage reconstruction.
+//!
+//! All state lives on the engine thread. Every mutation flows through
+//! [`Runtime::on_command`] / [`Runtime::on_event`], so behaviour is a
+//! deterministic function of the driver program.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use bytes::Bytes;
+use exo_sim::engine::{Ctx, Reply};
+use exo_sim::{ClusterSpec, IoKind, Resource, SimDuration, Simulation};
+use exo_store::{AllocDecision, NodeStore, RestoreDecision, SpillBatch, StoreConfig};
+
+use crate::command::{RtCommand, RtError};
+use crate::ids::{NodeId, ObjectId, TaskId};
+use crate::metrics::{ProgressSample, RtMetrics};
+use crate::object::Payload;
+use crate::scheduler::{place, NodeSnapshot};
+use crate::task::{task_seed, ArgSpec, TaskCtx, TaskSpec};
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RtConfig {
+    /// Cluster hardware.
+    pub cluster: ClusterSpec,
+    /// Override the per-node object-store capacity (defaults to the node
+    /// spec's value).
+    pub object_store_capacity: Option<u64>,
+    /// Fuse small spill writes into large files (Fig 7 ablation).
+    pub fuse_spill_writes: bool,
+    /// Minimum fused spill-file size.
+    pub fuse_min: u64,
+    /// Pipelined argument prefetching for queued tasks (Fig 7 ablation).
+    /// When off, a task's arguments are fetched only once it holds an
+    /// execution slot, serialising I/O with execution.
+    pub prefetch_args: bool,
+    /// Record per-task completion samples (progress curves, Fig 5).
+    pub record_progress: bool,
+    /// Per-node CPU slowdown multipliers (straggler injection): a task's
+    /// compute phase on node `i` is multiplied by `cpu_slowdown[i]`.
+    pub cpu_slowdown: Vec<f64>,
+}
+
+impl RtConfig {
+    /// Ray-like defaults on the given cluster.
+    pub fn new(cluster: ClusterSpec) -> Self {
+        RtConfig {
+            cluster,
+            object_store_capacity: None,
+            fuse_spill_writes: true,
+            fuse_min: 100 * 1000 * 1000,
+            prefetch_args: true,
+            record_progress: false,
+            cpu_slowdown: Vec::new(),
+        }
+    }
+
+    /// Mark node `i` as a straggler: its compute runs `factor`× slower.
+    pub fn with_slow_node(mut self, node: usize, factor: f64) -> Self {
+        if self.cpu_slowdown.len() < self.cluster.nodes {
+            self.cpu_slowdown.resize(self.cluster.nodes, 1.0);
+        }
+        self.cpu_slowdown[node] = factor;
+        self
+    }
+}
+
+/// Panic early on nonsensical configs.
+pub(crate) fn validate_config(cfg: &RtConfig) {
+    assert!(cfg.cluster.nodes >= 1, "need at least one node");
+    if let Some(cap) = cfg.object_store_capacity {
+        assert!(cap > 0, "object store capacity must be positive");
+    }
+}
+
+/// Tag attached to queued store allocations so grants resume the right
+/// work.
+#[derive(Clone, Debug)]
+enum AllocTag {
+    Output { task: TaskId, idx: usize, epoch: u32 },
+    Fetch { obj: ObjectId },
+    Restore { obj: ObjectId },
+}
+
+/// Events the runtime schedules for itself.
+pub enum RtEvent {
+    TaskInputDone { task: TaskId, epoch: u32 },
+    TaskCpuDone { task: TaskId, epoch: u32 },
+    OutputReady { task: TaskId, idx: usize, epoch: u32 },
+    OutputFallbackDone { task: TaskId, obj: ObjectId, epoch: u32 },
+    OutputWriteDone { task: TaskId, epoch: u32 },
+    SpillDone { node: NodeId, epoch: u32, batch: SpillBatch },
+    RestoreDone { node: NodeId, obj: ObjectId, epoch: u32 },
+    FetchDone { node: NodeId, obj: ObjectId, src: NodeId, src_epoch: u32, epoch: u32 },
+    WaitDeadline { waiter: u64 },
+    SleepDone { reply: Reply<()> },
+    KillNode { node: NodeId, restart_after: Option<SimDuration> },
+    RestartNode { node: NodeId },
+    KillExecutors { node: NodeId },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FetchState {
+    /// Waiting for local memory.
+    AllocPending,
+    /// Bytes in flight from `src`.
+    Transferring { src: NodeId, src_epoch: u32 },
+}
+
+struct Node {
+    id: NodeId,
+    alive: bool,
+    /// Bumped on kill and restart; events carrying a stale epoch are void.
+    epoch: u32,
+    store: NodeStore<AllocTag>,
+    disk: Resource,
+    nic_tx: Resource,
+    nic_rx: Resource,
+    slots_free: usize,
+    /// Assigned tasks not yet running, FIFO.
+    queue: VecDeque<TaskId>,
+    running: BTreeSet<TaskId>,
+    /// In-flight inbound object fetches (dedup + failure invalidation).
+    fetching: HashMap<ObjectId, FetchState>,
+    /// Tasks waiting for an object to become memory-resident here.
+    arg_waiters: HashMap<ObjectId, Vec<TaskId>>,
+}
+
+impl Node {
+    fn load(&self) -> usize {
+        self.queue.len() + self.running.len()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskState {
+    /// Some argument object has not been produced yet.
+    WaitingArgs,
+    /// Assigned to a node, waiting for a slot (and possibly staging).
+    Queued,
+    /// Executing (input read / compute / output allocation phases).
+    Running,
+    /// Finished.
+    Done,
+}
+
+struct TaskEntry {
+    spec: TaskSpec,
+    outputs: Vec<ObjectId>,
+    state: TaskState,
+    attempt: u32,
+    /// Bumped whenever the task is (re)assigned; in-flight events with an
+    /// older epoch are void.
+    epoch: u32,
+    node: Option<NodeId>,
+    /// Unique object args not yet pinned in local memory (ordered so
+    /// staging I/O is issued deterministically).
+    unstaged: BTreeSet<ObjectId>,
+    /// Object args currently pinned locally (to unpin at completion).
+    pinned: Vec<ObjectId>,
+    /// True once staging has been kicked off for the current assignment.
+    staging_started: bool,
+    /// Slot already held while staging (prefetch-off mode).
+    slot_held: bool,
+    /// Closure outputs, parked here until sealed into the store.
+    pending_outputs: Vec<Option<Payload>>,
+    outputs_pending: usize,
+    cpu_done: bool,
+    output_written: bool,
+}
+
+struct ObjEntry {
+    logical: u64,
+    payload: Option<Bytes>,
+    /// Nodes whose store currently holds the object (any residency).
+    copies: BTreeSet<NodeId>,
+    /// Producing task and return index (lineage).
+    producer: Option<(TaskId, usize)>,
+    driver_refs: u64,
+    /// In-flight consumer tasks.
+    task_refs: u64,
+    /// Tasks to poke when the object becomes available anywhere.
+    waiting_tasks: Vec<TaskId>,
+    /// Waiters (get/wait) watching this object.
+    waiting_waiters: Vec<u64>,
+}
+
+impl ObjEntry {
+    fn available(&self) -> bool {
+        !self.copies.is_empty()
+    }
+}
+
+enum Waiter {
+    Get { objs: Vec<ObjectId>, reply: Reply<Result<Vec<Payload>, RtError>> },
+    Wait { objs: Vec<ObjectId>, num_ready: usize, reply: Reply<(Vec<usize>, Vec<usize>)> },
+}
+
+/// The runtime simulation state.
+pub struct Runtime {
+    cfg: RtConfig,
+    nodes: Vec<Node>,
+    objects: HashMap<ObjectId, ObjEntry>,
+    /// Permanent object → producer map (survives entry GC so lineage can
+    /// recreate entries).
+    lineage: HashMap<ObjectId, (TaskId, usize)>,
+    tasks: HashMap<TaskId, TaskEntry>,
+    waiters: HashMap<u64, Waiter>,
+    next_obj: u64,
+    next_task: u64,
+    next_waiter: u64,
+    rr_cursor: usize,
+    metrics: RtMetrics,
+    /// Fatal job error (OOM); fails all subsequent gets.
+    failed: Option<RtError>,
+}
+
+impl Runtime {
+    /// Build the runtime for a cluster.
+    pub fn new(cfg: RtConfig) -> Runtime {
+        let node_spec = cfg.cluster.node;
+        let capacity = cfg.object_store_capacity.unwrap_or(node_spec.object_store_bytes);
+        let nodes = (0..cfg.cluster.nodes)
+            .map(|i| Node {
+                id: NodeId(i),
+                alive: true,
+                epoch: 0,
+                store: NodeStore::new(StoreConfig {
+                    capacity,
+                    fuse_min: cfg.fuse_min,
+                    fuse_enabled: cfg.fuse_spill_writes,
+                    spill_enabled: true,
+                    fallback_enabled: true,
+                }),
+                disk: node_spec.disk.build(format!("disk[{i}]")),
+                nic_tx: node_spec.nic.build(format!("nic-tx[{i}]")),
+                nic_rx: node_spec.nic.build(format!("nic-rx[{i}]")),
+                slots_free: node_spec.cpus,
+                queue: VecDeque::new(),
+                running: BTreeSet::new(),
+                fetching: HashMap::new(),
+                arg_waiters: HashMap::new(),
+            })
+            .collect();
+        Runtime {
+            cfg,
+            nodes,
+            objects: HashMap::new(),
+            lineage: HashMap::new(),
+            tasks: HashMap::new(),
+            waiters: HashMap::new(),
+            next_obj: 0,
+            next_task: 0,
+            next_waiter: 0,
+            rr_cursor: 0,
+            metrics: RtMetrics::default(),
+            failed: None,
+        }
+    }
+
+    fn fresh_obj(&mut self) -> ObjectId {
+        let id = ObjectId(self.next_obj);
+        self.next_obj += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Submission & scheduling
+    // ------------------------------------------------------------------
+
+    fn submit(&mut self, ctx: &mut Ctx<'_, RtEvent>, spec: TaskSpec) -> Vec<ObjectId> {
+        let task = TaskId(self.next_task);
+        self.next_task += 1;
+        let outputs: Vec<ObjectId> = (0..spec.opts.num_returns).map(|_| self.fresh_obj()).collect();
+        for (idx, &o) in outputs.iter().enumerate() {
+            self.lineage.insert(o, (task, idx));
+            self.objects.insert(
+                o,
+                ObjEntry {
+                    logical: 0,
+                    payload: None,
+                    copies: BTreeSet::new(),
+                    producer: Some((task, idx)),
+                    driver_refs: 1,
+                    task_refs: 0,
+                    waiting_tasks: Vec::new(),
+                    waiting_waiters: Vec::new(),
+                },
+            );
+        }
+        let unique_args = spec.object_args();
+        let entry = TaskEntry {
+            pending_outputs: (0..spec.opts.num_returns).map(|_| None).collect(),
+            spec,
+            outputs: outputs.clone(),
+            state: TaskState::WaitingArgs,
+            attempt: 0,
+            epoch: 0,
+            node: None,
+            unstaged: BTreeSet::new(),
+            pinned: Vec::new(),
+            staging_started: false,
+            slot_held: false,
+            outputs_pending: 0,
+            cpu_done: false,
+            output_written: false,
+        };
+        self.tasks.insert(task, entry);
+        // Hold the args on behalf of this consumer.
+        for &a in &unique_args {
+            self.ensure_obj_entry(a);
+            self.objects.get_mut(&a).expect("ensured").task_refs += 1;
+        }
+        self.try_schedule(ctx, task);
+        outputs
+    }
+
+    /// Recreate a GC'd object entry from lineage (size/payload unknown
+    /// until reproduced).
+    fn ensure_obj_entry(&mut self, obj: ObjectId) {
+        if self.objects.contains_key(&obj) {
+            return;
+        }
+        let producer = self.lineage.get(&obj).copied();
+        self.objects.insert(
+            obj,
+            ObjEntry {
+                logical: 0,
+                payload: None,
+                copies: BTreeSet::new(),
+                producer,
+                driver_refs: 0,
+                task_refs: 0,
+                waiting_tasks: Vec::new(),
+                waiting_waiters: Vec::new(),
+            },
+        );
+    }
+
+    /// Try to move a task from WaitingArgs to a node queue.
+    fn try_schedule(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        let entry = self.tasks.get(&task).expect("task exists");
+        if entry.state != TaskState::WaitingArgs {
+            return;
+        }
+        let args = entry.spec.object_args();
+        let mut missing = Vec::new();
+        for &a in &args {
+            let avail = self.objects.get(&a).map(|o| o.available()).unwrap_or(false);
+            if !avail {
+                missing.push(a);
+            }
+        }
+        if !missing.is_empty() {
+            for a in missing {
+                self.ensure_available(ctx, a);
+                let o = self.objects.get_mut(&a).expect("ensured");
+                if !o.waiting_tasks.contains(&task) {
+                    o.waiting_tasks.push(task);
+                }
+            }
+            return;
+        }
+        // Place.
+        let snapshots: Vec<NodeSnapshot> = self
+            .nodes
+            .iter()
+            .map(|n| NodeSnapshot {
+                id: n.id,
+                alive: n.alive,
+                load: n.load(),
+                local_arg_bytes: args
+                    .iter()
+                    .filter_map(|a| {
+                        let o = self.objects.get(a)?;
+                        o.copies.contains(&n.id).then_some(o.logical)
+                    })
+                    .sum(),
+            })
+            .collect();
+        let strategy = entry.spec.opts.strategy;
+        let Some(node) = place(strategy, &snapshots, &mut self.rr_cursor) else {
+            return; // no node alive; retried when a node restarts
+        };
+        let entry = self.tasks.get_mut(&task).expect("task exists");
+        entry.state = TaskState::Queued;
+        entry.node = Some(node);
+        entry.epoch += 1;
+        entry.unstaged = args.into_iter().collect();
+        entry.pinned.clear();
+        entry.staging_started = false;
+        entry.slot_held = false;
+        entry.cpu_done = false;
+        entry.output_written = false;
+        entry.outputs_pending = 0;
+        for po in &mut entry.pending_outputs {
+            *po = None;
+        }
+        self.nodes[node.0].queue.push_back(task);
+        self.pump_node(ctx, node);
+    }
+
+    /// Ensure an object is available or on its way: trigger lineage
+    /// reconstruction if its producer finished but the copies are gone.
+    fn ensure_available(&mut self, ctx: &mut Ctx<'_, RtEvent>, obj: ObjectId) {
+        self.ensure_obj_entry(obj);
+        let entry = self.objects.get(&obj).expect("ensured");
+        if entry.available() {
+            return;
+        }
+        let Some((producer, _)) = entry.producer else {
+            // A driver-put object with no lineage: unrecoverable.
+            return;
+        };
+        let pstate = self.tasks.get(&producer).map(|t| t.state);
+        match pstate {
+            Some(TaskState::Done) => self.resubmit(ctx, producer),
+            Some(_) => {} // in flight; will seal
+            None => {}
+        }
+    }
+
+    /// Re-execute a finished task to reconstruct lost outputs (§4.2.3).
+    fn resubmit(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        let entry = self.tasks.get_mut(&task).expect("lineage task exists");
+        if entry.state != TaskState::Done {
+            return; // already being re-run
+        }
+        entry.state = TaskState::WaitingArgs;
+        entry.attempt += 1;
+        entry.epoch += 1;
+        entry.node = None;
+        self.metrics.tasks_reexecuted += 1;
+        // Re-acquire holds on the args.
+        let args = entry.spec.object_args();
+        for &a in &args {
+            self.ensure_obj_entry(a);
+            self.objects.get_mut(&a).expect("ensured").task_refs += 1;
+        }
+        self.try_schedule(ctx, task);
+    }
+
+    // ------------------------------------------------------------------
+    // Node pump: staging and slot assignment
+    // ------------------------------------------------------------------
+
+    /// Advance a node: kick staging per the prefetch policy and start any
+    /// runnable tasks.
+    fn pump_node(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId) {
+        if !self.nodes[node.0].alive {
+            return;
+        }
+        if self.cfg.prefetch_args {
+            // Stage args ahead of execution for a bounded admission window
+            // of queued tasks. The window bounds pinned memory (staged
+            // args are pinned so concurrent tasks cannot evict each
+            // other's arguments — the thrash Ray's pull manager likewise
+            // prevents by capping in-flight task-arg pulls).
+            let window = 2 * self.cfg.cluster.node.cpus;
+            let queued: Vec<TaskId> =
+                self.nodes[node.0].queue.iter().take(window).copied().collect();
+            for t in queued {
+                let started = self.tasks.get(&t).map(|e| e.staging_started).unwrap_or(true);
+                if !started {
+                    self.start_staging(ctx, t);
+                }
+            }
+            // Start tasks whose staging completed, FIFO-preferred; staged
+            // args are already pinned.
+            loop {
+                if self.nodes[node.0].slots_free == 0 {
+                    break;
+                }
+                let pos = self.nodes[node.0].queue.iter().position(|t| {
+                    self.tasks.get(t).map(|e| e.unstaged.is_empty()).unwrap_or(false)
+                });
+                let Some(pos) = pos else { break };
+                let t = self.nodes[node.0].queue[pos];
+                let removed = self.nodes[node.0].queue.remove(pos);
+                debug_assert_eq!(removed, Some(t));
+                self.nodes[node.0].slots_free -= 1;
+                self.start_exec(ctx, t);
+            }
+        } else {
+            // No prefetch: the head task takes a slot first, then stages.
+            loop {
+                if self.nodes[node.0].slots_free == 0 {
+                    break;
+                }
+                let Some(&head) = self.nodes[node.0].queue.front() else { break };
+                let entry = self.tasks.get(&head).expect("queued task exists");
+                if entry.unstaged.is_empty() {
+                    self.nodes[node.0].queue.pop_front();
+                    let e = self.tasks.get_mut(&head).expect("exists");
+                    if !e.slot_held {
+                        self.nodes[node.0].slots_free -= 1;
+                    }
+                    self.start_exec(ctx, head);
+                } else if !entry.slot_held {
+                    self.nodes[node.0].slots_free -= 1;
+                    self.tasks.get_mut(&head).expect("exists").slot_held = true;
+                    self.start_staging(ctx, head);
+                    break;
+                } else {
+                    break; // head staging in progress
+                }
+            }
+        }
+    }
+
+    fn start_staging(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        let entry = self.tasks.get_mut(&task).expect("task exists");
+        entry.staging_started = true;
+        let args: Vec<ObjectId> = entry.unstaged.iter().copied().collect();
+        for a in args {
+            self.stage_arg(ctx, task, a);
+        }
+        // Zero-arg tasks become runnable immediately.
+        if let Some(node) = self.tasks.get(&task).and_then(|e| e.node) {
+            if self.tasks.get(&task).map(|e| e.unstaged.is_empty()).unwrap_or(false) {
+                self.try_start_staged(ctx, task, node);
+            }
+        }
+    }
+
+    /// Bring one argument into local memory and pin it.
+    fn stage_arg(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, obj: ObjectId) {
+        let Some(entry) = self.tasks.get(&task) else { return };
+        let Some(node) = entry.node else { return };
+        if !entry.unstaged.contains(&obj) {
+            return;
+        }
+        let n = &mut self.nodes[node.0];
+        if n.store.in_memory(obj.0) {
+            // Resident: pin for this task so staged arguments cannot be
+            // spilled out from under it (staging admission is bounded by
+            // the per-node window, and the store overcommits stuck
+            // restores, so pinning here cannot wedge the node).
+            n.store.pin(obj.0);
+            let e = self.tasks.get_mut(&task).expect("exists");
+            e.unstaged.remove(&obj);
+            e.pinned.push(obj);
+            self.try_start_staged(ctx, task, node);
+            return;
+        }
+        if n.store.contains(obj.0) {
+            // Spilled locally: restore.
+            n.arg_waiters.entry(obj).or_default().push(task);
+            match n.store.request_restore(obj.0, AllocTag::Restore { obj }) {
+                RestoreDecision::InMemory => {
+                    // Raced with another path; redo as memory-resident.
+                    if let Some(v) = n.arg_waiters.get_mut(&obj) {
+                        v.retain(|t| *t != task);
+                    }
+                    n.store.pin(obj.0);
+                    let e = self.tasks.get_mut(&task).expect("exists");
+                    e.unstaged.remove(&obj);
+                    e.pinned.push(obj);
+                    self.try_start_staged(ctx, task, node);
+                }
+                RestoreDecision::Granted => {
+                    let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
+                    let end = self.nodes[node.0].disk.submit(ctx.now(), size, IoKind::Random);
+                    self.metrics.disk_read_bytes += size;
+                    let epoch = self.nodes[node.0].epoch;
+                    ctx.schedule_at(end, RtEvent::RestoreDone { node, obj, epoch });
+                }
+                RestoreDecision::InFlight => {}
+                RestoreDecision::Queued => {
+                    // The queued restore may need spills to proceed; kick
+                    // the pump so a quiescent node still makes progress.
+                    self.pump_store(ctx, node);
+                }
+                RestoreDecision::Lost => unreachable!("contains() checked"),
+            }
+            return;
+        }
+        // Remote or missing: register interest, then fetch if possible.
+        n.arg_waiters.entry(obj).or_default().push(task);
+        if n.fetching.contains_key(&obj) {
+            return; // a fetch is already on its way
+        }
+        let available = self.objects.get(&obj).map(|o| o.available()).unwrap_or(false);
+        if !available {
+            self.ensure_available(ctx, obj);
+            let o = self.objects.get_mut(&obj).expect("ensured");
+            if !o.waiting_tasks.contains(&task) {
+                o.waiting_tasks.push(task);
+            }
+            return;
+        }
+        self.begin_fetch(ctx, node, obj);
+    }
+
+    /// Start pulling a remote object to `node` (allocation first).
+    fn begin_fetch(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId, obj: ObjectId) {
+        let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
+        // Allocation priority: arguments of soon-to-run tasks are High;
+        // deeper prefetch is Low so it only consumes spare memory.
+        let near_head = {
+            let n = &self.nodes[node.0];
+            n.queue
+                .iter()
+                .take(n.slots_free.max(1) * 2)
+                .any(|t| self.tasks.get(t).map(|e| e.unstaged.contains(&obj)).unwrap_or(false))
+                || n.queue.is_empty()
+        };
+        let prio = if near_head { exo_store::Priority::High } else { exo_store::Priority::Low };
+        let n = &mut self.nodes[node.0];
+        n.fetching.insert(obj, FetchState::AllocPending);
+        let decision = n.store.request_create(obj.0, size, AllocTag::Fetch { obj }, prio);
+        match decision {
+            AllocDecision::Granted => self.start_transfer(ctx, node, obj),
+            AllocDecision::Fallback => {
+                // Incoming copy lands straight on disk; still costs the
+                // network transfer.
+                self.start_transfer(ctx, node, obj);
+            }
+            AllocDecision::Queued => {}
+            AllocDecision::Fail => {
+                self.fail_job(ctx, RtError::OutOfMemory { node });
+            }
+        }
+        self.pump_store(ctx, node);
+    }
+
+    /// Charge the network (and source disk, if spilled) for a transfer.
+    fn start_transfer(&mut self, ctx: &mut Ctx<'_, RtEvent>, dst: NodeId, obj: ObjectId) {
+        let Some(o) = self.objects.get(&obj) else { return };
+        // Prefer a source with a memory-resident copy.
+        let mut src_mem = None;
+        let mut src_disk = None;
+        for &c in &o.copies {
+            if c == dst || !self.nodes[c.0].alive {
+                continue;
+            }
+            if self.nodes[c.0].store.in_memory(obj.0) {
+                src_mem = Some(c);
+                break;
+            }
+            src_disk.get_or_insert(c);
+        }
+        let Some(src) = src_mem.or(src_disk) else {
+            // No live source: clean up and wait for reconstruction.
+            self.abort_fetch(ctx, dst, obj);
+            return;
+        };
+        let size = o.logical;
+        let now = ctx.now();
+        let from_disk = src_mem.is_none();
+        let depart = if from_disk {
+            // Spilled at the source: stream disk → network (sequentially
+            // chained; the paper's NodeManager streams from disk over the
+            // network without staging in memory).
+            let read_end = self.nodes[src.0].disk.submit(now, size, IoKind::Random);
+            self.metrics.disk_read_bytes += size;
+            read_end
+        } else {
+            now
+        };
+        let tx_end = self.nodes[src.0].nic_tx.submit(depart, size, IoKind::Sequential);
+        let rx_end = self.nodes[dst.0].nic_rx.submit(tx_end, 0, IoKind::Sequential);
+        self.metrics.net_bytes += size;
+        self.metrics.net_ops += 1;
+        let src_epoch = self.nodes[src.0].epoch;
+        let epoch = self.nodes[dst.0].epoch;
+        self.nodes[dst.0]
+            .fetching
+            .insert(obj, FetchState::Transferring { src, src_epoch });
+        ctx.schedule_at(rx_end, RtEvent::FetchDone { node: dst, obj, src, src_epoch, epoch });
+    }
+
+    /// A fetch can no longer proceed (source died). Roll back the local
+    /// allocation and requeue interest through reconstruction.
+    fn abort_fetch(&mut self, ctx: &mut Ctx<'_, RtEvent>, dst: NodeId, obj: ObjectId) {
+        let n = &mut self.nodes[dst.0];
+        n.fetching.remove(&obj);
+        if n.store.contains(obj.0) {
+            n.store.unpin(obj.0); // creator pin
+            n.store.forget(obj.0);
+        }
+        let waiters: Vec<TaskId> = n.arg_waiters.get(&obj).cloned().unwrap_or_default();
+        self.ensure_available(ctx, obj);
+        if let Some(o) = self.objects.get_mut(&obj) {
+            for t in waiters {
+                if !o.waiting_tasks.contains(&t) {
+                    o.waiting_tasks.push(t);
+                }
+            }
+        }
+        self.pump_store(ctx, dst);
+    }
+
+    /// If the task's staging is complete, let the node try to run it.
+    fn try_start_staged(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, node: NodeId) {
+        let Some(entry) = self.tasks.get(&task) else { return };
+        if entry.state != TaskState::Queued || !entry.unstaged.is_empty() {
+            return;
+        }
+        if !self.cfg.prefetch_args && entry.slot_held {
+            // Already holding its slot: run immediately.
+            let pos = self.nodes[node.0].queue.iter().position(|t| *t == task);
+            if let Some(pos) = pos {
+                self.nodes[node.0].queue.remove(pos);
+            }
+            self.start_exec(ctx, task);
+            return;
+        }
+        self.pump_node(ctx, node);
+    }
+
+    // ------------------------------------------------------------------
+    // Execution phases
+    // ------------------------------------------------------------------
+
+    fn start_exec(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        let entry = self.tasks.get_mut(&task).expect("task exists");
+        let node = entry.node.expect("assigned");
+        entry.state = TaskState::Running;
+        entry.slot_held = true;
+        let epoch = entry.epoch;
+        let reads = entry.spec.opts.reads_input;
+        self.nodes[node.0].running.insert(task);
+        if reads > 0 {
+            let end = self.nodes[node.0].disk.submit(ctx.now(), reads, IoKind::Sequential);
+            self.metrics.disk_read_bytes += reads;
+            ctx.schedule_at(end, RtEvent::TaskInputDone { task, epoch });
+        } else {
+            self.exec_compute(ctx, task);
+        }
+    }
+
+    /// Run the closure (real compute, zero virtual time) and schedule the
+    /// modelled CPU phase.
+    fn exec_compute(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        let entry = self.tasks.get(&task).expect("task exists");
+        let node = entry.node.expect("assigned");
+        let epoch = entry.epoch;
+        let attempt = entry.attempt;
+        // Resolve args.
+        let args: Vec<Payload> = entry
+            .spec
+            .args
+            .iter()
+            .map(|a| match a {
+                ArgSpec::Inline(p) => p.clone(),
+                ArgSpec::Object(id) => {
+                    let o = self.objects.get(id).expect("staged arg exists");
+                    Payload {
+                        data: o.payload.clone().expect("staged arg has payload"),
+                        logical: o.logical,
+                    }
+                }
+            })
+            .collect();
+        let in_logical: u64 =
+            args.iter().map(|p| p.logical).sum::<u64>() + entry.spec.opts.reads_input;
+        let tctx = TaskCtx { args, node, attempt, rng: task_seed(task) };
+        let outputs = (entry.spec.func)(tctx);
+        assert_eq!(
+            outputs.len(),
+            entry.spec.opts.num_returns,
+            "task returned {} outputs but declared {}",
+            outputs.len(),
+            entry.spec.opts.num_returns
+        );
+        let out_logical: u64 = outputs.iter().map(|p| p.logical).sum();
+        let slowdown = self.cfg.cpu_slowdown.get(node.0).copied().unwrap_or(1.0);
+        let cpu = exo_sim::SimDuration::from_secs_f64(
+            entry.spec.opts.cpu.eval(in_logical, out_logical).as_secs_f64() * slowdown.max(0.01),
+        );
+        let generator = entry.spec.opts.generator;
+        let n_out = outputs.len();
+        let entry = self.tasks.get_mut(&task).expect("exists");
+        entry.pending_outputs = outputs.into_iter().map(Some).collect();
+        entry.outputs_pending = n_out;
+        entry.cpu_done = false;
+        if generator && n_out > 0 {
+            // Remote generator: outputs become available at evenly spaced
+            // points of the compute phase.
+            for i in 0..n_out {
+                let frac = cpu * (i as u64 + 1) / (n_out as u64);
+                ctx.schedule(frac, RtEvent::OutputReady { task, idx: i, epoch });
+            }
+        }
+        ctx.schedule(cpu, RtEvent::TaskCpuDone { task, epoch });
+    }
+
+    /// Allocate + seal one output into the local store.
+    fn alloc_output(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, idx: usize) {
+        let entry = self.tasks.get(&task).expect("task exists");
+        let node = entry.node.expect("assigned");
+        let epoch = entry.epoch;
+        let obj = entry.outputs[idx];
+        let logical = entry.pending_outputs[idx].as_ref().expect("output produced").logical;
+        if self.nodes[node.0].store.contains(obj.0) {
+            // Reconstruction produced an output that already has a local
+            // copy (e.g. fetched here before the failure): nothing to
+            // allocate. Pin it like a fresh creation so completion's
+            // unpin balances.
+            self.nodes[node.0].store.pin(obj.0);
+            self.seal_output(ctx, task, idx);
+            return;
+        }
+        match self.nodes[node.0].store.request_create(
+            obj.0,
+            logical,
+            AllocTag::Output { task, idx, epoch },
+            exo_store::Priority::High,
+        ) {
+            AllocDecision::Granted => self.seal_output(ctx, task, idx),
+            AllocDecision::Fallback => {
+                // Written straight to the filesystem (liveness path).
+                let end = self.nodes[node.0].disk.submit(ctx.now(), logical, IoKind::Sequential);
+                self.metrics.disk_write_bytes += logical;
+                ctx.schedule_at(end, RtEvent::OutputFallbackDone { task, obj, epoch });
+            }
+            AllocDecision::Queued => {}
+            AllocDecision::Fail => self.fail_job(ctx, RtError::OutOfMemory { node }),
+        }
+        self.pump_store(ctx, node);
+    }
+
+    /// Mark an output as sealed in its node's store and publish it.
+    fn seal_output(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, idx: usize) {
+        let entry = self.tasks.get_mut(&task).expect("task exists");
+        let node = entry.node.expect("assigned");
+        let obj = entry.outputs[idx];
+        let payload = entry.pending_outputs[idx].take().expect("output pending");
+        entry.outputs_pending -= 1;
+        let store = &mut self.nodes[node.0].store;
+        if store.contains(obj.0) && !store.sealed(obj.0) {
+            store.seal(obj.0);
+        }
+        match self.objects.get_mut(&obj) {
+            Some(o) => {
+                o.logical = payload.logical;
+                o.payload = Some(payload.data);
+                self.on_object_available(ctx, obj, node);
+            }
+            None => {
+                // Nobody references this output any more (e.g. the losing
+                // copy of a speculative task whose refs the driver already
+                // dropped): discard it. The forget is deferred past the
+                // creator pin, which `complete_task` releases.
+                self.nodes[node.0].store.forget(obj.0);
+            }
+        }
+        self.check_task_completion(ctx, task);
+    }
+
+    /// Object now has a copy on `node`: wake waiters and dependents.
+    fn on_object_available(&mut self, ctx: &mut Ctx<'_, RtEvent>, obj: ObjectId, node: NodeId) {
+        {
+            let o = self.objects.get_mut(&obj).expect("object exists");
+            o.copies.insert(node);
+        }
+        let (waiting_tasks, waiting_waiters) = {
+            let o = self.objects.get_mut(&obj).expect("object exists");
+            (std::mem::take(&mut o.waiting_tasks), std::mem::take(&mut o.waiting_waiters))
+        };
+        for t in waiting_tasks {
+            match self.tasks.get(&t).map(|e| e.state) {
+                Some(TaskState::WaitingArgs) => self.try_schedule(ctx, t),
+                Some(TaskState::Queued) | Some(TaskState::Running) => {
+                    // Staging was blocked on availability: retry.
+                    self.stage_arg(ctx, t, obj);
+                }
+                _ => {}
+            }
+        }
+        for w in waiting_waiters {
+            self.check_waiter(ctx, w);
+        }
+        // Local tasks waiting for this object in memory can pin now.
+        self.drain_arg_waiters(ctx, node, obj);
+    }
+
+    /// Pin a now-memory-resident object for every local task waiting on it.
+    fn drain_arg_waiters(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId, obj: ObjectId) {
+        if !self.nodes[node.0].store.in_memory(obj.0) {
+            return;
+        }
+        let Some(waiters) = self.nodes[node.0].arg_waiters.remove(&obj) else { return };
+        for t in waiters {
+            let Some(entry) = self.tasks.get_mut(&t) else { continue };
+            if entry.node != Some(node) || !entry.unstaged.contains(&obj) {
+                continue;
+            }
+            self.nodes[node.0].store.pin(obj.0);
+            entry.unstaged.remove(&obj);
+            entry.pinned.push(obj);
+            self.try_start_staged(ctx, t, node);
+        }
+    }
+
+    fn check_task_completion(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        let entry = self.tasks.get(&task).expect("task exists");
+        if entry.state != TaskState::Running
+            || !entry.cpu_done
+            || entry.outputs_pending > 0
+            || entry.output_written
+        {
+            return;
+        }
+        let writes = entry.spec.opts.writes_output;
+        let node = entry.node.expect("assigned");
+        let epoch = entry.epoch;
+        // `output_written` marks the final phase as initiated so this
+        // function is idempotent while the write is in flight.
+        self.tasks.get_mut(&task).expect("exists").output_written = true;
+        if writes > 0 {
+            let end = self.nodes[node.0].disk.submit(ctx.now(), writes, IoKind::Sequential);
+            self.metrics.disk_write_bytes += writes;
+            ctx.schedule_at(end, RtEvent::OutputWriteDone { task, epoch });
+        } else {
+            self.complete_task(ctx, task);
+        }
+    }
+
+    fn complete_task(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        let entry = self.tasks.get_mut(&task).expect("task exists");
+        let node = entry.node.expect("assigned");
+        entry.state = TaskState::Done;
+        let label = entry.spec.opts.label;
+        let pinned = std::mem::take(&mut entry.pinned);
+        let outputs = entry.outputs.clone();
+        let args = entry.spec.object_args();
+        self.nodes[node.0].running.remove(&task);
+        self.nodes[node.0].slots_free += 1;
+        // Unpin outputs (creator pins) — they stay sealed in the store.
+        for &o in &outputs {
+            if self.nodes[node.0].store.contains(o.0) {
+                self.nodes[node.0].store.unpin(o.0);
+            }
+        }
+        // Unpin args and release consumer holds.
+        for &a in &pinned {
+            if self.nodes[node.0].store.contains(a.0) {
+                self.nodes[node.0].store.unpin(a.0);
+            }
+        }
+        for &a in &args {
+            if let Some(o) = self.objects.get_mut(&a) {
+                o.task_refs = o.task_refs.saturating_sub(1);
+            }
+            self.maybe_gc(a);
+        }
+        self.metrics.tasks_completed += 1;
+        if self.cfg.record_progress {
+            self.metrics.progress.push(ProgressSample { at: ctx.now(), label });
+        }
+        self.pump_store(ctx, node);
+        self.pump_node(ctx, node);
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting / GC
+    // ------------------------------------------------------------------
+
+    fn maybe_gc(&mut self, obj: ObjectId) {
+        let Some(o) = self.objects.get(&obj) else { return };
+        if o.driver_refs > 0
+            || o.task_refs > 0
+            || !o.waiting_tasks.is_empty()
+            || !o.waiting_waiters.is_empty()
+        {
+            return;
+        }
+        let copies: Vec<NodeId> = o.copies.iter().copied().collect();
+        for c in copies {
+            self.nodes[c.0].store.forget(obj.0);
+            self.nodes[c.0].fetching.remove(&obj);
+        }
+        self.objects.remove(&obj);
+    }
+
+    // ------------------------------------------------------------------
+    // Store pump: spills, grants, failures
+    // ------------------------------------------------------------------
+
+    fn pump_store(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId) {
+        if !self.nodes[node.0].alive {
+            return;
+        }
+        // Loop to a fixpoint: dispatching grants can enqueue new
+        // allocations that themselves need spills (and vice versa); if we
+        // stopped after one pass a node with no further events in flight
+        // could quiesce with work still queued.
+        loop {
+            let mut progress = false;
+            // Spill writes. Large fused files stream sequentially; small
+            // un-fused files pay the device's random-access penalty (file
+            // creation + seek) — this asymmetry is the whole point of
+            // write fusing (§4.2.2, Fig 7).
+            loop {
+                let Some(batch) = self.nodes[node.0].store.next_spill_batch() else { break };
+                let kind = if batch.bytes >= 4_000_000 { IoKind::Sequential } else { IoKind::Random };
+                let end = self.nodes[node.0].disk.submit(ctx.now(), batch.bytes, kind);
+                self.metrics.disk_write_bytes += batch.bytes;
+                let epoch = self.nodes[node.0].epoch;
+                ctx.schedule_at(end, RtEvent::SpillDone { node, epoch, batch });
+                progress = true;
+            }
+            // Grants.
+            let granted = self.nodes[node.0].store.take_granted();
+            if !granted.is_empty() {
+                progress = true;
+            }
+            self.dispatch_grants(ctx, node, granted);
+            // Failures (only with fallback disabled; shared-memory mode
+            // never fails).
+            let failed = self.nodes[node.0].store.take_failed();
+            if !failed.is_empty() {
+                self.fail_job(ctx, RtError::OutOfMemory { node });
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    fn dispatch_grants(
+        &mut self,
+        ctx: &mut Ctx<'_, RtEvent>,
+        node: NodeId,
+        granted: Vec<(u64, AllocTag, exo_store::GrantKind)>,
+    ) {
+        for (oid, tag, kind) in granted {
+            let obj = ObjectId(oid);
+            match tag {
+                AllocTag::Output { task, idx, epoch } => {
+                    let valid = self
+                        .tasks
+                        .get(&task)
+                        .map(|e| e.epoch == epoch && e.node == Some(node))
+                        .unwrap_or(false);
+                    if !valid {
+                        self.nodes[node.0].store.unpin(obj.0);
+                        self.nodes[node.0].store.forget(obj.0);
+                        continue;
+                    }
+                    if kind == exo_store::GrantKind::CreateFallback {
+                        let logical = self
+                            .tasks
+                            .get(&task)
+                            .and_then(|e| e.pending_outputs[idx].as_ref().map(|p| p.logical))
+                            .unwrap_or(0);
+                        let end =
+                            self.nodes[node.0].disk.submit(ctx.now(), logical, IoKind::Sequential);
+                        self.metrics.disk_write_bytes += logical;
+                        let tep = self.tasks.get(&task).map(|e| e.epoch).unwrap_or(0);
+                        ctx.schedule_at(end, RtEvent::OutputFallbackDone { task, obj, epoch: tep });
+                    } else {
+                        self.seal_output(ctx, task, idx);
+                    }
+                }
+                AllocTag::Fetch { obj: fobj } => {
+                    debug_assert_eq!(obj, fobj);
+                    if self.nodes[node.0].fetching.get(&obj) == Some(&FetchState::AllocPending) {
+                        self.start_transfer(ctx, node, obj);
+                    } else {
+                        // Stale grant for an aborted fetch.
+                        self.nodes[node.0].store.unpin(obj.0);
+                        self.nodes[node.0].store.forget(obj.0);
+                    }
+                }
+                AllocTag::Restore { obj: robj } => {
+                    debug_assert_eq!(obj, robj);
+                    let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
+                    let end = self.nodes[node.0].disk.submit(ctx.now(), size, IoKind::Random);
+                    self.metrics.disk_read_bytes += size;
+                    let epoch = self.nodes[node.0].epoch;
+                    ctx.schedule_at(end, RtEvent::RestoreDone { node, obj, epoch });
+                }
+            }
+        }
+    }
+
+    fn fail_job(&mut self, ctx: &mut Ctx<'_, RtEvent>, err: RtError) {
+        if self.failed.is_none() {
+            self.failed = Some(err);
+        }
+        // Resolve every pending waiter so drivers see the failure instead
+        // of hanging.
+        let wids: Vec<u64> = self.waiters.keys().copied().collect();
+        for wid in wids {
+            match self.waiters.remove(&wid) {
+                Some(Waiter::Get { reply, .. }) => {
+                    let e = self.failed.clone().expect("set above");
+                    ctx.reply(reply, Err(e));
+                }
+                Some(w @ Waiter::Wait { .. }) => {
+                    self.waiters.insert(wid, w);
+                    self.finish_wait(ctx, wid);
+                }
+                None => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Waiters
+    // ------------------------------------------------------------------
+
+    fn check_waiter(&mut self, ctx: &mut Ctx<'_, RtEvent>, wid: u64) {
+        let Some(w) = self.waiters.get(&wid) else { return };
+        match w {
+            Waiter::Get { objs, .. } => {
+                if let Some(err) = &self.failed {
+                    let err = err.clone();
+                    if let Some(Waiter::Get { reply, .. }) = self.waiters.remove(&wid) {
+                        ctx.reply(reply, Err(err));
+                    }
+                    return;
+                }
+                let all = objs.iter().all(|o| {
+                    self.objects.get(o).map(|e| e.available()).unwrap_or(false)
+                });
+                if all {
+                    let Some(Waiter::Get { objs, reply }) = self.waiters.remove(&wid) else {
+                        return;
+                    };
+                    let payloads: Vec<Payload> = objs
+                        .iter()
+                        .map(|o| {
+                            let e = self.objects.get(o).expect("available");
+                            Payload {
+                                data: e.payload.clone().expect("available object has payload"),
+                                logical: e.logical,
+                            }
+                        })
+                        .collect();
+                    for o in objs {
+                        if let Some(e) = self.objects.get_mut(&o) {
+                            e.waiting_waiters.retain(|x| *x != wid);
+                        }
+                        self.maybe_gc(o);
+                    }
+                    ctx.reply(reply, Ok(payloads));
+                }
+            }
+            Waiter::Wait { objs, num_ready, .. } => {
+                let ready = objs
+                    .iter()
+                    .filter(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                    .count();
+                if ready >= *num_ready {
+                    self.finish_wait(ctx, wid);
+                }
+            }
+        }
+    }
+
+    fn finish_wait(&mut self, ctx: &mut Ctx<'_, RtEvent>, wid: u64) {
+        let Some(Waiter::Wait { objs, reply, .. }) = self.waiters.remove(&wid) else { return };
+        let mut ready = Vec::new();
+        let mut pending = Vec::new();
+        for (i, o) in objs.iter().enumerate() {
+            if self.objects.get(o).map(|e| e.available()).unwrap_or(false) {
+                ready.push(i);
+            } else {
+                pending.push(i);
+            }
+        }
+        for o in objs {
+            if let Some(e) = self.objects.get_mut(&o) {
+                e.waiting_waiters.retain(|x| *x != wid);
+            }
+            self.maybe_gc(o);
+        }
+        ctx.reply(reply, (ready, pending));
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling
+    // ------------------------------------------------------------------
+
+    fn kill_node(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId) {
+        let capacity = self.nodes[node.0].store.config().capacity;
+        let n = &mut self.nodes[node.0];
+        if !n.alive {
+            return;
+        }
+        n.alive = false;
+        n.epoch += 1;
+        self.metrics.node_failures += 1;
+        // Rebuild the store (all objects on the node, memory or disk, are
+        // lost — matching the paper's fail-and-restart of a whole worker).
+        let cfg = *n.store.config();
+        n.store = NodeStore::new(StoreConfig { capacity, ..cfg });
+        n.disk.reset(ctx.now());
+        n.nic_tx.reset(ctx.now());
+        n.nic_rx.reset(ctx.now());
+        n.fetching.clear();
+        n.arg_waiters.clear();
+        n.slots_free = self.cfg.cluster.node.cpus;
+        let queued: Vec<TaskId> = n.queue.drain(..).collect();
+        let mut running: Vec<TaskId> = std::mem::take(&mut n.running).into_iter().collect();
+        running.sort();
+        // Drop object copies hosted here.
+        let mut lost_with_interest = Vec::new();
+        for (id, o) in self.objects.iter_mut() {
+            if o.copies.remove(&node) && o.copies.is_empty() {
+                if !o.waiting_tasks.is_empty() || !o.waiting_waiters.is_empty() || o.task_refs > 0 {
+                    lost_with_interest.push(*id);
+                }
+            }
+        }
+        lost_with_interest.sort();
+        // Requeue the node's tasks elsewhere.
+        for t in queued.into_iter().chain(running) {
+            let Some(e) = self.tasks.get_mut(&t) else { continue };
+            if e.state == TaskState::Done {
+                continue;
+            }
+            e.state = TaskState::WaitingArgs;
+            e.node = None;
+            e.epoch += 1;
+            e.unstaged.clear();
+            e.pinned.clear();
+            e.slot_held = false;
+            e.staging_started = false;
+            for po in &mut e.pending_outputs {
+                *po = None;
+            }
+            e.outputs_pending = 0;
+            e.cpu_done = false;
+            e.output_written = false;
+            self.try_schedule(ctx, t);
+        }
+        // Kick reconstruction for lost-but-needed objects.
+        for obj in lost_with_interest {
+            self.ensure_available(ctx, obj);
+        }
+        // In-flight fetches sourced from this node are detected lazily via
+        // src_epoch checks in FetchDone.
+    }
+
+    /// Executor-process failure (§4.2.3): in-flight tasks on the node die
+    /// and are re-run, but the object store lives in the NodeManager — no
+    /// objects are lost and nothing needs lineage reconstruction.
+    fn kill_executors(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId) {
+        if !self.nodes[node.0].alive {
+            return;
+        }
+        self.metrics.executor_failures += 1;
+        // Invalidate in-flight execution events via the per-task epoch;
+        // the store, its spilled files, and every sealed object survive.
+        let mut running: Vec<TaskId> =
+            std::mem::take(&mut self.nodes[node.0].running).into_iter().collect();
+        running.sort();
+        self.nodes[node.0].slots_free = self.cfg.cluster.node.cpus;
+        for t in running {
+            let Some(e) = self.tasks.get_mut(&t) else { continue };
+            if e.state != TaskState::Running {
+                continue;
+            }
+            // Unpin whatever the dead executor held.
+            let pinned = std::mem::take(&mut e.pinned);
+            for a in pinned {
+                if self.nodes[node.0].store.contains(a.0) {
+                    self.nodes[node.0].store.unpin(a.0);
+                }
+            }
+            let e = self.tasks.get_mut(&t).expect("exists");
+            // Unsealed outputs created by the dead attempt are discarded.
+            let outputs = e.outputs.clone();
+            e.state = TaskState::WaitingArgs;
+            e.node = None;
+            e.epoch += 1;
+            e.attempt += 1;
+            e.unstaged.clear();
+            e.slot_held = false;
+            e.staging_started = false;
+            for po in &mut e.pending_outputs {
+                *po = None;
+            }
+            e.outputs_pending = 0;
+            e.cpu_done = false;
+            e.output_written = false;
+            for o in outputs {
+                let store = &mut self.nodes[node.0].store;
+                if store.contains(o.0) && !self.objects.get(&o).map(|e| e.copies.contains(&node)).unwrap_or(false) {
+                    store.unpin(o.0);
+                    store.forget(o.0);
+                }
+            }
+            self.try_schedule(ctx, t);
+        }
+        self.pump_store(ctx, node);
+        self.pump_node(ctx, node);
+    }
+
+    fn restart_node(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId) {
+        let n = &mut self.nodes[node.0];
+        n.alive = true;
+        n.epoch += 1;
+        let _ = ctx; // nothing to schedule; scheduler will use it again
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    fn snapshot_metrics(&self) -> RtMetrics {
+        let mut m = self.metrics.clone();
+        for n in &self.nodes {
+            m.add_store(n.store.metrics());
+        }
+        m
+    }
+}
+
+impl Simulation for Runtime {
+    type Event = RtEvent;
+    type Command = RtCommand;
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, RtEvent>, cmd: RtCommand) {
+        match cmd {
+            RtCommand::Submit { spec, reply } => {
+                let ids = self.submit(ctx, spec);
+                ctx.reply(reply, ids);
+            }
+            RtCommand::Put { value, reply } => {
+                let id = self.fresh_obj();
+                // Driver-put values live on node 0 (the head node) with no
+                // lineage; paper applications only put small config values.
+                self.objects.insert(
+                    id,
+                    ObjEntry {
+                        logical: value.logical,
+                        payload: Some(value.data),
+                        copies: std::iter::once(NodeId(0)).collect(),
+                        producer: None,
+                        driver_refs: 1,
+                        task_refs: 0,
+                        waiting_tasks: Vec::new(),
+                        waiting_waiters: Vec::new(),
+                    },
+                );
+                // Account for it in node 0's store so locality and memory
+                // pressure see it.
+                let n = &mut self.nodes[0];
+                if matches!(
+                    n.store.request_create(
+                        id.0,
+                        self.objects[&id].logical,
+                        AllocTag::Fetch { obj: id },
+                        exo_store::Priority::High,
+                    ),
+                    AllocDecision::Granted | AllocDecision::Fallback
+                ) {
+                    n.store.seal(id.0);
+                    n.store.unpin(id.0);
+                }
+                self.pump_store(ctx, NodeId(0));
+                ctx.reply(reply, id);
+            }
+            RtCommand::Get { objs, reply } => {
+                if let Some(err) = &self.failed {
+                    ctx.reply(reply, Err(err.clone()));
+                    return;
+                }
+                let wid = self.next_waiter;
+                self.next_waiter += 1;
+                for &o in &objs {
+                    self.ensure_obj_entry(o);
+                    if !self.objects[&o].available() {
+                        self.ensure_available(ctx, o);
+                    }
+                    self.objects.get_mut(&o).expect("ensured").waiting_waiters.push(wid);
+                }
+                self.waiters.insert(wid, Waiter::Get { objs, reply });
+                self.check_waiter(ctx, wid);
+            }
+            RtCommand::Wait { objs, num_ready, timeout, reply } => {
+                let wid = self.next_waiter;
+                self.next_waiter += 1;
+                let num_ready = num_ready.min(objs.len());
+                for &o in &objs {
+                    self.ensure_obj_entry(o);
+                    if !self.objects[&o].available() {
+                        self.ensure_available(ctx, o);
+                    }
+                    self.objects.get_mut(&o).expect("ensured").waiting_waiters.push(wid);
+                }
+                self.waiters.insert(wid, Waiter::Wait { objs, num_ready, reply });
+                if let Some(t) = timeout {
+                    ctx.schedule(t, RtEvent::WaitDeadline { waiter: wid });
+                }
+                self.check_waiter(ctx, wid);
+            }
+            RtCommand::Release { obj } => {
+                if let Some(o) = self.objects.get_mut(&obj) {
+                    o.driver_refs = o.driver_refs.saturating_sub(1);
+                }
+                self.maybe_gc(obj);
+            }
+            RtCommand::Now { reply } => {
+                let now = ctx.now();
+                ctx.reply(reply, now);
+            }
+            RtCommand::Sleep { dur, reply } => {
+                ctx.schedule(dur, RtEvent::SleepDone { reply });
+            }
+            RtCommand::Locations { obj, reply } => {
+                let locs = self
+                    .objects
+                    .get(&obj)
+                    .map(|o| o.copies.iter().copied().collect())
+                    .unwrap_or_default();
+                ctx.reply(reply, locs);
+            }
+            RtCommand::KillNode { node, at, restart_after, reply } => {
+                ctx.schedule_at(at, RtEvent::KillNode { node, restart_after });
+                ctx.reply(reply, ());
+            }
+            RtCommand::KillExecutors { node, at, reply } => {
+                ctx.schedule_at(at, RtEvent::KillExecutors { node });
+                ctx.reply(reply, ());
+            }
+            RtCommand::Metrics { reply } => {
+                let m = self.snapshot_metrics();
+                ctx.reply(reply, m);
+            }
+            RtCommand::NumNodes { reply } => {
+                let n = self.nodes.len();
+                ctx.reply(reply, n);
+            }
+        }
+    }
+
+    fn on_stalled(&mut self, _ctx: &mut Ctx<'_, RtEvent>) -> bool {
+        // Deadlock diagnostic: dump what is stuck before the engine gives
+        // up. This only runs on a runtime bug or an impossible program.
+        eprintln!("=== runtime stalled at deadlock ===");
+        let mut by_state: HashMap<&'static str, usize> = HashMap::new();
+        let mut shown = 0;
+        for (id, t) in &self.tasks {
+            let k = match t.state {
+                TaskState::WaitingArgs => "WaitingArgs",
+                TaskState::Queued => "Queued",
+                TaskState::Running => "Running",
+                TaskState::Done => "Done",
+            };
+            *by_state.entry(k).or_default() += 1;
+            if t.state != TaskState::Done && shown < 10 {
+                shown += 1;
+                eprintln!(
+                    "  {:?} state={:?} node={:?} unstaged={} outputs_pending={} cpu_done={} slot_held={}",
+                    id,
+                    k,
+                    t.node,
+                    t.unstaged.len(),
+                    t.outputs_pending,
+                    t.cpu_done,
+                    t.slot_held
+                );
+            }
+        }
+        eprintln!("  task states: {:?}", by_state);
+        for (wid, w) in &self.waiters {
+            match w {
+                Waiter::Get { objs, .. } => {
+                    let missing: Vec<_> = objs
+                        .iter()
+                        .filter(|o| !self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                        .collect();
+                    eprintln!("  get waiter {wid}: missing {missing:?}");
+                }
+                Waiter::Wait { objs, num_ready, .. } => {
+                    let ready = objs
+                        .iter()
+                        .filter(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                        .count();
+                    eprintln!("  wait waiter {wid}: {ready}/{num_ready} of {} ready", objs.len());
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            eprintln!(
+                "  node{} alive={} slots_free={} queue={:?} demand={} store[{}]",
+                i,
+                n.alive,
+                n.slots_free,
+                n.queue,
+                n.store.memory_demand(),
+                n.store.debug_state()
+            );
+        }
+        false
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, RtEvent>, ev: RtEvent) {
+        match ev {
+            RtEvent::TaskInputDone { task, epoch } => {
+                if self.tasks.get(&task).map(|e| e.epoch) == Some(epoch) {
+                    self.exec_compute(ctx, task);
+                }
+            }
+            RtEvent::TaskCpuDone { task, epoch } => {
+                let valid = self.tasks.get(&task).map(|e| e.epoch) == Some(epoch);
+                if !valid {
+                    return;
+                }
+                let (generator, n_out) = {
+                    let e = self.tasks.get(&task).expect("exists");
+                    (e.spec.opts.generator, e.outputs.len())
+                };
+                self.tasks.get_mut(&task).expect("exists").cpu_done = true;
+                if !generator {
+                    for i in 0..n_out {
+                        self.alloc_output(ctx, task, i);
+                    }
+                }
+                self.check_task_completion(ctx, task);
+            }
+            RtEvent::OutputReady { task, idx, epoch } => {
+                if self.tasks.get(&task).map(|e| e.epoch) == Some(epoch) {
+                    self.alloc_output(ctx, task, idx);
+                }
+            }
+            RtEvent::OutputFallbackDone { task, obj, epoch } => {
+                let valid = self.tasks.get(&task).map(|e| e.epoch) == Some(epoch);
+                if !valid {
+                    return;
+                }
+                let idx = self
+                    .tasks
+                    .get(&task)
+                    .map(|e| e.outputs.iter().position(|o| *o == obj).expect("output of task"))
+                    .expect("task exists");
+                self.seal_output(ctx, task, idx);
+            }
+            RtEvent::OutputWriteDone { task, epoch } => {
+                if self.tasks.get(&task).map(|e| e.epoch) == Some(epoch) {
+                    self.complete_task(ctx, task);
+                }
+            }
+            RtEvent::SpillDone { node, epoch, batch } => {
+                if self.nodes[node.0].epoch != epoch || !self.nodes[node.0].alive {
+                    return;
+                }
+                self.nodes[node.0].store.spill_complete(&batch);
+                self.pump_store(ctx, node);
+                self.pump_node(ctx, node);
+            }
+            RtEvent::RestoreDone { node, obj, epoch } => {
+                if self.nodes[node.0].epoch != epoch || !self.nodes[node.0].alive {
+                    return;
+                }
+                self.nodes[node.0].store.restore_complete(obj.0);
+                self.drain_arg_waiters(ctx, node, obj);
+                self.pump_store(ctx, node);
+                self.pump_node(ctx, node);
+            }
+            RtEvent::FetchDone { node, obj, src, src_epoch, epoch } => {
+                if self.nodes[node.0].epoch != epoch || !self.nodes[node.0].alive {
+                    return;
+                }
+                let state = self.nodes[node.0].fetching.get(&obj).copied();
+                let valid_state = matches!(
+                    state,
+                    Some(FetchState::Transferring { src: s, src_epoch: se })
+                        if s == src && se == src_epoch
+                );
+                if !valid_state {
+                    return;
+                }
+                if self.nodes[src.0].epoch != src_epoch {
+                    // Source died mid-transfer: retry / reconstruct.
+                    self.abort_fetch(ctx, node, obj);
+                    return;
+                }
+                self.nodes[node.0].fetching.remove(&obj);
+                let store = &mut self.nodes[node.0].store;
+                if store.contains(obj.0) {
+                    store.seal(obj.0);
+                    store.unpin(obj.0); // creator pin
+                }
+                self.on_object_available(ctx, obj, node);
+                if !self.nodes[node.0].store.in_memory(obj.0) {
+                    // Arrived via the fallback path (straight to disk);
+                    // local waiters must go through restore.
+                    if let Some(ws) = self.nodes[node.0].arg_waiters.remove(&obj) {
+                        for t in ws {
+                            self.stage_arg(ctx, t, obj);
+                        }
+                    }
+                }
+                self.pump_store(ctx, node);
+                self.pump_node(ctx, node);
+            }
+            RtEvent::WaitDeadline { waiter } => {
+                if self.waiters.contains_key(&waiter) {
+                    self.finish_wait(ctx, waiter);
+                }
+            }
+            RtEvent::SleepDone { reply } => {
+                ctx.reply(reply, ());
+            }
+            RtEvent::KillNode { node, restart_after } => {
+                self.kill_node(ctx, node);
+                if let Some(d) = restart_after {
+                    ctx.schedule(d, RtEvent::RestartNode { node });
+                }
+            }
+            RtEvent::KillExecutors { node } => {
+                self.kill_executors(ctx, node);
+            }
+            RtEvent::RestartNode { node } => {
+                self.restart_node(ctx, node);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Task placement policies (§4.3.2).
+//!
+//! Ray provides "a two-level distributed scheduler that tries to balance
+//! between bin-packing vs. load-balancing", plus data-locality scheduling
+//! and the node-affinity API the paper adds for push-based shuffle. We
+//! implement placement as a pure function over a load/locality snapshot so
+//! the policy is unit-testable without the full runtime.
+
+use crate::ids::NodeId;
+use crate::task::SchedulingStrategy;
+
+/// Per-node snapshot used for placement decisions.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeSnapshot {
+    /// Node id.
+    pub id: NodeId,
+    /// Whether the node is alive.
+    pub alive: bool,
+    /// Tasks queued + running on the node.
+    pub load: usize,
+    /// Bytes of this task's arguments already resident on the node.
+    pub local_arg_bytes: u64,
+}
+
+/// Pick a node for a task. `rr` is a round-robin cursor advanced on
+/// spread placements. Returns `None` only if no node is alive.
+pub fn place(
+    strategy: SchedulingStrategy,
+    nodes: &[NodeSnapshot],
+    rr: &mut usize,
+) -> Option<NodeId> {
+    let alive = || nodes.iter().filter(|n| n.alive);
+    if alive().next().is_none() {
+        return None;
+    }
+    match strategy {
+        SchedulingStrategy::NodeAffinity(node) => {
+            // Soft affinity: fall through to default if the node is dead.
+            if nodes.iter().any(|n| n.id == node && n.alive) {
+                Some(node)
+            } else {
+                place(SchedulingStrategy::Default, nodes, rr)
+            }
+        }
+        SchedulingStrategy::Spread => {
+            let alive_nodes: Vec<&NodeSnapshot> = alive().collect();
+            let pick = alive_nodes[*rr % alive_nodes.len()];
+            *rr += 1;
+            Some(pick.id)
+        }
+        SchedulingStrategy::Default => {
+            // Locality first: most local argument bytes; ties and the
+            // no-args case go to the least-loaded node (stable by id).
+            let best = alive()
+                .max_by(|a, b| {
+                    a.local_arg_bytes
+                        .cmp(&b.local_arg_bytes)
+                        .then(b.load.cmp(&a.load))
+                        .then(b.id.cmp(&a.id))
+                })
+                .expect("alive checked");
+            Some(best.id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: usize, alive: bool, load: usize, local: u64) -> NodeSnapshot {
+        NodeSnapshot { id: NodeId(id), alive, load, local_arg_bytes: local }
+    }
+
+    #[test]
+    fn default_prefers_locality() {
+        let nodes = [snap(0, true, 0, 10), snap(1, true, 5, 500), snap(2, true, 0, 100)];
+        let mut rr = 0;
+        assert_eq!(place(SchedulingStrategy::Default, &nodes, &mut rr), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn default_breaks_locality_ties_by_load() {
+        let nodes = [snap(0, true, 9, 0), snap(1, true, 2, 0), snap(2, true, 5, 0)];
+        let mut rr = 0;
+        assert_eq!(place(SchedulingStrategy::Default, &nodes, &mut rr), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn spread_round_robins_over_alive_nodes() {
+        let nodes = [snap(0, true, 0, 0), snap(1, false, 0, 0), snap(2, true, 0, 0)];
+        let mut rr = 0;
+        let picks: Vec<_> = (0..4)
+            .map(|_| place(SchedulingStrategy::Spread, &nodes, &mut rr).unwrap())
+            .collect();
+        assert_eq!(picks, [NodeId(0), NodeId(2), NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn affinity_is_soft() {
+        let nodes = [snap(0, true, 3, 0), snap(1, false, 0, 0)];
+        let mut rr = 0;
+        assert_eq!(
+            place(SchedulingStrategy::NodeAffinity(NodeId(1)), &nodes, &mut rr),
+            Some(NodeId(0)),
+            "dead affinity target falls back"
+        );
+        assert_eq!(
+            place(SchedulingStrategy::NodeAffinity(NodeId(0)), &nodes, &mut rr),
+            Some(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn all_dead_returns_none() {
+        let nodes = [snap(0, false, 0, 0)];
+        let mut rr = 0;
+        assert_eq!(place(SchedulingStrategy::Default, &nodes, &mut rr), None);
+    }
+}

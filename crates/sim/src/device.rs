@@ -1,0 +1,273 @@
+//! Device and node models, with presets for the instance types the paper
+//! evaluates on (§5.1.1, §5.2, §5.3).
+//!
+//! All figures are taken from the paper's own setup description where given,
+//! and from public AWS documentation otherwise. They parameterise the
+//! [`crate::Resource`] queueing models; the reproduction cares about the
+//! *relative* shapes these produce, not absolute seconds.
+
+use crate::resource::Resource;
+use crate::time::SimDuration;
+
+/// Disk subsystem of a node: an array of identical devices.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskSpec {
+    /// Number of devices (HDD spindles or NVMe channels) served in parallel.
+    pub devices: usize,
+    /// Aggregate sequential bandwidth across devices, bytes/second.
+    pub seq_bw: f64,
+    /// Average random access (seek) latency per device.
+    pub seek: SimDuration,
+    /// Fixed per-operation overhead (request setup, FS dispatch).
+    pub per_op: SimDuration,
+}
+
+impl DiskSpec {
+    /// Effective random IOPS limit implied by the seek model.
+    pub fn random_iops(&self) -> f64 {
+        if self.seek == SimDuration::ZERO {
+            f64::INFINITY
+        } else {
+            self.devices as f64 / self.seek.as_secs_f64()
+        }
+    }
+
+    /// Instantiate the queueing resource for one node's disk array.
+    pub fn build(&self, label: impl Into<String>) -> Resource {
+        Resource::new(label, self.devices, self.seq_bw, self.seek, self.per_op)
+    }
+}
+
+/// Network interface of a node. Modelled as two independent directions
+/// (full duplex), each a single FIFO server at `bw` bytes/second.
+#[derive(Clone, Copy, Debug)]
+pub struct NicSpec {
+    /// Per-direction bandwidth, bytes/second.
+    pub bw: f64,
+    /// One-way propagation + stack latency per transfer.
+    pub latency: SimDuration,
+}
+
+impl NicSpec {
+    /// Instantiate one direction of the NIC as a queueing resource.
+    pub fn build(&self, label: impl Into<String>) -> Resource {
+        Resource::new(label, 1, self.bw, SimDuration::ZERO, self.latency)
+    }
+}
+
+/// Full description of a worker node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeSpec {
+    /// CPU cores (= concurrent task slots in the default store mode).
+    pub cpus: usize,
+    /// Object-store capacity in bytes. Ray defaults to ~30% of node RAM; we
+    /// expose it directly so experiments can shrink it (Fig 7 uses 1 GB).
+    pub object_store_bytes: u64,
+    /// Executor heap memory in bytes (used for OOM modelling in
+    /// executor-heap store modes).
+    pub heap_bytes: u64,
+    /// Disk array.
+    pub disk: DiskSpec,
+    /// NIC.
+    pub nic: NicSpec,
+}
+
+const MIB: f64 = 1024.0 * 1024.0;
+const GIB: u64 = 1024 * 1024 * 1024;
+
+impl NodeSpec {
+    /// `d3.2xlarge` — the paper's HDD node: 8 cores, 64 GiB RAM, 6×HDD with
+    /// 1100 MiB/s aggregate sequential throughput, ~6 Gbps network.
+    pub fn d3_2xlarge() -> NodeSpec {
+        NodeSpec {
+            cpus: 8,
+            object_store_bytes: 20 * GIB,
+            heap_bytes: 40 * GIB,
+            disk: DiskSpec {
+                devices: 6,
+                seq_bw: 1100.0 * MIB,
+                // ~4 ms average seek per spindle => ~1.5 K random IOPS/node.
+                seek: SimDuration::from_micros(4000),
+                per_op: SimDuration::from_micros(100),
+            },
+            nic: NicSpec {
+                bw: 6.0e9 / 8.0, // 6 Gbps sustained
+                latency: SimDuration::from_micros(200),
+            },
+        }
+    }
+
+    /// `i3.2xlarge` — the paper's SSD node: 8 cores, 61 GiB RAM, NVMe with
+    /// 720 MB/s throughput and 180 K write IOPS, 2.5 Gbps network.
+    pub fn i3_2xlarge() -> NodeSpec {
+        NodeSpec {
+            cpus: 8,
+            object_store_bytes: 18 * GIB,
+            heap_bytes: 38 * GIB,
+            disk: DiskSpec {
+                devices: 8, // NVMe queue parallelism
+                seq_bw: 720.0 * 1e6,
+                // 180 K IOPS across 8 channels => ~44 µs access time.
+                seek: SimDuration::from_micros(44),
+                per_op: SimDuration::from_micros(20),
+            },
+            nic: NicSpec {
+                bw: 2.5e9 / 8.0, // 2.5 Gbps sustained
+                latency: SimDuration::from_micros(200),
+            },
+        }
+    }
+
+    /// `r6i.2xlarge` — memory-optimised node used for the online
+    /// aggregation experiment (§5.2.1): 8 cores, 64 GiB RAM, EBS-backed.
+    pub fn r6i_2xlarge() -> NodeSpec {
+        NodeSpec {
+            cpus: 8,
+            object_store_bytes: 20 * GIB,
+            heap_bytes: 40 * GIB,
+            disk: DiskSpec {
+                devices: 1,
+                seq_bw: 500.0 * MIB,
+                seek: SimDuration::from_micros(500),
+                per_op: SimDuration::from_micros(50),
+            },
+            nic: NicSpec { bw: 12.5e9 / 8.0, latency: SimDuration::from_micros(150) },
+        }
+    }
+
+    /// `g4dn.4xlarge` — single-GPU trainer node for the single-node ML
+    /// experiment (§5.2.2): 16 vCPUs, 64 GiB RAM, local NVMe.
+    pub fn g4dn_4xlarge() -> NodeSpec {
+        NodeSpec {
+            cpus: 16,
+            object_store_bytes: 20 * GIB,
+            heap_bytes: 40 * GIB,
+            disk: DiskSpec {
+                devices: 4,
+                seq_bw: 450.0 * 1e6,
+                seek: SimDuration::from_micros(60),
+                per_op: SimDuration::from_micros(20),
+            },
+            nic: NicSpec { bw: 20.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+        }
+    }
+
+    /// `g4dn.xlarge` — the smaller 4-node distributed-training node
+    /// (§5.2.2): 4 vCPUs, 16 GiB RAM.
+    pub fn g4dn_xlarge() -> NodeSpec {
+        NodeSpec {
+            cpus: 4,
+            object_store_bytes: 5 * GIB,
+            heap_bytes: 10 * GIB,
+            disk: DiskSpec {
+                devices: 2,
+                seq_bw: 225.0 * 1e6,
+                seek: SimDuration::from_micros(60),
+                per_op: SimDuration::from_micros(20),
+            },
+            nic: NicSpec { bw: 5.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+        }
+    }
+
+    /// A single-node, 32-vCPU, 244 GB machine matching the Dask-vs-Ray
+    /// comparison setup (§5.3.1).
+    pub fn dask_comparison_node() -> NodeSpec {
+        NodeSpec {
+            cpus: 32,
+            object_store_bytes: 73 * GIB, // ~30% of 244 GB
+            heap_bytes: 171 * GIB,
+            disk: DiskSpec {
+                devices: 2,
+                seq_bw: 400.0 * MIB,
+                seek: SimDuration::from_micros(100),
+                per_op: SimDuration::from_micros(30),
+            },
+            nic: NicSpec { bw: 10.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+        }
+    }
+
+    /// An `sc1`-style cold HDD volume on a small node — the slow disk used
+    /// by the spilling microbenchmark (§5.3.2, Fig 7).
+    pub fn sc1_microbench_node() -> NodeSpec {
+        NodeSpec {
+            cpus: 8,
+            object_store_bytes: 1 * GIB, // the experiment's 1 GB store
+            heap_bytes: 16 * GIB,
+            disk: DiskSpec {
+                devices: 1,
+                seq_bw: 90.0 * MIB, // sc1 baseline throughput
+                seek: SimDuration::from_millis(12),
+                per_op: SimDuration::from_micros(100),
+            },
+            nic: NicSpec { bw: 10.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+        }
+    }
+}
+
+/// A homogeneous cluster: `n` identical nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Per-node hardware description.
+    pub node: NodeSpec,
+    /// Number of worker nodes.
+    pub nodes: usize,
+}
+
+impl ClusterSpec {
+    /// Build a cluster of `nodes` copies of `node`.
+    pub fn homogeneous(node: NodeSpec, nodes: usize) -> Self {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        ClusterSpec { node, nodes }
+    }
+
+    /// Aggregate sequential disk bandwidth of the cluster, bytes/second.
+    pub fn aggregate_disk_bw(&self) -> f64 {
+        self.node.disk.seq_bw * self.nodes as f64
+    }
+
+    /// The paper's theoretical external-sort lower bound `T = 4D / B`
+    /// (§5.1.1): every byte is read twice and written twice against the
+    /// aggregate disk bandwidth `B`.
+    pub fn theoretical_sort_time(&self, data_bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(4.0 * data_bytes as f64 / self.aggregate_disk_bw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_preset_matches_paper_figures() {
+        let n = NodeSpec::d3_2xlarge();
+        assert_eq!(n.cpus, 8);
+        // 1100 MiB/s aggregate sequential.
+        assert!((n.disk.seq_bw - 1100.0 * MIB).abs() < 1.0);
+        // Random IOPS should be seek-bound (~1.5K), far below what the
+        // sequential bandwidth could serve for small blocks.
+        assert!(n.disk.random_iops() < 2000.0);
+    }
+
+    #[test]
+    fn ssd_has_vastly_more_iops_than_hdd() {
+        let hdd = NodeSpec::d3_2xlarge();
+        let ssd = NodeSpec::i3_2xlarge();
+        assert!(ssd.disk.random_iops() > 50.0 * hdd.disk.random_iops());
+    }
+
+    #[test]
+    fn theoretical_sort_time_is_4d_over_b() {
+        let c = ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 10);
+        let d = 1_000_000_000_000u64; // 1 TB
+        let t = c.theoretical_sort_time(d);
+        let expect = 4.0 * d as f64 / (10.0 * 1100.0 * MIB);
+        assert!((t.as_secs_f64() - expect).abs() < 0.01);
+    }
+
+    #[test]
+    fn disk_spec_builds_resource_with_device_count() {
+        let n = NodeSpec::i3_2xlarge();
+        let r = n.disk.build("disk");
+        assert_eq!(r.servers(), n.disk.devices);
+    }
+}

@@ -1,0 +1,104 @@
+//! Sort kernels: block sort and k-way merge of sorted blocks.
+
+use crate::record::RECORD_SIZE;
+
+/// Sort a buffer of records in place by their 10-byte keys (unstable —
+/// gensort keys are effectively unique).
+pub fn sort_records(records: &mut Vec<u8>) {
+    assert_eq!(records.len() % RECORD_SIZE, 0, "whole records only");
+    let n = records.len() / RECORD_SIZE;
+    let mut index: Vec<usize> = (0..n).collect();
+    index.sort_unstable_by(|&a, &b| {
+        records[a * RECORD_SIZE..a * RECORD_SIZE + 10]
+            .cmp(&records[b * RECORD_SIZE..b * RECORD_SIZE + 10])
+    });
+    let mut out = vec![0u8; records.len()];
+    for (dst, &src) in index.iter().enumerate() {
+        out[dst * RECORD_SIZE..(dst + 1) * RECORD_SIZE]
+            .copy_from_slice(&records[src * RECORD_SIZE..(src + 1) * RECORD_SIZE]);
+    }
+    *records = out;
+}
+
+/// Merge already-sorted record buffers into one sorted buffer.
+pub fn kway_merge(blocks: &[&[u8]]) -> Vec<u8> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    for b in blocks {
+        assert_eq!(b.len() % RECORD_SIZE, 0, "whole records only");
+    }
+    let total: usize = blocks.iter().map(|b| b.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    // Heap of (key, block, offset); keys are owned 10-byte arrays to keep
+    // the heap simple.
+    let mut heap: BinaryHeap<Reverse<([u8; 10], usize, usize)>> = BinaryHeap::new();
+    for (bi, b) in blocks.iter().enumerate() {
+        if !b.is_empty() {
+            let mut k = [0u8; 10];
+            k.copy_from_slice(&b[..10]);
+            heap.push(Reverse((k, bi, 0)));
+        }
+    }
+    while let Some(Reverse((_, bi, off))) = heap.pop() {
+        let b = blocks[bi];
+        out.extend_from_slice(&b[off..off + RECORD_SIZE]);
+        let next = off + RECORD_SIZE;
+        if next < b.len() {
+            let mut k = [0u8; 10];
+            k.copy_from_slice(&b[next..next + 10]);
+            heap.push(Reverse((k, bi, next)));
+        }
+    }
+    out
+}
+
+/// True if a record buffer is sorted by key.
+pub fn is_sorted(records: &[u8]) -> bool {
+    records
+        .chunks_exact(RECORD_SIZE)
+        .map(|r| &r[..10])
+        .collect::<Vec<_>>()
+        .windows(2)
+        .all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{checksum, gen_records};
+
+    #[test]
+    fn sort_orders_and_preserves_records() {
+        let mut r = gen_records(11, 0, 500);
+        let before = checksum(&r);
+        sort_records(&mut r);
+        assert!(is_sorted(&r));
+        assert_eq!(checksum(&r), before, "sorting must not lose records");
+    }
+
+    #[test]
+    fn kway_merge_equals_full_sort() {
+        let mut a = gen_records(1, 0, 100);
+        let mut b = gen_records(1, 1, 150);
+        let mut c = gen_records(1, 2, 50);
+        sort_records(&mut a);
+        sort_records(&mut b);
+        sort_records(&mut c);
+        let merged = kway_merge(&[&a, &b, &c]);
+        assert!(is_sorted(&merged));
+        assert_eq!(merged.len(), (100 + 150 + 50) * RECORD_SIZE);
+        let mut reference = [a, b, c].concat();
+        sort_records(&mut reference);
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn merge_handles_empty_blocks() {
+        let mut a = gen_records(2, 0, 10);
+        sort_records(&mut a);
+        let merged = kway_merge(&[&a, &[], &[]]);
+        assert_eq!(merged, a);
+        assert!(kway_merge(&[]).is_empty());
+    }
+}

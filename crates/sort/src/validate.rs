@@ -1,0 +1,143 @@
+//! Valsort-style output validation: checks the reduce outputs form one
+//! globally sorted, loss-free permutation of the generated input.
+
+use exo_rt::Payload;
+
+use crate::job::SortSpec;
+use crate::kernel::is_sorted;
+use crate::record::{checksum, gen_records, RECORD_SIZE};
+
+/// Result of validating a sort run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortCheck {
+    /// Real records observed in the output.
+    pub records: u64,
+    /// Order-insensitive checksum of the output records.
+    pub checksum: u64,
+}
+
+/// Validate reduce outputs (in partition order) against the spec's
+/// deterministic input. Checks per-partition order, cross-partition
+/// boundaries, record count and content checksum.
+pub fn validate_sorted(spec: &SortSpec, outputs: &[Payload]) -> Result<SortCheck, String> {
+    if outputs.len() != spec.num_reduces {
+        return Err(format!("expected {} partitions, got {}", spec.num_reduces, outputs.len()));
+    }
+    let mut records = 0u64;
+    let mut sum = 0u64;
+    let mut prev_last: Option<Vec<u8>> = None;
+    for (r, p) in outputs.iter().enumerate() {
+        if p.data.len() % RECORD_SIZE != 0 {
+            return Err(format!("partition {r}: ragged buffer of {} bytes", p.data.len()));
+        }
+        if !is_sorted(&p.data) {
+            return Err(format!("partition {r} is not internally sorted"));
+        }
+        if let (Some(prev), true) = (&prev_last, !p.data.is_empty()) {
+            if prev.as_slice() > &p.data[..10] {
+                return Err(format!("partition boundary {r} out of order"));
+            }
+        }
+        if !p.data.is_empty() {
+            let last = p.data.len() - RECORD_SIZE;
+            prev_last = Some(p.data[last..last + 10].to_vec());
+        }
+        records += (p.data.len() / RECORD_SIZE) as u64;
+        sum = sum.wrapping_add(checksum(&p.data));
+    }
+    // Compare against regenerated input.
+    let n = spec.real_records_per_map();
+    let mut in_records = 0u64;
+    let mut in_sum = 0u64;
+    for m in 0..spec.num_maps {
+        let recs = gen_records(spec.seed, m, n);
+        in_records += (recs.len() / RECORD_SIZE) as u64;
+        in_sum = in_sum.wrapping_add(checksum(&recs));
+    }
+    if records != in_records {
+        return Err(format!("record count mismatch: output {records}, input {in_records}"));
+    }
+    if sum != in_sum {
+        return Err(format!("checksum mismatch: records corrupted or duplicated"));
+    }
+    Ok(SortCheck { records, checksum: sum })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::sort_records;
+    use crate::partition::RangePartitioner;
+
+    fn tiny_spec() -> SortSpec {
+        SortSpec { data_bytes: 100 * 400, num_maps: 4, num_reduces: 2, scale: 1, seed: 77 }
+    }
+
+    fn correct_outputs(spec: &SortSpec) -> Vec<Payload> {
+        let part = RangePartitioner::new(spec.num_reduces);
+        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); spec.num_reduces];
+        for m in 0..spec.num_maps {
+            let recs = gen_records(spec.seed, m, spec.real_records_per_map());
+            for rec in recs.chunks_exact(RECORD_SIZE) {
+                buckets[part.partition_of(&rec[..10])].extend_from_slice(rec);
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|mut b| {
+                sort_records(&mut b);
+                Payload::inline(b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_a_correct_sort() {
+        let spec = tiny_spec();
+        let outs = correct_outputs(&spec);
+        let check = validate_sorted(&spec, &outs).expect("valid sort");
+        assert_eq!(check.records, 400);
+    }
+
+    #[test]
+    fn rejects_unsorted_partition() {
+        let spec = tiny_spec();
+        let mut outs = correct_outputs(&spec);
+        // Swap two records in partition 0.
+        let mut d = outs[0].data.to_vec();
+        for j in 0..RECORD_SIZE {
+            d.swap(j, RECORD_SIZE + j);
+        }
+        outs[0] = Payload::inline(d);
+        assert!(validate_sorted(&spec, &outs).is_err());
+    }
+
+    #[test]
+    fn rejects_lost_records() {
+        let spec = tiny_spec();
+        let mut outs = correct_outputs(&spec);
+        let d = outs[1].data.slice(RECORD_SIZE..); // drop first record
+        outs[1] = Payload::inline(d);
+        let err = validate_sorted(&spec, &outs).expect_err("should fail");
+        assert!(err.contains("count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupted_records() {
+        let spec = tiny_spec();
+        let mut outs = correct_outputs(&spec);
+        let mut d = outs[1].data.to_vec();
+        let n = d.len();
+        d[n - 1] ^= 0x55; // corrupt body (not key order)
+        outs[1] = Payload::inline(d);
+        let err = validate_sorted(&spec, &outs).expect_err("should fail");
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_partition_count() {
+        let spec = tiny_spec();
+        let outs = correct_outputs(&spec);
+        assert!(validate_sorted(&spec, &outs[..1]).is_err());
+    }
+}

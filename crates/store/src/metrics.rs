@@ -1,0 +1,30 @@
+//! Cumulative store counters, used to reproduce the paper's write-
+//! amplification comparisons (ES-push vs ES-push*, Fig 4d) and the spilling
+//! microbenchmark (Fig 7).
+
+/// Monotonic counters over a store's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Bytes migrated to disk by the spilling subsystem.
+    pub spilled_bytes: u64,
+    /// Number of spill *files* written (fused batches count once).
+    pub spill_files: u64,
+    /// Number of objects spilled.
+    pub spilled_objects: u64,
+    /// Bytes copied back from disk into memory.
+    pub restored_bytes: u64,
+    /// Number of restore operations.
+    pub restore_ops: u64,
+    /// Bytes allocated through the fallback (filesystem) path.
+    pub fallback_bytes: u64,
+    /// Number of fallback allocations.
+    pub fallback_allocs: u64,
+    /// Spills avoided because the object already had an up-to-date copy on
+    /// disk (restored earlier, never dirtied — objects are immutable).
+    pub spill_writes_elided: u64,
+    /// High-water mark of in-memory usage.
+    pub peak_used: u64,
+    /// Objects evicted without any disk write because their reference count
+    /// dropped to zero first (the ES-push* `del` saving).
+    pub evicted_unwritten: u64,
+}

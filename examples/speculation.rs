@@ -1,0 +1,55 @@
+//! Straggler mitigation demo: one node runs 10× slower; the speculative
+//! shuffle library detects the laggards with `wait` timeouts and clones
+//! them onto healthy nodes (§4.3.2).
+//!
+//! ```sh
+//! cargo run --release --example speculation
+//! ```
+
+use exoshuffle::rt::{CpuCost, RtConfig};
+use exoshuffle::shuffle::{
+    key_sum_job, key_sum_total, simple_shuffle, speculative_simple_shuffle, SpeculationConfig,
+};
+use exoshuffle::sim::{ClusterSpec, NodeSpec, SimDuration};
+
+fn main() {
+    let cluster = || {
+        RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4))
+            .with_slow_node(1, 10.0) // node 1 is a 10x straggler
+    };
+    let job = || {
+        key_sum_job(16, 8, 200).with_cpu(
+            CpuCost::fixed(SimDuration::from_secs(10)),
+            CpuCost::fixed(SimDuration::from_millis(1)),
+            CpuCost::fixed(SimDuration::from_millis(10)),
+        )
+    };
+
+    let (plain, total_plain) = exoshuffle::rt::run(cluster(), |rt| {
+        let outs = simple_shuffle(rt, &job());
+        key_sum_total(&rt.get(&outs).unwrap())
+    });
+
+    let cfg = SpeculationConfig {
+        straggler_timeout: SimDuration::from_secs(15),
+        max_clone_fraction: 0.5,
+    };
+    let (spec, (total_spec, report)) = exoshuffle::rt::run(cluster(), |rt| {
+        let (outs, report) = speculative_simple_shuffle(rt, &job(), cfg);
+        (key_sum_total(&rt.get(&outs).unwrap()), report)
+    });
+
+    assert_eq!(total_plain, total_spec, "same answer either way");
+    println!("cluster: 4 nodes, node 1 computes 10x slower\n");
+    println!("plain simple shuffle:      {:.1} s", plain.end_time.as_secs_f64());
+    println!(
+        "with speculation:          {:.1} s  ({} laggards cloned, {} clone wins)",
+        spec.end_time.as_secs_f64(),
+        report.cloned,
+        report.clone_wins
+    );
+    println!(
+        "speedup:                   {:.2}x",
+        plain.end_time.as_secs_f64() / spec.end_time.as_secs_f64()
+    );
+}

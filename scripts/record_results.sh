@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Append the captured results/ outputs to EXPERIMENTS.md (idempotent: the
+# recorded section is regenerated each time).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+marker="<!-- RECORDED-OUTPUTS -->"
+# Trim anything after the marker, then re-append.
+if grep -q "$marker" EXPERIMENTS.md; then
+    sed -i "/$marker/,\$d" EXPERIMENTS.md
+fi
+{
+    echo "$marker"
+    echo
+    for f in results/fig4a.txt results/fig4b.txt results/fig4c.txt results/fig4d.txt \
+             results/fig4_ft.txt results/table1.txt results/fig5.txt results/fig6.txt \
+             results/fig7.txt results/fig8.txt results/fig9.txt results/ablations.txt \
+             results/cloudsort.txt; do
+        [ -f "$f" ] || continue
+        echo "### \`$f\`"
+        echo
+        echo '```'
+        cat "$f"
+        echo '```'
+        echo
+    done
+} >> EXPERIMENTS.md
+echo "recorded $(ls results/*.txt 2>/dev/null | wc -l) result files into EXPERIMENTS.md"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every paper artefact into results/.
+# Usage: scripts/run_experiments.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+MODE="${1:-}"
+cargo build --release -p exo-bench
+mkdir -p results
+for bin in fig4a fig4b fig4c fig4d fig4_ft table1 fig5 fig6 fig7 fig8 fig9 ablations cloudsort; do
+    echo "=== $bin $MODE ==="
+    ./target/release/$bin $MODE | tee "results/$bin.txt"
+done

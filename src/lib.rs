@@ -1,0 +1,23 @@
+//! # Exoshuffle (Rust reproduction)
+//!
+//! Umbrella crate re-exporting the whole system. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! - [`sim`]: discrete-event cluster substrate (virtual time, devices).
+//! - [`store`]: per-node shared-memory object store with spilling.
+//! - [`rt`]: the distributed-futures runtime (Ray-like data plane).
+//! - [`shuffle`]: the paper's contribution — shuffle algorithms as
+//!   application-level libraries.
+//! - [`monolith`]: monolithic baselines (Spark-like BSP engine).
+//! - [`sort`]: TeraSort/CloudSort workload.
+//! - [`ml`]: ML-training pipeline application.
+//! - [`agg`]: online-aggregation application.
+
+pub use exo_agg as agg;
+pub use exo_ml as ml;
+pub use exo_monolith as monolith;
+pub use exo_rt as rt;
+pub use exo_shuffle as shuffle;
+pub use exo_sim as sim;
+pub use exo_sort as sort;
+pub use exo_store as store;

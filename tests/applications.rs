@@ -1,0 +1,115 @@
+//! Cross-crate application integration: online aggregation and ML
+//! training on top of the full stack.
+
+use exoshuffle::agg::{regular_aggregation, streaming_aggregation, AggConfig, PageviewSpec};
+use exoshuffle::ml::{exoshuffle_training, petastorm_training, DatasetSpec, PetastormConfig, TrainConfig};
+use exoshuffle::rt::RtConfig;
+use exoshuffle::shuffle::{ShuffleVariant, ShuffleWindow};
+use exoshuffle::sim::{ClusterSpec, NodeSpec};
+
+fn agg_cfg() -> AggConfig {
+    AggConfig {
+        spec: PageviewSpec {
+            data_bytes: 200_000_000,
+            num_maps: 20,
+            num_reduces: 10,
+            entries_per_map: 1500,
+            pages: 30_000,
+            seed: 5,
+        },
+        rounds: 5,
+    }
+}
+
+#[test]
+fn streaming_aggregation_converges_to_batch_truth() {
+    let cfg = agg_cfg();
+    let rt_cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 3));
+    let (_rep, samples) = exoshuffle::rt::run(rt_cfg, |rt| {
+        let (_t, truth) = regular_aggregation(rt, &cfg);
+        let (samples, _) = streaming_aggregation(rt, &cfg, &truth);
+        samples
+    });
+    assert_eq!(samples.len(), 5);
+    assert!(samples.last().expect("rounds").kl < 1e-9, "final KL ~0");
+    // Error should broadly decrease (allow small non-monotonicity early).
+    assert!(samples[0].kl >= samples.last().expect("rounds").kl);
+}
+
+#[test]
+fn streaming_shuffle_on_different_variant_clusters_is_deterministic() {
+    let cfg = agg_cfg();
+    let run = || {
+        let rt_cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 3));
+        let (_rep, samples) = exoshuffle::rt::run(rt_cfg, |rt| {
+            let (_t, truth) = regular_aggregation(rt, &cfg);
+            let (samples, _) = streaming_aggregation(rt, &cfg, &truth);
+            samples.iter().map(|s| (s.at.as_micros(), s.kl.to_bits())).collect::<Vec<_>>()
+        });
+        samples
+    };
+    assert_eq!(run(), run());
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        dataset: DatasetSpec::new(6000, 8, 11),
+        epochs: 3,
+        batch_size: 64,
+        lr: 0.5,
+        variant: ShuffleVariant::Simple,
+        window: ShuffleWindow::Full,
+        gpu_ns_per_sample: 30_000.0,
+    }
+}
+
+#[test]
+fn distributed_training_runs_on_four_nodes() {
+    let cfg = train_cfg();
+    let rt_cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::g4dn_xlarge(), 4));
+    let (rep, report) = exoshuffle::rt::run(rt_cfg, |rt| exoshuffle_training(rt, &cfg));
+    assert_eq!(report.accuracy.len(), 3);
+    assert!(*report.accuracy.last().expect("epochs") > 0.8);
+    // Distributed full shuffle must actually move data between nodes.
+    assert!(rep.metrics.net_bytes > 0);
+}
+
+#[test]
+fn windowed_training_moves_less_data_than_full() {
+    let full = train_cfg();
+    let mut windowed = full;
+    windowed.window = ShuffleWindow::Window { partitions: 2 };
+    let rt_cfg = || RtConfig::new(ClusterSpec::homogeneous(NodeSpec::g4dn_xlarge(), 4));
+    let (full_rep, _) = exoshuffle::rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &full));
+    let (win_rep, _) = exoshuffle::rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &windowed));
+    assert!(
+        win_rep.metrics.net_bytes <= full_rep.metrics.net_bytes,
+        "windowed {} vs full {}",
+        win_rep.metrics.net_bytes,
+        full_rep.metrics.net_bytes
+    );
+}
+
+#[test]
+fn petastorm_loader_is_slower_than_pipelined_exoshuffle() {
+    let es = train_cfg();
+    let rt_cfg = || RtConfig::new(ClusterSpec::homogeneous(NodeSpec::g4dn_4xlarge(), 1));
+    let (_r, es_rep) = exoshuffle::rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &es));
+    let ps_cfg = PetastormConfig {
+        dataset: es.dataset,
+        epochs: es.epochs,
+        batch_size: es.batch_size,
+        lr: es.lr,
+        buffer_fraction: 0.09,
+        gpu_ns_per_sample: es.gpu_ns_per_sample,
+        decode_throughput: 30.0 * 1e6,
+    };
+    let (_r, ps_rep) = exoshuffle::rt::run(rt_cfg(), |rt| petastorm_training(rt, &ps_cfg));
+    let ps_rep = ps_rep.expect("buffer fits");
+    assert!(
+        es_rep.total_time < ps_rep.total_time,
+        "pipelined {} should beat buffered {}",
+        es_rep.total_time,
+        ps_rep.total_time
+    );
+}

@@ -1,0 +1,88 @@
+//! Failure-matrix integration: harder fault scenarios than the single
+//! kill of `sort_end_to_end.rs` — staggered multi-node failures and
+//! executor failures in the middle of a shuffle, all validated
+//! record-for-record.
+
+use exoshuffle::rt::{NodeId, RtConfig, RtHandle};
+use exoshuffle::shuffle::{run_shuffle, ShuffleVariant};
+use exoshuffle::sim::{ClusterSpec, NodeSpec, SimDuration, SimTime};
+use exoshuffle::sort::{sort_job, validate_sorted, SortSpec};
+
+fn spec() -> SortSpec {
+    SortSpec {
+        data_bytes: 256 * 1000 * 1000,
+        num_maps: 20,
+        num_reduces: 10,
+        scale: 400,
+        seed: 31,
+    }
+}
+
+fn cluster(nodes: usize) -> RtConfig {
+    RtConfig::new(ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), nodes))
+}
+
+#[test]
+fn two_staggered_node_failures_recover() {
+    let s = spec();
+    let (report, outputs) = exoshuffle::rt::run(cluster(5), |rt: &RtHandle| {
+        rt.kill_node(NodeId(1), SimTime(40_000), Some(SimDuration::from_secs(20)));
+        rt.kill_node(NodeId(3), SimTime(120_000), Some(SimDuration::from_secs(20)));
+        let outs = run_shuffle(rt, &sort_job(s), ShuffleVariant::PushStar { map_parallelism: 2 });
+        rt.get(&outs).expect("recovered output")
+    });
+    validate_sorted(&s, &outputs).expect("correct despite two failures");
+    assert_eq!(report.metrics.node_failures, 2);
+}
+
+#[test]
+fn executor_failure_mid_shuffle_is_cheaper_than_node_failure() {
+    let s = spec();
+    let run = |f: &(dyn Fn(&RtHandle) + Sync)| {
+        let (report, outputs) = exoshuffle::rt::run(cluster(4), |rt: &RtHandle| {
+            f(rt);
+            let outs =
+                run_shuffle(rt, &sort_job(s), ShuffleVariant::PushStar { map_parallelism: 2 });
+            rt.get(&outs).expect("output")
+        });
+        validate_sorted(&s, &outputs).expect("validated");
+        report
+    };
+    let clean = run(&|_| {});
+    let exec = run(&|rt| rt.kill_executors(NodeId(2), SimTime(400_000)));
+    let node = run(&|rt| {
+        rt.kill_node(NodeId(2), SimTime(400_000), Some(SimDuration::from_secs(20)))
+    });
+    // Executor failure keeps objects (store survives); node failure loses
+    // them and must reconstruct, so it can never be cheaper.
+    assert!(exec.end_time >= clean.end_time);
+    assert!(
+        node.end_time >= exec.end_time,
+        "node failure {} must cost at least executor failure {}",
+        node.end_time,
+        exec.end_time
+    );
+}
+
+#[test]
+fn restarted_node_rejoins_and_output_stays_correct() {
+    let s = spec();
+    let (_report, outputs) = exoshuffle::rt::run(cluster(3), |rt: &RtHandle| {
+        // Fast restart: the node comes back while the job is still going.
+        rt.kill_node(NodeId(1), SimTime(200_000), Some(SimDuration::from_secs(2)));
+        let outs = run_shuffle(rt, &sort_job(s), ShuffleVariant::Simple);
+        rt.get(&outs).expect("output")
+    });
+    validate_sorted(&s, &outputs).expect("correct with fast restart");
+}
+
+#[test]
+fn failure_during_merge_variant_recovers() {
+    let s = spec();
+    let (_report, outputs) = exoshuffle::rt::run(cluster(4), |rt: &RtHandle| {
+        rt.kill_node(NodeId(0), SimTime(500_000), Some(SimDuration::from_secs(20)));
+        let outs = run_shuffle(rt, &sort_job(s), ShuffleVariant::Merge { factor: 4 });
+        rt.get(&outs).expect("output")
+    });
+    validate_sorted(&s, &outputs).expect("merge variant recovers");
+}

@@ -1,0 +1,254 @@
+//! Property-based tests on core data structures and invariants.
+
+use bytes::Bytes;
+use exoshuffle::rt::Payload;
+use exoshuffle::shuffle::{frame_blocks, unframe_blocks};
+use exoshuffle::sim::{EventQueue, IoKind, Resource, SimDuration, SimTime};
+use exoshuffle::sort::{kway_merge, sort_records, RangePartitioner, RECORD_SIZE};
+use exoshuffle::store::{NodeStore, Priority, StoreConfig};
+use proptest::prelude::*;
+
+fn arb_records(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+        .prop_map(|mut v| {
+            v.truncate(v.len() / RECORD_SIZE * RECORD_SIZE);
+            v
+        })
+}
+
+proptest! {
+    #[test]
+    fn sort_records_sorts_and_preserves_multiset(mut recs in arb_records(3000)) {
+        let mut expected: Vec<Vec<u8>> =
+            recs.chunks_exact(RECORD_SIZE).map(|c| c.to_vec()).collect();
+        sort_records(&mut recs);
+        // Sorted by key.
+        let keys: Vec<&[u8]> = recs.chunks_exact(RECORD_SIZE).map(|c| &c[..10]).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // Same multiset of records.
+        let mut actual: Vec<Vec<u8>> =
+            recs.chunks_exact(RECORD_SIZE).map(|c| c.to_vec()).collect();
+        expected.sort();
+        actual.sort();
+        prop_assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn kway_merge_equals_concat_sort(blocks in proptest::collection::vec(arb_records(800), 0..6)) {
+        let mut sorted_blocks = blocks.clone();
+        for b in &mut sorted_blocks {
+            sort_records(b);
+        }
+        let views: Vec<&[u8]> = sorted_blocks.iter().map(|b| &b[..]).collect();
+        let merged = kway_merge(&views);
+        let mut reference: Vec<u8> = blocks.concat();
+        sort_records(&mut reference);
+        prop_assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn partitioner_is_monotone_and_in_range(
+        a in proptest::collection::vec(any::<u8>(), 10),
+        b in proptest::collection::vec(any::<u8>(), 10),
+        parts in 1usize..500,
+    ) {
+        let p = RangePartitioner::new(parts);
+        let (pa, pb) = (p.partition_of(&a), p.partition_of(&b));
+        prop_assert!(pa < parts && pb < parts);
+        if a <= b {
+            prop_assert!(pa <= pb, "monotonicity violated: {:?} -> {}, {:?} -> {}", a, pa, b, pb);
+        }
+    }
+
+    #[test]
+    fn frame_blocks_roundtrips(
+        blocks in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..200), any::<u32>()),
+            0..20,
+        )
+    ) {
+        let payloads: Vec<Payload> = blocks
+            .iter()
+            .map(|(data, logical)| Payload::scaled(Bytes::from(data.clone()), *logical as u64))
+            .collect();
+        let framed = frame_blocks(&payloads);
+        prop_assert_eq!(
+            framed.logical,
+            payloads.iter().map(|p| p.logical).sum::<u64>()
+        );
+        let back = unframe_blocks(&framed);
+        prop_assert_eq!(back.len(), payloads.len());
+        for (orig, round) in payloads.iter().zip(&back) {
+            prop_assert_eq!(&orig.data, &round.data);
+            prop_assert_eq!(orig.logical, round.logical);
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..10_000, 0..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn resource_completions_are_causal_and_count_bytes(
+        ops in proptest::collection::vec((1u64..10_000_000, any::<bool>()), 1..50)
+    ) {
+        let mut r = Resource::new(
+            "d",
+            3,
+            100.0 * 1e6,
+            SimDuration::from_millis(5),
+            SimDuration::from_micros(10),
+        );
+        let mut total = 0u64;
+        for &(size, random) in &ops {
+            let kind = if random { IoKind::Random } else { IoKind::Sequential };
+            let end = r.submit(SimTime::ZERO, size, kind);
+            // An op can never complete before its own service time.
+            prop_assert!(end >= SimTime::ZERO + r.service_time(size, kind));
+            total += size;
+        }
+        prop_assert_eq!(r.bytes_served(), total);
+        prop_assert_eq!(r.ops_served(), ops.len() as u64);
+    }
+
+    #[test]
+    fn store_accounting_never_underflows(
+        ops in proptest::collection::vec((0u8..5, 1u64..2_000_000), 1..120)
+    ) {
+        // Model-based test: random create/seal/unpin/forget/spill traffic;
+        // internal accounting must stay consistent throughout.
+        let mut store: NodeStore<u64> = NodeStore::new(StoreConfig::ray_default(4_000_000));
+        let mut next_id = 0u64;
+        let mut live: Vec<u64> = Vec::new(); // created ids with creator pin
+        let mut sealed: Vec<u64> = Vec::new();
+        for (op, size) in ops {
+            match op {
+                0 => {
+                    let id = next_id;
+                    next_id += 1;
+                    match store.request_create(id, size, id, Priority::High) {
+                        exoshuffle::store::AllocDecision::Granted
+                        | exoshuffle::store::AllocDecision::Fallback => live.push(id),
+                        _ => {}
+                    }
+                }
+                1 => {
+                    if let Some(id) = live.pop() {
+                        store.seal(id);
+                        store.unpin(id);
+                        sealed.push(id);
+                    }
+                }
+                2 => {
+                    if let Some(id) = sealed.pop() {
+                        store.forget(id);
+                    }
+                }
+                3 => {
+                    while let Some(batch) = store.next_spill_batch() {
+                        store.spill_complete(&batch);
+                    }
+                }
+                _ => {
+                    let _ = store.take_granted();
+                    let _ = store.take_failed();
+                }
+            }
+            // free() uses saturating arithmetic; used must track slots.
+            let _ = store.free();
+            prop_assert!(store.len() < 1000);
+        }
+    }
+}
+
+/// Random small DAGs executed on the runtime must produce exactly the
+/// values a direct (reference) evaluation produces — regardless of
+/// topology, placement or payload sizes.
+mod random_dags {
+    use super::*;
+    use exoshuffle::rt::{RtConfig, SchedulingStrategy, TaskCtx};
+    use exoshuffle::sim::{ClusterSpec, NodeSpec};
+
+    #[derive(Clone, Debug)]
+    struct NodeSpecOp {
+        /// Indices of earlier DAG nodes used as args.
+        deps: Vec<usize>,
+        /// Added constant.
+        salt: u8,
+        /// Placement choice.
+        spread: bool,
+    }
+
+    fn arb_dag() -> impl Strategy<Value = Vec<NodeSpecOp>> {
+        proptest::collection::vec((any::<u8>(), any::<bool>(), proptest::collection::vec(0usize..64, 0..4)), 1..24)
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (salt, spread, deps))| NodeSpecOp {
+                        deps: deps.into_iter().map(|d| d % (i.max(1))).filter(|_| i > 0).collect(),
+                        salt,
+                        spread,
+                    })
+                    .collect()
+            })
+    }
+
+    /// Reference semantics: value(node) = salt + sum(dep values), wrapping.
+    fn reference(dag: &[NodeSpecOp]) -> Vec<u8> {
+        let mut vals: Vec<u8> = Vec::with_capacity(dag.len());
+        for op in dag {
+            let mut v = op.salt;
+            for &d in &op.deps {
+                v = v.wrapping_add(vals[d]);
+            }
+            vals.push(v);
+        }
+        vals
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn runtime_matches_reference_semantics(dag in arb_dag()) {
+            let expect = reference(&dag);
+            let cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 3));
+            let (_rep, got) = exoshuffle::rt::run(cfg, |rt| {
+                let mut refs: Vec<exoshuffle::rt::ObjectRef> = Vec::new();
+                for op in &dag {
+                    let salt = op.salt;
+                    let mut b = rt
+                        .task(move |ctx: TaskCtx| {
+                            let mut v = salt;
+                            for a in &ctx.args {
+                                v = v.wrapping_add(a.data[0]);
+                            }
+                            vec![Payload::inline(Bytes::from(vec![v]))]
+                        });
+                    for &d in &op.deps {
+                        b = b.arg(&refs[d]);
+                    }
+                    if op.spread {
+                        b = b.strategy(SchedulingStrategy::Spread);
+                    }
+                    refs.push(b.submit_one());
+                }
+                rt.get(&refs).unwrap().iter().map(|p| p.data[0]).collect::<Vec<u8>>()
+            });
+            prop_assert_eq!(got, expect);
+        }
+    }
+}
