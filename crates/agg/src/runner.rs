@@ -60,7 +60,10 @@ pub fn streaming_aggregation(
     streaming_shuffle(
         rt,
         &job,
-        StreamingConfig { rounds: cfg.rounds, reduce_state },
+        StreamingConfig {
+            rounds: cfg.rounds,
+            reduce_state,
+        },
         |round, states| {
             let views: Vec<&[u8]> = states.iter().map(|p| &p.data[..]).collect();
             let partial = lang_distribution(&views);
@@ -108,8 +111,14 @@ mod tests {
         assert_eq!(samples.len(), 8);
         let first = samples.first().expect("rounds").kl;
         let last = samples.last().expect("rounds").kl;
-        assert!(last <= first, "error must refine: first {first}, last {last}");
-        assert!(last < 1e-9, "final round sees all data; KL should be ~0, got {last}");
+        assert!(
+            last <= first,
+            "error must refine: first {first}, last {last}"
+        );
+        assert!(
+            last < 1e-9,
+            "final round sees all data; KL should be ~0, got {last}"
+        );
     }
 
     #[test]

@@ -202,7 +202,9 @@ mod tests {
         let e = gen_entries(&spec(), 0);
         let decoded = decode_entries(&e);
         assert_eq!(decoded.len(), 1000);
-        assert!(decoded.iter().all(|&(l, p, v)| (l as usize) < NUM_LANGS && p < 10_000 && v >= 1));
+        assert!(decoded
+            .iter()
+            .all(|&(l, p, v)| (l as usize) < NUM_LANGS && p < 10_000 && v >= 1));
     }
 
     #[test]
@@ -236,6 +238,9 @@ mod tests {
         for p in 0..10_000u32 {
             counts[lang_of_page(p) as usize] += 1;
         }
-        assert!(counts[0] > counts[NUM_LANGS - 1], "skew expected: {counts:?}");
+        assert!(
+            counts[0] > counts[NUM_LANGS - 1],
+            "skew expected: {counts:?}"
+        );
     }
 }

@@ -6,9 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use exo_rt::RtConfig;
-use exo_shuffle::{
-    frame_blocks, key_sum_job, run_shuffle, unframe_blocks, ShuffleVariant,
-};
+use exo_shuffle::{frame_blocks, key_sum_job, run_shuffle, unframe_blocks, ShuffleVariant};
 use exo_sim::{ClusterSpec, EventQueue, NodeSpec, SimTime};
 use exo_sort::{gen_records, kway_merge, sort_records, RangePartitioner};
 use exo_store::{NodeStore, Priority, StoreConfig};

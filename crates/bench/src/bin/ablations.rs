@@ -10,7 +10,8 @@
 //! - eager ref release (ES-push*) — evict vs spill map outputs (the
 //!   ES-push vs ES-push* write-amplification trade-off, §4.3.1).
 
-use exo_bench::{quick_mode, Table};
+use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_rt::trace::Json;
 use exo_rt::RtConfig;
 use exo_shuffle::{push_shuffle, push_star_shuffle, PushConfig, PushStarConfig};
 use exo_sim::{ClusterSpec, NodeSpec};
@@ -22,8 +23,14 @@ struct Outcome {
     spilled_gb: f64,
 }
 
-fn run(data: u64, parts: usize, f: impl Fn(&exo_rt::RtHandle, &exo_shuffle::ShuffleJob) -> Vec<exo_rt::ObjectRef> + Send + Sync) -> Outcome {
-    let cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 10));
+fn run(
+    data: u64,
+    parts: usize,
+    f: impl Fn(&exo_rt::RtHandle, &exo_shuffle::ShuffleJob) -> Vec<exo_rt::ObjectRef> + Send + Sync,
+) -> Outcome {
+    let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 10));
+    let (trace_cfg, trace_path) = claim_trace();
+    cfg.trace = trace_cfg;
     let spec = SortSpec {
         data_bytes: data,
         num_maps: parts,
@@ -38,6 +45,9 @@ fn run(data: u64, parts: usize, f: impl Fn(&exo_rt::RtHandle, &exo_shuffle::Shuf
         rt.wait_all(&outs);
         rt.now() - t0
     });
+    if let Some(path) = trace_path {
+        export_trace(&path, &report.trace);
+    }
     Outcome {
         jct: jct.as_secs_f64(),
         net_gb: report.metrics.net_bytes as f64 / 1e9,
@@ -46,11 +56,19 @@ fn run(data: u64, parts: usize, f: impl Fn(&exo_rt::RtHandle, &exo_shuffle::Shuf
 }
 
 fn main() {
-    let data: u64 = if quick_mode() { 50_000_000_000 } else { 200_000_000_000 };
+    let data: u64 = if quick_mode() {
+        50_000_000_000
+    } else {
+        200_000_000_000
+    };
     let parts = if quick_mode() { 100 } else { 200 };
-    println!("# Ablations — {} GB sort, 10× d3.2xlarge, {parts} partitions\n", data / 1_000_000_000);
+    println!(
+        "# Ablations — {} GB sort, 10× d3.2xlarge, {parts} partitions\n",
+        data / 1_000_000_000
+    );
 
     let mut t = Table::new(&["configuration", "JCT (s)", "net (GB)", "spilled (GB)"]);
+    let mut runs = Vec::new();
     let mut add = |name: &str, o: Outcome| {
         t.row(vec![
             name.into(),
@@ -58,25 +76,88 @@ fn main() {
             format!("{:.1}", o.net_gb),
             format!("{:.1}", o.spilled_gb),
         ]);
+        runs.push(
+            Json::obj()
+                .set("configuration", name)
+                .set("jct_s", o.jct)
+                .set("net_gb", o.net_gb)
+                .set("spilled_gb", o.spilled_gb),
+        );
     };
 
-    add("ES-push (affinity on)", run(data, parts, |rt, job| {
-        push_shuffle(rt, job, PushConfig::new(8))
-    }));
-    add("ES-push (affinity OFF)", run(data, parts, |rt, job| {
-        push_shuffle(rt, job, PushConfig { factor: 8, affinity: false })
-    }));
-    add("ES-push* (all on)", run(data, parts, |rt, job| {
-        push_star_shuffle(rt, job, PushStarConfig::new(2))
-    }));
-    add("ES-push* (backpressure OFF)", run(data, parts, |rt, job| {
-        push_star_shuffle(rt, job, PushStarConfig { backpressure: false, ..PushStarConfig::new(2) })
-    }));
-    add("ES-push* (generators OFF)", run(data, parts, |rt, job| {
-        push_star_shuffle(rt, job, PushStarConfig { generators: false, ..PushStarConfig::new(2) })
-    }));
-    add("ES-push* (eager release OFF)", run(data, parts, |rt, job| {
-        push_star_shuffle(rt, job, PushStarConfig { eager_release: false, ..PushStarConfig::new(2) })
-    }));
+    add(
+        "ES-push (affinity on)",
+        run(data, parts, |rt, job| {
+            push_shuffle(rt, job, PushConfig::new(8))
+        }),
+    );
+    add(
+        "ES-push (affinity OFF)",
+        run(data, parts, |rt, job| {
+            push_shuffle(
+                rt,
+                job,
+                PushConfig {
+                    factor: 8,
+                    affinity: false,
+                },
+            )
+        }),
+    );
+    add(
+        "ES-push* (all on)",
+        run(data, parts, |rt, job| {
+            push_star_shuffle(rt, job, PushStarConfig::new(2))
+        }),
+    );
+    add(
+        "ES-push* (backpressure OFF)",
+        run(data, parts, |rt, job| {
+            push_star_shuffle(
+                rt,
+                job,
+                PushStarConfig {
+                    backpressure: false,
+                    ..PushStarConfig::new(2)
+                },
+            )
+        }),
+    );
+    add(
+        "ES-push* (generators OFF)",
+        run(data, parts, |rt, job| {
+            push_star_shuffle(
+                rt,
+                job,
+                PushStarConfig {
+                    generators: false,
+                    ..PushStarConfig::new(2)
+                },
+            )
+        }),
+    );
+    add(
+        "ES-push* (eager release OFF)",
+        run(data, parts, |rt, job| {
+            push_star_shuffle(
+                rt,
+                job,
+                PushStarConfig {
+                    eager_release: false,
+                    ..PushStarConfig::new(2)
+                },
+            )
+        }),
+    );
     t.print();
+    write_results(
+        "ablations",
+        Json::obj()
+            .set("figure", "ablations")
+            .set("node", "d3_2xlarge")
+            .set("nodes", 10usize)
+            .set("data_bytes", data)
+            .set("partitions", parts)
+            .set("runs", runs),
+    );
 }

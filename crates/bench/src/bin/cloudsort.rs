@@ -4,8 +4,9 @@
 //! simulated runs.)
 
 use exo_bench::runs::{default_scale, variant_name};
-use exo_bench::{quick_mode, run_es_sort, EsSortParams, Table};
+use exo_bench::{quick_mode, run_es_sort, sort_result_json, write_results, EsSortParams, Table};
 use exo_monolith::{spark_sort, SparkConfig};
+use exo_rt::trace::Json;
 use exo_shuffle::ShuffleVariant;
 use exo_sim::{ClusterSpec, NodeSpec};
 use exo_sort::{usd_per_tb, D3_2XLARGE};
@@ -13,7 +14,11 @@ use exo_sort::{usd_per_tb, D3_2XLARGE};
 fn main() {
     let node = NodeSpec::d3_2xlarge();
     let nodes = 10;
-    let data: u64 = if quick_mode() { 50_000_000_000 } else { 200_000_000_000 };
+    let data: u64 = if quick_mode() {
+        50_000_000_000
+    } else {
+        200_000_000_000
+    };
     let parts = if quick_mode() { 100 } else { 200 };
     let cluster = ClusterSpec::homogeneous(node, nodes);
 
@@ -24,6 +29,7 @@ fn main() {
         D3_2XLARGE.usd_per_hour
     );
     let mut t = Table::new(&["system", "JCT (s)", "$ / TB"]);
+    let mut runs = Vec::new();
     for v in [
         ShuffleVariant::Simple,
         ShuffleVariant::Merge { factor: 8 },
@@ -46,6 +52,11 @@ fn main() {
             format!("{:.0}", r.jct.as_secs_f64()),
             format!("{:.3}", usd_per_tb(D3_2XLARGE, nodes, r.jct, data)),
         ]);
+        runs.push(
+            sort_result_json(&r)
+                .set("variant", variant_name(v))
+                .set("usd_per_tb", usd_per_tb(D3_2XLARGE, nodes, r.jct, data)),
+        );
     }
     let spark = spark_sort(&SparkConfig::native(cluster), data, parts, parts);
     t.row(vec![
@@ -60,4 +71,26 @@ fn main() {
         format!("{:.3}", usd_per_tb(D3_2XLARGE, nodes, push.jct, data)),
     ]);
     t.print();
+    runs.push(
+        Json::obj()
+            .set("variant", "Spark")
+            .set("jct_s", spark.jct.as_secs_f64())
+            .set("usd_per_tb", usd_per_tb(D3_2XLARGE, nodes, spark.jct, data)),
+    );
+    runs.push(
+        Json::obj()
+            .set("variant", "Spark-push")
+            .set("jct_s", push.jct.as_secs_f64())
+            .set("usd_per_tb", usd_per_tb(D3_2XLARGE, nodes, push.jct, data)),
+    );
+    write_results(
+        "cloudsort",
+        Json::obj()
+            .set("figure", "cloudsort")
+            .set("node", "d3_2xlarge")
+            .set("nodes", nodes)
+            .set("data_bytes", data)
+            .set("partitions", parts)
+            .set("runs", runs),
+    );
 }

@@ -6,14 +6,19 @@
 //! to the job completion time for the push variants.
 
 use exo_bench::runs::{default_scale, variant_name};
-use exo_bench::{quick_mode, run_es_sort, EsSortParams, Table};
+use exo_bench::{quick_mode, run_es_sort, sort_result_json, write_results, EsSortParams, Table};
+use exo_rt::trace::Json;
 use exo_shuffle::ShuffleVariant;
 use exo_sim::{NodeSpec, SimDuration, SimTime};
 
 fn main() {
     let node = NodeSpec::d3_2xlarge();
     let nodes = 10;
-    let data: u64 = if quick_mode() { 50_000_000_000 } else { 300_000_000_000 };
+    let data: u64 = if quick_mode() {
+        50_000_000_000
+    } else {
+        300_000_000_000
+    };
     let parts = if quick_mode() { 100 } else { 200 };
 
     println!(
@@ -21,8 +26,14 @@ fn main() {
         data / 1_000_000_000
     );
 
-    let mut table =
-        Table::new(&["variant", "JCT clean (s)", "JCT w/ failure (s)", "overhead (s)", "re-exec tasks"]);
+    let mut table = Table::new(&[
+        "variant",
+        "JCT clean (s)",
+        "JCT w/ failure (s)",
+        "overhead (s)",
+        "re-exec tasks",
+    ]);
+    let mut runs = Vec::new();
     for v in [
         ShuffleVariant::Push { factor: 8 },
         ShuffleVariant::PushStar { map_parallelism: 4 },
@@ -40,7 +51,9 @@ fn main() {
             in_memory: false,
             store_capacity: None,
         };
-        let clean = run_es_sort(base);
+        // Clean baselines never claim `--trace`: the interesting run to
+        // trace here is the one with the failure injected.
+        let clean = exo_bench::without_trace(|| run_es_sort(base));
         // Kill mid-run: at 40% of the clean JCT (the paper's t=30 s of a
         // ~17-minute job scaled to our configuration).
         let kill_at = SimTime((clean.jct.as_micros() as f64 * 0.4) as u64);
@@ -55,8 +68,25 @@ fn main() {
             format!("{:.0}", failed.jct.as_secs_f64() - clean.jct.as_secs_f64()),
             failed.reexecuted.to_string(),
         ]);
+        runs.push(
+            Json::obj()
+                .set("variant", variant_name(v))
+                .set("clean", sort_result_json(&clean))
+                .set("failed", sort_result_json(&failed))
+                .set("kill_at_s", kill_at.as_secs_f64()),
+        );
     }
     table.print();
+    write_results(
+        "fig4_ft",
+        Json::obj()
+            .set("figure", "fig4_ft")
+            .set("node", "d3_2xlarge")
+            .set("nodes", nodes)
+            .set("data_bytes", data)
+            .set("partitions", parts)
+            .set("runs", runs),
+    );
     println!("\n(the paper reports +20–50 s for ES-push/push*; ES-simple and -merge");
     println!(" could not recover in the paper due to a then-open Ray bug — our");
     println!(" runtime recovers all four variants)");

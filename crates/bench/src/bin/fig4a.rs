@@ -7,9 +7,10 @@
 //! ES-merge pays extra writes at few partitions and catches up later;
 //! ES-push/push* stay near the theoretical bound throughout.
 
-use exo_bench::{quick_mode, run_es_sort, EsSortParams, Table};
 use exo_bench::runs::{default_scale, variant_name};
+use exo_bench::{quick_mode, run_es_sort, sort_result_json, write_results, EsSortParams, Table};
 use exo_monolith::{spark_sort, SparkConfig};
+use exo_rt::trace::Json;
 use exo_shuffle::ShuffleVariant;
 use exo_sim::{ClusterSpec, NodeSpec};
 
@@ -37,13 +38,26 @@ fn main() {
         &[100, 200, 400]
     };
 
-    println!("# Figure 4a — {} GB sort, 10× d3.2xlarge (HDD)", data / 1_000_000_000);
-    println!("theoretical baseline T=4D/B: {:.0} s\n", theory.as_secs_f64());
+    println!(
+        "# Figure 4a — {} GB sort, 10× d3.2xlarge (HDD)",
+        data / 1_000_000_000
+    );
+    println!(
+        "theoretical baseline T=4D/B: {:.0} s\n",
+        theory.as_secs_f64()
+    );
     // Preserve the paper's data : object-store ratio (~5:1) so scaled-down
     // runs still exercise spilling like the 1 TB original.
-    let store_capacity = Some(data / 5 / nodes as u64);
+    let store_capacity = data / 5 / nodes as u64;
 
-    let mut table = Table::new(&["partitions", "variant", "JCT (s)", "spilled (GB)", "net (GB)"]);
+    let mut table = Table::new(&[
+        "partitions",
+        "variant",
+        "JCT (s)",
+        "spilled (GB)",
+        "net (GB)",
+    ]);
+    let mut runs = Vec::new();
     for &parts in sweeps {
         let variants = [
             ShuffleVariant::Simple,
@@ -61,9 +75,13 @@ fn main() {
                 variant: v,
                 failure: None,
                 in_memory: false,
-                store_capacity,
+                store_capacity: Some(store_capacity),
             });
-            eprintln!("  [{} @ {parts} partitions: {:.0} s]", variant_name(v), r.jct.as_secs_f64());
+            eprintln!(
+                "  [{} @ {parts} partitions: {:.0} s]",
+                variant_name(v),
+                r.jct.as_secs_f64()
+            );
             table.row(vec![
                 parts.to_string(),
                 variant_name(v).into(),
@@ -71,6 +89,11 @@ fn main() {
                 format!("{:.1}", r.spilled as f64 / 1e9),
                 format!("{:.1}", r.net as f64 / 1e9),
             ]);
+            runs.push(
+                sort_result_json(&r)
+                    .set("partitions", parts)
+                    .set("variant", variant_name(v)),
+            );
         }
         let spark = spark_sort(&SparkConfig::native(cluster), data, parts, parts);
         table.row(vec![
@@ -80,6 +103,24 @@ fn main() {
             "-".into(),
             format!("{:.1}", spark.net_bytes as f64 / 1e9),
         ]);
+        runs.push(
+            Json::obj()
+                .set("jct_s", spark.jct.as_secs_f64())
+                .set("net_bytes", spark.net_bytes)
+                .set("partitions", parts)
+                .set("variant", "Spark"),
+        );
     }
     table.print();
+    write_results(
+        "fig4a",
+        Json::obj()
+            .set("figure", "fig4a")
+            .set("node", "d3_2xlarge")
+            .set("nodes", nodes)
+            .set("data_bytes", data)
+            .set("store_capacity", store_capacity)
+            .set("theoretical_s", theory.as_secs_f64())
+            .set("runs", runs),
+    );
 }

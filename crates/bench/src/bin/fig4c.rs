@@ -8,7 +8,8 @@
 //! shuffle algorithm depends on data size, layout and hardware."
 
 use exo_bench::runs::{default_scale, variant_name};
-use exo_bench::{quick_mode, run_es_sort, EsSortParams, Table};
+use exo_bench::{quick_mode, run_es_sort, sort_result_json, write_results, EsSortParams, Table};
+use exo_rt::trace::Json;
 use exo_shuffle::ShuffleVariant;
 use exo_sim::NodeSpec;
 
@@ -16,14 +17,35 @@ fn main() {
     let node = NodeSpec::i3_2xlarge();
     let nodes = 10;
     // Fits comfortably in the aggregate object store (10 × 18 GiB).
-    let data: u64 = if quick_mode() { 8_000_000_000 } else { 32_000_000_000 };
-    let sweeps: &[usize] = if quick_mode() { &[80, 200] } else { &[80, 200, 400, 800] };
+    let data: u64 = if quick_mode() {
+        8_000_000_000
+    } else {
+        32_000_000_000
+    };
+    let sweeps: &[usize] = if quick_mode() {
+        &[80, 200]
+    } else {
+        &[80, 200, 400, 800]
+    };
 
-    println!("# Figure 4c — in-memory sort ({} GB), 10× i3.2xlarge\n", data / 1_000_000_000);
+    println!(
+        "# Figure 4c — in-memory sort ({} GB), 10× i3.2xlarge\n",
+        data / 1_000_000_000
+    );
 
-    let mut table = Table::new(&["partitions", "variant", "JCT (s)", "spilled (GB)", "net (GB)"]);
+    let mut table = Table::new(&[
+        "partitions",
+        "variant",
+        "JCT (s)",
+        "spilled (GB)",
+        "net (GB)",
+    ]);
+    let mut runs = Vec::new();
     for &parts in sweeps {
-        for v in [ShuffleVariant::Simple, ShuffleVariant::PushStar { map_parallelism: 4 }] {
+        for v in [
+            ShuffleVariant::Simple,
+            ShuffleVariant::PushStar { map_parallelism: 4 },
+        ] {
             let r = run_es_sort(EsSortParams {
                 node,
                 nodes,
@@ -42,7 +64,22 @@ fn main() {
                 format!("{:.1}", r.spilled as f64 / 1e9),
                 format!("{:.1}", r.net as f64 / 1e9),
             ]);
+            runs.push(
+                sort_result_json(&r)
+                    .set("partitions", parts)
+                    .set("variant", variant_name(v)),
+            );
         }
     }
     table.print();
+    write_results(
+        "fig4c",
+        Json::obj()
+            .set("figure", "fig4c")
+            .set("node", "i3_2xlarge")
+            .set("nodes", nodes)
+            .set("data_bytes", data)
+            .set("in_memory", true)
+            .set("runs", runs),
+    );
 }

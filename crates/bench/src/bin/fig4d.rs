@@ -8,8 +8,9 @@
 //! Spark-push writes both the un-merged and the merged copies.
 
 use exo_bench::runs::default_scale;
-use exo_bench::{quick_mode, run_es_sort, EsSortParams, Table};
+use exo_bench::{quick_mode, run_es_sort, sort_result_json, write_results, EsSortParams, Table};
 use exo_monolith::{spark_sort, SparkConfig};
+use exo_rt::trace::Json;
 use exo_shuffle::ShuffleVariant;
 use exo_sim::{ClusterSpec, NodeSpec};
 
@@ -35,7 +36,10 @@ fn main() {
         "# Figure 4d — {} TB sort, {nodes}× d3.2xlarge, {parts} partitions",
         data / 1_000_000_000_000
     );
-    println!("theoretical baseline T=4D/B: {:.0} s\n", theory.as_secs_f64());
+    println!(
+        "theoretical baseline T=4D/B: {:.0} s\n",
+        theory.as_secs_f64()
+    );
 
     let mut table = Table::new(&["system", "JCT (s)", "disk write (TB)", "spilled (TB)"]);
 
@@ -57,7 +61,12 @@ fn main() {
         format!("{:.2}", es.spilled as f64 / 1e12),
     ]);
 
-    let native = spark_sort(&SparkConfig::native(cluster).with_compression(), data, parts, parts);
+    let native = spark_sort(
+        &SparkConfig::native(cluster).with_compression(),
+        data,
+        parts,
+        parts,
+    );
     table.row(vec![
         "Spark".into(),
         format!("{:.0}", native.jct.as_secs_f64()),
@@ -65,7 +74,12 @@ fn main() {
         "-".into(),
     ]);
 
-    let push = spark_sort(&SparkConfig::push(cluster).with_compression(), data, parts, parts);
+    let push = spark_sort(
+        &SparkConfig::push(cluster).with_compression(),
+        data,
+        parts,
+        parts,
+    );
     table.row(vec![
         "Spark-push".into(),
         format!("{:.0}", push.jct.as_secs_f64()),
@@ -78,5 +92,29 @@ fn main() {
         "\nspeedups: Spark/Spark-push = {:.2}x, Spark-push/ES-push* = {:.2}x",
         native.jct.as_secs_f64() / push.jct.as_secs_f64(),
         push.jct.as_secs_f64() / es.jct.as_secs_f64(),
+    );
+    write_results(
+        "fig4d",
+        Json::obj()
+            .set("figure", "fig4d")
+            .set("node", "d3_2xlarge")
+            .set("nodes", nodes)
+            .set("data_bytes", data)
+            .set("partitions", parts)
+            .set("theoretical_s", theory.as_secs_f64())
+            .set(
+                "runs",
+                vec![
+                    sort_result_json(&es).set("variant", "ES-push*"),
+                    Json::obj()
+                        .set("jct_s", native.jct.as_secs_f64())
+                        .set("disk_write_bytes", native.disk_write)
+                        .set("variant", "Spark"),
+                    Json::obj()
+                        .set("jct_s", push.jct.as_secs_f64())
+                        .set("disk_write_bytes", push.disk_write)
+                        .set("variant", "Spark-push"),
+                ],
+            ),
     );
 }

@@ -6,7 +6,8 @@
 //! order of magnitude sooner than the batch job completes.
 
 use exo_agg::{regular_aggregation, streaming_aggregation, AggConfig, PageviewSpec};
-use exo_bench::{quick_mode, Table};
+use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_rt::trace::Json;
 use exo_rt::RtConfig;
 use exo_sim::{ClusterSpec, NodeSpec};
 
@@ -33,15 +34,23 @@ fn main() {
             seed: 3,
         }
     };
-    let cfg = AggConfig { spec, rounds: if quick_mode() { 5 } else { 20 } };
-    let rt_cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 10));
+    let cfg = AggConfig {
+        spec,
+        rounds: if quick_mode() { 5 } else { 20 },
+    };
+    let mut rt_cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 10));
+    let (trace_cfg, trace_path) = claim_trace();
+    rt_cfg.trace = trace_cfg;
 
     println!("# Figure 5 — online aggregation, 10× r6i.2xlarge\n");
-    let (_report, (t_batch, samples, t_stream)) = exo_rt::run(rt_cfg, |rt| {
+    let (report, (t_batch, samples, t_stream)) = exo_rt::run(rt_cfg, |rt| {
         let (t_batch, truth) = regular_aggregation(rt, &cfg);
         let (samples, t_stream) = streaming_aggregation(rt, &cfg, &truth);
         (t_batch, samples, t_stream)
     });
+    if let Some(path) = trace_path {
+        export_trace(&path, &report.trace);
+    }
 
     println!("regular shuffle total:   {:.1} s", t_batch.as_secs_f64());
     println!("streaming shuffle total: {:.1} s", t_stream.as_secs_f64());
@@ -71,4 +80,27 @@ fn main() {
             t_batch.as_secs_f64() / at
         );
     }
+    write_results(
+        "fig5",
+        Json::obj()
+            .set("figure", "fig5")
+            .set("node", "r6i_2xlarge")
+            .set("nodes", 10usize)
+            .set("data_bytes", cfg.spec.data_bytes)
+            .set("rounds", cfg.rounds)
+            .set("t_batch_s", t_batch.as_secs_f64())
+            .set("t_stream_s", t_stream.as_secs_f64())
+            .set(
+                "samples",
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .set("round", s.round)
+                            .set("at_s", s.at.as_secs_f64())
+                            .set("kl", s.kl)
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+    );
 }

@@ -6,8 +6,10 @@
 //! multiprocessing OOMs from cross-process copies while the shared-memory
 //! store keeps finishing.
 
-use exo_bench::Table;
+use exo_bench::obs::trace_not_applicable;
+use exo_bench::{write_results, Table};
 use exo_monolith::{dask_sort, DaskMode, DaskOutcome, DaskSortConfig};
+use exo_rt::trace::Json;
 use exo_sim::{ClusterSpec, NodeSpec};
 
 fn main() {
@@ -16,25 +18,51 @@ fn main() {
         1,
     ));
     const GB: u64 = 1_000_000_000;
-    let sizes = [1 * GB, 10 * GB, 50 * GB, 100 * GB, 200 * GB];
+    let sizes = [GB, 10 * GB, 50 * GB, 100 * GB, 200 * GB];
     let modes: [(&str, DaskMode); 4] = [
         ("Dask 32p x 1t", DaskMode::Multiprocessing { procs: 32 }),
-        ("Dask 8p x 4t", DaskMode::Mixed { procs: 8, threads: 4 }),
+        (
+            "Dask 8p x 4t",
+            DaskMode::Mixed {
+                procs: 8,
+                threads: 4,
+            },
+        ),
         ("Dask 1p x 32t", DaskMode::Multithreading { threads: 32 }),
         ("Dask-on-Ray (shared mem)", DaskMode::SharedMemoryStore),
     ];
 
     println!("# Figure 6 — single-node DataFrame sort, 32 vCPU / 244 GB\n");
+    trace_not_applicable("fig6");
     let mut t = Table::new(&["backend", "1GB", "10GB", "50GB", "100GB", "200GB"]);
+    let mut runs = Vec::new();
     for (name, mode) in modes {
         let mut row = vec![name.to_string()];
         for &size in &sizes {
-            row.push(match dask_sort(&cfg, mode, size) {
+            let outcome = dask_sort(&cfg, mode, size);
+            row.push(match &outcome {
                 DaskOutcome::Finished(d) => format!("{:.1}s", d.as_secs_f64()),
                 DaskOutcome::OutOfMemory { .. } => "OOM".to_string(),
+            });
+            runs.push(match outcome {
+                DaskOutcome::Finished(d) => Json::obj()
+                    .set("backend", name)
+                    .set("data_bytes", size)
+                    .set("jct_s", d.as_secs_f64()),
+                DaskOutcome::OutOfMemory { .. } => Json::obj()
+                    .set("backend", name)
+                    .set("data_bytes", size)
+                    .set("oom", true),
             });
         }
         t.row(row);
     }
     t.print();
+    write_results(
+        "fig6",
+        Json::obj()
+            .set("figure", "fig6")
+            .set("node", "dask_comparison_node")
+            .set("runs", runs),
+    );
 }

@@ -9,7 +9,8 @@
 //! sizes; without it, up to ~12× slower at 100 KB objects. Prefetching
 //! task arguments cuts the consume phase by 60–80%.
 
-use exo_bench::{quick_mode, Table};
+use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_rt::trace::Json;
 use exo_rt::{CpuCost, Payload, RtConfig, TaskCtx};
 use exo_sim::{ClusterSpec, NodeSpec, SimDuration};
 
@@ -17,6 +18,8 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
     let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::sc1_microbench_node(), 1));
     cfg.fuse_spill_writes = fuse;
     cfg.prefetch_args = prefetch;
+    let (trace_cfg, trace_path) = claim_trace();
+    cfg.trace = trace_cfg;
     let returns_per_task = 64usize;
     let n_objs = (total_bytes / obj_bytes) as usize;
     let n_tasks = n_objs.div_ceil(returns_per_task);
@@ -26,7 +29,9 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
         for _ in 0..n_tasks {
             let outs = rt
                 .task(move |_ctx: TaskCtx| {
-                    (0..returns_per_task).map(|_| Payload::ghost(obj_bytes)).collect()
+                    (0..returns_per_task)
+                        .map(|_| Payload::ghost(obj_bytes))
+                        .collect()
                 })
                 .num_returns(returns_per_task)
                 .cpu(CpuCost::fixed(SimDuration::from_micros(200)))
@@ -48,18 +53,34 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
             .collect();
         rt.wait_all(&consumers);
     });
+    if let Some(path) = trace_path {
+        export_trace(&path, &report.trace);
+    }
     report.end_time.as_secs_f64()
 }
 
 fn main() {
-    let total: u64 = if quick_mode() { 2_000_000_000 } else { 8_000_000_000 };
+    let total: u64 = if quick_mode() {
+        2_000_000_000
+    } else {
+        8_000_000_000
+    };
     let sizes: &[u64] = if quick_mode() {
         &[250_000, 1_000_000]
     } else {
         &[100_000, 250_000, 1_000_000]
     };
-    println!("# Figure 7 — spill/restore {} GB through a 1 GB store (sc1 HDD)\n", total / 1_000_000_000);
-    let mut t = Table::new(&["object size", "default (s)", "no fusing (s)", "no prefetch (s)"]);
+    println!(
+        "# Figure 7 — spill/restore {} GB through a 1 GB store (sc1 HDD)\n",
+        total / 1_000_000_000
+    );
+    let mut t = Table::new(&[
+        "object size",
+        "default (s)",
+        "no fusing (s)",
+        "no prefetch (s)",
+    ]);
+    let mut runs = Vec::new();
     for &s in sizes {
         let default = run_once(s, true, true, total);
         let no_fuse = run_once(s, false, true, total);
@@ -70,6 +91,21 @@ fn main() {
             format!("{no_fuse:.0}"),
             format!("{no_prefetch:.0}"),
         ]);
+        runs.push(
+            Json::obj()
+                .set("object_bytes", s)
+                .set("default_s", default)
+                .set("no_fuse_s", no_fuse)
+                .set("no_prefetch_s", no_prefetch),
+        );
     }
     t.print();
+    write_results(
+        "fig7",
+        Json::obj()
+            .set("figure", "fig7")
+            .set("node", "sc1_microbench_node")
+            .set("total_bytes", total)
+            .set("runs", runs),
+    );
 }

@@ -6,8 +6,9 @@
 //! buffered loader both bottlenecks on single-process decode and limits
 //! shuffling to a ~9% window of the (label-ordered) dataset.
 
-use exo_bench::{quick_mode, Table};
+use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
 use exo_ml::{exoshuffle_training, petastorm_training, DatasetSpec, PetastormConfig, TrainConfig};
+use exo_rt::trace::Json;
 use exo_rt::RtConfig;
 use exo_shuffle::{ShuffleVariant, ShuffleWindow};
 use exo_sim::{ClusterSpec, NodeSpec};
@@ -22,7 +23,10 @@ fn main() {
     let rt_cfg = || RtConfig::new(ClusterSpec::homogeneous(NodeSpec::g4dn_4xlarge(), 1));
     let gpu_ns = 40_000.0; // 40 µs/sample on the T4
 
-    println!("# Figure 8 — single-node training, {} epochs, g4dn.4xlarge\n", epochs);
+    println!(
+        "# Figure 8 — single-node training, {} epochs, g4dn.4xlarge\n",
+        epochs
+    );
 
     let es_cfg = TrainConfig {
         dataset,
@@ -33,7 +37,13 @@ fn main() {
         window: ShuffleWindow::Full,
         gpu_ns_per_sample: gpu_ns,
     };
-    let (_r, es) = exo_rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &es_cfg));
+    let (trace_cfg, trace_path) = claim_trace();
+    let mut es_rt_cfg = rt_cfg();
+    es_rt_cfg.trace = trace_cfg;
+    let (es_report, es) = exo_rt::run(es_rt_cfg, |rt| exoshuffle_training(rt, &es_cfg));
+    if let Some(path) = trace_path {
+        export_trace(&path, &es_report.trace);
+    }
 
     let ps_cfg = PetastormConfig {
         dataset,
@@ -65,4 +75,32 @@ fn main() {
         ]);
     }
     t.print();
+    let epoch_rows = |times: &[exo_sim::SimDuration], acc: &[f64]| {
+        times
+            .iter()
+            .zip(acc)
+            .map(|(d, a)| {
+                Json::obj()
+                    .set("time_s", d.as_secs_f64())
+                    .set("accuracy", *a)
+            })
+            .collect::<Vec<_>>()
+    };
+    write_results(
+        "fig8",
+        Json::obj()
+            .set("figure", "fig8")
+            .set("node", "g4dn_4xlarge")
+            .set("epochs", epochs)
+            .set("exoshuffle_total_s", es.total_time.as_secs_f64())
+            .set("petastorm_total_s", ps.total_time.as_secs_f64())
+            .set(
+                "exoshuffle_epochs",
+                epoch_rows(&es.epoch_times, &es.accuracy),
+            )
+            .set(
+                "petastorm_epochs",
+                epoch_rows(&ps.epoch_times, &ps.accuracy),
+            ),
+    );
 }

@@ -6,8 +6,9 @@
 //! shuffle (it stays local), but convergence accuracy is slightly lower
 //! because of the less-random shuffling.
 
-use exo_bench::{quick_mode, Table};
+use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
 use exo_ml::{exoshuffle_training, DatasetSpec, TrainConfig};
+use exo_rt::trace::Json;
 use exo_rt::RtConfig;
 use exo_shuffle::{ShuffleVariant, ShuffleWindow};
 use exo_sim::{ClusterSpec, NodeSpec};
@@ -30,9 +31,18 @@ fn main() {
         window: ShuffleWindow::Full,
         gpu_ns_per_sample: 60_000.0,
     };
-    println!("# Figure 9 — 4× g4dn.xlarge distributed training, {} epochs\n", epochs);
+    println!(
+        "# Figure 9 — 4× g4dn.xlarge distributed training, {} epochs\n",
+        epochs
+    );
 
-    let (full_rep, full) = exo_rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &base));
+    let (trace_cfg, trace_path) = claim_trace();
+    let mut full_rt_cfg = rt_cfg();
+    full_rt_cfg.trace = trace_cfg;
+    let (full_rep, full) = exo_rt::run(full_rt_cfg, |rt| exoshuffle_training(rt, &base));
+    if let Some(path) = trace_path {
+        export_trace(&path, &full_rep.trace);
+    }
     let mut windowed_cfg = base;
     windowed_cfg.window = ShuffleWindow::Window { partitions: 4 }; // per-node batches only
     let (win_rep, win) = exo_rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &windowed_cfg));
@@ -40,7 +50,11 @@ fn main() {
     let avg = |xs: &[exo_sim::SimDuration]| {
         xs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / xs.len() as f64
     };
-    println!("avg epoch time: full {:.2} s, partial {:.2} s", avg(&full.epoch_times), avg(&win.epoch_times));
+    println!(
+        "avg epoch time: full {:.2} s, partial {:.2} s",
+        avg(&full.epoch_times),
+        avg(&win.epoch_times)
+    );
     println!(
         "final accuracy: full {:.3}, partial {:.3}",
         full.accuracy.last().expect("epochs"),
@@ -52,7 +66,13 @@ fn main() {
         win_rep.metrics.net_bytes as f64 / 1e6
     );
 
-    let mut t = Table::new(&["epoch", "full time (s)", "full acc", "partial time (s)", "partial acc"]);
+    let mut t = Table::new(&[
+        "epoch",
+        "full time (s)",
+        "full acc",
+        "partial time (s)",
+        "partial acc",
+    ]);
     for e in 0..epochs {
         t.row(vec![
             (e + 1).to_string(),
@@ -63,4 +83,30 @@ fn main() {
         ]);
     }
     t.print();
+    let epoch_rows = |times: &[exo_sim::SimDuration], acc: &[f64]| {
+        times
+            .iter()
+            .zip(acc)
+            .map(|(d, a)| {
+                Json::obj()
+                    .set("time_s", d.as_secs_f64())
+                    .set("accuracy", *a)
+            })
+            .collect::<Vec<_>>()
+    };
+    write_results(
+        "fig9",
+        Json::obj()
+            .set("figure", "fig9")
+            .set("node", "g4dn_xlarge")
+            .set("nodes", 4usize)
+            .set("epochs", epochs)
+            .set("full_net_bytes", full_rep.metrics.net_bytes)
+            .set("partial_net_bytes", win_rep.metrics.net_bytes)
+            .set("full_epochs", epoch_rows(&full.epoch_times, &full.accuracy))
+            .set(
+                "partial_epochs",
+                epoch_rows(&win.epoch_times, &win.accuracy),
+            ),
+    );
 }

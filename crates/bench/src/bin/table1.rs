@@ -5,12 +5,14 @@
 //! (non-blank, non-comment lines, excluding tests); the monolithic
 //! numbers are the paper's.
 
-use exo_bench::Table;
+use exo_bench::obs::trace_not_applicable;
+use exo_bench::{write_results, Table};
+use exo_rt::trace::Json;
 
 /// Count non-blank, non-comment lines, stopping at the test module.
 fn count_loc(path: &std::path::Path) -> usize {
-    let src = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let src =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
     let mut n = 0;
     for line in src.lines() {
         let t = line.trim();
@@ -34,7 +36,11 @@ fn main() {
     let push_star = count_loc(&root.join("push_star.rs"));
 
     println!("# Table 1 — implementation complexity (lines of code)\n");
-    let mut t = Table::new(&["shuffle algorithm", "monolithic system LoC", "this library LoC"]);
+    let mut t = Table::new(&[
+        "shuffle algorithm",
+        "monolithic system LoC",
+        "this library LoC",
+    ]);
     t.row(vec![
         "Simple (§3.1.1)".into(),
         "2600 (Spark shuffle pkg)".into(),
@@ -58,4 +64,15 @@ fn main() {
     t.print();
     println!("\nshared workload-description module (job.rs): {shared} LoC");
     println!("(paper's Exoshuffle counts: 215 / 265 / 256 / 256)");
+    trace_not_applicable("table1");
+    write_results(
+        "table1",
+        Json::obj()
+            .set("figure", "table1")
+            .set("shared_loc", shared)
+            .set("simple_loc", simple)
+            .set("merge_loc", merge)
+            .set("push_loc", push)
+            .set("push_star_loc", push_star),
+    );
 }

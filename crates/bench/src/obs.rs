@@ -1,0 +1,108 @@
+//! Bench-side observability plumbing: the shared `--trace <path>` flag,
+//! Chrome-trace/JSONL export with an end-of-run text summary, and the
+//! machine-readable `results/<name>.json` files every binary writes.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use exo_rt::trace::{summarize, write_chrome_trace, write_jsonl, Event, Json};
+use exo_rt::TraceConfig;
+
+use crate::runs::SortRunResult;
+
+/// Path given via `--trace <path>` or `--trace=<path>`, if any.
+pub fn trace_flag() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(rest) = a.strip_prefix("--trace=") {
+            return Some(PathBuf::from(rest));
+        }
+    }
+    None
+}
+
+static TRACE_CLAIMED: AtomicBool = AtomicBool::new(false);
+static TRACE_SUPPRESSED: AtomicBool = AtomicBool::new(false);
+
+/// Claim the `--trace` flag for the *first* simulated run of a sweep.
+/// Returns an enabled [`TraceConfig`] plus the output path exactly once;
+/// every later call gets the disabled default, so tracing one
+/// representative run leaves the rest of the sweep unperturbed.
+pub fn claim_trace() -> (TraceConfig, Option<PathBuf>) {
+    if TRACE_SUPPRESSED.load(Ordering::SeqCst) {
+        return (TraceConfig::default(), None);
+    }
+    match trace_flag() {
+        Some(path) if !TRACE_CLAIMED.swap(true, Ordering::SeqCst) => {
+            (TraceConfig::on(), Some(path))
+        }
+        _ => (TraceConfig::default(), None),
+    }
+}
+
+/// Run `f` with trace claiming suppressed. Used by bins whose first
+/// simulated run is not the interesting one (fig4_ft traces the first
+/// *failure* run, not the clean baseline it needs beforehand).
+pub fn without_trace<T>(f: impl FnOnce() -> T) -> T {
+    TRACE_SUPPRESSED.store(true, Ordering::SeqCst);
+    let out = f();
+    TRACE_SUPPRESSED.store(false, Ordering::SeqCst);
+    out
+}
+
+/// Export a finished run's trace: Chrome trace-event JSON at `path`
+/// (loadable in Perfetto / `chrome://tracing`), a flat JSONL sibling, and
+/// the text summary on stdout.
+pub fn export_trace(path: &Path, events: &[Event]) {
+    match write_chrome_trace(path, events) {
+        Ok(()) => eprintln!(
+            "wrote Chrome trace ({} events) to {} — load it at https://ui.perfetto.dev",
+            events.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+    }
+    let jsonl = path.with_extension("jsonl");
+    match write_jsonl(&jsonl, events) {
+        Ok(()) => eprintln!("wrote flat event log to {}", jsonl.display()),
+        Err(e) => eprintln!("failed to write event log {}: {e}", jsonl.display()),
+    }
+    println!("\n{}", summarize(events));
+}
+
+/// For binaries that run no `exo-rt` simulation (fig6, table1): explain
+/// why `--trace` produces nothing rather than silently ignoring it.
+pub fn trace_not_applicable(bin: &str) {
+    if trace_flag().is_some() {
+        eprintln!("note: {bin} runs no exo-rt simulation; --trace is ignored");
+    }
+}
+
+/// The shared metric fields of a [`SortRunResult`] as a JSON object.
+pub fn sort_result_json(r: &SortRunResult) -> Json {
+    Json::obj()
+        .set("jct_s", r.jct.as_secs_f64())
+        .set("spilled_bytes", r.spilled)
+        .set("net_bytes", r.net)
+        .set("disk_read_bytes", r.disk_read)
+        .set("disk_write_bytes", r.disk_write)
+        .set("tasks_reexecuted", r.reexecuted)
+}
+
+/// Write `results/<name>.json` (creating `results/` if needed) so sweeps
+/// are machine-readable alongside the printed tables.
+pub fn write_results(name: &str, doc: Json) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, doc.render() + "\n") {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

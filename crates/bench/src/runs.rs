@@ -55,6 +55,9 @@ pub fn run_es_sort(p: EsSortParams) -> SortRunResult {
     let cluster = ClusterSpec::homogeneous(p.node, p.nodes);
     let mut cfg = RtConfig::new(cluster);
     cfg.object_store_capacity = p.store_capacity;
+    // `--trace` instruments the first run of the sweep only.
+    let (trace_cfg, trace_path) = crate::obs::claim_trace();
+    cfg.trace = trace_cfg;
     let spec = SortSpec {
         data_bytes: p.data_bytes,
         num_maps: p.partitions,
@@ -76,6 +79,9 @@ pub fn run_es_sort(p: EsSortParams) -> SortRunResult {
         rt.wait_all(&outs);
         rt.now() - t0
     });
+    if let Some(path) = trace_path {
+        crate::obs::export_trace(&path, &report.trace);
+    }
     SortRunResult {
         jct,
         spilled: report.metrics.store.spilled_bytes,
@@ -128,6 +134,9 @@ mod tests {
     #[test]
     fn default_scale_keeps_real_data_small() {
         assert_eq!(default_scale(1_000_000), 1);
-        assert_eq!(default_scale(100_000_000_000_000) * 50_000_000, 100_000_000_000_000);
+        assert_eq!(
+            default_scale(100_000_000_000_000) * 50_000_000,
+            100_000_000_000_000
+        );
     }
 }

@@ -48,7 +48,12 @@ pub struct EpochLoader<'rt> {
 impl<'rt> EpochLoader<'rt> {
     /// Create a loader and start shuffling the first epoch.
     pub fn new(rt: &'rt RtHandle, job: ShuffleJob, cfg: LoaderConfig) -> Self {
-        let mut loader = EpochLoader { rt, job, cfg, prefetched: None };
+        let mut loader = EpochLoader {
+            rt,
+            job,
+            cfg,
+            prefetched: None,
+        };
         loader.prefetched = Some(loader.launch_epoch());
         loader
     }
@@ -68,14 +73,12 @@ impl<'rt> EpochLoader<'rt> {
                     let lo = win * w;
                     let hi = ((win + 1) * w).min(self.job.num_maps);
                     let base_map = self.job.map.clone();
-                    let sub_reduces =
-                        ((hi - lo) * self.job.num_reduces / self.job.num_maps).max(1);
+                    let sub_reduces = ((hi - lo) * self.job.num_reduces / self.job.num_maps).max(1);
                     let mut sub = self.job.clone();
                     sub.num_maps = hi - lo;
                     sub.num_reduces = sub_reduces;
-                    sub.map = std::sync::Arc::new(move |m, r_total, rng| {
-                        base_map(lo + m, r_total, rng)
-                    });
+                    sub.map =
+                        std::sync::Arc::new(move |m, r_total, rng| base_map(lo + m, r_total, rng));
                     outs.extend(run_shuffle(self.rt, &sub, self.cfg.variant));
                 }
                 outs
@@ -87,7 +90,10 @@ impl<'rt> EpochLoader<'rt> {
     /// shuffle is kicked off before these blocks are returned, so it
     /// overlaps with training (Listing 2, `model_training`).
     pub fn next_epoch(&mut self) -> Vec<ObjectRef> {
-        let current = self.prefetched.take().unwrap_or_else(|| self.launch_epoch());
+        let current = self
+            .prefetched
+            .take()
+            .unwrap_or_else(|| self.launch_epoch());
         self.prefetched = Some(self.launch_epoch());
         current
     }
@@ -114,9 +120,14 @@ mod tests {
             let mut loader = EpochLoader::new(
                 rt,
                 job,
-                LoaderConfig { variant: ShuffleVariant::Simple, window: ShuffleWindow::Full },
+                LoaderConfig {
+                    variant: ShuffleVariant::Simple,
+                    window: ShuffleWindow::Full,
+                },
             );
-            (0..3).map(|_| loader.next_epoch().len()).collect::<Vec<_>>()
+            (0..3)
+                .map(|_| loader.next_epoch().len())
+                .collect::<Vec<_>>()
         });
         assert_eq!(counts, vec![4, 4, 4]);
     }

@@ -30,7 +30,9 @@ impl MergeConfig {
     pub fn dynamic(job: &ShuffleJob, block_threshold: u64) -> MergeConfig {
         let block = (job.map_input_bytes / job.num_reduces.max(1) as u64).max(1);
         let factor = block_threshold.div_ceil(block).max(1) as usize;
-        MergeConfig { factor: factor.min(job.num_maps.max(1)) }
+        MergeConfig {
+            factor: factor.min(job.num_maps.max(1)),
+        }
     }
 }
 
@@ -83,9 +85,8 @@ pub fn merge_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: MergeConfig) -> Vec<O
                     let r_total = ctx.args.len() / f;
                     (0..r_total)
                         .map(|r| {
-                            let blocks: Vec<Payload> = (0..f)
-                                .map(|i| ctx.args[i * r_total + r].clone())
-                                .collect();
+                            let blocks: Vec<Payload> =
+                                (0..f).map(|i| ctx.args[i * r_total + r].clone()).collect();
                             combine(&blocks)
                         })
                         .collect()

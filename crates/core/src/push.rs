@@ -25,7 +25,10 @@ pub struct PushConfig {
 impl PushConfig {
     /// Standard configuration with the given merge factor.
     pub fn new(factor: usize) -> PushConfig {
-        PushConfig { factor, affinity: true }
+        PushConfig {
+            factor,
+            affinity: true,
+        }
     }
 }
 

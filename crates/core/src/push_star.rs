@@ -105,8 +105,9 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
     let per_round = (workers * cfg.map_parallelism.max(1)).max(1);
     let rounds = m_total.div_ceil(per_round);
     // Partitions owned by worker w: { r | r % workers == w }.
-    let owned: Vec<Vec<usize>> =
-        (0..workers).map(|w| (w..r_total).step_by(workers).collect()).collect();
+    let owned: Vec<Vec<usize>> = (0..workers)
+        .map(|w| (w..r_total).step_by(workers).collect())
+        .collect();
 
     // merge_results[w][round][j]: j-th owned partition of w, merged over
     // the round's maps.
@@ -130,8 +131,7 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
                     owned
                         .iter()
                         .map(|rs| {
-                            let ws: Vec<Payload> =
-                                rs.iter().map(|&r| blocks[r].clone()).collect();
+                            let ws: Vec<Payload> = rs.iter().map(|&r| blocks[r].clone()).collect();
                             frame_blocks(&ws)
                         })
                         .collect()
@@ -164,8 +164,7 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
                 .task(move |ctx: TaskCtx| {
                     // Unframe each map's worker-block into per-partition
                     // blocks, then combine per partition.
-                    let per_map: Vec<Vec<Payload>> =
-                        ctx.args.iter().map(unframe_blocks).collect();
+                    let per_map: Vec<Vec<Payload>> = ctx.args.iter().map(unframe_blocks).collect();
                     (0..n_owned)
                         .map(|j| {
                             let blocks: Vec<Payload> =
@@ -203,8 +202,10 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
     for w in 0..workers {
         for (j, &r) in owned[w].iter().enumerate() {
             let reduce = job.reduce.clone();
-            let column: Vec<&ObjectRef> =
-                merge_results[w].iter().map(|round_outs| &round_outs[j]).collect();
+            let column: Vec<&ObjectRef> = merge_results[w]
+                .iter()
+                .map(|round_outs| &round_outs[j])
+                .collect();
             let out = rt
                 .task(move |ctx: TaskCtx| vec![reduce(r, &ctx.args)])
                 .args(column)
@@ -217,7 +218,10 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
     }
     debug_assert_eq!(reducer_home(1, workers.max(1)).0, 1 % workers.max(1));
     drop(retained); // ablation refs live until all reduces are submitted
-    reduces.into_iter().map(|r| r.expect("every partition reduced")).collect()
+    reduces
+        .into_iter()
+        .map(|r| r.expect("every partition reduced"))
+        .collect()
 }
 
 #[cfg(test)]

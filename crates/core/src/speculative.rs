@@ -145,8 +145,7 @@ mod tests {
     use exo_sim::{ClusterSpec, NodeSpec};
 
     fn slow_node_cfg(factor: f64) -> RtConfig {
-        RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4))
-            .with_slow_node(1, factor)
+        RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4)).with_slow_node(1, factor)
     }
 
     fn cpu_heavy_job() -> crate::job::ShuffleJob {

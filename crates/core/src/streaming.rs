@@ -17,8 +17,7 @@ use exo_rt::{ObjectRef, Payload, RtHandle, SchedulingStrategy, TaskCtx};
 use crate::job::{MapFn, ShuffleJob};
 
 /// Stateful reducer: `(partition, previous_state, round_blocks) → state`.
-pub type StreamReduceFn =
-    Arc<dyn Fn(usize, Option<&Payload>, &[Payload]) -> Payload + Send + Sync>;
+pub type StreamReduceFn = Arc<dyn Fn(usize, Option<&Payload>, &[Payload]) -> Payload + Send + Sync>;
 
 /// Streaming-shuffle parameters.
 #[derive(Clone)]
@@ -126,7 +125,10 @@ mod tests {
             let finals = streaming_shuffle(
                 rt,
                 &job,
-                StreamingConfig { rounds: 4, reduce_state: counting_reducer() },
+                StreamingConfig {
+                    rounds: 4,
+                    reduce_state: counting_reducer(),
+                },
                 |_round, states| {
                     let sum: u64 = states
                         .iter()
@@ -138,7 +140,10 @@ mod tests {
             (partials, finals)
         });
         assert_eq!(partials.len(), 4);
-        assert!(partials.windows(2).all(|w| w[0] <= w[1]), "partials must refine: {partials:?}");
+        assert!(
+            partials.windows(2).all(|w| w[0] <= w[1]),
+            "partials must refine: {partials:?}"
+        );
         assert_eq!(*partials.last().expect("rounds ran"), 200);
         let final_total: u64 = finals
             .iter()
@@ -156,7 +161,10 @@ mod tests {
             streaming_shuffle(
                 rt,
                 &job,
-                StreamingConfig { rounds: 1, reduce_state: counting_reducer() },
+                StreamingConfig {
+                    rounds: 1,
+                    reduce_state: counting_reducer(),
+                },
                 |_, _| calls += 1,
             );
             calls

@@ -37,7 +37,12 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// A dataset whose logical size equals its in-memory size.
     pub fn new(samples: usize, partitions: usize, seed: u64) -> DatasetSpec {
-        DatasetSpec { samples, partitions, seed, logical_bytes_per_sample: SAMPLE_BYTES as u64 }
+        DatasetSpec {
+            samples,
+            partitions,
+            seed,
+            logical_bytes_per_sample: SAMPLE_BYTES as u64,
+        }
     }
 
     /// Set the logical (stored/decoded) bytes per sample.
@@ -65,7 +70,9 @@ impl DatasetSpec {
 /// Ground-truth weights (fixed, so train/test agree).
 pub fn true_weights(seed: u64) -> Vec<f32> {
     let mut rng = SplitMix64::new(seed ^ 0xFEED_FACE);
-    (0..FEATURES).map(|_| (rng.next_f64() as f32 - 0.5) * 2.0).collect()
+    (0..FEATURES)
+        .map(|_| (rng.next_f64() as f32 - 0.5) * 2.0)
+        .collect()
 }
 
 fn gen_sample(rng: &mut SplitMix64, w: &[f32], want_positive: bool) -> ([f32; FEATURES], f32) {
@@ -132,7 +139,7 @@ pub fn decode_block(data: &[u8]) -> (Vec<[f32; FEATURES]>, Vec<f32>) {
 /// A held-out balanced test set (not label-ordered).
 pub fn test_set(spec: &DatasetSpec, n: usize) -> (Vec<[f32; FEATURES]>, Vec<f32>) {
     let w = true_weights(spec.seed);
-    let mut rng = SplitMix64::new(spec.seed ^ 0x7E57_5E7);
+    let mut rng = SplitMix64::new(spec.seed ^ 0x07E5_75E7);
     let mut xs = Vec::with_capacity(n);
     let mut ys = Vec::with_capacity(n);
     for i in 0..n {

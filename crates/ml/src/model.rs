@@ -28,7 +28,10 @@ fn sigmoid(z: f32) -> f32 {
 impl LogisticModel {
     /// Zero-initialised model.
     pub fn new() -> LogisticModel {
-        LogisticModel { w: [0.0; FEATURES], b: 0.0 }
+        LogisticModel {
+            w: [0.0; FEATURES],
+            b: 0.0,
+        }
     }
 
     /// Predicted probability of the positive class.

@@ -64,10 +64,12 @@ pub fn petastorm_training(
     let buffer_bytes = (total_bytes as f64 * cfg.buffer_fraction) as u64;
     let heap = 16_000_000_000u64; // g4dn.4xlarge-ish per-process budget
     if buffer_bytes > heap {
-        return Err(PetastormError::BufferTooLarge { requested: buffer_bytes, budget: heap });
+        return Err(PetastormError::BufferTooLarge {
+            requested: buffer_bytes,
+            budget: heap,
+        });
     }
-    let buffer_samples =
-        ((cfg.dataset.samples as f64 * cfg.buffer_fraction) as usize).max(1);
+    let buffer_samples = ((cfg.dataset.samples as f64 * cfg.buffer_fraction) as usize).max(1);
 
     let (tx, ty) = test_set(&cfg.dataset, 2000);
     let mut model = LogisticModel::new();
@@ -126,7 +128,11 @@ pub fn petastorm_training(
         epoch_times.push(rt.now() - t0);
         accuracy.push(model.accuracy(&tx, &ty));
     }
-    Ok(TrainReport { epoch_times, accuracy, total_time: rt.now() - start })
+    Ok(TrainReport {
+        epoch_times,
+        accuracy,
+        total_time: rt.now() - start,
+    })
 }
 
 #[cfg(test)]

@@ -179,7 +179,11 @@ pub fn exoshuffle_training(rt: &RtHandle, cfg: &TrainConfig) -> TrainReport {
     let mut current = launch_epoch(rt, cfg);
     for epoch in 0..cfg.epochs {
         // Kick off the next epoch's shuffle before consuming this one.
-        let next = if epoch + 1 < cfg.epochs { Some(launch_epoch(rt, cfg)) } else { None };
+        let next = if epoch + 1 < cfg.epochs {
+            Some(launch_epoch(rt, cfg))
+        } else {
+            None
+        };
         let t0 = rt.now();
         for block in current.drain(..) {
             let p = rt.get_one(&block).expect("shuffled block");
@@ -196,7 +200,11 @@ pub fn exoshuffle_training(rt: &RtHandle, cfg: &TrainConfig) -> TrainReport {
             current = next;
         }
     }
-    TrainReport { epoch_times, accuracy, total_time: rt.now() - start }
+    TrainReport {
+        epoch_times,
+        accuracy,
+        total_time: rt.now() - start,
+    }
 }
 
 /// Train on unshuffled (label-ordered) data — the no-shuffle lower bound
@@ -243,7 +251,10 @@ mod tests {
         let (_rep, report) = exo_rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &c));
         assert_eq!(report.accuracy.len(), 3);
         let final_acc = *report.accuracy.last().expect("epochs ran");
-        assert!(final_acc > 0.85, "full shuffle should converge, got {final_acc}");
+        assert!(
+            final_acc > 0.85,
+            "full shuffle should converge, got {final_acc}"
+        );
         assert!(report.total_time > SimDuration::ZERO);
     }
 

@@ -126,13 +126,23 @@ pub fn dask_sort(cfg: &DaskSortConfig, mode: DaskMode, data_bytes: u64) -> DaskO
             // Single heap: no copies, no per-proc cap below the machine.
             let t = compute_secs / par;
             if 2 * data_bytes > heap {
-                return DaskOutcome::OutOfMemory { demanded: 2 * data_bytes, budget: heap };
+                return DaskOutcome::OutOfMemory {
+                    demanded: 2 * data_bytes,
+                    budget: heap,
+                };
             }
             DaskOutcome::Finished(SimDuration::from_secs_f64(t))
         }
         DaskMode::Mixed { procs, threads } => {
             let par_per_proc = cfg.gil_effective_parallelism.min(threads as f64).max(1.0);
-            run_procs(cfg, procs.max(1), par_per_proc, heap, data_bytes, compute_secs)
+            run_procs(
+                cfg,
+                procs.max(1),
+                par_per_proc,
+                heap,
+                data_bytes,
+                compute_secs,
+            )
         }
     }
 }
@@ -157,7 +167,10 @@ fn run_procs(
     let per_proc_budget = heap / procs as u64;
     let demanded = 3 * data_bytes / procs as u64;
     if demanded > per_proc_budget {
-        return DaskOutcome::OutOfMemory { demanded, budget: per_proc_budget };
+        return DaskOutcome::OutOfMemory {
+            demanded,
+            budget: per_proc_budget,
+        };
     }
     DaskOutcome::Finished(SimDuration::from_secs_f64(compute_secs / par + copy_secs))
 }
@@ -210,8 +223,9 @@ mod tests {
     #[test]
     fn shared_memory_is_fastest_or_close_on_small_data() {
         let c = cfg();
-        let shared =
-            dask_sort(&c, DaskMode::SharedMemoryStore, 10 * GB).time().expect("fits");
+        let shared = dask_sort(&c, DaskMode::SharedMemoryStore, 10 * GB)
+            .time()
+            .expect("fits");
         let mp = dask_sort(&c, DaskMode::Multiprocessing { procs: 32 }, 10 * GB)
             .time()
             .expect("fits");

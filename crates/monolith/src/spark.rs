@@ -54,12 +54,18 @@ impl SparkConfig {
 
     /// Spark with the push-based shuffle service.
     pub fn push(cluster: ClusterSpec) -> SparkConfig {
-        SparkConfig { push_based: true, ..SparkConfig::native(cluster) }
+        SparkConfig {
+            push_based: true,
+            ..SparkConfig::native(cluster)
+        }
     }
 
     /// Enable compression (the 100 TB setting).
     pub fn with_compression(mut self) -> SparkConfig {
-        self.compression = Some(Compression { ratio: 0.6, cpu_ns_per_byte: 1.2 });
+        self.compression = Some(Compression {
+            ratio: 0.6,
+            cpu_ns_per_byte: 1.2,
+        });
         self
     }
 }
@@ -96,9 +102,7 @@ pub fn spark_sort(
     // Shuffle block: one (map, reduce) cell, compressed.
     let block_c = (part_c as f64 / num_reduces as f64) as u64;
 
-    let cpu_sort = |bytes: u64| {
-        SimDuration::from_secs_f64(bytes as f64 / cfg.sort_throughput)
-    };
+    let cpu_sort = |bytes: u64| SimDuration::from_secs_f64(bytes as f64 / cfg.sort_throughput);
     let cpu_comp = |bytes: u64| SimDuration::from_secs_f64(bytes as f64 * comp_cpu / 1e9);
 
     // ---- Map stage: read input, sort, compress, write shuffle file.
@@ -106,9 +110,17 @@ pub fn spark_sort(
         .map(|_| {
             (
                 vec![
-                    Op::Disk { node: None, bytes: part, kind: IoKind::Sequential },
+                    Op::Disk {
+                        node: None,
+                        bytes: part,
+                        kind: IoKind::Sequential,
+                    },
                     Op::Cpu(cpu_sort(part) + cpu_comp(part)),
-                    Op::Disk { node: None, bytes: part_c, kind: IoKind::Sequential },
+                    Op::Disk {
+                        node: None,
+                        bytes: part_c,
+                        kind: IoKind::Sequential,
+                    },
                 ],
                 vec![true, false],
             )
@@ -136,7 +148,10 @@ pub fn spark_sort(
                 let per_dest = part_c / nodes as u64;
                 for dest in 0..nodes {
                     if dest != src {
-                        chain.push(Op::NetFrom { src, bytes: per_dest });
+                        chain.push(Op::NetFrom {
+                            src,
+                            bytes: per_dest,
+                        });
                     }
                     chain.push(Op::Disk {
                         node: Some(dest),
@@ -165,20 +180,35 @@ pub fn spark_sort(
                 // One sequential read of the merged file, local to the
                 // partition's home node (task r runs on node r % nodes,
                 // which is where its merged file was written).
-                chain.push(Op::Disk { node: None, bytes: part_c * num_maps as u64 / num_reduces as u64, kind: IoKind::Sequential });
+                chain.push(Op::Disk {
+                    node: None,
+                    bytes: part_c * num_maps as u64 / num_reduces as u64,
+                    kind: IoKind::Sequential,
+                });
                 reads.push(true);
             } else {
                 // Native: M random block reads from the map nodes + network.
                 for m in 0..num_maps {
                     let src = m % nodes;
-                    chain.push(Op::Disk { node: Some(src), bytes: block_c, kind: IoKind::Random });
+                    chain.push(Op::Disk {
+                        node: Some(src),
+                        bytes: block_c,
+                        kind: IoKind::Random,
+                    });
                     reads.push(true);
-                    chain.push(Op::NetFrom { src, bytes: block_c });
+                    chain.push(Op::NetFrom {
+                        src,
+                        bytes: block_c,
+                    });
                 }
             }
             let _ = r;
             chain.push(Op::Cpu(cpu_sort(out_part) + cpu_comp(out_part)));
-            chain.push(Op::Disk { node: None, bytes: out_part, kind: IoKind::Sequential });
+            chain.push(Op::Disk {
+                node: None,
+                bytes: out_part,
+                kind: IoKind::Sequential,
+            });
             reads.push(false);
             (chain, reads)
         })
@@ -227,7 +257,10 @@ pub fn spark_sort_with_failure(
         FailureMode::None => base,
         FailureMode::ExecutorWithEss => {
             // Outputs survive; pay an executor restart (JVM spin-up).
-            SparkReport { jct: base.jct + SimDuration::from_secs(15), ..base }
+            SparkReport {
+                jct: base.jct + SimDuration::from_secs(15),
+                ..base
+            }
         }
         FailureMode::ExecutorWithoutEss => {
             // The dead executor held ~1/nodes of the map outputs: that
@@ -243,11 +276,19 @@ pub fn spark_sort_with_failure(
                 .map(|_| {
                     (
                         vec![
-                            Op::Disk { node: Some(0), bytes: part, kind: IoKind::Sequential },
+                            Op::Disk {
+                                node: Some(0),
+                                bytes: part,
+                                kind: IoKind::Sequential,
+                            },
                             Op::Cpu(SimDuration::from_secs_f64(
                                 part as f64 / cfg.sort_throughput,
                             )),
-                            Op::Disk { node: Some(0), bytes: part_c, kind: IoKind::Sequential },
+                            Op::Disk {
+                                node: Some(0),
+                                bytes: part_c,
+                                kind: IoKind::Sequential,
+                            },
                         ],
                         vec![true, false],
                     )
@@ -306,7 +347,12 @@ mod tests {
     fn compression_reduces_bytes_but_costs_cpu() {
         let d = 100_000_000_000;
         let plain = spark_sort(&SparkConfig::native(hdd10()), d, 500, 500);
-        let compressed = spark_sort(&SparkConfig::native(hdd10()).with_compression(), d, 500, 500);
+        let compressed = spark_sort(
+            &SparkConfig::native(hdd10()).with_compression(),
+            d,
+            500,
+            500,
+        );
         assert!(compressed.disk_write < plain.disk_write);
         assert!(compressed.net_bytes < plain.net_bytes);
     }
@@ -350,4 +396,3 @@ mod tests {
         );
     }
 }
-

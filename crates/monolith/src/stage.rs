@@ -58,9 +58,15 @@ impl StageSim {
     pub fn new(cluster: &ClusterSpec) -> StageSim {
         let n = cluster.nodes;
         StageSim {
-            disks: (0..n).map(|i| cluster.node.disk.build(format!("disk[{i}]"))).collect(),
-            nic_tx: (0..n).map(|i| cluster.node.nic.build(format!("tx[{i}]"))).collect(),
-            nic_rx: (0..n).map(|i| cluster.node.nic.build(format!("rx[{i}]"))).collect(),
+            disks: (0..n)
+                .map(|i| cluster.node.disk.build(format!("disk[{i}]")))
+                .collect(),
+            nic_tx: (0..n)
+                .map(|i| cluster.node.nic.build(format!("tx[{i}]")))
+                .collect(),
+            nic_rx: (0..n)
+                .map(|i| cluster.node.nic.build(format!("rx[{i}]")))
+                .collect(),
             disk_read: 0,
             disk_write: 0,
             net_bytes: 0,
@@ -84,6 +90,7 @@ impl StageSim {
         }
         // Heap of (ready_time, seq, task, op_idx, disk_op_idx); seq keeps
         // pops deterministic on ties.
+        #[allow(clippy::type_complexity)]
         let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize, usize, usize)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut lane_cursor = vec![0usize; total_lanes];
@@ -115,7 +122,11 @@ impl StageSim {
             }
             let (end, next_disk) = match chain[op_idx] {
                 Op::Cpu(d) => (t + d, disk_idx),
-                Op::Disk { node: target, bytes, kind } => {
+                Op::Disk {
+                    node: target,
+                    bytes,
+                    kind,
+                } => {
                     let target = target.unwrap_or(node);
                     if is_read.get(disk_idx).copied().unwrap_or(false) {
                         self.disk_read += bytes;
@@ -130,7 +141,10 @@ impl StageSim {
                     } else {
                         self.net_bytes += bytes;
                         let tx = self.nic_tx[src].submit(t, bytes, IoKind::Sequential);
-                        (self.nic_rx[node].submit(tx, 0, IoKind::Sequential), disk_idx)
+                        (
+                            self.nic_rx[node].submit(tx, 0, IoKind::Sequential),
+                            disk_idx,
+                        )
                     }
                 }
             };
@@ -154,8 +168,9 @@ mod tests {
     fn cpu_ops_parallelise_across_lanes() {
         let mut sim = StageSim::new(&cluster());
         // 16 one-second tasks on 2×8 lanes = 1 s.
-        let tasks: Vec<(Vec<Op>, Vec<bool>)> =
-            (0..16).map(|_| (vec![Op::Cpu(SimDuration::from_secs(1))], vec![])).collect();
+        let tasks: Vec<(Vec<Op>, Vec<bool>)> = (0..16)
+            .map(|_| (vec![Op::Cpu(SimDuration::from_secs(1))], vec![]))
+            .collect();
         let end = sim.run_stage(SimTime::ZERO, &tasks);
         assert_eq!(end.as_micros(), 1_000_000);
     }
@@ -164,8 +179,9 @@ mod tests {
     fn lanes_serialise_excess_tasks() {
         let mut sim = StageSim::new(&cluster());
         // 32 one-second tasks on 16 lanes = 2 s.
-        let tasks: Vec<(Vec<Op>, Vec<bool>)> =
-            (0..32).map(|_| (vec![Op::Cpu(SimDuration::from_secs(1))], vec![])).collect();
+        let tasks: Vec<(Vec<Op>, Vec<bool>)> = (0..32)
+            .map(|_| (vec![Op::Cpu(SimDuration::from_secs(1))], vec![]))
+            .collect();
         let end = sim.run_stage(SimTime::ZERO, &tasks);
         assert_eq!(end.as_micros(), 2_000_000);
     }
@@ -178,7 +194,11 @@ mod tests {
         let tasks: Vec<(Vec<Op>, Vec<bool>)> = (0..8)
             .map(|_| {
                 (
-                    vec![Op::Disk { node: Some(0), bytes: 720_000_000, kind: IoKind::Sequential }],
+                    vec![Op::Disk {
+                        node: Some(0),
+                        bytes: 720_000_000,
+                        kind: IoKind::Sequential,
+                    }],
                     vec![false],
                 )
             })
@@ -198,12 +218,20 @@ mod tests {
             (
                 vec![
                     Op::Cpu(SimDuration::from_secs(10)),
-                    Op::Disk { node: Some(0), bytes: 1000, kind: IoKind::Sequential },
+                    Op::Disk {
+                        node: Some(0),
+                        bytes: 1000,
+                        kind: IoKind::Sequential,
+                    },
                 ],
                 vec![false],
             ),
             (
-                vec![Op::Disk { node: Some(0), bytes: 1000, kind: IoKind::Sequential }],
+                vec![Op::Disk {
+                    node: Some(0),
+                    bytes: 1000,
+                    kind: IoKind::Sequential,
+                }],
                 vec![false],
             ),
         ];
@@ -216,8 +244,20 @@ mod tests {
     fn network_ops_cross_nodes_only() {
         let mut sim = StageSim::new(&cluster());
         let tasks: Vec<(Vec<Op>, Vec<bool>)> = vec![
-            (vec![Op::NetFrom { src: 0, bytes: 1_000_000 }], vec![]), // task 0 on node 0: local
-            (vec![Op::NetFrom { src: 0, bytes: 1_000_000 }], vec![]), // task 1 on node 1: remote
+            (
+                vec![Op::NetFrom {
+                    src: 0,
+                    bytes: 1_000_000,
+                }],
+                vec![],
+            ), // task 0 on node 0: local
+            (
+                vec![Op::NetFrom {
+                    src: 0,
+                    bytes: 1_000_000,
+                }],
+                vec![],
+            ), // task 1 on node 1: remote
         ];
         sim.run_stage(SimTime::ZERO, &tasks);
         assert_eq!(sim.net_bytes, 1_000_000);

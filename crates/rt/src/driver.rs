@@ -29,6 +29,9 @@ pub struct RunReport {
     pub end_time: SimTime,
     /// Final runtime metrics.
     pub metrics: RtMetrics,
+    /// Full trace-event stream, in emission order. Empty unless
+    /// [`RtConfig::trace`] enabled retention ([`exo_trace::TraceConfig`]).
+    pub trace: Vec<exo_trace::Event>,
 }
 
 /// Build and run a driver program against a simulated cluster; returns the
@@ -42,8 +45,16 @@ pub fn run<R: Send>(cfg: RtConfig, driver: impl FnOnce(&RtHandle) -> R + Send) -
         let metrics = rt.metrics();
         (result, metrics)
     });
+    let trace = runtime.take_trace();
     drop(runtime);
-    (RunReport { end_time: end, metrics }, result)
+    (
+        RunReport {
+            end_time: end,
+            metrics,
+            trace,
+        },
+        result,
+    )
 }
 
 impl RtHandle {
@@ -75,7 +86,10 @@ impl RtHandle {
 
     /// Convenience: get a single object.
     pub fn get_one(&self, r: &ObjectRef) -> Result<Payload, RtError> {
-        Ok(self.get(std::slice::from_ref(r))?.pop().expect("one payload"))
+        Ok(self
+            .get(std::slice::from_ref(r))?
+            .pop()
+            .expect("one payload"))
     }
 
     /// Block until `num_ready` of `refs` are available (or the timeout
@@ -87,7 +101,12 @@ impl RtHandle {
         timeout: Option<SimDuration>,
     ) -> (Vec<usize>, Vec<usize>) {
         let objs: Vec<ObjectId> = refs.iter().map(|r| r.id()).collect();
-        self.conn.call(|reply| RtCommand::Wait { objs, num_ready, timeout, reply })
+        self.conn.call(|reply| RtCommand::Wait {
+            objs,
+            num_ready,
+            timeout,
+            reply,
+        })
     }
 
     /// Wait for every ref to be available without fetching payloads.
@@ -117,13 +136,19 @@ impl RtHandle {
     /// Schedule a node kill at `at`, restarting after `restart_after` if
     /// given (fault injection, §5.1.5).
     pub fn kill_node(&self, node: NodeId, at: SimTime, restart_after: Option<SimDuration>) {
-        self.conn.call(|reply| RtCommand::KillNode { node, at, restart_after, reply })
+        self.conn.call(|reply| RtCommand::KillNode {
+            node,
+            at,
+            restart_after,
+            reply,
+        })
     }
 
     /// Kill all executor processes on `node` at `at`; the node's object
     /// store survives (executor-failure injection, §4.2.3).
     pub fn kill_executors(&self, node: NodeId, at: SimTime) {
-        self.conn.call(|reply| RtCommand::KillExecutors { node, at, reply })
+        self.conn
+            .call(|reply| RtCommand::KillExecutors { node, at, reply })
     }
 
     /// Snapshot runtime metrics.
@@ -138,7 +163,9 @@ impl RtHandle {
 
     pub(crate) fn submit_spec(&self, spec: TaskSpec) -> Vec<ObjectRef> {
         let ids = self.conn.call(|reply| RtCommand::Submit { spec, reply });
-        ids.into_iter().map(|id| ObjectRef::new(id, self.conn.clone())).collect()
+        ids.into_iter()
+            .map(|id| ObjectRef::new(id, self.conn.clone()))
+            .collect()
     }
 }
 
@@ -228,13 +255,20 @@ impl TaskBuilder {
 
     /// Submit; returns one `ObjectRef` per declared return. Non-blocking.
     pub fn submit(self) -> Vec<ObjectRef> {
-        let spec = TaskSpec { func: self.func, args: self.args, opts: self.opts };
+        let spec = TaskSpec {
+            func: self.func,
+            args: self.args,
+            opts: self.opts,
+        };
         self.rt.submit_spec(spec)
     }
 
     /// Submit a single-return task and get its one ref.
     pub fn submit_one(self) -> ObjectRef {
-        assert_eq!(self.opts.num_returns, 1, "submit_one requires num_returns == 1");
+        assert_eq!(
+            self.opts.num_returns, 1,
+            "submit_one requires num_returns == 1"
+        );
         self.submit().pop().expect("one return")
     }
 }

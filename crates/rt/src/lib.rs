@@ -60,3 +60,8 @@ pub use metrics::RtMetrics;
 pub use object::{ObjectRef, Payload};
 pub use runtime::RtConfig;
 pub use task::{CpuCost, SchedulingStrategy, TaskCtx, TaskOptions};
+
+/// Re-export of the tracing crate so applications can configure and
+/// consume traces without a separate dependency.
+pub use exo_trace as trace;
+pub use exo_trace::TraceConfig;

@@ -1,7 +1,14 @@
 //! Cluster-wide runtime metrics.
+//!
+//! Since the tracing rework these are a *view*: the scalar counters are
+//! derived by folding the runtime's trace-event stream
+//! ([`exo_trace::TraceCounters`]), and only the per-store compatibility
+//! metrics are merged in separately. [`RtMetrics::from_counters`] is the
+//! one conversion point.
 
 use exo_sim::SimTime;
 use exo_store::StoreMetrics;
+use exo_trace::TraceCounters;
 
 /// A labelled task-completion sample for progress curves (Fig 5).
 #[derive(Clone, Debug)]
@@ -41,6 +48,24 @@ pub struct RtMetrics {
 }
 
 impl RtMetrics {
+    /// Builds the scalar counters from a trace fold; store metrics and
+    /// progress samples are filled in by the caller.
+    pub(crate) fn from_counters(c: &TraceCounters) -> RtMetrics {
+        RtMetrics {
+            tasks_completed: c.tasks_completed,
+            tasks_reexecuted: c.tasks_reexecuted,
+            net_bytes: c.net_bytes,
+            net_ops: c.net_ops,
+            disk_read_bytes: c.disk_read_bytes,
+            disk_write_bytes: c.disk_write_bytes,
+            store: StoreMetrics::default(),
+            objects_reconstructed: c.objects_reconstructed,
+            node_failures: c.node_failures,
+            executor_failures: c.executor_failures,
+            progress: Vec::new(),
+        }
+    }
+
     pub(crate) fn add_store(&mut self, m: StoreMetrics) {
         let s = &mut self.store;
         s.spilled_bytes += m.spilled_bytes;

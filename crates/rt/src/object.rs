@@ -32,13 +32,19 @@ impl Payload {
 
     /// A payload carrying real `data` that *stands for* `logical` bytes.
     pub fn scaled(data: impl Into<Bytes>, logical: u64) -> Payload {
-        Payload { data: data.into(), logical }
+        Payload {
+            data: data.into(),
+            logical,
+        }
     }
 
     /// A data-free payload of a given logical size (for experiments that
     /// only need the accounting, e.g. the spill microbenchmark).
     pub fn ghost(logical: u64) -> Payload {
-        Payload { data: Bytes::new(), logical }
+        Payload {
+            data: Bytes::new(),
+            logical,
+        }
     }
 }
 
@@ -72,7 +78,9 @@ pub struct ObjectRef {
 
 impl ObjectRef {
     pub(crate) fn new(id: ObjectId, conn: DriverConn<RtCommand>) -> ObjectRef {
-        ObjectRef { inner: std::sync::Arc::new(RefInner { id, conn }) }
+        ObjectRef {
+            inner: std::sync::Arc::new(RefInner { id, conn }),
+        }
     }
 
     /// The object this future refers to.

@@ -10,8 +10,12 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use bytes::Bytes;
 use exo_sim::engine::{Ctx, Reply};
-use exo_sim::{ClusterSpec, IoKind, Resource, SimDuration, Simulation};
+use exo_sim::{ClusterSpec, IoKind, Resource, SimDuration, SimTime, Simulation};
 use exo_store::{AllocDecision, NodeStore, RestoreDecision, SpillBatch, StoreConfig};
+use exo_trace::{
+    EventKind, FailureEvent, FailureKind, IoDir, IoEvent, ObjectEvent, ObjectPhase, PlaceReason,
+    ResourceSample, TaskPhase, TaskSpan, TraceConfig, TraceSink,
+};
 
 use crate::command::{RtCommand, RtError};
 use crate::ids::{NodeId, ObjectId, TaskId};
@@ -41,6 +45,10 @@ pub struct RtConfig {
     /// Per-node CPU slowdown multipliers (straggler injection): a task's
     /// compute phase on node `i` is multiplied by `cpu_slowdown[i]`.
     pub cpu_slowdown: Vec<f64>,
+    /// Structured event tracing (off by default). The sink always folds
+    /// counters; enabling this retains the full stream for export and
+    /// turns on periodic resource sampling.
+    pub trace: TraceConfig,
 }
 
 impl RtConfig {
@@ -54,6 +62,7 @@ impl RtConfig {
             prefetch_args: true,
             record_progress: false,
             cpu_slowdown: Vec::new(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -79,26 +88,80 @@ pub(crate) fn validate_config(cfg: &RtConfig) {
 /// work.
 #[derive(Clone, Debug)]
 enum AllocTag {
-    Output { task: TaskId, idx: usize, epoch: u32 },
-    Fetch { obj: ObjectId },
-    Restore { obj: ObjectId },
+    Output {
+        task: TaskId,
+        idx: usize,
+        epoch: u32,
+    },
+    Fetch {
+        obj: ObjectId,
+    },
+    Restore {
+        obj: ObjectId,
+    },
 }
 
 /// Events the runtime schedules for itself.
 pub enum RtEvent {
-    TaskInputDone { task: TaskId, epoch: u32 },
-    TaskCpuDone { task: TaskId, epoch: u32 },
-    OutputReady { task: TaskId, idx: usize, epoch: u32 },
-    OutputFallbackDone { task: TaskId, obj: ObjectId, epoch: u32 },
-    OutputWriteDone { task: TaskId, epoch: u32 },
-    SpillDone { node: NodeId, epoch: u32, batch: SpillBatch },
-    RestoreDone { node: NodeId, obj: ObjectId, epoch: u32 },
-    FetchDone { node: NodeId, obj: ObjectId, src: NodeId, src_epoch: u32, epoch: u32 },
-    WaitDeadline { waiter: u64 },
-    SleepDone { reply: Reply<()> },
-    KillNode { node: NodeId, restart_after: Option<SimDuration> },
-    RestartNode { node: NodeId },
-    KillExecutors { node: NodeId },
+    TaskInputDone {
+        task: TaskId,
+        epoch: u32,
+    },
+    TaskCpuDone {
+        task: TaskId,
+        epoch: u32,
+    },
+    OutputReady {
+        task: TaskId,
+        idx: usize,
+        epoch: u32,
+    },
+    OutputFallbackDone {
+        task: TaskId,
+        obj: ObjectId,
+        epoch: u32,
+    },
+    OutputWriteDone {
+        task: TaskId,
+        epoch: u32,
+    },
+    SpillDone {
+        node: NodeId,
+        epoch: u32,
+        batch: SpillBatch,
+    },
+    RestoreDone {
+        node: NodeId,
+        obj: ObjectId,
+        epoch: u32,
+    },
+    FetchDone {
+        node: NodeId,
+        obj: ObjectId,
+        src: NodeId,
+        src_epoch: u32,
+        epoch: u32,
+    },
+    WaitDeadline {
+        waiter: u64,
+    },
+    SleepDone {
+        reply: Reply<()>,
+    },
+    KillNode {
+        node: NodeId,
+        restart_after: Option<SimDuration>,
+    },
+    RestartNode {
+        node: NodeId,
+    },
+    KillExecutors {
+        node: NodeId,
+    },
+    /// Periodic per-node occupancy sampling (tracing only). Re-armed by
+    /// real commands/events, never by itself, so a quiescent or
+    /// deadlocked simulation still stalls out.
+    SampleResources,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +232,13 @@ struct TaskEntry {
     outputs_pending: usize,
     cpu_done: bool,
     output_written: bool,
+    /// Set by a lineage resubmission; consumed when the next `Scheduled`
+    /// trace event is emitted so re-executions are counted exactly once
+    /// (executor-failure re-runs do not set this).
+    retry_pending: bool,
+    /// True while this task is re-running to reconstruct lost outputs;
+    /// sealed outputs emit `ObjectEvent::Reconstructed` while set.
+    reconstructing: bool,
 }
 
 struct ObjEntry {
@@ -194,8 +264,15 @@ impl ObjEntry {
 }
 
 enum Waiter {
-    Get { objs: Vec<ObjectId>, reply: Reply<Result<Vec<Payload>, RtError>> },
-    Wait { objs: Vec<ObjectId>, num_ready: usize, reply: Reply<(Vec<usize>, Vec<usize>)> },
+    Get {
+        objs: Vec<ObjectId>,
+        reply: Reply<Result<Vec<Payload>, RtError>>,
+    },
+    Wait {
+        objs: Vec<ObjectId>,
+        num_ready: usize,
+        reply: Reply<(Vec<usize>, Vec<usize>)>,
+    },
 }
 
 /// The runtime simulation state.
@@ -212,7 +289,15 @@ pub struct Runtime {
     next_task: u64,
     next_waiter: u64,
     rr_cursor: usize,
-    metrics: RtMetrics,
+    /// The trace sink: single source of truth for the scalar counters in
+    /// [`RtMetrics`] (derived by folding emitted events) and, when
+    /// enabled, the full event stream for export.
+    sink: TraceSink,
+    /// Completion samples (kept out of the event fold: they carry
+    /// `SimTime` and feed Fig 5 progress curves directly).
+    progress: Vec<ProgressSample>,
+    /// A `SampleResources` tick is already in the event queue.
+    sampling_scheduled: bool,
     /// Fatal job error (OOM); fails all subsequent gets.
     failed: Option<RtError>,
 }
@@ -221,27 +306,45 @@ impl Runtime {
     /// Build the runtime for a cluster.
     pub fn new(cfg: RtConfig) -> Runtime {
         let node_spec = cfg.cluster.node;
-        let capacity = cfg.object_store_capacity.unwrap_or(node_spec.object_store_bytes);
+        let capacity = cfg
+            .object_store_capacity
+            .unwrap_or(node_spec.object_store_bytes);
+        let sink = TraceSink::new(&cfg.trace);
+        // Device occupancy bookkeeping is only paid for when resource
+        // sampling will actually read it.
+        let track_pending = sink.sample_interval_us() > 0;
         let nodes = (0..cfg.cluster.nodes)
-            .map(|i| Node {
-                id: NodeId(i),
-                alive: true,
-                epoch: 0,
-                store: NodeStore::new(StoreConfig {
-                    capacity,
-                    fuse_min: cfg.fuse_min,
-                    fuse_enabled: cfg.fuse_spill_writes,
-                    spill_enabled: true,
-                    fallback_enabled: true,
-                }),
-                disk: node_spec.disk.build(format!("disk[{i}]")),
-                nic_tx: node_spec.nic.build(format!("nic-tx[{i}]")),
-                nic_rx: node_spec.nic.build(format!("nic-rx[{i}]")),
-                slots_free: node_spec.cpus,
-                queue: VecDeque::new(),
-                running: BTreeSet::new(),
-                fetching: HashMap::new(),
-                arg_waiters: HashMap::new(),
+            .map(|i| {
+                let mut disk = node_spec.disk.build(format!("disk[{i}]"));
+                let mut nic_tx = node_spec.nic.build(format!("nic-tx[{i}]"));
+                let mut nic_rx = node_spec.nic.build(format!("nic-rx[{i}]"));
+                disk.set_tracking(track_pending);
+                nic_tx.set_tracking(track_pending);
+                nic_rx.set_tracking(track_pending);
+                Node {
+                    id: NodeId(i),
+                    alive: true,
+                    epoch: 0,
+                    store: NodeStore::with_trace(
+                        StoreConfig {
+                            capacity,
+                            fuse_min: cfg.fuse_min,
+                            fuse_enabled: cfg.fuse_spill_writes,
+                            spill_enabled: true,
+                            fallback_enabled: true,
+                        },
+                        sink.clone(),
+                        i as u32,
+                    ),
+                    disk,
+                    nic_tx,
+                    nic_rx,
+                    slots_free: node_spec.cpus,
+                    queue: VecDeque::new(),
+                    running: BTreeSet::new(),
+                    fetching: HashMap::new(),
+                    arg_waiters: HashMap::new(),
+                }
             })
             .collect();
         Runtime {
@@ -255,8 +358,48 @@ impl Runtime {
             next_task: 0,
             next_waiter: 0,
             rr_cursor: 0,
-            metrics: RtMetrics::default(),
+            sink,
+            progress: Vec::new(),
+            sampling_scheduled: false,
             failed: None,
+        }
+    }
+
+    /// Drain the retained trace-event stream (empty unless tracing was
+    /// enabled in the config).
+    pub(crate) fn take_trace(&self) -> Vec<exo_trace::Event> {
+        self.sink.take_events()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_task(
+        &self,
+        task: TaskId,
+        phase: TaskPhase,
+        node: NodeId,
+        label: &'static str,
+        attempt: u32,
+        retry: bool,
+        reason: Option<PlaceReason>,
+    ) {
+        self.sink.emit(EventKind::Task(TaskSpan {
+            task: task.0,
+            phase,
+            node: node.0 as u32,
+            label,
+            attempt,
+            retry,
+            reason,
+        }));
+    }
+
+    fn emit_io(&self, node: NodeId, dir: IoDir, bytes: u64) {
+        if bytes > 0 {
+            self.sink.emit(EventKind::Io(IoEvent {
+                node: node.0 as u32,
+                dir,
+                bytes,
+            }));
         }
     }
 
@@ -273,7 +416,9 @@ impl Runtime {
     fn submit(&mut self, ctx: &mut Ctx<'_, RtEvent>, spec: TaskSpec) -> Vec<ObjectId> {
         let task = TaskId(self.next_task);
         self.next_task += 1;
-        let outputs: Vec<ObjectId> = (0..spec.opts.num_returns).map(|_| self.fresh_obj()).collect();
+        let outputs: Vec<ObjectId> = (0..spec.opts.num_returns)
+            .map(|_| self.fresh_obj())
+            .collect();
         for (idx, &o) in outputs.iter().enumerate() {
             self.lineage.insert(o, (task, idx));
             self.objects.insert(
@@ -306,6 +451,8 @@ impl Runtime {
             outputs_pending: 0,
             cpu_done: false,
             output_written: false,
+            retry_pending: false,
+            reconstructing: false,
         };
         self.tasks.insert(task, entry);
         // Hold the args on behalf of this consumer.
@@ -381,7 +528,7 @@ impl Runtime {
             })
             .collect();
         let strategy = entry.spec.opts.strategy;
-        let Some(node) = place(strategy, &snapshots, &mut self.rr_cursor) else {
+        let Some((node, reason)) = place(strategy, &snapshots, &mut self.rr_cursor) else {
             return; // no node alive; retried when a node restarts
         };
         let entry = self.tasks.get_mut(&task).expect("task exists");
@@ -398,7 +545,18 @@ impl Runtime {
         for po in &mut entry.pending_outputs {
             *po = None;
         }
+        let retry = std::mem::take(&mut entry.retry_pending);
+        let (label, attempt) = (entry.spec.opts.label, entry.attempt);
         self.nodes[node.0].queue.push_back(task);
+        self.emit_task(
+            task,
+            TaskPhase::Scheduled,
+            node,
+            label,
+            attempt,
+            retry,
+            Some(reason),
+        );
         self.pump_node(ctx, node);
     }
 
@@ -432,7 +590,10 @@ impl Runtime {
         entry.attempt += 1;
         entry.epoch += 1;
         entry.node = None;
-        self.metrics.tasks_reexecuted += 1;
+        // Counted (via the next Scheduled event's `retry` flag) when the
+        // re-execution is actually placed.
+        entry.retry_pending = true;
+        entry.reconstructing = true;
         // Re-acquire holds on the args.
         let args = entry.spec.object_args();
         for &a in &args {
@@ -459,10 +620,18 @@ impl Runtime {
             // other's arguments — the thrash Ray's pull manager likewise
             // prevents by capping in-flight task-arg pulls).
             let window = 2 * self.cfg.cluster.node.cpus;
-            let queued: Vec<TaskId> =
-                self.nodes[node.0].queue.iter().take(window).copied().collect();
+            let queued: Vec<TaskId> = self.nodes[node.0]
+                .queue
+                .iter()
+                .take(window)
+                .copied()
+                .collect();
             for t in queued {
-                let started = self.tasks.get(&t).map(|e| e.staging_started).unwrap_or(true);
+                let started = self
+                    .tasks
+                    .get(&t)
+                    .map(|e| e.staging_started)
+                    .unwrap_or(true);
                 if !started {
                     self.start_staging(ctx, t);
                 }
@@ -474,13 +643,27 @@ impl Runtime {
                     break;
                 }
                 let pos = self.nodes[node.0].queue.iter().position(|t| {
-                    self.tasks.get(t).map(|e| e.unstaged.is_empty()).unwrap_or(false)
+                    self.tasks
+                        .get(t)
+                        .map(|e| e.unstaged.is_empty())
+                        .unwrap_or(false)
                 });
                 let Some(pos) = pos else { break };
                 let t = self.nodes[node.0].queue[pos];
                 let removed = self.nodes[node.0].queue.remove(pos);
                 debug_assert_eq!(removed, Some(t));
                 self.nodes[node.0].slots_free -= 1;
+                if let Some(e) = self.tasks.get(&t) {
+                    self.emit_task(
+                        t,
+                        TaskPhase::Dequeued,
+                        node,
+                        e.spec.opts.label,
+                        e.attempt,
+                        false,
+                        None,
+                    );
+                }
                 self.start_exec(ctx, t);
             }
         } else {
@@ -489,18 +672,33 @@ impl Runtime {
                 if self.nodes[node.0].slots_free == 0 {
                     break;
                 }
-                let Some(&head) = self.nodes[node.0].queue.front() else { break };
+                let Some(&head) = self.nodes[node.0].queue.front() else {
+                    break;
+                };
                 let entry = self.tasks.get(&head).expect("queued task exists");
                 if entry.unstaged.is_empty() {
                     self.nodes[node.0].queue.pop_front();
                     let e = self.tasks.get_mut(&head).expect("exists");
                     if !e.slot_held {
                         self.nodes[node.0].slots_free -= 1;
+                        let e = self.tasks.get(&head).expect("exists");
+                        self.emit_task(
+                            head,
+                            TaskPhase::Dequeued,
+                            node,
+                            e.spec.opts.label,
+                            e.attempt,
+                            false,
+                            None,
+                        );
                     }
                     self.start_exec(ctx, head);
                 } else if !entry.slot_held {
                     self.nodes[node.0].slots_free -= 1;
-                    self.tasks.get_mut(&head).expect("exists").slot_held = true;
+                    let e = self.tasks.get_mut(&head).expect("exists");
+                    e.slot_held = true;
+                    let (label, attempt) = (e.spec.opts.label, e.attempt);
+                    self.emit_task(head, TaskPhase::Dequeued, node, label, attempt, false, None);
                     self.start_staging(ctx, head);
                     break;
                 } else {
@@ -519,7 +717,12 @@ impl Runtime {
         }
         // Zero-arg tasks become runnable immediately.
         if let Some(node) = self.tasks.get(&task).and_then(|e| e.node) {
-            if self.tasks.get(&task).map(|e| e.unstaged.is_empty()).unwrap_or(false) {
+            if self
+                .tasks
+                .get(&task)
+                .map(|e| e.unstaged.is_empty())
+                .unwrap_or(false)
+            {
                 self.try_start_staged(ctx, task, node);
             }
         }
@@ -527,7 +730,9 @@ impl Runtime {
 
     /// Bring one argument into local memory and pin it.
     fn stage_arg(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, obj: ObjectId) {
-        let Some(entry) = self.tasks.get(&task) else { return };
+        let Some(entry) = self.tasks.get(&task) else {
+            return;
+        };
         let Some(node) = entry.node else { return };
         if !entry.unstaged.contains(&obj) {
             return;
@@ -562,8 +767,10 @@ impl Runtime {
                 }
                 RestoreDecision::Granted => {
                     let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
-                    let end = self.nodes[node.0].disk.submit(ctx.now(), size, IoKind::Random);
-                    self.metrics.disk_read_bytes += size;
+                    let end = self.nodes[node.0]
+                        .disk
+                        .submit(ctx.now(), size, IoKind::Random);
+                    self.emit_io(node, IoDir::Read, size);
                     let epoch = self.nodes[node.0].epoch;
                     ctx.schedule_at(end, RtEvent::RestoreDone { node, obj, epoch });
                 }
@@ -582,7 +789,11 @@ impl Runtime {
         if n.fetching.contains_key(&obj) {
             return; // a fetch is already on its way
         }
-        let available = self.objects.get(&obj).map(|o| o.available()).unwrap_or(false);
+        let available = self
+            .objects
+            .get(&obj)
+            .map(|o| o.available())
+            .unwrap_or(false);
         if !available {
             self.ensure_available(ctx, obj);
             let o = self.objects.get_mut(&obj).expect("ensured");
@@ -601,16 +812,23 @@ impl Runtime {
         // deeper prefetch is Low so it only consumes spare memory.
         let near_head = {
             let n = &self.nodes[node.0];
-            n.queue
-                .iter()
-                .take(n.slots_free.max(1) * 2)
-                .any(|t| self.tasks.get(t).map(|e| e.unstaged.contains(&obj)).unwrap_or(false))
-                || n.queue.is_empty()
+            n.queue.iter().take(n.slots_free.max(1) * 2).any(|t| {
+                self.tasks
+                    .get(t)
+                    .map(|e| e.unstaged.contains(&obj))
+                    .unwrap_or(false)
+            }) || n.queue.is_empty()
         };
-        let prio = if near_head { exo_store::Priority::High } else { exo_store::Priority::Low };
+        let prio = if near_head {
+            exo_store::Priority::High
+        } else {
+            exo_store::Priority::Low
+        };
         let n = &mut self.nodes[node.0];
         n.fetching.insert(obj, FetchState::AllocPending);
-        let decision = n.store.request_create(obj.0, size, AllocTag::Fetch { obj }, prio);
+        let decision = n
+            .store
+            .request_create(obj.0, size, AllocTag::Fetch { obj }, prio);
         match decision {
             AllocDecision::Granted => self.start_transfer(ctx, node, obj),
             AllocDecision::Fallback => {
@@ -628,7 +846,9 @@ impl Runtime {
 
     /// Charge the network (and source disk, if spilled) for a transfer.
     fn start_transfer(&mut self, ctx: &mut Ctx<'_, RtEvent>, dst: NodeId, obj: ObjectId) {
-        let Some(o) = self.objects.get(&obj) else { return };
+        let Some(o) = self.objects.get(&obj) else {
+            return;
+        };
         // Prefer a source with a memory-resident copy.
         let mut src_mem = None;
         let mut src_disk = None;
@@ -655,21 +875,39 @@ impl Runtime {
             // chained; the paper's NodeManager streams from disk over the
             // network without staging in memory).
             let read_end = self.nodes[src.0].disk.submit(now, size, IoKind::Random);
-            self.metrics.disk_read_bytes += size;
+            self.emit_io(src, IoDir::Read, size);
             read_end
         } else {
             now
         };
-        let tx_end = self.nodes[src.0].nic_tx.submit(depart, size, IoKind::Sequential);
-        let rx_end = self.nodes[dst.0].nic_rx.submit(tx_end, 0, IoKind::Sequential);
-        self.metrics.net_bytes += size;
-        self.metrics.net_ops += 1;
+        let tx_end = self.nodes[src.0]
+            .nic_tx
+            .submit(depart, size, IoKind::Sequential);
+        let rx_end = self.nodes[dst.0]
+            .nic_rx
+            .submit(tx_end, 0, IoKind::Sequential);
+        self.sink.emit(EventKind::Object(ObjectEvent {
+            object: obj.0,
+            phase: ObjectPhase::Transferred,
+            node: dst.0 as u32,
+            src: Some(src.0 as u32),
+            bytes: size,
+        }));
         let src_epoch = self.nodes[src.0].epoch;
         let epoch = self.nodes[dst.0].epoch;
         self.nodes[dst.0]
             .fetching
             .insert(obj, FetchState::Transferring { src, src_epoch });
-        ctx.schedule_at(rx_end, RtEvent::FetchDone { node: dst, obj, src, src_epoch, epoch });
+        ctx.schedule_at(
+            rx_end,
+            RtEvent::FetchDone {
+                node: dst,
+                obj,
+                src,
+                src_epoch,
+                epoch,
+            },
+        );
     }
 
     /// A fetch can no longer proceed (source died). Roll back the local
@@ -695,7 +933,9 @@ impl Runtime {
 
     /// If the task's staging is complete, let the node try to run it.
     fn try_start_staged(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, node: NodeId) {
-        let Some(entry) = self.tasks.get(&task) else { return };
+        let Some(entry) = self.tasks.get(&task) else {
+            return;
+        };
         if entry.state != TaskState::Queued || !entry.unstaged.is_empty() {
             return;
         }
@@ -722,10 +962,14 @@ impl Runtime {
         entry.slot_held = true;
         let epoch = entry.epoch;
         let reads = entry.spec.opts.reads_input;
+        let (label, attempt) = (entry.spec.opts.label, entry.attempt);
         self.nodes[node.0].running.insert(task);
+        self.emit_task(task, TaskPhase::Started, node, label, attempt, false, None);
         if reads > 0 {
-            let end = self.nodes[node.0].disk.submit(ctx.now(), reads, IoKind::Sequential);
-            self.metrics.disk_read_bytes += reads;
+            let end = self.nodes[node.0]
+                .disk
+                .submit(ctx.now(), reads, IoKind::Sequential);
+            self.emit_io(node, IoDir::Read, reads);
             ctx.schedule_at(end, RtEvent::TaskInputDone { task, epoch });
         } else {
             self.exec_compute(ctx, task);
@@ -757,7 +1001,12 @@ impl Runtime {
             .collect();
         let in_logical: u64 =
             args.iter().map(|p| p.logical).sum::<u64>() + entry.spec.opts.reads_input;
-        let tctx = TaskCtx { args, node, attempt, rng: task_seed(task) };
+        let tctx = TaskCtx {
+            args,
+            node,
+            attempt,
+            rng: task_seed(task),
+        };
         let outputs = (entry.spec.func)(tctx);
         assert_eq!(
             outputs.len(),
@@ -769,7 +1018,13 @@ impl Runtime {
         let out_logical: u64 = outputs.iter().map(|p| p.logical).sum();
         let slowdown = self.cfg.cpu_slowdown.get(node.0).copied().unwrap_or(1.0);
         let cpu = exo_sim::SimDuration::from_secs_f64(
-            entry.spec.opts.cpu.eval(in_logical, out_logical).as_secs_f64() * slowdown.max(0.01),
+            entry
+                .spec
+                .opts
+                .cpu
+                .eval(in_logical, out_logical)
+                .as_secs_f64()
+                * slowdown.max(0.01),
         );
         let generator = entry.spec.opts.generator;
         let n_out = outputs.len();
@@ -782,7 +1037,14 @@ impl Runtime {
             // points of the compute phase.
             for i in 0..n_out {
                 let frac = cpu * (i as u64 + 1) / (n_out as u64);
-                ctx.schedule(frac, RtEvent::OutputReady { task, idx: i, epoch });
+                ctx.schedule(
+                    frac,
+                    RtEvent::OutputReady {
+                        task,
+                        idx: i,
+                        epoch,
+                    },
+                );
             }
         }
         ctx.schedule(cpu, RtEvent::TaskCpuDone { task, epoch });
@@ -794,7 +1056,10 @@ impl Runtime {
         let node = entry.node.expect("assigned");
         let epoch = entry.epoch;
         let obj = entry.outputs[idx];
-        let logical = entry.pending_outputs[idx].as_ref().expect("output produced").logical;
+        let logical = entry.pending_outputs[idx]
+            .as_ref()
+            .expect("output produced")
+            .logical;
         if self.nodes[node.0].store.contains(obj.0) {
             // Reconstruction produced an output that already has a local
             // copy (e.g. fetched here before the failure): nothing to
@@ -813,8 +1078,10 @@ impl Runtime {
             AllocDecision::Granted => self.seal_output(ctx, task, idx),
             AllocDecision::Fallback => {
                 // Written straight to the filesystem (liveness path).
-                let end = self.nodes[node.0].disk.submit(ctx.now(), logical, IoKind::Sequential);
-                self.metrics.disk_write_bytes += logical;
+                let end = self.nodes[node.0]
+                    .disk
+                    .submit(ctx.now(), logical, IoKind::Sequential);
+                self.emit_io(node, IoDir::Write, logical);
                 ctx.schedule_at(end, RtEvent::OutputFallbackDone { task, obj, epoch });
             }
             AllocDecision::Queued => {}
@@ -830,6 +1097,7 @@ impl Runtime {
         let obj = entry.outputs[idx];
         let payload = entry.pending_outputs[idx].take().expect("output pending");
         entry.outputs_pending -= 1;
+        let reconstructing = entry.reconstructing;
         let store = &mut self.nodes[node.0].store;
         if store.contains(obj.0) && !store.sealed(obj.0) {
             store.seal(obj.0);
@@ -838,6 +1106,15 @@ impl Runtime {
             Some(o) => {
                 o.logical = payload.logical;
                 o.payload = Some(payload.data);
+                if reconstructing {
+                    self.sink.emit(EventKind::Object(ObjectEvent {
+                        object: obj.0,
+                        phase: ObjectPhase::Reconstructed,
+                        node: node.0 as u32,
+                        src: None,
+                        bytes: payload.logical,
+                    }));
+                }
                 self.on_object_available(ctx, obj, node);
             }
             None => {
@@ -859,7 +1136,10 @@ impl Runtime {
         }
         let (waiting_tasks, waiting_waiters) = {
             let o = self.objects.get_mut(&obj).expect("object exists");
-            (std::mem::take(&mut o.waiting_tasks), std::mem::take(&mut o.waiting_waiters))
+            (
+                std::mem::take(&mut o.waiting_tasks),
+                std::mem::take(&mut o.waiting_waiters),
+            )
         };
         for t in waiting_tasks {
             match self.tasks.get(&t).map(|e| e.state) {
@@ -883,9 +1163,13 @@ impl Runtime {
         if !self.nodes[node.0].store.in_memory(obj.0) {
             return;
         }
-        let Some(waiters) = self.nodes[node.0].arg_waiters.remove(&obj) else { return };
+        let Some(waiters) = self.nodes[node.0].arg_waiters.remove(&obj) else {
+            return;
+        };
         for t in waiters {
-            let Some(entry) = self.tasks.get_mut(&t) else { continue };
+            let Some(entry) = self.tasks.get_mut(&t) else {
+                continue;
+            };
             if entry.node != Some(node) || !entry.unstaged.contains(&obj) {
                 continue;
             }
@@ -912,8 +1196,10 @@ impl Runtime {
         // function is idempotent while the write is in flight.
         self.tasks.get_mut(&task).expect("exists").output_written = true;
         if writes > 0 {
-            let end = self.nodes[node.0].disk.submit(ctx.now(), writes, IoKind::Sequential);
-            self.metrics.disk_write_bytes += writes;
+            let end = self.nodes[node.0]
+                .disk
+                .submit(ctx.now(), writes, IoKind::Sequential);
+            self.emit_io(node, IoDir::Write, writes);
             ctx.schedule_at(end, RtEvent::OutputWriteDone { task, epoch });
         } else {
             self.complete_task(ctx, task);
@@ -924,7 +1210,9 @@ impl Runtime {
         let entry = self.tasks.get_mut(&task).expect("task exists");
         let node = entry.node.expect("assigned");
         entry.state = TaskState::Done;
+        entry.reconstructing = false;
         let label = entry.spec.opts.label;
+        let attempt = entry.attempt;
         let pinned = std::mem::take(&mut entry.pinned);
         let outputs = entry.outputs.clone();
         let args = entry.spec.object_args();
@@ -948,9 +1236,12 @@ impl Runtime {
             }
             self.maybe_gc(a);
         }
-        self.metrics.tasks_completed += 1;
+        self.emit_task(task, TaskPhase::Finished, node, label, attempt, false, None);
         if self.cfg.record_progress {
-            self.metrics.progress.push(ProgressSample { at: ctx.now(), label });
+            self.progress.push(ProgressSample {
+                at: ctx.now(),
+                label,
+            });
         }
         self.pump_store(ctx, node);
         self.pump_node(ctx, node);
@@ -961,7 +1252,9 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn maybe_gc(&mut self, obj: ObjectId) {
-        let Some(o) = self.objects.get(&obj) else { return };
+        let Some(o) = self.objects.get(&obj) else {
+            return;
+        };
         if o.driver_refs > 0
             || o.task_refs > 0
             || !o.waiting_tasks.is_empty()
@@ -995,11 +1288,14 @@ impl Runtime {
             // un-fused files pay the device's random-access penalty (file
             // creation + seek) — this asymmetry is the whole point of
             // write fusing (§4.2.2, Fig 7).
-            loop {
-                let Some(batch) = self.nodes[node.0].store.next_spill_batch() else { break };
-                let kind = if batch.bytes >= 4_000_000 { IoKind::Sequential } else { IoKind::Random };
+            while let Some(batch) = self.nodes[node.0].store.next_spill_batch() {
+                let kind = if batch.bytes >= 4_000_000 {
+                    IoKind::Sequential
+                } else {
+                    IoKind::Random
+                };
                 let end = self.nodes[node.0].disk.submit(ctx.now(), batch.bytes, kind);
-                self.metrics.disk_write_bytes += batch.bytes;
+                self.emit_io(node, IoDir::Write, batch.bytes);
                 let epoch = self.nodes[node.0].epoch;
                 ctx.schedule_at(end, RtEvent::SpillDone { node, epoch, batch });
                 progress = true;
@@ -1049,10 +1345,19 @@ impl Runtime {
                             .and_then(|e| e.pending_outputs[idx].as_ref().map(|p| p.logical))
                             .unwrap_or(0);
                         let end =
-                            self.nodes[node.0].disk.submit(ctx.now(), logical, IoKind::Sequential);
-                        self.metrics.disk_write_bytes += logical;
+                            self.nodes[node.0]
+                                .disk
+                                .submit(ctx.now(), logical, IoKind::Sequential);
+                        self.emit_io(node, IoDir::Write, logical);
                         let tep = self.tasks.get(&task).map(|e| e.epoch).unwrap_or(0);
-                        ctx.schedule_at(end, RtEvent::OutputFallbackDone { task, obj, epoch: tep });
+                        ctx.schedule_at(
+                            end,
+                            RtEvent::OutputFallbackDone {
+                                task,
+                                obj,
+                                epoch: tep,
+                            },
+                        );
                     } else {
                         self.seal_output(ctx, task, idx);
                     }
@@ -1070,8 +1375,10 @@ impl Runtime {
                 AllocTag::Restore { obj: robj } => {
                     debug_assert_eq!(obj, robj);
                     let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
-                    let end = self.nodes[node.0].disk.submit(ctx.now(), size, IoKind::Random);
-                    self.metrics.disk_read_bytes += size;
+                    let end = self.nodes[node.0]
+                        .disk
+                        .submit(ctx.now(), size, IoKind::Random);
+                    self.emit_io(node, IoDir::Read, size);
                     let epoch = self.nodes[node.0].epoch;
                     ctx.schedule_at(end, RtEvent::RestoreDone { node, obj, epoch });
                 }
@@ -1106,7 +1413,9 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn check_waiter(&mut self, ctx: &mut Ctx<'_, RtEvent>, wid: u64) {
-        let Some(w) = self.waiters.get(&wid) else { return };
+        let Some(w) = self.waiters.get(&wid) else {
+            return;
+        };
         match w {
             Waiter::Get { objs, .. } => {
                 if let Some(err) = &self.failed {
@@ -1116,9 +1425,9 @@ impl Runtime {
                     }
                     return;
                 }
-                let all = objs.iter().all(|o| {
-                    self.objects.get(o).map(|e| e.available()).unwrap_or(false)
-                });
+                let all = objs
+                    .iter()
+                    .all(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false));
                 if all {
                     let Some(Waiter::Get { objs, reply }) = self.waiters.remove(&wid) else {
                         return;
@@ -1142,7 +1451,9 @@ impl Runtime {
                     ctx.reply(reply, Ok(payloads));
                 }
             }
-            Waiter::Wait { objs, num_ready, .. } => {
+            Waiter::Wait {
+                objs, num_ready, ..
+            } => {
                 let ready = objs
                     .iter()
                     .filter(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false))
@@ -1155,7 +1466,9 @@ impl Runtime {
     }
 
     fn finish_wait(&mut self, ctx: &mut Ctx<'_, RtEvent>, wid: u64) {
-        let Some(Waiter::Wait { objs, reply, .. }) = self.waiters.remove(&wid) else { return };
+        let Some(Waiter::Wait { objs, reply, .. }) = self.waiters.remove(&wid) else {
+            return;
+        };
         let mut ready = Vec::new();
         let mut pending = Vec::new();
         for (i, o) in objs.iter().enumerate() {
@@ -1180,17 +1493,21 @@ impl Runtime {
 
     fn kill_node(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId) {
         let capacity = self.nodes[node.0].store.config().capacity;
+        let sink = self.sink.clone();
         let n = &mut self.nodes[node.0];
         if !n.alive {
             return;
         }
         n.alive = false;
         n.epoch += 1;
-        self.metrics.node_failures += 1;
+        sink.emit(EventKind::Failure(FailureEvent {
+            node: node.0 as u32,
+            kind: FailureKind::NodeKilled,
+        }));
         // Rebuild the store (all objects on the node, memory or disk, are
         // lost — matching the paper's fail-and-restart of a whole worker).
         let cfg = *n.store.config();
-        n.store = NodeStore::new(StoreConfig { capacity, ..cfg });
+        n.store = NodeStore::with_trace(StoreConfig { capacity, ..cfg }, sink, node.0 as u32);
         n.disk.reset(ctx.now());
         n.nic_tx.reset(ctx.now());
         n.nic_rx.reset(ctx.now());
@@ -1203,16 +1520,19 @@ impl Runtime {
         // Drop object copies hosted here.
         let mut lost_with_interest = Vec::new();
         for (id, o) in self.objects.iter_mut() {
-            if o.copies.remove(&node) && o.copies.is_empty() {
-                if !o.waiting_tasks.is_empty() || !o.waiting_waiters.is_empty() || o.task_refs > 0 {
-                    lost_with_interest.push(*id);
-                }
+            if o.copies.remove(&node)
+                && o.copies.is_empty()
+                && (!o.waiting_tasks.is_empty() || !o.waiting_waiters.is_empty() || o.task_refs > 0)
+            {
+                lost_with_interest.push(*id);
             }
         }
         lost_with_interest.sort();
         // Requeue the node's tasks elsewhere.
         for t in queued.into_iter().chain(running) {
-            let Some(e) = self.tasks.get_mut(&t) else { continue };
+            let Some(e) = self.tasks.get_mut(&t) else {
+                continue;
+            };
             if e.state == TaskState::Done {
                 continue;
             }
@@ -1246,15 +1566,21 @@ impl Runtime {
         if !self.nodes[node.0].alive {
             return;
         }
-        self.metrics.executor_failures += 1;
+        self.sink.emit(EventKind::Failure(FailureEvent {
+            node: node.0 as u32,
+            kind: FailureKind::ExecutorsKilled,
+        }));
         // Invalidate in-flight execution events via the per-task epoch;
         // the store, its spilled files, and every sealed object survive.
-        let mut running: Vec<TaskId> =
-            std::mem::take(&mut self.nodes[node.0].running).into_iter().collect();
+        let mut running: Vec<TaskId> = std::mem::take(&mut self.nodes[node.0].running)
+            .into_iter()
+            .collect();
         running.sort();
         self.nodes[node.0].slots_free = self.cfg.cluster.node.cpus;
         for t in running {
-            let Some(e) = self.tasks.get_mut(&t) else { continue };
+            let Some(e) = self.tasks.get_mut(&t) else {
+                continue;
+            };
             if e.state != TaskState::Running {
                 continue;
             }
@@ -1283,7 +1609,13 @@ impl Runtime {
             e.output_written = false;
             for o in outputs {
                 let store = &mut self.nodes[node.0].store;
-                if store.contains(o.0) && !self.objects.get(&o).map(|e| e.copies.contains(&node)).unwrap_or(false) {
+                if store.contains(o.0)
+                    && !self
+                        .objects
+                        .get(&o)
+                        .map(|e| e.copies.contains(&node))
+                        .unwrap_or(false)
+                {
                     store.unpin(o.0);
                     store.forget(o.0);
                 }
@@ -1306,11 +1638,129 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn snapshot_metrics(&self) -> RtMetrics {
-        let mut m = self.metrics.clone();
+        let mut m = RtMetrics::from_counters(&self.sink.counters());
         for n in &self.nodes {
             m.add_store(n.store.metrics());
         }
+        m.progress = self.progress.clone();
         m
+    }
+
+    // ------------------------------------------------------------------
+    // Resource sampling
+    // ------------------------------------------------------------------
+
+    /// Arm the next [`RtEvent::SampleResources`] tick. Called from real
+    /// commands and events only — the tick handler never re-arms itself,
+    /// so a quiescent (or deadlocked) simulation still stalls out instead
+    /// of spinning virtual time forever.
+    fn maybe_schedule_sampling(&mut self, ctx: &mut Ctx<'_, RtEvent>) {
+        let interval = self.sink.sample_interval_us();
+        if interval == 0 || self.sampling_scheduled {
+            return;
+        }
+        self.sampling_scheduled = true;
+        ctx.schedule(SimDuration::from_micros(interval), RtEvent::SampleResources);
+    }
+
+    /// Emit one [`ResourceSample`] per alive node: busy CPU slots, store
+    /// bytes in use, disk ops queued, and NIC bytes in flight.
+    fn emit_resource_samples(&self, now: SimTime) {
+        let cpus = self.cfg.cluster.node.cpus;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            let (disk_ops, _) = n.disk.pending_at(now);
+            let (_, tx_bytes) = n.nic_tx.pending_at(now);
+            let (_, rx_bytes) = n.nic_rx.pending_at(now);
+            self.sink.emit(EventKind::Resource(ResourceSample {
+                node: i as u32,
+                cpu_slots_busy: cpus.saturating_sub(n.slots_free) as u32,
+                store_used: n.store.used(),
+                disk_queue_depth: disk_ops,
+                nic_bytes_in_flight: tx_bytes + rx_bytes,
+            }));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stall / deadlock diagnostics
+    // ------------------------------------------------------------------
+
+    /// Human-readable dump of what is stuck: task states, pending driver
+    /// calls (get/wait waiters), per-node queues, and the most recent
+    /// trace events. Shared by the deadlock eprintln dump and the
+    /// [`exo_sim::Deadlock`] report handed back to drivers.
+    fn stall_report(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut by_state: HashMap<&'static str, usize> = HashMap::new();
+        let mut shown = 0;
+        for (id, t) in &self.tasks {
+            let k = match t.state {
+                TaskState::WaitingArgs => "WaitingArgs",
+                TaskState::Queued => "Queued",
+                TaskState::Running => "Running",
+                TaskState::Done => "Done",
+            };
+            *by_state.entry(k).or_default() += 1;
+            if t.state != TaskState::Done && shown < 10 {
+                shown += 1;
+                lines.push(format!(
+                    "{:?} state={:?} node={:?} unstaged={} outputs_pending={} cpu_done={} slot_held={}",
+                    id,
+                    k,
+                    t.node,
+                    t.unstaged.len(),
+                    t.outputs_pending,
+                    t.cpu_done,
+                    t.slot_held
+                ));
+            }
+        }
+        lines.push(format!("task states: {by_state:?}"));
+        for (wid, w) in &self.waiters {
+            match w {
+                Waiter::Get { objs, .. } => {
+                    let missing: Vec<_> = objs
+                        .iter()
+                        .filter(|o| !self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                        .collect();
+                    lines.push(format!("pending get (waiter {wid}): missing {missing:?}"));
+                }
+                Waiter::Wait {
+                    objs, num_ready, ..
+                } => {
+                    let ready = objs
+                        .iter()
+                        .filter(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                        .count();
+                    lines.push(format!(
+                        "pending wait (waiter {wid}): {ready}/{num_ready} of {} ready",
+                        objs.len()
+                    ));
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            lines.push(format!(
+                "node{} alive={} slots_free={} queue={:?} demand={} store[{}]",
+                i,
+                n.alive,
+                n.slots_free,
+                n.queue,
+                n.store.memory_demand(),
+                n.store.debug_state()
+            ));
+        }
+        let recent = self.sink.recent();
+        if !recent.is_empty() {
+            lines.push(format!("last {} trace events:", recent.len()));
+            for ev in &recent {
+                lines.push(format!("  {}", exo_trace::jsonl::event_json(ev)));
+            }
+        }
+        lines
     }
 }
 
@@ -1319,6 +1769,8 @@ impl Simulation for Runtime {
     type Command = RtCommand;
 
     fn on_command(&mut self, ctx: &mut Ctx<'_, RtEvent>, cmd: RtCommand) {
+        self.sink.set_now(ctx.now().as_micros());
+        self.maybe_schedule_sampling(ctx);
         match cmd {
             RtCommand::Submit { spec, reply } => {
                 let ids = self.submit(ctx, spec);
@@ -1371,12 +1823,21 @@ impl Simulation for Runtime {
                     if !self.objects[&o].available() {
                         self.ensure_available(ctx, o);
                     }
-                    self.objects.get_mut(&o).expect("ensured").waiting_waiters.push(wid);
+                    self.objects
+                        .get_mut(&o)
+                        .expect("ensured")
+                        .waiting_waiters
+                        .push(wid);
                 }
                 self.waiters.insert(wid, Waiter::Get { objs, reply });
                 self.check_waiter(ctx, wid);
             }
-            RtCommand::Wait { objs, num_ready, timeout, reply } => {
+            RtCommand::Wait {
+                objs,
+                num_ready,
+                timeout,
+                reply,
+            } => {
                 let wid = self.next_waiter;
                 self.next_waiter += 1;
                 let num_ready = num_ready.min(objs.len());
@@ -1385,9 +1846,20 @@ impl Simulation for Runtime {
                     if !self.objects[&o].available() {
                         self.ensure_available(ctx, o);
                     }
-                    self.objects.get_mut(&o).expect("ensured").waiting_waiters.push(wid);
+                    self.objects
+                        .get_mut(&o)
+                        .expect("ensured")
+                        .waiting_waiters
+                        .push(wid);
                 }
-                self.waiters.insert(wid, Waiter::Wait { objs, num_ready, reply });
+                self.waiters.insert(
+                    wid,
+                    Waiter::Wait {
+                        objs,
+                        num_ready,
+                        reply,
+                    },
+                );
                 if let Some(t) = timeout {
                     ctx.schedule(t, RtEvent::WaitDeadline { waiter: wid });
                 }
@@ -1414,8 +1886,19 @@ impl Simulation for Runtime {
                     .unwrap_or_default();
                 ctx.reply(reply, locs);
             }
-            RtCommand::KillNode { node, at, restart_after, reply } => {
-                ctx.schedule_at(at, RtEvent::KillNode { node, restart_after });
+            RtCommand::KillNode {
+                node,
+                at,
+                restart_after,
+                reply,
+            } => {
+                ctx.schedule_at(
+                    at,
+                    RtEvent::KillNode {
+                        node,
+                        restart_after,
+                    },
+                );
                 ctx.reply(reply, ());
             }
             RtCommand::KillExecutors { node, at, reply } => {
@@ -1437,64 +1920,21 @@ impl Simulation for Runtime {
         // Deadlock diagnostic: dump what is stuck before the engine gives
         // up. This only runs on a runtime bug or an impossible program.
         eprintln!("=== runtime stalled at deadlock ===");
-        let mut by_state: HashMap<&'static str, usize> = HashMap::new();
-        let mut shown = 0;
-        for (id, t) in &self.tasks {
-            let k = match t.state {
-                TaskState::WaitingArgs => "WaitingArgs",
-                TaskState::Queued => "Queued",
-                TaskState::Running => "Running",
-                TaskState::Done => "Done",
-            };
-            *by_state.entry(k).or_default() += 1;
-            if t.state != TaskState::Done && shown < 10 {
-                shown += 1;
-                eprintln!(
-                    "  {:?} state={:?} node={:?} unstaged={} outputs_pending={} cpu_done={} slot_held={}",
-                    id,
-                    k,
-                    t.node,
-                    t.unstaged.len(),
-                    t.outputs_pending,
-                    t.cpu_done,
-                    t.slot_held
-                );
-            }
-        }
-        eprintln!("  task states: {:?}", by_state);
-        for (wid, w) in &self.waiters {
-            match w {
-                Waiter::Get { objs, .. } => {
-                    let missing: Vec<_> = objs
-                        .iter()
-                        .filter(|o| !self.objects.get(o).map(|e| e.available()).unwrap_or(false))
-                        .collect();
-                    eprintln!("  get waiter {wid}: missing {missing:?}");
-                }
-                Waiter::Wait { objs, num_ready, .. } => {
-                    let ready = objs
-                        .iter()
-                        .filter(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false))
-                        .count();
-                    eprintln!("  wait waiter {wid}: {ready}/{num_ready} of {} ready", objs.len());
-                }
-            }
-        }
-        for (i, n) in self.nodes.iter().enumerate() {
-            eprintln!(
-                "  node{} alive={} slots_free={} queue={:?} demand={} store[{}]",
-                i,
-                n.alive,
-                n.slots_free,
-                n.queue,
-                n.store.memory_demand(),
-                n.store.debug_state()
-            );
+        for line in self.stall_report() {
+            eprintln!("  {line}");
         }
         false
     }
 
+    fn deadlock_report(&self) -> Vec<String> {
+        self.stall_report()
+    }
+
     fn on_event(&mut self, ctx: &mut Ctx<'_, RtEvent>, ev: RtEvent) {
+        self.sink.set_now(ctx.now().as_micros());
+        if !matches!(ev, RtEvent::SampleResources) {
+            self.maybe_schedule_sampling(ctx);
+        }
         match ev {
             RtEvent::TaskInputDone { task, epoch } => {
                 if self.tasks.get(&task).map(|e| e.epoch) == Some(epoch) {
@@ -1531,7 +1971,12 @@ impl Simulation for Runtime {
                 let idx = self
                     .tasks
                     .get(&task)
-                    .map(|e| e.outputs.iter().position(|o| *o == obj).expect("output of task"))
+                    .map(|e| {
+                        e.outputs
+                            .iter()
+                            .position(|o| *o == obj)
+                            .expect("output of task")
+                    })
                     .expect("task exists");
                 self.seal_output(ctx, task, idx);
             }
@@ -1557,7 +2002,13 @@ impl Simulation for Runtime {
                 self.pump_store(ctx, node);
                 self.pump_node(ctx, node);
             }
-            RtEvent::FetchDone { node, obj, src, src_epoch, epoch } => {
+            RtEvent::FetchDone {
+                node,
+                obj,
+                src,
+                src_epoch,
+                epoch,
+            } => {
                 if self.nodes[node.0].epoch != epoch || !self.nodes[node.0].alive {
                     return;
                 }
@@ -1602,7 +2053,10 @@ impl Simulation for Runtime {
             RtEvent::SleepDone { reply } => {
                 ctx.reply(reply, ());
             }
-            RtEvent::KillNode { node, restart_after } => {
+            RtEvent::KillNode {
+                node,
+                restart_after,
+            } => {
                 self.kill_node(ctx, node);
                 if let Some(d) = restart_after {
                     ctx.schedule(d, RtEvent::RestartNode { node });
@@ -1613,6 +2067,10 @@ impl Simulation for Runtime {
             }
             RtEvent::RestartNode { node } => {
                 self.restart_node(ctx, node);
+            }
+            RtEvent::SampleResources => {
+                self.sampling_scheduled = false;
+                self.emit_resource_samples(ctx.now());
             }
         }
     }

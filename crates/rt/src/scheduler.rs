@@ -5,6 +5,12 @@
 //! and the node-affinity API the paper adds for push-based shuffle. We
 //! implement placement as a pure function over a load/locality snapshot so
 //! the policy is unit-testable without the full runtime.
+//!
+//! Each decision also reports *why* the node was chosen
+//! ([`PlaceReason`]) so task traces can show locality hits vs. affinity
+//! fallbacks vs. spread placements.
+
+use exo_trace::PlaceReason;
 
 use crate::ids::NodeId;
 use crate::task::SchedulingStrategy;
@@ -22,31 +28,31 @@ pub struct NodeSnapshot {
     pub local_arg_bytes: u64,
 }
 
-/// Pick a node for a task. `rr` is a round-robin cursor advanced on
-/// spread placements. Returns `None` only if no node is alive.
+/// Pick a node for a task and report why it was chosen. `rr` is a
+/// round-robin cursor advanced on spread placements. Returns `None` only
+/// if no node is alive.
 pub fn place(
     strategy: SchedulingStrategy,
     nodes: &[NodeSnapshot],
     rr: &mut usize,
-) -> Option<NodeId> {
+) -> Option<(NodeId, PlaceReason)> {
     let alive = || nodes.iter().filter(|n| n.alive);
-    if alive().next().is_none() {
-        return None;
-    }
+    alive().next()?;
     match strategy {
         SchedulingStrategy::NodeAffinity(node) => {
             // Soft affinity: fall through to default if the node is dead.
             if nodes.iter().any(|n| n.id == node && n.alive) {
-                Some(node)
+                Some((node, PlaceReason::Affinity))
             } else {
                 place(SchedulingStrategy::Default, nodes, rr)
+                    .map(|(id, _)| (id, PlaceReason::AffinityFallback))
             }
         }
         SchedulingStrategy::Spread => {
             let alive_nodes: Vec<&NodeSnapshot> = alive().collect();
             let pick = alive_nodes[*rr % alive_nodes.len()];
             *rr += 1;
-            Some(pick.id)
+            Some((pick.id, PlaceReason::Spread))
         }
         SchedulingStrategy::Default => {
             // Locality first: most local argument bytes; ties and the
@@ -59,7 +65,12 @@ pub fn place(
                         .then(b.id.cmp(&a.id))
                 })
                 .expect("alive checked");
-            Some(best.id)
+            let reason = if best.local_arg_bytes > 0 {
+                PlaceReason::LocalityHit
+            } else {
+                PlaceReason::LeastLoaded
+            };
+            Some((best.id, reason))
         }
     }
 }
@@ -69,29 +80,56 @@ mod tests {
     use super::*;
 
     fn snap(id: usize, alive: bool, load: usize, local: u64) -> NodeSnapshot {
-        NodeSnapshot { id: NodeId(id), alive, load, local_arg_bytes: local }
+        NodeSnapshot {
+            id: NodeId(id),
+            alive,
+            load,
+            local_arg_bytes: local,
+        }
     }
 
     #[test]
     fn default_prefers_locality() {
-        let nodes = [snap(0, true, 0, 10), snap(1, true, 5, 500), snap(2, true, 0, 100)];
+        let nodes = [
+            snap(0, true, 0, 10),
+            snap(1, true, 5, 500),
+            snap(2, true, 0, 100),
+        ];
         let mut rr = 0;
-        assert_eq!(place(SchedulingStrategy::Default, &nodes, &mut rr), Some(NodeId(1)));
+        assert_eq!(
+            place(SchedulingStrategy::Default, &nodes, &mut rr),
+            Some((NodeId(1), PlaceReason::LocalityHit))
+        );
     }
 
     #[test]
     fn default_breaks_locality_ties_by_load() {
-        let nodes = [snap(0, true, 9, 0), snap(1, true, 2, 0), snap(2, true, 5, 0)];
+        let nodes = [
+            snap(0, true, 9, 0),
+            snap(1, true, 2, 0),
+            snap(2, true, 5, 0),
+        ];
         let mut rr = 0;
-        assert_eq!(place(SchedulingStrategy::Default, &nodes, &mut rr), Some(NodeId(1)));
+        assert_eq!(
+            place(SchedulingStrategy::Default, &nodes, &mut rr),
+            Some((NodeId(1), PlaceReason::LeastLoaded))
+        );
     }
 
     #[test]
     fn spread_round_robins_over_alive_nodes() {
-        let nodes = [snap(0, true, 0, 0), snap(1, false, 0, 0), snap(2, true, 0, 0)];
+        let nodes = [
+            snap(0, true, 0, 0),
+            snap(1, false, 0, 0),
+            snap(2, true, 0, 0),
+        ];
         let mut rr = 0;
         let picks: Vec<_> = (0..4)
-            .map(|_| place(SchedulingStrategy::Spread, &nodes, &mut rr).unwrap())
+            .map(|_| {
+                place(SchedulingStrategy::Spread, &nodes, &mut rr)
+                    .unwrap()
+                    .0
+            })
             .collect();
         assert_eq!(picks, [NodeId(0), NodeId(2), NodeId(0), NodeId(2)]);
     }
@@ -102,12 +140,12 @@ mod tests {
         let mut rr = 0;
         assert_eq!(
             place(SchedulingStrategy::NodeAffinity(NodeId(1)), &nodes, &mut rr),
-            Some(NodeId(0)),
+            Some((NodeId(0), PlaceReason::AffinityFallback)),
             "dead affinity target falls back"
         );
         assert_eq!(
             place(SchedulingStrategy::NodeAffinity(NodeId(0)), &nodes, &mut rr),
-            Some(NodeId(0))
+            Some((NodeId(0), PlaceReason::Affinity))
         );
     }
 

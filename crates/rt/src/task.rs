@@ -40,7 +40,10 @@ pub struct CpuCost {
 impl CpuCost {
     /// Only a fixed cost.
     pub fn fixed(d: SimDuration) -> CpuCost {
-        CpuCost { fixed: d, ..Default::default() }
+        CpuCost {
+            fixed: d,
+            ..Default::default()
+        }
     }
 
     /// Cost proportional to input bytes, at `bytes_per_sec` processing

@@ -57,15 +57,11 @@ fn multiple_returns_route_separately() {
             .num_returns(2)
             .submit();
         let l = rt
-            .task(|ctx: TaskCtx| {
-                vec![Payload::inline(ctx.args[0].data.clone())]
-            })
+            .task(|ctx: TaskCtx| vec![Payload::inline(ctx.args[0].data.clone())])
             .arg(&outs[0])
             .submit_one();
         let r = rt
-            .task(|ctx: TaskCtx| {
-                vec![Payload::inline(ctx.args[0].data.clone())]
-            })
+            .task(|ctx: TaskCtx| vec![Payload::inline(ctx.args[0].data.clone())])
             .arg(&outs[1])
             .submit_one();
         (
@@ -113,7 +109,10 @@ fn serial_when_single_slot_bound() {
         rt.wait_all(&refs);
     });
     let t = report.end_time.as_secs_f64();
-    assert!((1.9..2.6).contains(&t), "expected ~2s (two slot rounds), got {t}s");
+    assert!(
+        (1.9..2.6).contains(&t),
+        "expected ~2s (two slot rounds), got {t}s"
+    );
 }
 
 #[test]
@@ -189,13 +188,20 @@ fn locality_scheduling_avoids_network() {
         rt.wait_all(std::slice::from_ref(&a));
         // Default strategy should colocate with the (large) argument.
         let b = rt
-            .task(|ctx: TaskCtx| vec![Payload::inline(Bytes::copy_from_slice(&ctx.args[0].data[..1]))])
+            .task(|ctx: TaskCtx| {
+                vec![Payload::inline(Bytes::copy_from_slice(
+                    &ctx.args[0].data[..1],
+                ))]
+            })
             .arg(&a)
             .submit_one();
         rt.get_one(&b).unwrap();
         rt.locations(&a)
     });
-    assert_eq!(report.metrics.net_bytes, 0, "locality should avoid any transfer");
+    assert_eq!(
+        report.metrics.net_bytes, 0,
+        "locality should avoid any transfer"
+    );
 }
 
 #[test]
@@ -248,7 +254,11 @@ fn dropped_refs_avoid_spilling() {
 fn generator_outputs_become_available_progressively() {
     let (_report, (first_ready_at, all_done_at)) = exo_rt::run(small_cluster(1), |rt| {
         let outs = rt
-            .task(|_ctx| (0..10).map(|i| Payload::inline(Bytes::from(vec![i as u8]))).collect())
+            .task(|_ctx| {
+                (0..10)
+                    .map(|i| Payload::inline(Bytes::from(vec![i as u8])))
+                    .collect()
+            })
             .num_returns(10)
             .generator()
             .cpu(CpuCost::fixed(SimDuration::from_secs(10)))
@@ -276,7 +286,11 @@ fn node_failure_recovers_via_lineage() {
             .cpu(CpuCost::fixed(SimDuration::from_secs(1)))
             .submit_one();
         rt.wait_all(std::slice::from_ref(&a));
-        rt.kill_node(exo_rt::NodeId(1), rt.now() + SimDuration::from_secs(1), Some(SimDuration::from_secs(30)));
+        rt.kill_node(
+            exo_rt::NodeId(1),
+            rt.now() + SimDuration::from_secs(1),
+            Some(SimDuration::from_secs(30)),
+        );
         rt.sleep(SimDuration::from_secs(5)); // let the failure land
         let b = rt
             .task(|ctx: TaskCtx| vec![Payload::inline(Bytes::from(vec![ctx.args[0].data[0]]))])
@@ -287,7 +301,10 @@ fn node_failure_recovers_via_lineage() {
     });
     assert_eq!(v, 9);
     assert_eq!(report.metrics.node_failures, 1);
-    assert!(report.metrics.tasks_reexecuted >= 1, "lineage reconstruction should re-run the producer");
+    assert!(
+        report.metrics.tasks_reexecuted >= 1,
+        "lineage reconstruction should re-run the producer"
+    );
 }
 
 #[test]
@@ -298,7 +315,11 @@ fn get_after_failure_reconstructs_directly() {
             .on_node(exo_rt::NodeId(2))
             .submit_one();
         rt.wait_all(std::slice::from_ref(&a));
-        rt.kill_node(exo_rt::NodeId(2), rt.now() + SimDuration::from_millis(1), None);
+        rt.kill_node(
+            exo_rt::NodeId(2),
+            rt.now() + SimDuration::from_millis(1),
+            None,
+        );
         rt.sleep(SimDuration::from_secs(1));
         rt.get_one(&a).unwrap().data[0]
     });
@@ -311,17 +332,26 @@ fn deterministic_rng_makes_reconstruction_idempotent() {
         let a = rt
             .task(|ctx: TaskCtx| {
                 let mut rng = ctx.rng;
-                vec![Payload::inline(Bytes::from(vec![rng.next_below(250) as u8]))]
+                vec![Payload::inline(Bytes::from(
+                    vec![rng.next_below(250) as u8],
+                ))]
             })
             .on_node(exo_rt::NodeId(1))
             .submit_one();
         let first = rt.get_one(&a).unwrap().data[0];
-        rt.kill_node(exo_rt::NodeId(1), rt.now() + SimDuration::from_millis(1), None);
+        rt.kill_node(
+            exo_rt::NodeId(1),
+            rt.now() + SimDuration::from_millis(1),
+            None,
+        );
         rt.sleep(SimDuration::from_secs(1));
         let second = rt.get_one(&a).unwrap().data[0];
         (first, second)
     });
-    assert_eq!(first, second, "re-execution must reproduce identical output");
+    assert_eq!(
+        first, second,
+        "re-execution must reproduce identical output"
+    );
 }
 
 #[test]
@@ -363,7 +393,9 @@ fn input_and_output_disk_charges_extend_runtime() {
 #[test]
 fn metrics_count_tasks() {
     let (report, _) = exo_rt::run(small_cluster(2), |rt| {
-        let refs: Vec<_> = (0..10).map(|_| rt.task(const_task(vec![0])).submit_one()).collect();
+        let refs: Vec<_> = (0..10)
+            .map(|_| rt.task(const_task(vec![0])).submit_one())
+            .collect();
         rt.wait_all(&refs);
     });
     assert_eq!(report.metrics.tasks_completed, 10);
@@ -430,7 +462,9 @@ fn prefetch_off_serialises_fetch_with_execution() {
                 .iter()
                 .map(|p| {
                     rt.task(|ctx: TaskCtx| {
-                        vec![Payload::inline(Bytes::copy_from_slice(&ctx.args[0].data[..1]))]
+                        vec![Payload::inline(Bytes::copy_from_slice(
+                            &ctx.args[0].data[..1],
+                        ))]
                     })
                     .arg(p)
                     .on_node(exo_rt::NodeId(1))
@@ -446,7 +480,10 @@ fn prefetch_off_serialises_fetch_with_execution() {
     let (t_nopre, n2) = run(false);
     assert_eq!(n1, 8);
     assert_eq!(n2, 8);
-    assert!(t_pre <= t_nopre, "prefetch {t_pre} should not lose to no-prefetch {t_nopre}");
+    assert!(
+        t_pre <= t_nopre,
+        "prefetch {t_pre} should not lose to no-prefetch {t_nopre}"
+    );
 }
 
 #[test]
@@ -473,13 +510,16 @@ fn store_overcommit_keeps_oversized_working_sets_live() {
             .submit_one();
         u64::from_le_bytes(rt.get_one(&all).unwrap().data[..8].try_into().unwrap())
     });
-    assert_eq!(v, 0 + 1 + 2 + 3);
+    assert_eq!(v, (0..4).sum::<u64>());
 }
 
 #[test]
 fn locations_reports_copy_sites() {
     let (_report, (locs_before, locs_after)) = exo_rt::run(small_cluster(3), |rt| {
-        let a = rt.task(const_task(vec![1u8; 512])).on_node(exo_rt::NodeId(0)).submit_one();
+        let a = rt
+            .task(const_task(vec![1u8; 512]))
+            .on_node(exo_rt::NodeId(0))
+            .submit_one();
         rt.wait_all(std::slice::from_ref(&a));
         let before = rt.locations(&a);
         // Consume it on node 2: a copy should appear there.
@@ -492,7 +532,10 @@ fn locations_reports_copy_sites() {
         (before, rt.locations(&a))
     });
     assert_eq!(locs_before, vec![exo_rt::NodeId(0)]);
-    assert!(locs_after.contains(&exo_rt::NodeId(2)), "copy site missing: {locs_after:?}");
+    assert!(
+        locs_after.contains(&exo_rt::NodeId(2)),
+        "copy site missing: {locs_after:?}"
+    );
 }
 
 #[test]
@@ -512,15 +555,16 @@ fn no_fusing_config_spills_per_object() {
     cfg.fuse_spill_writes = false;
     let (report, _) = exo_rt::run(cfg, |rt| {
         let refs: Vec<_> = (0..16)
-            .map(|_| {
-                rt.task(|_ctx| vec![Payload::ghost(200_000)]).submit_one()
-            })
+            .map(|_| rt.task(|_ctx| vec![Payload::ghost(200_000)]).submit_one())
             .collect();
         rt.wait_all(&refs);
         refs.len()
     });
     let m = &report.metrics.store;
-    assert!(m.spill_files >= m.spilled_objects, "one file per object without fusing: {m:?}");
+    assert!(
+        m.spill_files >= m.spilled_objects,
+        "one file per object without fusing: {m:?}"
+    );
 }
 
 #[test]
@@ -539,7 +583,10 @@ fn executor_failure_loses_no_objects() {
     });
     assert_eq!(v, 3);
     assert_eq!(report.metrics.executor_failures, 1);
-    assert_eq!(report.metrics.tasks_reexecuted, 0, "objects survive executor death");
+    assert_eq!(
+        report.metrics.tasks_reexecuted, 0,
+        "objects survive executor death"
+    );
 }
 
 #[test]

@@ -131,7 +131,10 @@ impl NodeSpec {
                 seek: SimDuration::from_micros(500),
                 per_op: SimDuration::from_micros(50),
             },
-            nic: NicSpec { bw: 12.5e9 / 8.0, latency: SimDuration::from_micros(150) },
+            nic: NicSpec {
+                bw: 12.5e9 / 8.0,
+                latency: SimDuration::from_micros(150),
+            },
         }
     }
 
@@ -148,7 +151,10 @@ impl NodeSpec {
                 seek: SimDuration::from_micros(60),
                 per_op: SimDuration::from_micros(20),
             },
-            nic: NicSpec { bw: 20.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+            nic: NicSpec {
+                bw: 20.0e9 / 8.0,
+                latency: SimDuration::from_micros(150),
+            },
         }
     }
 
@@ -165,7 +171,10 @@ impl NodeSpec {
                 seek: SimDuration::from_micros(60),
                 per_op: SimDuration::from_micros(20),
             },
-            nic: NicSpec { bw: 5.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+            nic: NicSpec {
+                bw: 5.0e9 / 8.0,
+                latency: SimDuration::from_micros(150),
+            },
         }
     }
 
@@ -182,7 +191,10 @@ impl NodeSpec {
                 seek: SimDuration::from_micros(100),
                 per_op: SimDuration::from_micros(30),
             },
-            nic: NicSpec { bw: 10.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+            nic: NicSpec {
+                bw: 10.0e9 / 8.0,
+                latency: SimDuration::from_micros(150),
+            },
         }
     }
 
@@ -191,7 +203,7 @@ impl NodeSpec {
     pub fn sc1_microbench_node() -> NodeSpec {
         NodeSpec {
             cpus: 8,
-            object_store_bytes: 1 * GIB, // the experiment's 1 GB store
+            object_store_bytes: GIB, // the experiment's 1 GB store
             heap_bytes: 16 * GIB,
             disk: DiskSpec {
                 devices: 1,
@@ -199,7 +211,10 @@ impl NodeSpec {
                 seek: SimDuration::from_millis(12),
                 per_op: SimDuration::from_micros(100),
             },
-            nic: NicSpec { bw: 10.0e9 / 8.0, latency: SimDuration::from_micros(150) },
+            nic: NicSpec {
+                bw: 10.0e9 / 8.0,
+                latency: SimDuration::from_micros(150),
+            },
         }
     }
 }

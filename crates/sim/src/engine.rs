@@ -73,6 +73,14 @@ pub trait Simulation: Sized {
     fn on_stalled(&mut self, _ctx: &mut Ctx<'_, Self::Event>) -> bool {
         false
     }
+
+    /// Diagnostic lines attached to the [`Deadlock`] error when the stall
+    /// is final. Implementations can report pending driver calls, stuck
+    /// task state, and recently traced events; the default reports
+    /// nothing.
+    fn deadlock_report(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Handler context: the current time plus scheduling and reply capabilities.
@@ -110,12 +118,15 @@ impl<'a, E> Ctx<'a, E> {
 
 /// All drivers parked with no way to make progress — a bug in the driver
 /// program or the simulation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Deadlock {
     /// Virtual time at which the deadlock was detected.
     pub at: SimTime,
     /// Number of drivers left parked.
     pub parked_drivers: u64,
+    /// Diagnostic lines from [`Simulation::deadlock_report`]: pending
+    /// driver calls, stuck task/node state, recent trace events.
+    pub detail: Vec<String>,
 }
 
 impl std::fmt::Display for Deadlock {
@@ -124,7 +135,11 @@ impl std::fmt::Display for Deadlock {
             f,
             "virtual-time deadlock at {}: {} driver(s) parked, no events pending",
             self.at, self.parked_drivers
-        )
+        )?;
+        for line in &self.detail {
+            write!(f, "\n  {line}")?;
+        }
+        Ok(())
     }
 }
 
@@ -159,7 +174,9 @@ struct ConnInner<C> {
 
 impl<C> Clone for DriverConn<C> {
     fn clone(&self) -> Self {
-        DriverConn { inner: self.inner.clone() }
+        DriverConn {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -168,12 +185,16 @@ impl<C: Send + 'static> DriverConn<C> {
     /// simulation answers.
     pub fn call<T>(&self, make: impl FnOnce(Reply<T>) -> C) -> T {
         let (tx, rx) = bounded(1);
-        let cmd = make(Reply { driver: self.inner.id, tx });
+        let cmd = make(Reply {
+            driver: self.inner.id,
+            tx,
+        });
         self.inner
             .tx
             .send(EngineMsg::Cmd(cmd))
             .expect("engine terminated while driver still issuing commands");
-        rx.recv().expect("engine dropped a pending reply (simulation bug or deadlock)")
+        rx.recv()
+            .expect("engine dropped a pending reply (simulation bug or deadlock)")
     }
 
     /// Post a command without waiting for a reply (for RAII releases and
@@ -205,7 +226,10 @@ pub struct DriverSpawner<C> {
 
 impl<C> Clone for DriverSpawner<C> {
     fn clone(&self) -> Self {
-        DriverSpawner { tx: self.tx.clone(), next_id: self.next_id.clone() }
+        DriverSpawner {
+            tx: self.tx.clone(),
+            next_id: self.next_id.clone(),
+        }
     }
 }
 
@@ -213,9 +237,17 @@ impl<C: Send + 'static> DriverSpawner<C> {
     /// Attach a new driver; the returned connection should move to exactly
     /// one thread.
     pub fn connect(&self) -> DriverConn<C> {
-        let id = DriverId(self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+        let id = DriverId(
+            self.next_id
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
         self.tx.send(EngineMsg::Attach).expect("engine terminated");
-        DriverConn { inner: std::sync::Arc::new(ConnInner { id, tx: self.tx.clone() }) }
+        DriverConn {
+            inner: std::sync::Arc::new(ConnInner {
+                id,
+                tx: self.tx.clone(),
+            }),
+        }
     }
 }
 
@@ -295,7 +327,7 @@ impl<S: Simulation> Engine<S> {
                 debug_assert!(t >= self.now, "time went backwards");
                 self.now = t;
                 self.events_processed += 1;
-                if self.trace && self.events_processed % 20_000 == 0 {
+                if self.trace && self.events_processed.is_multiple_of(20_000) {
                     eprintln!(
                         "[exo-sim] {} events, {} commands, vtime {}, queue {}",
                         self.events_processed,
@@ -305,16 +337,28 @@ impl<S: Simulation> Engine<S> {
                     );
                 }
                 let mut woken = 0;
-                let mut ctx = Ctx { now: self.now, queue: &mut self.queue, woken: &mut woken };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    queue: &mut self.queue,
+                    woken: &mut woken,
+                };
                 self.sim.on_event(&mut ctx, ev);
                 self.running += woken;
             } else {
                 let mut woken = 0;
-                let mut ctx = Ctx { now: self.now, queue: &mut self.queue, woken: &mut woken };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    queue: &mut self.queue,
+                    woken: &mut woken,
+                };
                 let progressed = self.sim.on_stalled(&mut ctx);
                 self.running += woken;
                 if !progressed && woken == 0 {
-                    let deadlock = Deadlock { at: self.now, parked_drivers: self.live };
+                    let deadlock = Deadlock {
+                        at: self.now,
+                        parked_drivers: self.live,
+                        detail: self.sim.deadlock_report(),
+                    };
                     // Dropping the simulation drops every pending `Reply`
                     // sender, waking parked drivers with a channel error so
                     // nothing hangs.
@@ -339,24 +383,30 @@ impl<S: Simulation> Engine<S> {
             EngineMsg::Post(cmd) => {
                 self.commands_processed += 1;
                 let mut woken = 0;
-                let mut ctx = Ctx { now: self.now, queue: &mut self.queue, woken: &mut woken };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    queue: &mut self.queue,
+                    woken: &mut woken,
+                };
                 self.sim.on_command(&mut ctx, cmd);
                 self.running += woken;
             }
             EngineMsg::Cmd(cmd) => {
                 // The sender is now parked in `call`.
                 self.commands_processed += 1;
-                if self.trace && self.commands_processed % 20_000 == 0 {
+                if self.trace && self.commands_processed.is_multiple_of(20_000) {
                     eprintln!(
                         "[exo-sim] {} commands, {} events, vtime {}",
-                        self.commands_processed,
-                        self.events_processed,
-                        self.now
+                        self.commands_processed, self.events_processed, self.now
                     );
                 }
                 self.running -= 1;
                 let mut woken = 0;
-                let mut ctx = Ctx { now: self.now, queue: &mut self.queue, woken: &mut woken };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    queue: &mut self.queue,
+                    woken: &mut woken,
+                };
                 self.sim.on_command(&mut ctx, cmd);
                 self.running += woken;
             }
@@ -518,5 +568,45 @@ mod tests {
             run_with_driver(BlackHole { parked: Vec::new() }, |conn| conn.call(|r| r))
         }));
         assert!(result.is_err(), "expected deadlock panic");
+    }
+
+    /// Like BlackHole, but explains itself — the report must reach the
+    /// deadlock panic message.
+    struct TalkativeBlackHole {
+        parked: Vec<Reply<()>>,
+    }
+    impl Simulation for TalkativeBlackHole {
+        type Event = ();
+        type Command = Reply<()>;
+        fn on_command(&mut self, _ctx: &mut Ctx<'_, ()>, cmd: Reply<()>) {
+            self.parked.push(cmd);
+        }
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, ()>, _ev: ()) {}
+        fn deadlock_report(&self) -> Vec<String> {
+            vec![format!(
+                "{} call(s) parked in the black hole",
+                self.parked.len()
+            )]
+        }
+    }
+
+    #[test]
+    fn deadlock_panic_carries_the_simulation_report() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with_driver(TalkativeBlackHole { parked: Vec::new() }, |conn| {
+                conn.call(|r| r)
+            })
+        }));
+        let payload = match result {
+            Err(p) => p,
+            Ok(_) => panic!("expected deadlock panic"),
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert!(msg.contains("virtual-time deadlock"), "{msg}");
+        assert!(msg.contains("1 call(s) parked in the black hole"), "{msg}");
     }
 }

@@ -50,7 +50,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `event` to fire at absolute time `at`.

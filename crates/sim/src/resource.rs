@@ -53,6 +53,12 @@ pub struct Resource {
     ops: u64,
     /// Accumulated busy time across servers (for utilisation metrics).
     busy: SimDuration,
+    /// When true, record per-op completion times so [`Resource::pending_at`]
+    /// can report queue depth / bytes in flight. Off by default — resource
+    /// sampling is a tracing feature and untraced runs must not grow state.
+    track_pending: bool,
+    /// `(completion_time, size)` per tracked op, pruned lazily.
+    pending: Vec<(SimTime, u64)>,
 }
 
 impl Resource {
@@ -76,7 +82,29 @@ impl Resource {
             bytes: 0,
             ops: 0,
             busy: SimDuration::ZERO,
+            track_pending: false,
+            pending: Vec::new(),
         }
+    }
+
+    /// Enable or disable pending-op tracking (used by resource sampling).
+    pub fn set_tracking(&mut self, on: bool) {
+        self.track_pending = on;
+        if !on {
+            self.pending = Vec::new();
+        }
+    }
+
+    fn record_pending(&mut self, now: SimTime, end: SimTime, size: u64) {
+        if !self.track_pending {
+            return;
+        }
+        // Amortised prune: drop completed ops once the list gets long so
+        // long traced runs stay bounded.
+        if self.pending.len() >= 4096 {
+            self.pending.retain(|&(t, _)| t > now);
+        }
+        self.pending.push((end, size));
     }
 
     /// Service time of an op in isolation (no queueing).
@@ -109,6 +137,7 @@ impl Resource {
         self.bytes += size;
         self.ops += 1;
         self.busy += service;
+        self.record_pending(now, end, size);
         end
     }
 
@@ -126,6 +155,7 @@ impl Resource {
         self.free_at[idx] = end;
         self.ops += 1;
         self.busy += dur;
+        self.record_pending(now, end, 0);
         end
     }
 
@@ -136,6 +166,22 @@ impl Resource {
         for t in &mut self.free_at {
             *t = now;
         }
+        self.pending.clear();
+    }
+
+    /// `(ops_in_flight, bytes_in_flight)` at `now` — ops submitted but not
+    /// yet complete. Always `(0, 0)` unless tracking was enabled with
+    /// [`Resource::set_tracking`].
+    pub fn pending_at(&self, now: SimTime) -> (u32, u64) {
+        let mut ops = 0u32;
+        let mut bytes = 0u64;
+        for &(end, size) in &self.pending {
+            if end > now {
+                ops += 1;
+                bytes += size;
+            }
+        }
+        (ops, bytes)
     }
 
     /// Earliest time any server is free (≥ `now` means fully busy).
@@ -238,6 +284,20 @@ mod tests {
         assert_eq!(d.bytes_served(), 3000);
         assert_eq!(d.ops_served(), 2);
         assert!(d.busy_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pending_tracking_reports_in_flight_ops() {
+        let mut d = disk();
+        // Untracked: always (0, 0).
+        d.submit(SimTime::ZERO, 1_000_000, IoKind::Sequential);
+        assert_eq!(d.pending_at(SimTime::ZERO), (0, 0));
+        d.set_tracking(true);
+        let end = d.submit(SimTime::ZERO, 100_000_000, IoKind::Sequential);
+        let (ops, bytes) = d.pending_at(SimTime::ZERO);
+        assert_eq!((ops, bytes), (1, 100_000_000));
+        // After completion nothing is in flight.
+        assert_eq!(d.pending_at(end), (0, 0));
     }
 
     #[test]

@@ -16,7 +16,9 @@ impl RangePartitioner {
     /// Partitioner over `partitions` output ranges.
     pub fn new(partitions: usize) -> Self {
         assert!(partitions >= 1, "need at least one partition");
-        RangePartitioner { partitions: partitions as u64 }
+        RangePartitioner {
+            partitions: partitions as u64,
+        }
     }
 
     /// Number of partitions.

@@ -21,14 +21,21 @@ pub struct SortCheck {
 /// boundaries, record count and content checksum.
 pub fn validate_sorted(spec: &SortSpec, outputs: &[Payload]) -> Result<SortCheck, String> {
     if outputs.len() != spec.num_reduces {
-        return Err(format!("expected {} partitions, got {}", spec.num_reduces, outputs.len()));
+        return Err(format!(
+            "expected {} partitions, got {}",
+            spec.num_reduces,
+            outputs.len()
+        ));
     }
     let mut records = 0u64;
     let mut sum = 0u64;
     let mut prev_last: Option<Vec<u8>> = None;
     for (r, p) in outputs.iter().enumerate() {
         if p.data.len() % RECORD_SIZE != 0 {
-            return Err(format!("partition {r}: ragged buffer of {} bytes", p.data.len()));
+            return Err(format!(
+                "partition {r}: ragged buffer of {} bytes",
+                p.data.len()
+            ));
         }
         if !is_sorted(&p.data) {
             return Err(format!("partition {r} is not internally sorted"));
@@ -55,12 +62,17 @@ pub fn validate_sorted(spec: &SortSpec, outputs: &[Payload]) -> Result<SortCheck
         in_sum = in_sum.wrapping_add(checksum(&recs));
     }
     if records != in_records {
-        return Err(format!("record count mismatch: output {records}, input {in_records}"));
+        return Err(format!(
+            "record count mismatch: output {records}, input {in_records}"
+        ));
     }
     if sum != in_sum {
-        return Err(format!("checksum mismatch: records corrupted or duplicated"));
+        return Err("checksum mismatch: records corrupted or duplicated".to_string());
     }
-    Ok(SortCheck { records, checksum: sum })
+    Ok(SortCheck {
+        records,
+        checksum: sum,
+    })
 }
 
 #[cfg(test)]
@@ -70,7 +82,13 @@ mod tests {
     use crate::partition::RangePartitioner;
 
     fn tiny_spec() -> SortSpec {
-        SortSpec { data_bytes: 100 * 400, num_maps: 4, num_reduces: 2, scale: 1, seed: 77 }
+        SortSpec {
+            data_bytes: 100 * 400,
+            num_maps: 4,
+            num_reduces: 2,
+            scale: 1,
+            seed: 77,
+        }
     }
 
     fn correct_outputs(spec: &SortSpec) -> Vec<Payload> {

@@ -2,6 +2,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use exo_trace::{EventKind, ObjectEvent, ObjectPhase, TraceSink};
+
 use crate::metrics::StoreMetrics;
 
 /// Object identifier. The runtime maps its own richer ids onto these.
@@ -187,11 +189,24 @@ pub struct NodeStore<T> {
     failed: Vec<(ObjId, T)>,
     next_file: u64,
     metrics: StoreMetrics,
+    /// Trace sink (shares the runtime's stream when constructed with
+    /// [`NodeStore::with_trace`]; a private disabled sink otherwise). The
+    /// sink carries its own virtual-time clock, so the time-free store
+    /// emits correctly stamped events.
+    sink: TraceSink,
+    /// Node id stamped on emitted object events.
+    node: u32,
 }
 
 impl<T> NodeStore<T> {
-    /// Create an empty store.
+    /// Create an empty store with a private (disabled) trace sink.
     pub fn new(cfg: StoreConfig) -> Self {
+        NodeStore::with_trace(cfg, TraceSink::disabled(), 0)
+    }
+
+    /// Create an empty store that reports object lifecycle events to
+    /// `sink`, stamped with `node`.
+    pub fn with_trace(cfg: StoreConfig, sink: TraceSink, node: u32) -> Self {
         NodeStore {
             cfg,
             slots: HashMap::new(),
@@ -205,13 +220,31 @@ impl<T> NodeStore<T> {
             failed: Vec::new(),
             next_file: 0,
             metrics: StoreMetrics::default(),
+            sink,
+            node,
         }
+    }
+
+    fn emit_obj(&self, id: ObjId, phase: ObjectPhase, bytes: u64) {
+        self.sink.emit(EventKind::Object(ObjectEvent {
+            object: id,
+            phase,
+            node: self.node,
+            src: None,
+            bytes,
+        }));
     }
 
     /// Request memory for a brand-new local object (task output or an
     /// incoming remote/restored copy). On `Granted` the object exists
     /// unsealed with one pin (the creator's).
-    pub fn request_create(&mut self, id: ObjId, size: u64, tag: T, priority: Priority) -> AllocDecision {
+    pub fn request_create(
+        &mut self,
+        id: ObjId,
+        size: u64,
+        tag: T,
+        priority: Priority,
+    ) -> AllocDecision {
         assert!(!self.slots.contains_key(&id), "object {id} already present");
         if size <= self.free() && self.queue_high.is_empty() {
             self.admit(id, size, Residency::Memory { on_disk: false }, false);
@@ -223,7 +256,12 @@ impl<T> NodeStore<T> {
         // to preserve liveness.)
         let can_wait = self.cfg.spill_enabled && size <= self.cfg.capacity;
         if can_wait {
-            let p = Pending { id, size, tag, kind: PendingKind::Create };
+            let p = Pending {
+                id,
+                size,
+                tag,
+                kind: PendingKind::Create,
+            };
             self.queued_bytes += size;
             match priority {
                 Priority::High => self.queue_high.push_back(p),
@@ -239,7 +277,12 @@ impl<T> NodeStore<T> {
         // pinned/queued right now — model Dask's behaviour generously by
         // queueing when current usage (not capacity) is the blocker.
         if size <= self.cfg.capacity && !self.cfg.spill_enabled {
-            let p = Pending { id, size, tag, kind: PendingKind::Create };
+            let p = Pending {
+                id,
+                size,
+                tag,
+                kind: PendingKind::Create,
+            };
             self.queued_bytes += size;
             match priority {
                 Priority::High => self.queue_high.push_back(p),
@@ -253,15 +296,24 @@ impl<T> NodeStore<T> {
     fn admit(&mut self, id: ObjId, size: u64, residency: Residency, sealed: bool) {
         self.used += size;
         self.metrics.peak_used = self.metrics.peak_used.max(self.used);
+        self.emit_obj(id, ObjectPhase::Created, size);
         self.slots.insert(
             id,
-            Slot { size, pins: 1, sealed, residency, doomed: false, ever_on_disk: false },
+            Slot {
+                size,
+                pins: 1,
+                sealed,
+                residency,
+                doomed: false,
+                ever_on_disk: false,
+            },
         );
     }
 
     fn admit_fallback(&mut self, id: ObjId, size: u64) {
         self.metrics.fallback_bytes += size;
         self.metrics.fallback_allocs += 1;
+        self.emit_obj(id, ObjectPhase::Fallback, size);
         self.slots.insert(
             id,
             Slot {
@@ -314,7 +366,9 @@ impl<T> NodeStore<T> {
     /// immediately unless pins hold it, in which case it is doomed and
     /// freed at last unpin.
     pub fn forget(&mut self, id: ObjId) {
-        let Some(slot) = self.slots.get_mut(&id) else { return };
+        let Some(slot) = self.slots.get_mut(&id) else {
+            return;
+        };
         if slot.pins > 0 {
             slot.doomed = true;
             return;
@@ -335,6 +389,7 @@ impl<T> NodeStore<T> {
             }
             Residency::Disk => {}
         }
+        self.emit_obj(id, ObjectPhase::Evicted, slot.size);
     }
 
     /// True if the object has a readable in-memory copy.
@@ -362,7 +417,9 @@ impl<T> NodeStore<T> {
 
     /// Request that a spilled object be brought back to memory.
     pub fn request_restore(&mut self, id: ObjId, tag: T) -> RestoreDecision {
-        let Some(slot) = self.slots.get(&id) else { return RestoreDecision::Lost };
+        let Some(slot) = self.slots.get(&id) else {
+            return RestoreDecision::Lost;
+        };
         match slot.residency {
             Residency::Memory { .. } | Residency::SpillingOut => RestoreDecision::InMemory,
             Residency::Restoring => RestoreDecision::InFlight,
@@ -375,7 +432,12 @@ impl<T> NodeStore<T> {
                     RestoreDecision::Granted
                 } else {
                     self.queued_bytes += size;
-                    self.queue_high.push_back(Pending { id, size, tag, kind: PendingKind::Restore });
+                    self.queue_high.push_back(Pending {
+                        id,
+                        size,
+                        tag,
+                        kind: PendingKind::Restore,
+                    });
                     RestoreDecision::Queued
                 }
             }
@@ -384,12 +446,21 @@ impl<T> NodeStore<T> {
 
     /// Acknowledge a finished restore read.
     pub fn restore_complete(&mut self, id: ObjId) {
-        let slot = self.slots.get_mut(&id).expect("restore_complete of unknown object");
-        assert_eq!(slot.residency, Residency::Restoring, "object {id} was not restoring");
+        let slot = self
+            .slots
+            .get_mut(&id)
+            .expect("restore_complete of unknown object");
+        assert_eq!(
+            slot.residency,
+            Residency::Restoring,
+            "object {id} was not restoring"
+        );
         slot.residency = Residency::Memory { on_disk: true };
         self.metrics.restored_bytes += slot.size;
         self.metrics.restore_ops += 1;
-        if slot.sealed && slot.pins == 0 {
+        let (sealed, pins, size) = (slot.sealed, slot.pins, slot.size);
+        self.emit_obj(id, ObjectPhase::Restored, size);
+        if sealed && pins == 0 {
             self.spill_order.push_back(id);
         }
     }
@@ -414,7 +485,9 @@ impl<T> NodeStore<T> {
             let mut batch_bytes = 0u64;
             let mut postponed = Vec::new();
             while let Some(id) = self.spill_order.pop_front() {
-                let Some(slot) = self.slots.get_mut(&id) else { continue };
+                let Some(slot) = self.slots.get_mut(&id) else {
+                    continue;
+                };
                 if slot.pins > 0 || !slot.sealed {
                     continue; // re-registered at unpin/seal
                 }
@@ -434,7 +507,8 @@ impl<T> NodeStore<T> {
                         batch_bytes += slot.size;
                         batch_objs.push(id);
                         let spilled_enough = batch_bytes >= demand;
-                        let fused_enough = !self.cfg.fuse_enabled || batch_bytes >= self.cfg.fuse_min;
+                        let fused_enough =
+                            !self.cfg.fuse_enabled || batch_bytes >= self.cfg.fuse_min;
                         if fused_enough && spilled_enough {
                             break;
                         }
@@ -456,7 +530,11 @@ impl<T> NodeStore<T> {
                 self.metrics.spilled_objects += batch_objs.len() as u64;
                 let file = self.next_file;
                 self.next_file += 1;
-                return Some(SpillBatch { file, objects: batch_objs, bytes: batch_bytes });
+                return Some(SpillBatch {
+                    file,
+                    objects: batch_objs,
+                    bytes: batch_bytes,
+                });
             }
             if freed_any {
                 self.pump();
@@ -469,11 +547,15 @@ impl<T> NodeStore<T> {
     /// Acknowledge a finished spill write: the batch's memory is freed.
     pub fn spill_complete(&mut self, batch: &SpillBatch) {
         for &id in &batch.objects {
-            let Some(slot) = self.slots.get_mut(&id) else { continue }; // forgotten mid-flight
+            let Some(slot) = self.slots.get_mut(&id) else {
+                continue;
+            }; // forgotten mid-flight
             if slot.residency == Residency::SpillingOut {
                 slot.residency = Residency::Disk;
                 self.used -= slot.size;
                 self.spilling_bytes = self.spilling_bytes.saturating_sub(slot.size);
+                let size = slot.size;
+                self.emit_obj(id, ObjectPhase::Spilled, size);
             }
         }
         self.pump();
@@ -535,7 +617,11 @@ impl<T> NodeStore<T> {
     fn pump(&mut self) {
         loop {
             let from_high = !self.queue_high.is_empty();
-            let queue = if from_high { &mut self.queue_high } else { &mut self.queue_low };
+            let queue = if from_high {
+                &mut self.queue_high
+            } else {
+                &mut self.queue_low
+            };
             let Some(head) = queue.front() else { return };
             if head.size > self.cfg.capacity.saturating_sub(self.used) {
                 // Head does not fit. If nothing can ever free the memory,
@@ -544,7 +630,11 @@ impl<T> NodeStore<T> {
                 if !stuck {
                     return; // spilling in flight or possible; wait
                 }
-                let queue = if from_high { &mut self.queue_high } else { &mut self.queue_low };
+                let queue = if from_high {
+                    &mut self.queue_high
+                } else {
+                    &mut self.queue_low
+                };
                 let p = queue.pop_front().expect("head checked");
                 self.queued_bytes -= p.size;
                 match p.kind {
@@ -563,7 +653,9 @@ impl<T> NodeStore<T> {
                         // liveness" — usage transiently exceeds capacity and
                         // the spilling subsystem works the excess back down
                         // as pins release.
-                        let Some(slot) = self.slots.get_mut(&p.id) else { continue };
+                        let Some(slot) = self.slots.get_mut(&p.id) else {
+                            continue;
+                        };
                         if slot.residency != Residency::Disk {
                             continue;
                         }
@@ -575,7 +667,11 @@ impl<T> NodeStore<T> {
                 }
                 continue;
             }
-            let queue = if from_high { &mut self.queue_high } else { &mut self.queue_low };
+            let queue = if from_high {
+                &mut self.queue_high
+            } else {
+                &mut self.queue_low
+            };
             let p = queue.pop_front().expect("head checked");
             self.queued_bytes -= p.size;
             match p.kind {
@@ -588,7 +684,9 @@ impl<T> NodeStore<T> {
                     self.granted.push((p.id, p.tag, GrantKind::Create));
                 }
                 PendingKind::Restore => {
-                    let Some(slot) = self.slots.get_mut(&p.id) else { continue };
+                    let Some(slot) = self.slots.get_mut(&p.id) else {
+                        continue;
+                    };
                     if slot.residency != Residency::Disk {
                         continue; // restored or freed by other means
                     }
@@ -630,9 +728,10 @@ impl<T> NodeStore<T> {
 
     fn any_spillable(&self) -> bool {
         self.cfg.spill_enabled
-            && self.slots.values().any(|s| {
-                s.sealed && s.pins == 0 && matches!(s.residency, Residency::Memory { .. })
-            })
+            && self
+                .slots
+                .values()
+                .any(|s| s.sealed && s.pins == 0 && matches!(s.residency, Residency::Memory { .. }))
     }
 }
 
@@ -695,7 +794,10 @@ mod tests {
         // Spill pump should produce a batch.
         let batch = s.next_spill_batch().expect("should spill under pressure");
         assert!(batch.bytes >= 500);
-        assert!(s.take_granted().is_empty(), "not granted until write completes");
+        assert!(
+            s.take_granted().is_empty(),
+            "not granted until write completes"
+        );
         s.spill_complete(&batch);
         let granted = s.take_granted();
         assert_eq!(granted.len(), 1);
@@ -766,7 +868,10 @@ mod tests {
         s.seal(2);
         s.unpin(2);
         s.forget(2);
-        assert!(matches!(s.request_restore(1, "r"), RestoreDecision::Granted));
+        assert!(matches!(
+            s.request_restore(1, "r"),
+            RestoreDecision::Granted
+        ));
         s.restore_complete(1);
         assert_eq!(s.residency(1), Some(Residency::Memory { on_disk: true }));
         assert_eq!(s.metrics().restored_bytes, 600);
@@ -865,8 +970,14 @@ mod tests {
         s.seal(1);
         s.unpin(1);
         // Low-priority prefetch and high-priority output both queued.
-        assert!(matches!(s.request_create(2, 500, "low", Priority::Low), AllocDecision::Queued));
-        assert!(matches!(s.request_create(3, 500, "high", Priority::High), AllocDecision::Queued));
+        assert!(matches!(
+            s.request_create(2, 500, "low", Priority::Low),
+            AllocDecision::Queued
+        ));
+        assert!(matches!(
+            s.request_create(3, 500, "high", Priority::High),
+            AllocDecision::Queued
+        ));
         let batch = s.next_spill_batch().expect("pressure");
         s.spill_complete(&batch);
         let granted = s.take_granted();

@@ -1,0 +1,335 @@
+//! Chrome trace-event JSON exporter (the array format understood by
+//! `chrome://tracing` and Perfetto).
+//!
+//! Layout: one *process* per node (`pid` = node id). Within a node,
+//! task executions become complete (`"X"`) events on per-slot lanes
+//! (`tid` 0..cpu_slots, assigned greedily so overlapping tasks never
+//! share a lane); store/spill activity becomes instant (`"i"`) events
+//! on a dedicated lane; each `ResourceSample` field becomes a counter
+//! (`"C"`) track, one per node×resource as the issue requires. Failures
+//! are global instants. Output is sorted by timestamp, so every track's
+//! timestamps are monotonically non-decreasing.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::event::{Event, EventKind, ObjectPhase, TaskPhase};
+use crate::json::escape;
+
+/// Lane used for store instant events, above any plausible slot count.
+const STORE_LANE: u32 = 1000;
+
+/// Serialises `events` as a Chrome trace-event JSON array.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    // (sort key ts, serialized object) — metadata first at ts 0.
+    let mut entries: Vec<(u64, String)> = Vec::new();
+    let mut nodes_seen: Vec<u32> = Vec::new();
+    let note_node = |entries: &mut Vec<(u64, String)>, nodes_seen: &mut Vec<u32>, node: u32| {
+        if !nodes_seen.contains(&node) {
+            nodes_seen.push(node);
+            entries.push((
+                0,
+                format!(
+                    r#"{{"name":"process_name","ph":"M","pid":{node},"tid":0,"args":{{"name":"node{node}"}}}}"#
+                ),
+            ));
+            entries.push((
+                0,
+                format!(
+                    r#"{{"name":"process_sort_index","ph":"M","pid":{node},"tid":0,"args":{{"sort_index":{node}}}}}"#
+                ),
+            ));
+        }
+    };
+
+    // Pass 1: pair task phases into spans keyed by (task, attempt).
+    struct Open {
+        node: u32,
+        label: &'static str,
+        scheduled: Option<u64>,
+        dequeued: Option<u64>,
+        started: Option<u64>,
+        reason: Option<&'static str>,
+    }
+    let mut open: HashMap<(u64, u32), Open> = HashMap::new();
+    struct Span {
+        node: u32,
+        label: &'static str,
+        start: u64,
+        end: u64,
+        queue_wait: u64,
+        stage_wait: u64,
+        attempt: u32,
+        reason: Option<&'static str>,
+        task: u64,
+    }
+    let mut spans: Vec<Span> = Vec::new();
+
+    for ev in events {
+        match &ev.kind {
+            EventKind::Task(t) => {
+                let key = (t.task, t.attempt);
+                match t.phase {
+                    TaskPhase::Scheduled => {
+                        open.insert(
+                            key,
+                            Open {
+                                node: t.node,
+                                label: t.label,
+                                scheduled: Some(ev.at_us),
+                                dequeued: None,
+                                started: None,
+                                reason: t.reason.map(|r| r.name()),
+                            },
+                        );
+                    }
+                    TaskPhase::Dequeued => {
+                        if let Some(o) = open.get_mut(&key) {
+                            o.dequeued = Some(ev.at_us);
+                            o.node = t.node;
+                        }
+                    }
+                    TaskPhase::Started => {
+                        if let Some(o) = open.get_mut(&key) {
+                            o.started = Some(ev.at_us);
+                            o.node = t.node;
+                        }
+                    }
+                    TaskPhase::Finished => {
+                        if let Some(o) = open.remove(&key) {
+                            let start =
+                                o.started.or(o.dequeued).or(o.scheduled).unwrap_or(ev.at_us);
+                            spans.push(Span {
+                                node: t.node,
+                                label: o.label,
+                                start,
+                                end: ev.at_us,
+                                queue_wait: o
+                                    .dequeued
+                                    .zip(o.scheduled)
+                                    .map(|(d, s)| d.saturating_sub(s))
+                                    .unwrap_or(0),
+                                stage_wait: o
+                                    .started
+                                    .zip(o.dequeued)
+                                    .map(|(st, d)| st.saturating_sub(d))
+                                    .unwrap_or(0),
+                                attempt: t.attempt,
+                                reason: o.reason,
+                                task: t.task,
+                            });
+                        }
+                    }
+                }
+            }
+            EventKind::Object(o) => {
+                note_node(&mut entries, &mut nodes_seen, o.node);
+                // Spill-path transitions show as instants on the store
+                // lane; Created/Transferred are high-volume and live in
+                // the counter tracks / JSONL stream instead.
+                if matches!(
+                    o.phase,
+                    ObjectPhase::Spilled
+                        | ObjectPhase::Restored
+                        | ObjectPhase::Fallback
+                        | ObjectPhase::Reconstructed
+                ) {
+                    entries.push((
+                        ev.at_us,
+                        format!(
+                            r#"{{"name":"{}","cat":"store","ph":"i","ts":{},"pid":{},"tid":{},"s":"t","args":{{"object":{},"bytes":{}}}}}"#,
+                            o.phase.name(),
+                            ev.at_us,
+                            o.node,
+                            STORE_LANE,
+                            o.object,
+                            o.bytes
+                        ),
+                    ));
+                }
+            }
+            EventKind::Resource(r) => {
+                note_node(&mut entries, &mut nodes_seen, r.node);
+                for (name, value) in [
+                    ("cpu_slots_busy", r.cpu_slots_busy as u64),
+                    ("store_used", r.store_used),
+                    ("disk_queue_depth", r.disk_queue_depth as u64),
+                    ("nic_bytes_in_flight", r.nic_bytes_in_flight),
+                ] {
+                    entries.push((
+                        ev.at_us,
+                        format!(
+                            r#"{{"name":"{name}","cat":"resource","ph":"C","ts":{},"pid":{},"args":{{"{name}":{value}}}}}"#,
+                            ev.at_us, r.node
+                        ),
+                    ));
+                }
+            }
+            EventKind::Failure(f) => {
+                note_node(&mut entries, &mut nodes_seen, f.node);
+                entries.push((
+                    ev.at_us,
+                    format!(
+                        r#"{{"name":"{}","cat":"failure","ph":"i","ts":{},"pid":{},"tid":0,"s":"g"}}"#,
+                        f.kind.name(),
+                        ev.at_us,
+                        f.node
+                    ),
+                ));
+            }
+            EventKind::Io(_) => {}
+        }
+    }
+
+    // Pass 2: greedy lane assignment per node so overlapping executions
+    // render side by side like CPU slots.
+    spans.sort_by_key(|s| s.start);
+    let mut lanes_free: HashMap<u32, Vec<u64>> = HashMap::new(); // node -> end time per lane
+    let mut lane_count: HashMap<u32, u32> = HashMap::new();
+    for s in &spans {
+        note_node(&mut entries, &mut nodes_seen, s.node);
+        let free = lanes_free.entry(s.node).or_default();
+        let lane = match free.iter().position(|&end| end <= s.start) {
+            Some(i) => {
+                free[i] = s.end;
+                i as u32
+            }
+            None => {
+                free.push(s.end);
+                (free.len() - 1) as u32
+            }
+        };
+        let lc = lane_count.entry(s.node).or_insert(0);
+        *lc = (*lc).max(lane + 1);
+        let mut args = format!(
+            r#""task":{},"attempt":{},"queue_wait_us":{},"stage_wait_us":{}"#,
+            s.task, s.attempt, s.queue_wait, s.stage_wait
+        );
+        if let Some(r) = s.reason {
+            let _ = write!(args, r#","placed":"{r}""#);
+        }
+        entries.push((
+            s.start,
+            format!(
+                r#"{{"name":"{}","cat":"task","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{{}}}}}"#,
+                escape(s.label),
+                s.start,
+                s.end.saturating_sub(s.start).max(1),
+                s.node,
+                lane,
+                args
+            ),
+        ));
+    }
+
+    // Lane names.
+    for (&node, &count) in &lane_count {
+        for lane in 0..count {
+            entries.push((
+                0,
+                format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":{node},"tid":{lane},"args":{{"name":"cpu slot {lane}"}}}}"#
+                ),
+            ));
+        }
+    }
+    for &node in &nodes_seen {
+        entries.push((
+            0,
+            format!(
+                r#"{{"name":"thread_name","ph":"M","pid":{node},"tid":{STORE_LANE},"args":{{"name":"store"}}}}"#
+            ),
+        ));
+    }
+
+    entries.sort_by_key(|(ts, _)| *ts);
+    let mut out = String::with_capacity(entries.len() * 96 + 2);
+    out.push('[');
+    for (i, (_, e)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(e);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes the Chrome trace for `events` to `path`.
+pub fn write_chrome_trace(path: &Path, events: &[Event]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+
+    fn task(task: u64, phase: TaskPhase, node: u32, at_us: u64) -> Event {
+        Event {
+            at_us,
+            kind: EventKind::Task(TaskSpan {
+                task,
+                phase,
+                node,
+                label: "map",
+                attempt: 0,
+                retry: false,
+                reason: if phase == TaskPhase::Scheduled {
+                    Some(PlaceReason::LocalityHit)
+                } else {
+                    None
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn overlapping_tasks_get_distinct_lanes() {
+        let events = vec![
+            task(1, TaskPhase::Scheduled, 0, 0),
+            task(2, TaskPhase::Scheduled, 0, 0),
+            task(1, TaskPhase::Started, 0, 10),
+            task(2, TaskPhase::Started, 0, 15),
+            task(1, TaskPhase::Finished, 0, 30),
+            task(2, TaskPhase::Finished, 0, 35),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains(r#""ph":"X","ts":10"#));
+        assert!(
+            json.contains(r#""tid":0"#) && json.contains(r#""tid":1"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""placed":"locality_hit""#));
+    }
+
+    #[test]
+    fn resource_samples_become_counter_tracks() {
+        let events = vec![Event {
+            at_us: 500,
+            kind: EventKind::Resource(ResourceSample {
+                node: 2,
+                cpu_slots_busy: 3,
+                store_used: 1024,
+                disk_queue_depth: 7,
+                nic_bytes_in_flight: 99,
+            }),
+        }];
+        let json = chrome_trace_json(&events);
+        for name in [
+            "cpu_slots_busy",
+            "store_used",
+            "disk_queue_depth",
+            "nic_bytes_in_flight",
+        ] {
+            assert!(
+                json.contains(&format!(r#""name":"{name}","cat":"resource","ph":"C""#)),
+                "{name}"
+            );
+        }
+        assert!(json.contains(r#""name":"node2""#));
+    }
+}

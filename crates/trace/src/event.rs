@@ -1,0 +1,184 @@
+//! Typed trace events. Every event is `Copy` and allocation-free so the
+//! always-on ring buffer and fold stay cheap; timestamps are virtual-time
+//! microseconds (the integer inside `exo_sim::SimTime`), kept as a plain
+//! `u64` here so this crate has no dependencies and exporters can feed
+//! Chrome's microsecond-based trace format directly.
+
+/// Task lifecycle phases, in order. Queue wait is `Dequeued − Scheduled`,
+/// argument staging is `Started − Dequeued`, execution is
+/// `Finished − Started`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// Placed on a node's ready queue by the scheduler.
+    Scheduled,
+    /// Popped from the queue into a CPU slot (argument staging begins).
+    Dequeued,
+    /// Compute started (arguments resident).
+    Started,
+    /// Outputs sealed; slot released.
+    Finished,
+}
+
+/// Why the scheduler chose the node it chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceReason {
+    /// Node already holds the largest share of the task's arguments.
+    LocalityHit,
+    /// Fell through to the least-loaded node.
+    LeastLoaded,
+    /// Hard node-affinity request was honoured.
+    Affinity,
+    /// Affinity target was dead; placed elsewhere.
+    AffinityFallback,
+    /// Round-robin spread placement.
+    Spread,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSpan {
+    pub task: u64,
+    pub phase: TaskPhase,
+    pub node: u32,
+    pub label: &'static str,
+    /// Execution attempt (0 for the first run; bumped on any retry,
+    /// including executor-failure re-runs).
+    pub attempt: u32,
+    /// True on a `Scheduled` event only when the task was resubmitted
+    /// through *lineage reconstruction* (a lost object forced a
+    /// re-execution). Executor-failure re-runs keep this false — the
+    /// fold counts only lineage resubmits as `tasks_reexecuted`.
+    pub retry: bool,
+    /// Present on `Scheduled` events only.
+    pub reason: Option<PlaceReason>,
+}
+
+/// Object lifecycle transitions in the plasma-style store and data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectPhase {
+    /// Sealed into a node's store.
+    Created,
+    /// Copied over the network (`src` is the source node).
+    Transferred,
+    /// Written out to external storage under memory pressure.
+    Spilled,
+    /// Read back from external storage.
+    Restored,
+    /// Dropped from memory (refcount reached zero or unwritten evict).
+    Evicted,
+    /// Recreated by lineage re-execution after a failure.
+    Reconstructed,
+    /// Allocated directly in external storage (fallback allocation).
+    Fallback,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectEvent {
+    pub object: u64,
+    pub phase: ObjectPhase,
+    /// Node owning the object after this transition.
+    pub node: u32,
+    /// Source node for `Transferred`.
+    pub src: Option<u32>,
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDir {
+    Read,
+    Write,
+}
+
+/// One disk I/O completion attributed to a node. These carry the byte
+/// counts that fold into `disk_read_bytes`/`disk_write_bytes`.
+#[derive(Debug, Clone, Copy)]
+pub struct IoEvent {
+    pub node: u32,
+    pub dir: IoDir,
+    pub bytes: u64,
+}
+
+/// Periodic occupancy snapshot of one node's devices and queues.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceSample {
+    pub node: u32,
+    pub cpu_slots_busy: u32,
+    pub store_used: u64,
+    pub disk_queue_depth: u32,
+    pub nic_bytes_in_flight: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Whole node killed (store contents lost).
+    NodeKilled,
+    /// Executors killed; store survives.
+    ExecutorsKilled,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct FailureEvent {
+    pub node: u32,
+    pub kind: FailureKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum EventKind {
+    Task(TaskSpan),
+    Object(ObjectEvent),
+    Io(IoEvent),
+    Resource(ResourceSample),
+    Failure(FailureEvent),
+}
+
+/// A timestamped event. `at_us` is virtual time in microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub at_us: u64,
+    pub kind: EventKind,
+}
+
+impl TaskPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskPhase::Scheduled => "scheduled",
+            TaskPhase::Dequeued => "dequeued",
+            TaskPhase::Started => "started",
+            TaskPhase::Finished => "finished",
+        }
+    }
+}
+
+impl PlaceReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            PlaceReason::LocalityHit => "locality_hit",
+            PlaceReason::LeastLoaded => "least_loaded",
+            PlaceReason::Affinity => "affinity",
+            PlaceReason::AffinityFallback => "affinity_fallback",
+            PlaceReason::Spread => "spread",
+        }
+    }
+}
+
+impl ObjectPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectPhase::Created => "created",
+            ObjectPhase::Transferred => "transferred",
+            ObjectPhase::Spilled => "spilled",
+            ObjectPhase::Restored => "restored",
+            ObjectPhase::Evicted => "evicted",
+            ObjectPhase::Reconstructed => "reconstructed",
+            ObjectPhase::Fallback => "fallback",
+        }
+    }
+}
+
+impl FailureKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::NodeKilled => "node_killed",
+            FailureKind::ExecutorsKilled => "executors_killed",
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Flat JSONL exporter: one self-describing JSON object per line, for
+//! scripted analysis (`jq`, pandas). Unlike the Chrome exporter this
+//! writes *every* event, including high-volume `Created`/`Transferred`
+//! object events and raw disk I/O completions.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::event::{Event, EventKind, IoDir};
+use crate::json::escape;
+
+/// Serialises one event as a single JSON line (no trailing newline).
+pub fn event_json(ev: &Event) -> String {
+    let mut s = format!(r#"{{"at_us":{}"#, ev.at_us);
+    match &ev.kind {
+        EventKind::Task(t) => {
+            let _ = write!(
+                s,
+                r#","type":"task","phase":"{}","task":{},"node":{},"label":"{}","attempt":{}"#,
+                t.phase.name(),
+                t.task,
+                t.node,
+                escape(t.label),
+                t.attempt
+            );
+            if t.retry {
+                s.push_str(r#","retry":true"#);
+            }
+            if let Some(r) = t.reason {
+                let _ = write!(s, r#","reason":"{}""#, r.name());
+            }
+        }
+        EventKind::Object(o) => {
+            let _ = write!(
+                s,
+                r#","type":"object","phase":"{}","object":{},"node":{},"bytes":{}"#,
+                o.phase.name(),
+                o.object,
+                o.node,
+                o.bytes
+            );
+            if let Some(src) = o.src {
+                let _ = write!(s, r#","src":{src}"#);
+            }
+        }
+        EventKind::Io(io) => {
+            let dir = match io.dir {
+                IoDir::Read => "read",
+                IoDir::Write => "write",
+            };
+            let _ = write!(
+                s,
+                r#","type":"io","dir":"{dir}","node":{},"bytes":{}"#,
+                io.node, io.bytes
+            );
+        }
+        EventKind::Resource(r) => {
+            let _ = write!(
+                s,
+                r#","type":"resource","node":{},"cpu_slots_busy":{},"store_used":{},"disk_queue_depth":{},"nic_bytes_in_flight":{}"#,
+                r.node, r.cpu_slots_busy, r.store_used, r.disk_queue_depth, r.nic_bytes_in_flight
+            );
+        }
+        EventKind::Failure(f) => {
+            let _ = write!(
+                s,
+                r#","type":"failure","kind":"{}","node":{}"#,
+                f.kind.name(),
+                f.node
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serialises the whole stream, one event per line.
+pub fn jsonl_string(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 80);
+    for ev in events {
+        out.push_str(&event_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the JSONL stream for `events` to `path`.
+pub fn write_jsonl(path: &Path, events: &[Event]) -> io::Result<()> {
+    std::fs::write(path, jsonl_string(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+
+    #[test]
+    fn one_line_per_event_with_type_tags() {
+        let events = vec![
+            Event {
+                at_us: 1,
+                kind: EventKind::Object(ObjectEvent {
+                    object: 9,
+                    phase: ObjectPhase::Transferred,
+                    node: 1,
+                    src: Some(0),
+                    bytes: 4096,
+                }),
+            },
+            Event {
+                at_us: 2,
+                kind: EventKind::Io(IoEvent {
+                    node: 1,
+                    dir: IoDir::Write,
+                    bytes: 10,
+                }),
+            },
+        ];
+        let text = jsonl_string(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""type":"object","phase":"transferred""#));
+        assert!(lines[0].contains(r#""src":0"#));
+        assert!(lines[1].contains(r#""type":"io","dir":"write""#));
+    }
+}

@@ -1,0 +1,347 @@
+//! The event sink: the one place every layer (sim, store, runtime)
+//! reports facts to.
+//!
+//! Cost model: the sink *always* folds each event into a fixed set of
+//! counters ([`TraceCounters`], the source of truth for `RtMetrics`) and
+//! keeps a small ring of recent events for deadlock dumps — the same
+//! cost class as the integer counter bumps it replaced. Full event
+//! retention (what the exporters consume) only happens when
+//! [`TraceConfig::enabled`] is set.
+//!
+//! The sink carries its own microsecond clock (`set_now`), updated by
+//! the runtime at each simulation dispatch, so time-free components
+//! like the object store can emit correctly stamped events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind, IoDir, ObjectPhase, TaskPhase};
+
+/// Tracing knobs, carried on `RtConfig`. Off by default.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Retain the full event stream for export.
+    pub enabled: bool,
+    /// Virtual-time interval between `ResourceSample` emissions
+    /// (microseconds); 0 disables sampling. Only honoured when
+    /// `enabled` is set.
+    pub resource_sample_us: u64,
+    /// Capacity of the always-on recent-event ring (deadlock dumps).
+    pub ring: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            enabled: false,
+            resource_sample_us: 100_000,
+            ring: 64,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on, with default sampling interval and ring size.
+    pub fn on() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Counters derived by folding the event stream; `RtMetrics` is a view
+/// over these (plus per-store compatibility metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    pub tasks_completed: u64,
+    pub tasks_reexecuted: u64,
+    pub net_bytes: u64,
+    pub net_ops: u64,
+    pub disk_read_bytes: u64,
+    pub disk_write_bytes: u64,
+    pub objects_reconstructed: u64,
+    pub node_failures: u64,
+    pub executor_failures: u64,
+}
+
+impl TraceCounters {
+    /// Folds one event. This is the single definition of how raw events
+    /// become aggregate metrics; the integration tests assert that a
+    /// fold over the retained stream reproduces these counters exactly.
+    pub fn apply(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::Task(t) => match t.phase {
+                TaskPhase::Finished => self.tasks_completed += 1,
+                TaskPhase::Scheduled if t.retry => self.tasks_reexecuted += 1,
+                _ => {}
+            },
+            EventKind::Object(o) => match o.phase {
+                ObjectPhase::Transferred => {
+                    self.net_bytes += o.bytes;
+                    self.net_ops += 1;
+                }
+                ObjectPhase::Reconstructed => self.objects_reconstructed += 1,
+                _ => {}
+            },
+            EventKind::Io(io) => match io.dir {
+                IoDir::Read => self.disk_read_bytes += io.bytes,
+                IoDir::Write => self.disk_write_bytes += io.bytes,
+            },
+            EventKind::Failure(f) => match f.kind {
+                crate::event::FailureKind::NodeKilled => self.node_failures += 1,
+                crate::event::FailureKind::ExecutorsKilled => self.executor_failures += 1,
+            },
+            EventKind::Resource(_) => {}
+        }
+    }
+
+    /// Folds a whole stream (used by tests and offline analysis).
+    pub fn fold(events: &[Event]) -> TraceCounters {
+        let mut c = TraceCounters::default();
+        for e in events {
+            c.apply(&e.kind);
+        }
+        c
+    }
+}
+
+struct SinkState {
+    events: Vec<Event>,
+    ring: VecDeque<Event>,
+    counters: TraceCounters,
+}
+
+struct SinkInner {
+    retain: bool,
+    ring_cap: usize,
+    sample_us: u64,
+    now_us: AtomicU64,
+    state: Mutex<SinkState>,
+}
+
+/// Cloneable handle to the shared sink. All clones feed one stream.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<SinkInner>,
+}
+
+impl TraceSink {
+    pub fn new(cfg: &TraceConfig) -> TraceSink {
+        TraceSink {
+            inner: Arc::new(SinkInner {
+                retain: cfg.enabled,
+                ring_cap: cfg.ring,
+                sample_us: if cfg.enabled {
+                    cfg.resource_sample_us
+                } else {
+                    0
+                },
+                now_us: AtomicU64::new(0),
+                state: Mutex::new(SinkState {
+                    events: Vec::new(),
+                    ring: VecDeque::with_capacity(cfg.ring.min(1024)),
+                    counters: TraceCounters::default(),
+                }),
+            }),
+        }
+    }
+
+    /// A sink that folds counters and keeps a small ring but retains
+    /// nothing — the default for components constructed standalone.
+    pub fn disabled() -> TraceSink {
+        TraceSink::new(&TraceConfig::default())
+    }
+
+    /// Whether the full event stream is being retained for export.
+    pub fn retaining(&self) -> bool {
+        self.inner.retain
+    }
+
+    /// Virtual-time interval for `ResourceSample`s; 0 when sampling off.
+    pub fn sample_interval_us(&self) -> u64 {
+        self.inner.sample_us
+    }
+
+    /// Advances the sink clock (virtual-time microseconds). Called by
+    /// the runtime before dispatching each command/event so components
+    /// without a clock emit correctly stamped events.
+    pub fn set_now(&self, us: u64) {
+        self.inner.now_us.store(us, Ordering::Relaxed);
+    }
+
+    pub fn now_us(&self) -> u64 {
+        self.inner.now_us.load(Ordering::Relaxed)
+    }
+
+    /// Records an event stamped with the sink clock.
+    pub fn emit(&self, kind: EventKind) {
+        self.emit_at(self.now_us(), kind);
+    }
+
+    /// Records an event with an explicit timestamp (used when a
+    /// completion is known to happen at a future virtual time).
+    pub fn emit_at(&self, at_us: u64, kind: EventKind) {
+        let ev = Event { at_us, kind };
+        let mut st = self.inner.state.lock().expect("trace sink poisoned");
+        st.counters.apply(&ev.kind);
+        if self.inner.ring_cap > 0 {
+            if st.ring.len() == self.inner.ring_cap {
+                st.ring.pop_front();
+            }
+            st.ring.push_back(ev);
+        }
+        if self.inner.retain {
+            st.events.push(ev);
+        }
+    }
+
+    /// Current folded counters.
+    pub fn counters(&self) -> TraceCounters {
+        self.inner
+            .state
+            .lock()
+            .expect("trace sink poisoned")
+            .counters
+    }
+
+    /// The most recent events (always available, even with retention
+    /// off) — the deadlock dump source.
+    pub fn recent(&self) -> Vec<Event> {
+        let st = self.inner.state.lock().expect("trace sink poisoned");
+        st.ring.iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("trace sink poisoned")
+            .events
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains and returns the retained event stream.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut self.inner.state.lock().expect("trace sink poisoned").events)
+    }
+
+    /// Clones the retained event stream without draining it.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .state
+            .lock()
+            .expect("trace sink poisoned")
+            .events
+            .clone()
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("retain", &self.inner.retain)
+            .field("now_us", &self.now_us())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+
+    fn obj(phase: ObjectPhase, bytes: u64) -> EventKind {
+        EventKind::Object(ObjectEvent {
+            object: 1,
+            phase,
+            node: 0,
+            src: None,
+            bytes,
+        })
+    }
+
+    #[test]
+    fn fold_matches_incremental_counters() {
+        let sink = TraceSink::new(&TraceConfig::on());
+        sink.set_now(10);
+        sink.emit(obj(ObjectPhase::Transferred, 100));
+        sink.set_now(20);
+        sink.emit(obj(ObjectPhase::Transferred, 50));
+        sink.emit(EventKind::Io(IoEvent {
+            node: 0,
+            dir: IoDir::Write,
+            bytes: 7,
+        }));
+        sink.emit(EventKind::Task(TaskSpan {
+            task: 1,
+            phase: TaskPhase::Finished,
+            node: 0,
+            label: "t",
+            attempt: 0,
+            retry: false,
+            reason: None,
+        }));
+        let c = sink.counters();
+        assert_eq!(c.net_bytes, 150);
+        assert_eq!(c.net_ops, 2);
+        assert_eq!(c.disk_write_bytes, 7);
+        assert_eq!(c.tasks_completed, 1);
+        assert_eq!(TraceCounters::fold(&sink.events()), c);
+    }
+
+    #[test]
+    fn disabled_sink_folds_but_does_not_retain() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.retaining());
+        sink.emit(obj(ObjectPhase::Transferred, 9));
+        assert_eq!(sink.counters().net_bytes, 9);
+        assert!(sink.is_empty());
+        assert_eq!(sink.recent().len(), 1);
+    }
+
+    #[test]
+    fn ring_keeps_only_last_events() {
+        let cfg = TraceConfig {
+            ring: 4,
+            ..TraceConfig::default()
+        };
+        let sink = TraceSink::new(&cfg);
+        for i in 0..10u64 {
+            sink.set_now(i);
+            sink.emit(obj(ObjectPhase::Created, i));
+        }
+        let recent = sink.recent();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent[0].at_us, 6);
+        assert_eq!(recent[3].at_us, 9);
+    }
+
+    #[test]
+    fn reexecution_and_reconstruction_fold() {
+        let mut c = TraceCounters::default();
+        c.apply(&EventKind::Task(TaskSpan {
+            task: 3,
+            phase: TaskPhase::Scheduled,
+            node: 1,
+            label: "map",
+            attempt: 1,
+            retry: true,
+            reason: Some(PlaceReason::Spread),
+        }));
+        c.apply(&obj(ObjectPhase::Reconstructed, 5));
+        c.apply(&EventKind::Failure(FailureEvent {
+            node: 1,
+            kind: FailureKind::NodeKilled,
+        }));
+        assert_eq!(c.tasks_reexecuted, 1);
+        assert_eq!(c.objects_reconstructed, 1);
+        assert_eq!(c.node_failures, 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! End-of-run text summary derived from the event stream: top-5 longest
+//! task executions, per-node busy fraction, and spill/restore totals.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::event::{Event, EventKind, ObjectPhase, TaskPhase};
+
+#[derive(Debug, Clone)]
+pub struct LongTask {
+    pub label: &'static str,
+    pub node: u32,
+    pub task: u64,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct NodeBusy {
+    pub node: u32,
+    pub tasks: u64,
+    pub busy_us: u64,
+}
+
+/// Aggregates computed by [`summarize`]; `Display` renders the report.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    pub end_us: u64,
+    pub tasks_finished: u64,
+    pub longest: Vec<LongTask>,
+    pub per_node: Vec<NodeBusy>,
+    pub spilled_bytes: u64,
+    pub spill_ops: u64,
+    pub restored_bytes: u64,
+    pub restore_ops: u64,
+    pub net_bytes: u64,
+    pub reconstructed: u64,
+    pub failures: u64,
+}
+
+/// Folds the stream into a [`TraceSummary`].
+pub fn summarize(events: &[Event]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    let mut started: HashMap<(u64, u32), u64> = HashMap::new();
+    let mut busy: HashMap<u32, (u64, u64)> = HashMap::new(); // node -> (tasks, busy_us)
+    for ev in events {
+        s.end_us = s.end_us.max(ev.at_us);
+        match &ev.kind {
+            EventKind::Task(t) => match t.phase {
+                TaskPhase::Started => {
+                    started.insert((t.task, t.attempt), ev.at_us);
+                }
+                TaskPhase::Finished => {
+                    s.tasks_finished += 1;
+                    let start = started.remove(&(t.task, t.attempt)).unwrap_or(ev.at_us);
+                    let dur = ev.at_us.saturating_sub(start);
+                    let e = busy.entry(t.node).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += dur;
+                    s.longest.push(LongTask {
+                        label: t.label,
+                        node: t.node,
+                        task: t.task,
+                        start_us: start,
+                        dur_us: dur,
+                    });
+                    // Keep the list small while scanning long streams.
+                    if s.longest.len() > 64 {
+                        s.longest.sort_by_key(|t| std::cmp::Reverse(t.dur_us));
+                        s.longest.truncate(5);
+                    }
+                }
+                _ => {}
+            },
+            EventKind::Object(o) => match o.phase {
+                ObjectPhase::Spilled => {
+                    s.spilled_bytes += o.bytes;
+                    s.spill_ops += 1;
+                }
+                ObjectPhase::Restored => {
+                    s.restored_bytes += o.bytes;
+                    s.restore_ops += 1;
+                }
+                ObjectPhase::Transferred => s.net_bytes += o.bytes,
+                ObjectPhase::Reconstructed => s.reconstructed += 1,
+                _ => {}
+            },
+            EventKind::Failure(_) => s.failures += 1,
+            _ => {}
+        }
+    }
+    s.longest.sort_by_key(|t| std::cmp::Reverse(t.dur_us));
+    s.longest.truncate(5);
+    s.per_node = busy
+        .into_iter()
+        .map(|(node, (tasks, busy_us))| NodeBusy {
+            node,
+            tasks,
+            busy_us,
+        })
+        .collect();
+    s.per_node.sort_by_key(|n| n.node);
+    s
+}
+
+fn secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+fn gb(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace summary: {} tasks in {:.2} s virtual time",
+            self.tasks_finished,
+            secs(self.end_us)
+        )?;
+        if !self.longest.is_empty() {
+            writeln!(f, "  top-{} longest task executions:", self.longest.len())?;
+            for t in &self.longest {
+                writeln!(
+                    f,
+                    "    {:<20} node{:<3} task {:<8} {:>9.3} s (at {:.2} s)",
+                    t.label,
+                    t.node,
+                    t.task,
+                    secs(t.dur_us),
+                    secs(t.start_us)
+                )?;
+            }
+        }
+        if !self.per_node.is_empty() && self.end_us > 0 {
+            writeln!(f, "  per-node busy:")?;
+            for n in &self.per_node {
+                writeln!(
+                    f,
+                    "    node{:<3} {:>5.1}% busy  ({} tasks)",
+                    n.node,
+                    100.0 * n.busy_us as f64 / self.end_us as f64,
+                    n.tasks
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "  spilled {:.2} GB in {} ops, restored {:.2} GB in {} ops, net {:.2} GB",
+            gb(self.spilled_bytes),
+            self.spill_ops,
+            gb(self.restored_bytes),
+            self.restore_ops,
+            gb(self.net_bytes)
+        )?;
+        if self.failures > 0 || self.reconstructed > 0 {
+            writeln!(
+                f,
+                "  failures: {}, objects reconstructed: {}",
+                self.failures, self.reconstructed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+
+    fn task_pair(task: u64, node: u32, start: u64, end: u64) -> [Event; 2] {
+        let mk = |phase, at_us| Event {
+            at_us,
+            kind: EventKind::Task(TaskSpan {
+                task,
+                phase,
+                node,
+                label: "map",
+                attempt: 0,
+                retry: false,
+                reason: None,
+            }),
+        };
+        [mk(TaskPhase::Started, start), mk(TaskPhase::Finished, end)]
+    }
+
+    #[test]
+    fn summary_ranks_and_accounts() {
+        let mut events = Vec::new();
+        events.extend(task_pair(1, 0, 0, 50));
+        events.extend(task_pair(2, 1, 10, 200));
+        events.extend(task_pair(3, 0, 60, 80));
+        events.push(Event {
+            at_us: 90,
+            kind: EventKind::Object(ObjectEvent {
+                object: 7,
+                phase: ObjectPhase::Spilled,
+                node: 0,
+                src: None,
+                bytes: 1_000,
+            }),
+        });
+        let s = summarize(&events);
+        assert_eq!(s.tasks_finished, 3);
+        assert_eq!(s.longest[0].task, 2);
+        assert_eq!(s.longest[0].dur_us, 190);
+        assert_eq!(s.spilled_bytes, 1_000);
+        assert_eq!(s.end_us, 200);
+        let n0 = s.per_node.iter().find(|n| n.node == 0).unwrap();
+        assert_eq!(n0.tasks, 2);
+        assert_eq!(n0.busy_us, 70);
+        let text = s.to_string();
+        assert!(text.contains("top-3 longest"));
+        assert!(text.contains("node1"));
+    }
+}

@@ -24,15 +24,30 @@ fn main() {
 
     // Clean run for reference.
     let (clean, _) = exoshuffle::rt::run(RtConfig::new(cluster()), |rt| {
-        let outs = run_shuffle(rt, &sort_job(spec), ShuffleVariant::PushStar { map_parallelism: 2 });
+        let outs = run_shuffle(
+            rt,
+            &sort_job(spec),
+            ShuffleVariant::PushStar { map_parallelism: 2 },
+        );
         rt.wait_all(&outs);
     });
-    println!("clean run:            {:.1} s", clean.end_time.as_secs_f64());
+    println!(
+        "clean run:            {:.1} s",
+        clean.end_time.as_secs_f64()
+    );
 
     // Node failure + restart mid-run.
     let (failed, outputs) = exoshuffle::rt::run(RtConfig::new(cluster()), |rt| {
-        rt.kill_node(NodeId(3), SimTime(2_000_000), Some(SimDuration::from_secs(30)));
-        let outs = run_shuffle(rt, &sort_job(spec), ShuffleVariant::PushStar { map_parallelism: 2 });
+        rt.kill_node(
+            NodeId(3),
+            SimTime(2_000_000),
+            Some(SimDuration::from_secs(30)),
+        );
+        let outs = run_shuffle(
+            rt,
+            &sort_job(spec),
+            ShuffleVariant::PushStar { map_parallelism: 2 },
+        );
         rt.get(&outs).expect("recovered output")
     });
     validate_sorted(&spec, &outputs).expect("output correct despite node failure");
@@ -46,7 +61,11 @@ fn main() {
     // Executor failure: store survives, so recovery is cheaper.
     let (exec_failed, outputs) = exoshuffle::rt::run(RtConfig::new(cluster()), |rt| {
         rt.kill_executors(NodeId(3), SimTime(2_000_000));
-        let outs = run_shuffle(rt, &sort_job(spec), ShuffleVariant::PushStar { map_parallelism: 2 });
+        let outs = run_shuffle(
+            rt,
+            &sort_job(spec),
+            ShuffleVariant::PushStar { map_parallelism: 2 },
+        );
         rt.get(&outs).expect("recovered output")
     });
     validate_sorted(&spec, &outputs).expect("output correct despite executor failure");

@@ -50,6 +50,11 @@ fn main() {
 
     println!("\nper-epoch accuracy (full vs windowed):");
     for e in 0..base.epochs {
-        println!("  epoch {}: {:.3} vs {:.3}", e + 1, full.accuracy[e], win.accuracy[e]);
+        println!(
+            "  epoch {}: {:.3} vs {:.3}",
+            e + 1,
+            full.accuracy[e],
+            win.accuracy[e]
+        );
     }
 }

@@ -25,7 +25,10 @@ fn main() {
 
     let (_report, ()) = exoshuffle::rt::run(rt_cfg, |rt| {
         let (t_batch, truth) = regular_aggregation(rt, &cfg);
-        println!("batch aggregation finished at {:.1} s (this is the reference)\n", t_batch.as_secs_f64());
+        println!(
+            "batch aggregation finished at {:.1} s (this is the reference)\n",
+            t_batch.as_secs_f64()
+        );
         println!("streaming aggregation — partial results as they arrive:");
         let (samples, t_stream) = streaming_aggregation(rt, &cfg, &truth);
         for s in &samples {
@@ -38,7 +41,11 @@ fn main() {
                 bar
             );
         }
-        println!("\nstreaming total: {:.1} s ({:.2}x the batch time, but first", t_stream.as_secs_f64(), t_stream.as_secs_f64() / t_batch.as_secs_f64());
+        println!(
+            "\nstreaming total: {:.1} s ({:.2}x the batch time, but first",
+            t_stream.as_secs_f64(),
+            t_stream.as_secs_f64() / t_batch.as_secs_f64()
+        );
         println!(
             "usable result after {:.1} s — {:.0}x earlier than batch completion)",
             samples[0].at.as_secs_f64(),

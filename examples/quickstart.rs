@@ -39,7 +39,9 @@ fn word_count_job(num_docs: usize, words_per_doc: usize, reducers: usize) -> Shu
         let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
         for b in blocks {
             for w in b.data.chunks_exact(4) {
-                *counts.entry(u32::from_le_bytes(w.try_into().expect("u32"))).or_default() += 1;
+                *counts
+                    .entry(u32::from_le_bytes(w.try_into().expect("u32")))
+                    .or_default() += 1;
             }
         }
         let mut out = Vec::new();
@@ -79,7 +81,10 @@ fn main() {
     });
 
     println!("counted 320k words across 32 documents on 4 simulated nodes");
-    println!("most frequent word: id {} with {} occurrences", top.0, top.1);
+    println!(
+        "most frequent word: id {} with {} occurrences",
+        top.0, top.1
+    );
     println!("virtual job time: {}", report.end_time);
     println!(
         "cluster I/O: {} network bytes, {} tasks",

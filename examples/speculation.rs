@@ -14,8 +14,8 @@ use exoshuffle::sim::{ClusterSpec, NodeSpec, SimDuration};
 
 fn main() {
     let cluster = || {
-        RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4))
-            .with_slow_node(1, 10.0) // node 1 is a 10x straggler
+        RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4)).with_slow_node(1, 10.0)
+        // node 1 is a 10x straggler
     };
     let job = || {
         key_sum_job(16, 8, 200).with_cpu(
@@ -41,7 +41,10 @@ fn main() {
 
     assert_eq!(total_plain, total_spec, "same answer either way");
     println!("cluster: 4 nodes, node 1 computes 10x slower\n");
-    println!("plain simple shuffle:      {:.1} s", plain.end_time.as_secs_f64());
+    println!(
+        "plain simple shuffle:      {:.1} s",
+        plain.end_time.as_secs_f64()
+    );
     println!(
         "with speculation:          {:.1} s  ({} laggards cloned, {} clone wins)",
         spec.end_time.as_secs_f64(),

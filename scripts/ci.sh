@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the full test suite.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> CI OK"

@@ -12,6 +12,7 @@
 //! - [`sort`]: TeraSort/CloudSort workload.
 //! - [`ml`]: ML-training pipeline application.
 //! - [`agg`]: online-aggregation application.
+//! - [`trace`]: structured event tracing + Chrome-trace/JSONL export.
 
 pub use exo_agg as agg;
 pub use exo_ml as ml;
@@ -21,3 +22,4 @@ pub use exo_shuffle as shuffle;
 pub use exo_sim as sim;
 pub use exo_sort as sort;
 pub use exo_store as store;
+pub use exo_trace as trace;

@@ -2,7 +2,9 @@
 //! training on top of the full stack.
 
 use exoshuffle::agg::{regular_aggregation, streaming_aggregation, AggConfig, PageviewSpec};
-use exoshuffle::ml::{exoshuffle_training, petastorm_training, DatasetSpec, PetastormConfig, TrainConfig};
+use exoshuffle::ml::{
+    exoshuffle_training, petastorm_training, DatasetSpec, PetastormConfig, TrainConfig,
+};
 use exoshuffle::rt::RtConfig;
 use exoshuffle::shuffle::{ShuffleVariant, ShuffleWindow};
 use exoshuffle::sim::{ClusterSpec, NodeSpec};
@@ -44,7 +46,10 @@ fn streaming_shuffle_on_different_variant_clusters_is_deterministic() {
         let (_rep, samples) = exoshuffle::rt::run(rt_cfg, |rt| {
             let (_t, truth) = regular_aggregation(rt, &cfg);
             let (samples, _) = streaming_aggregation(rt, &cfg, &truth);
-            samples.iter().map(|s| (s.at.as_micros(), s.kl.to_bits())).collect::<Vec<_>>()
+            samples
+                .iter()
+                .map(|s| (s.at.as_micros(), s.kl.to_bits()))
+                .collect::<Vec<_>>()
         });
         samples
     };

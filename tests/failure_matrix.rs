@@ -27,8 +27,16 @@ fn two_staggered_node_failures_recover() {
     let s = spec();
     let (report, outputs) = exoshuffle::rt::run(cluster(5), |rt: &RtHandle| {
         rt.kill_node(NodeId(1), SimTime(40_000), Some(SimDuration::from_secs(20)));
-        rt.kill_node(NodeId(3), SimTime(120_000), Some(SimDuration::from_secs(20)));
-        let outs = run_shuffle(rt, &sort_job(s), ShuffleVariant::PushStar { map_parallelism: 2 });
+        rt.kill_node(
+            NodeId(3),
+            SimTime(120_000),
+            Some(SimDuration::from_secs(20)),
+        );
+        let outs = run_shuffle(
+            rt,
+            &sort_job(s),
+            ShuffleVariant::PushStar { map_parallelism: 2 },
+        );
         rt.get(&outs).expect("recovered output")
     });
     validate_sorted(&s, &outputs).expect("correct despite two failures");
@@ -41,8 +49,11 @@ fn executor_failure_mid_shuffle_is_cheaper_than_node_failure() {
     let run = |f: &(dyn Fn(&RtHandle) + Sync)| {
         let (report, outputs) = exoshuffle::rt::run(cluster(4), |rt: &RtHandle| {
             f(rt);
-            let outs =
-                run_shuffle(rt, &sort_job(s), ShuffleVariant::PushStar { map_parallelism: 2 });
+            let outs = run_shuffle(
+                rt,
+                &sort_job(s),
+                ShuffleVariant::PushStar { map_parallelism: 2 },
+            );
             rt.get(&outs).expect("output")
         });
         validate_sorted(&s, &outputs).expect("validated");
@@ -51,7 +62,11 @@ fn executor_failure_mid_shuffle_is_cheaper_than_node_failure() {
     let clean = run(&|_| {});
     let exec = run(&|rt| rt.kill_executors(NodeId(2), SimTime(400_000)));
     let node = run(&|rt| {
-        rt.kill_node(NodeId(2), SimTime(400_000), Some(SimDuration::from_secs(20)))
+        rt.kill_node(
+            NodeId(2),
+            SimTime(400_000),
+            Some(SimDuration::from_secs(20)),
+        )
     });
     // Executor failure keeps objects (store survives); node failure loses
     // them and must reconstruct, so it can never be cheaper.
@@ -80,7 +95,11 @@ fn restarted_node_rejoins_and_output_stays_correct() {
 fn failure_during_merge_variant_recovers() {
     let s = spec();
     let (_report, outputs) = exoshuffle::rt::run(cluster(4), |rt: &RtHandle| {
-        rt.kill_node(NodeId(0), SimTime(500_000), Some(SimDuration::from_secs(20)));
+        rt.kill_node(
+            NodeId(0),
+            SimTime(500_000),
+            Some(SimDuration::from_secs(20)),
+        );
         let outs = run_shuffle(rt, &sort_job(s), ShuffleVariant::Merge { factor: 4 });
         rt.get(&outs).expect("output")
     });

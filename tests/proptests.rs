@@ -9,11 +9,10 @@ use exoshuffle::store::{NodeStore, Priority, StoreConfig};
 use proptest::prelude::*;
 
 fn arb_records(max: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 0..max)
-        .prop_map(|mut v| {
-            v.truncate(v.len() / RECORD_SIZE * RECORD_SIZE);
-            v
-        })
+    proptest::collection::vec(any::<u8>(), 0..max).prop_map(|mut v| {
+        v.truncate(v.len() / RECORD_SIZE * RECORD_SIZE);
+        v
+    })
 }
 
 proptest! {
@@ -194,17 +193,28 @@ mod random_dags {
     }
 
     fn arb_dag() -> impl Strategy<Value = Vec<NodeSpecOp>> {
-        proptest::collection::vec((any::<u8>(), any::<bool>(), proptest::collection::vec(0usize..64, 0..4)), 1..24)
-            .prop_map(|raw| {
-                raw.into_iter()
-                    .enumerate()
-                    .map(|(i, (salt, spread, deps))| NodeSpecOp {
-                        deps: deps.into_iter().map(|d| d % (i.max(1))).filter(|_| i > 0).collect(),
-                        salt,
-                        spread,
-                    })
-                    .collect()
-            })
+        proptest::collection::vec(
+            (
+                any::<u8>(),
+                any::<bool>(),
+                proptest::collection::vec(0usize..64, 0..4),
+            ),
+            1..24,
+        )
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (salt, spread, deps))| NodeSpecOp {
+                    deps: deps
+                        .into_iter()
+                        .map(|d| d % (i.max(1)))
+                        .filter(|_| i > 0)
+                        .collect(),
+                    salt,
+                    spread,
+                })
+                .collect()
+        })
     }
 
     /// Reference semantics: value(node) = salt + sum(dep values), wrapping.

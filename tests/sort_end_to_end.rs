@@ -64,7 +64,10 @@ fn sort_survives_memory_pressure() {
         rt.get(&outs).expect("sort outputs")
     });
     validate_sorted(&s, &outputs).expect("correct under heavy spilling");
-    assert!(report.metrics.store.spilled_bytes > 0, "pressure should force spills");
+    assert!(
+        report.metrics.store.spilled_bytes > 0,
+        "pressure should force spills"
+    );
 }
 
 #[test]
@@ -122,5 +125,8 @@ fn all_variants_agree_on_output() {
         });
         results.push(outs.iter().map(|p| p.data.len()).collect());
     }
-    assert!(results.windows(2).all(|w| w[0] == w[1]), "identical partition sizes: {results:?}");
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "identical partition sizes: {results:?}"
+    );
 }

@@ -1,0 +1,339 @@
+//! Cross-layer tracing guarantees: the Chrome exporter emits well-formed
+//! JSON with per-track monotonic timestamps, and the trace-event stream
+//! folds back to exactly the metrics the runtime reports.
+
+use std::collections::HashMap;
+
+use exoshuffle::rt::{RtConfig, RtHandle, RunReport, TraceConfig};
+use exoshuffle::shuffle::{run_shuffle, ShuffleVariant};
+use exoshuffle::sim::{ClusterSpec, NodeSpec};
+use exoshuffle::sort::{sort_job, SortSpec};
+use exoshuffle::trace::{chrome_trace_json, EventKind, ObjectPhase, TraceCounters};
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser — just enough structure to validate the exporter
+// without external dependencies.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum V {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<V>),
+    Obj(Vec<(String, V)>),
+}
+
+impl V {
+    fn get(&self, key: &str) -> Option<&V> {
+        match self {
+            V::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> f64 {
+        match self {
+            V::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn str(&self) -> &str {
+        match self {
+            V::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.ws();
+        assert_eq!(
+            self.s.get(self.i).copied(),
+            Some(b),
+            "expected {:?} at byte {}",
+            b as char,
+            self.i
+        );
+        self.i += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        self.s[self.i]
+    }
+
+    fn value(&mut self) -> V {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => V::Str(self.string()),
+            b't' => {
+                self.i += 4;
+                V::Bool(true)
+            }
+            b'f' => {
+                self.i += 5;
+                V::Bool(false)
+            }
+            b'n' => {
+                self.i += 4;
+                V::Null
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> V {
+        self.expect(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return V::Obj(fields);
+        }
+        loop {
+            let key = self.string();
+            self.expect(b':');
+            fields.push((key, self.value()));
+            if self.peek() == b',' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(b'}');
+        V::Obj(fields)
+    }
+
+    fn array(&mut self) -> V {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.i += 1;
+            return V::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            if self.peek() == b',' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(b']');
+        V::Arr(items)
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.s[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.s[self.i] {
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.s[self.i + 1..self.i + 5]).unwrap();
+                            let cp = u32::from_str_radix(hex, 16).unwrap();
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        b => out.push(b as char),
+                    }
+                    self.i += 1;
+                }
+                b => {
+                    out.push(b as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> V {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).unwrap();
+        V::Num(
+            text.parse()
+                .unwrap_or_else(|e| panic!("bad number {text:?}: {e}")),
+        )
+    }
+}
+
+fn parse(s: &str) -> V {
+    let mut p = Parser::new(s);
+    let v = p.value();
+    p.ws();
+    assert_eq!(p.i, p.s.len(), "trailing garbage after JSON document");
+    v
+}
+
+// ---------------------------------------------------------------------
+// A small traced shuffle run shared by the tests below.
+// ---------------------------------------------------------------------
+
+fn traced_run() -> RunReport {
+    let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4));
+    cfg.trace = TraceConfig::on();
+    let spec = SortSpec {
+        data_bytes: 64 * 1000 * 1000,
+        num_maps: 8,
+        num_reduces: 4,
+        scale: 100,
+        seed: 11,
+    };
+    let (report, ()) = exoshuffle::rt::run(cfg, |rt: &RtHandle| {
+        let job = sort_job(spec);
+        let outs = run_shuffle(rt, &job, ShuffleVariant::Simple);
+        rt.wait_all(&outs);
+    });
+    report
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_monotonic_tracks() {
+    let report = traced_run();
+    assert!(
+        !report.trace.is_empty(),
+        "enabled tracing must retain events"
+    );
+    let json = chrome_trace_json(&report.trace);
+    let doc = parse(&json);
+    let V::Arr(entries) = doc else {
+        panic!("trace must be a JSON array")
+    };
+    assert!(!entries.is_empty());
+
+    // Per-(pid, tid) track timestamps must be monotonically non-decreasing,
+    // and complete events must carry a positive duration.
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    for e in &entries {
+        let ph = e.get("ph").expect("every entry has ph").str().to_string();
+        let pid = e.get("pid").expect("every entry has pid").num() as u64;
+        let tid = e.get("tid").map(|t| t.num() as u64).unwrap_or(0);
+        let ts = e.get("ts").map(|t| t.num()).unwrap_or(0.0);
+        let prev = last_ts.entry((pid, tid)).or_insert(0.0);
+        assert!(
+            ts >= *prev,
+            "track ({pid},{tid}) went backwards: {ts} < {prev}"
+        );
+        *prev = ts;
+        match ph.as_str() {
+            "X" => {
+                spans += 1;
+                assert!(e.get("dur").expect("X has dur").num() >= 1.0);
+                let args = e.get("args").expect("X has args");
+                assert!(args.get("task").is_some());
+            }
+            "C" => counters += 1,
+            "M" | "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(
+        spans as u64, report.metrics.tasks_completed,
+        "one complete span per finished task"
+    );
+    assert!(
+        counters > 0,
+        "resource sampling must produce counter tracks"
+    );
+}
+
+#[test]
+fn folded_trace_matches_runtime_metrics() {
+    let report = traced_run();
+    let c = TraceCounters::fold(&report.trace);
+    let m = &report.metrics;
+    assert_eq!(c.tasks_completed, m.tasks_completed);
+    assert_eq!(c.tasks_reexecuted, m.tasks_reexecuted);
+    assert_eq!(c.net_bytes, m.net_bytes);
+    assert_eq!(c.net_ops, m.net_ops);
+    assert_eq!(c.disk_read_bytes, m.disk_read_bytes);
+    assert_eq!(c.disk_write_bytes, m.disk_write_bytes);
+    assert_eq!(c.objects_reconstructed, m.objects_reconstructed);
+    assert_eq!(c.node_failures, m.node_failures);
+    assert_eq!(c.executor_failures, m.executor_failures);
+
+    // Independent check: summing the raw Transferred events reproduces the
+    // network counters without going through TraceCounters at all.
+    let (mut bytes, mut ops) = (0u64, 0u64);
+    for ev in &report.trace {
+        if let EventKind::Object(o) = &ev.kind {
+            if o.phase == ObjectPhase::Transferred {
+                bytes += o.bytes;
+                ops += 1;
+            }
+        }
+    }
+    assert_eq!(bytes, m.net_bytes);
+    assert_eq!(ops, m.net_ops);
+    assert!(
+        m.tasks_completed > 0 && m.net_bytes > 0,
+        "run did real work"
+    );
+}
+
+#[test]
+fn disabled_tracing_retains_no_events_but_keeps_metrics() {
+    let cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 2));
+    let spec = SortSpec {
+        data_bytes: 16 * 1000 * 1000,
+        num_maps: 4,
+        num_reduces: 2,
+        scale: 100,
+        seed: 5,
+    };
+    let (report, ()) = exoshuffle::rt::run(cfg, |rt: &RtHandle| {
+        let job = sort_job(spec);
+        let outs = run_shuffle(rt, &job, ShuffleVariant::Simple);
+        rt.wait_all(&outs);
+    });
+    assert!(
+        report.trace.is_empty(),
+        "default config must not retain events"
+    );
+    assert!(
+        report.metrics.tasks_completed > 0,
+        "counters still fold while disabled"
+    );
+}
