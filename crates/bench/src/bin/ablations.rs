@@ -10,7 +10,7 @@
 //! - eager ref release (ES-push*) — evict vs spill map outputs (the
 //!   ES-push vs ES-push* write-amplification trade-off, §4.3.1).
 
-use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_bench::{claim_obs, quick_mode, write_results, Table};
 use exo_rt::trace::Json;
 use exo_rt::RtConfig;
 use exo_shuffle::{push_shuffle, push_star_shuffle, PushConfig, PushStarConfig};
@@ -28,9 +28,11 @@ fn run(
     parts: usize,
     f: impl Fn(&exo_rt::RtHandle, &exo_shuffle::ShuffleJob) -> Vec<exo_rt::ObjectRef> + Send + Sync,
 ) -> Outcome {
-    let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 10));
-    let (trace_cfg, trace_path) = claim_trace();
-    cfg.trace = trace_cfg;
+    let cluster = ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 10);
+    let caps = cluster.device_caps();
+    let mut cfg = RtConfig::new(cluster);
+    let obs = claim_obs();
+    cfg.trace = obs.cfg.clone();
     let spec = SortSpec {
         data_bytes: data,
         num_maps: parts,
@@ -45,9 +47,7 @@ fn run(
         rt.wait_all(&outs);
         rt.now() - t0
     });
-    if let Some(path) = trace_path {
-        export_trace(&path, &report.trace);
-    }
+    obs.finish(&report.trace, &caps);
     Outcome {
         jct: jct.as_secs_f64(),
         net_gb: report.metrics.net_bytes as f64 / 1e9,

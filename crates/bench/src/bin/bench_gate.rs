@@ -1,0 +1,113 @@
+//! Perf-regression gate over the pinned benchmark suite.
+//!
+//! ```text
+//! bench_gate [--baseline PATH] [--out PATH] [--write-baseline]
+//! ```
+//!
+//! Runs the small deterministic suite in `exo_bench::gate`, writes the
+//! readings to `BENCH_<date>.json` (or `--out`), and compares them to
+//! the committed `bench/baseline.json` (or `--baseline`). Exits 1 on
+//! any out-of-tolerance metric. `--write-baseline` instead regenerates
+//! the baseline file from this run — do that in the same PR as an
+//! intentional performance change.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use exo_bench::gate::{compare, default_tolerances, run_cases, today_string};
+use exo_rt::trace::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = PathBuf::from("bench/baseline.json");
+    let mut out_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline_path = PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --baseline requires a path");
+                    exit(2);
+                }));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --out requires a path");
+                    exit(2);
+                })));
+            }
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\n\
+                     usage: bench_gate [--baseline PATH] [--out PATH] [--write-baseline]"
+                );
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let date = today_string();
+    let current = run_cases().set("date", date.clone());
+
+    let out_path = out_path.unwrap_or_else(|| PathBuf::from(format!("BENCH_{date}.json")));
+    if let Err(e) = std::fs::write(&out_path, current.render_pretty()) {
+        eprintln!("error: writing {}: {e}", out_path.display());
+        exit(2);
+    }
+    println!("bench_gate: wrote {}", out_path.display());
+
+    if write_baseline {
+        let baseline = current.clone().set("tolerances", default_tolerances());
+        if let Some(dir) = baseline_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render_pretty()) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            exit(2);
+        }
+        println!("bench_gate: wrote baseline {}", baseline_path.display());
+        return;
+    }
+
+    let raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: reading baseline {}: {e}\n\
+                 hint: generate one with `bench_gate --write-baseline`",
+                baseline_path.display()
+            );
+            exit(2);
+        }
+    };
+    let baseline = match Json::parse(&raw) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: parsing {}: {e}", baseline_path.display());
+            exit(2);
+        }
+    };
+
+    let violations = compare(&current, &baseline);
+    if violations.is_empty() {
+        println!(
+            "bench_gate: PASS — all metrics within tolerance of {}",
+            baseline_path.display()
+        );
+    } else {
+        eprintln!("bench_gate: FAIL — {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        eprintln!(
+            "if this change is intentional, regenerate the baseline with \
+             `cargo run --release --bin bench_gate -- --write-baseline`"
+        );
+        exit(1);
+    }
+}

@@ -6,7 +6,7 @@
 //! order of magnitude sooner than the batch job completes.
 
 use exo_agg::{regular_aggregation, streaming_aggregation, AggConfig, PageviewSpec};
-use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_bench::{claim_obs, quick_mode, write_results, Table};
 use exo_rt::trace::Json;
 use exo_rt::RtConfig;
 use exo_sim::{ClusterSpec, NodeSpec};
@@ -38,9 +38,11 @@ fn main() {
         spec,
         rounds: if quick_mode() { 5 } else { 20 },
     };
-    let mut rt_cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 10));
-    let (trace_cfg, trace_path) = claim_trace();
-    rt_cfg.trace = trace_cfg;
+    let cluster = ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 10);
+    let caps = cluster.device_caps();
+    let mut rt_cfg = RtConfig::new(cluster);
+    let obs = claim_obs();
+    rt_cfg.trace = obs.cfg.clone();
 
     println!("# Figure 5 — online aggregation, 10× r6i.2xlarge\n");
     let (report, (t_batch, samples, t_stream)) = exo_rt::run(rt_cfg, |rt| {
@@ -48,9 +50,7 @@ fn main() {
         let (samples, t_stream) = streaming_aggregation(rt, &cfg, &truth);
         (t_batch, samples, t_stream)
     });
-    if let Some(path) = trace_path {
-        export_trace(&path, &report.trace);
-    }
+    obs.finish(&report.trace, &caps);
 
     println!("regular shuffle total:   {:.1} s", t_batch.as_secs_f64());
     println!("streaming shuffle total: {:.1} s", t_stream.as_secs_f64());

@@ -6,7 +6,7 @@
 //! multiprocessing OOMs from cross-process copies while the shared-memory
 //! store keeps finishing.
 
-use exo_bench::obs::trace_not_applicable;
+use exo_bench::obs::obs_not_applicable;
 use exo_bench::{write_results, Table};
 use exo_monolith::{dask_sort, DaskMode, DaskOutcome, DaskSortConfig};
 use exo_rt::trace::Json;
@@ -33,7 +33,7 @@ fn main() {
     ];
 
     println!("# Figure 6 — single-node DataFrame sort, 32 vCPU / 244 GB\n");
-    trace_not_applicable("fig6");
+    obs_not_applicable("fig6");
     let mut t = Table::new(&["backend", "1GB", "10GB", "50GB", "100GB", "200GB"]);
     let mut runs = Vec::new();
     for (name, mode) in modes {

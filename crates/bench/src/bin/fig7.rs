@@ -9,17 +9,19 @@
 //! sizes; without it, up to ~12× slower at 100 KB objects. Prefetching
 //! task arguments cuts the consume phase by 60–80%.
 
-use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_bench::{claim_obs, quick_mode, write_results, Table};
 use exo_rt::trace::Json;
 use exo_rt::{CpuCost, Payload, RtConfig, TaskCtx};
 use exo_sim::{ClusterSpec, NodeSpec, SimDuration};
 
 fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64 {
-    let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::sc1_microbench_node(), 1));
+    let cluster = ClusterSpec::homogeneous(NodeSpec::sc1_microbench_node(), 1);
+    let caps = cluster.device_caps();
+    let mut cfg = RtConfig::new(cluster);
     cfg.fuse_spill_writes = fuse;
     cfg.prefetch_args = prefetch;
-    let (trace_cfg, trace_path) = claim_trace();
-    cfg.trace = trace_cfg;
+    let obs = claim_obs();
+    cfg.trace = obs.cfg.clone();
     let returns_per_task = 64usize;
     let n_objs = (total_bytes / obj_bytes) as usize;
     let n_tasks = n_objs.div_ceil(returns_per_task);
@@ -53,9 +55,7 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
             .collect();
         rt.wait_all(&consumers);
     });
-    if let Some(path) = trace_path {
-        export_trace(&path, &report.trace);
-    }
+    obs.finish(&report.trace, &caps);
     report.end_time.as_secs_f64()
 }
 

@@ -6,7 +6,7 @@
 //! buffered loader both bottlenecks on single-process decode and limits
 //! shuffling to a ~9% window of the (label-ordered) dataset.
 
-use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_bench::{claim_obs, quick_mode, write_results, Table};
 use exo_ml::{exoshuffle_training, petastorm_training, DatasetSpec, PetastormConfig, TrainConfig};
 use exo_rt::trace::Json;
 use exo_rt::RtConfig;
@@ -37,13 +37,12 @@ fn main() {
         window: ShuffleWindow::Full,
         gpu_ns_per_sample: gpu_ns,
     };
-    let (trace_cfg, trace_path) = claim_trace();
+    let obs = claim_obs();
     let mut es_rt_cfg = rt_cfg();
-    es_rt_cfg.trace = trace_cfg;
+    let caps = es_rt_cfg.cluster.device_caps();
+    es_rt_cfg.trace = obs.cfg.clone();
     let (es_report, es) = exo_rt::run(es_rt_cfg, |rt| exoshuffle_training(rt, &es_cfg));
-    if let Some(path) = trace_path {
-        export_trace(&path, &es_report.trace);
-    }
+    obs.finish(&es_report.trace, &caps);
 
     let ps_cfg = PetastormConfig {
         dataset,

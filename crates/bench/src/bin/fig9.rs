@@ -6,7 +6,7 @@
 //! shuffle (it stays local), but convergence accuracy is slightly lower
 //! because of the less-random shuffling.
 
-use exo_bench::{claim_trace, export_trace, quick_mode, write_results, Table};
+use exo_bench::{claim_obs, quick_mode, write_results, Table};
 use exo_ml::{exoshuffle_training, DatasetSpec, TrainConfig};
 use exo_rt::trace::Json;
 use exo_rt::RtConfig;
@@ -36,13 +36,12 @@ fn main() {
         epochs
     );
 
-    let (trace_cfg, trace_path) = claim_trace();
+    let obs = claim_obs();
     let mut full_rt_cfg = rt_cfg();
-    full_rt_cfg.trace = trace_cfg;
+    let caps = full_rt_cfg.cluster.device_caps();
+    full_rt_cfg.trace = obs.cfg.clone();
     let (full_rep, full) = exo_rt::run(full_rt_cfg, |rt| exoshuffle_training(rt, &base));
-    if let Some(path) = trace_path {
-        export_trace(&path, &full_rep.trace);
-    }
+    obs.finish(&full_rep.trace, &caps);
     let mut windowed_cfg = base;
     windowed_cfg.window = ShuffleWindow::Window { partitions: 4 }; // per-node batches only
     let (win_rep, win) = exo_rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &windowed_cfg));

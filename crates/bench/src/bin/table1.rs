@@ -5,7 +5,7 @@
 //! (non-blank, non-comment lines, excluding tests); the monolithic
 //! numbers are the paper's.
 
-use exo_bench::obs::trace_not_applicable;
+use exo_bench::obs::obs_not_applicable;
 use exo_bench::{write_results, Table};
 use exo_rt::trace::Json;
 
@@ -64,7 +64,7 @@ fn main() {
     t.print();
     println!("\nshared workload-description module (job.rs): {shared} LoC");
     println!("(paper's Exoshuffle counts: 215 / 265 / 256 / 256)");
-    trace_not_applicable("table1");
+    obs_not_applicable("table1");
     write_results(
         "table1",
         Json::obj()

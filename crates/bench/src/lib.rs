@@ -22,11 +22,15 @@
 //! EXPERIMENTS.md records full-run outputs. Criterion microbenches for the
 //! hot kernels live under `benches/`.
 
+pub mod gate;
 pub mod obs;
 pub mod runs;
 pub mod table;
 
-pub use obs::{claim_trace, export_trace, sort_result_json, without_trace, write_results};
+pub use obs::{
+    claim_obs, claim_trace, export_trace, obs_not_applicable, sort_result_json, without_trace,
+    write_results, Obs,
+};
 pub use runs::{run_es_sort, EsSortParams, SortRunResult};
 pub use table::Table;
 

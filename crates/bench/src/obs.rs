@@ -1,57 +1,176 @@
-//! Bench-side observability plumbing: the shared `--trace <path>` flag,
-//! Chrome-trace/JSONL export with an end-of-run text summary, and the
+//! Bench-side observability plumbing: the shared `--trace <path>` /
+//! `--profile [path]` flags, Chrome-trace/JSONL export with an
+//! end-of-run text summary, the exo-prof report, and the
 //! machine-readable `results/<name>.json` files every binary writes.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
+use exo_prof::profile;
 use exo_rt::trace::{summarize, write_chrome_trace, write_jsonl, Event, Json};
 use exo_rt::TraceConfig;
+use exo_sim::DeviceCaps;
 
 use crate::runs::SortRunResult;
 
+/// How one `--flag`/`--flag=value`/`--flag value` appeared on the
+/// command line. Shared by `--trace` (value required) and `--profile`
+/// (value optional).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FlagArg {
+    Absent,
+    /// Flag present, with its value if one was given.
+    Present(Option<PathBuf>),
+}
+
+/// Parses `flag` out of `args`. A following argument is its value
+/// unless it looks like another flag.
+fn parse_path_flag(flag: &str, args: &[String]) -> FlagArg {
+    let prefix = format!("{flag}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return match it.clone().next() {
+                Some(v) if !v.starts_with("--") => FlagArg::Present(Some(PathBuf::from(v))),
+                _ => FlagArg::Present(None),
+            };
+        }
+        if let Some(rest) = a.strip_prefix(&prefix) {
+            return if rest.is_empty() {
+                FlagArg::Present(None)
+            } else {
+                FlagArg::Present(Some(PathBuf::from(rest)))
+            };
+        }
+    }
+    FlagArg::Absent
+}
+
+fn argv() -> Vec<String> {
+    std::env::args().collect()
+}
+
 /// Path given via `--trace <path>` or `--trace=<path>`, if any.
+/// A bare `--trace` with no path is a hard usage error: silently
+/// tracing nowhere wastes a (possibly long) instrumented run.
 pub fn trace_flag() -> Option<PathBuf> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            return args.next().map(PathBuf::from);
-        }
-        if let Some(rest) = a.strip_prefix("--trace=") {
-            return Some(PathBuf::from(rest));
+    match parse_path_flag("--trace", &argv()) {
+        FlagArg::Absent => None,
+        FlagArg::Present(Some(path)) => Some(path),
+        FlagArg::Present(None) => {
+            eprintln!("error: --trace requires an output path, e.g. `--trace run.trace.json`");
+            std::process::exit(2);
         }
     }
-    None
 }
 
-static TRACE_CLAIMED: AtomicBool = AtomicBool::new(false);
-static TRACE_SUPPRESSED: AtomicBool = AtomicBool::new(false);
+/// Whether `--profile` was passed, and the optional path to also write
+/// the profile report JSON to (`--profile=prof.json`).
+pub fn profile_flag() -> (bool, Option<PathBuf>) {
+    match parse_path_flag("--profile", &argv()) {
+        FlagArg::Absent => (false, None),
+        FlagArg::Present(path) => (true, path),
+    }
+}
 
-/// Claim the `--trace` flag for the *first* simulated run of a sweep.
-/// Returns an enabled [`TraceConfig`] plus the output path exactly once;
-/// every later call gets the disabled default, so tracing one
-/// representative run leaves the rest of the sweep unperturbed.
+static OBS_CLAIMED: AtomicBool = AtomicBool::new(false);
+static OBS_SUPPRESSED: AtomicBool = AtomicBool::new(false);
+
+/// The claimed observability request for one simulated run: carries the
+/// [`TraceConfig`] to put on `RtConfig` and knows what to do with the
+/// retained events afterwards (see [`Obs::finish`]).
+#[derive(Debug)]
+pub struct Obs {
+    /// Put this on `RtConfig::trace` before running.
+    pub cfg: TraceConfig,
+    trace_path: Option<PathBuf>,
+    profile: bool,
+    profile_path: Option<PathBuf>,
+}
+
+impl Obs {
+    fn disabled() -> Obs {
+        Obs {
+            cfg: TraceConfig::default(),
+            trace_path: None,
+            profile: false,
+            profile_path: None,
+        }
+    }
+
+    /// Whether this run was instrumented at all.
+    pub fn active(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Consume a finished run's retained events: export the Chrome
+    /// trace + JSONL if `--trace` asked for them, and compute/print the
+    /// exo-prof report if `--profile` did — also stashing its JSON so
+    /// [`write_results`] embeds it under `"profile"`.
+    pub fn finish(&self, events: &[Event], caps: &DeviceCaps) {
+        if let Some(path) = &self.trace_path {
+            export_trace(path, events);
+        }
+        if self.profile {
+            let report = profile(events, caps);
+            println!("\n{report}");
+            let json = report.to_json();
+            if let Some(path) = &self.profile_path {
+                match std::fs::write(path, json.render() + "\n") {
+                    Ok(()) => eprintln!("wrote profile report to {}", path.display()),
+                    Err(e) => eprintln!("failed to write profile {}: {e}", path.display()),
+                }
+            }
+            *PROFILE_JSON.lock().expect("profile stash poisoned") = Some(json);
+        }
+    }
+}
+
+/// Claim the `--trace`/`--profile` flags for the *first* simulated run
+/// of a sweep. Returns an enabled [`Obs`] exactly once; every later
+/// call gets a disabled one, so instrumenting one representative run
+/// leaves the rest of the sweep unperturbed.
+pub fn claim_obs() -> Obs {
+    if OBS_SUPPRESSED.load(Ordering::SeqCst) {
+        return Obs::disabled();
+    }
+    let trace_path = trace_flag();
+    let (profile, profile_path) = profile_flag();
+    if trace_path.is_none() && !profile {
+        return Obs::disabled();
+    }
+    if OBS_CLAIMED.swap(true, Ordering::SeqCst) {
+        return Obs::disabled();
+    }
+    Obs {
+        cfg: TraceConfig::on(),
+        trace_path,
+        profile,
+        profile_path,
+    }
+}
+
+/// Back-compat shim over [`claim_obs`] for callers that only care about
+/// the trace side: `(TraceConfig, Option<PathBuf>)`.
 pub fn claim_trace() -> (TraceConfig, Option<PathBuf>) {
-    if TRACE_SUPPRESSED.load(Ordering::SeqCst) {
-        return (TraceConfig::default(), None);
-    }
-    match trace_flag() {
-        Some(path) if !TRACE_CLAIMED.swap(true, Ordering::SeqCst) => {
-            (TraceConfig::on(), Some(path))
-        }
-        _ => (TraceConfig::default(), None),
-    }
+    let obs = claim_obs();
+    (obs.cfg.clone(), obs.trace_path)
 }
 
-/// Run `f` with trace claiming suppressed. Used by bins whose first
-/// simulated run is not the interesting one (fig4_ft traces the first
-/// *failure* run, not the clean baseline it needs beforehand).
+/// Run `f` with observability claiming suppressed. Used by bins whose
+/// first simulated run is not the interesting one (fig4_ft instruments
+/// the first *failure* run, not the clean baseline it needs beforehand).
 pub fn without_trace<T>(f: impl FnOnce() -> T) -> T {
-    TRACE_SUPPRESSED.store(true, Ordering::SeqCst);
+    OBS_SUPPRESSED.store(true, Ordering::SeqCst);
     let out = f();
-    TRACE_SUPPRESSED.store(false, Ordering::SeqCst);
+    OBS_SUPPRESSED.store(false, Ordering::SeqCst);
     out
 }
+
+/// The profile JSON of the instrumented run, for embedding into the
+/// results file written later in the same process.
+static PROFILE_JSON: Mutex<Option<Json>> = Mutex::new(None);
 
 /// Export a finished run's trace: Chrome trace-event JSON at `path`
 /// (loadable in Perfetto / `chrome://tracing`), a flat JSONL sibling, and
@@ -74,10 +193,11 @@ pub fn export_trace(path: &Path, events: &[Event]) {
 }
 
 /// For binaries that run no `exo-rt` simulation (fig6, table1): explain
-/// why `--trace` produces nothing rather than silently ignoring it.
-pub fn trace_not_applicable(bin: &str) {
-    if trace_flag().is_some() {
-        eprintln!("note: {bin} runs no exo-rt simulation; --trace is ignored");
+/// why `--trace`/`--profile` produce nothing rather than silently
+/// ignoring them.
+pub fn obs_not_applicable(bin: &str) {
+    if trace_flag().is_some() || profile_flag().0 {
+        eprintln!("note: {bin} runs no exo-rt simulation; --trace/--profile are ignored");
     }
 }
 
@@ -93,8 +213,13 @@ pub fn sort_result_json(r: &SortRunResult) -> Json {
 }
 
 /// Write `results/<name>.json` (creating `results/` if needed) so sweeps
-/// are machine-readable alongside the printed tables.
+/// are machine-readable alongside the printed tables. When the process
+/// profiled a run (`--profile`), its report is embedded as `"profile"`.
 pub fn write_results(name: &str, doc: Json) {
+    let doc = match PROFILE_JSON.lock().expect("profile stash poisoned").clone() {
+        Some(profile) => doc.set("profile", profile),
+        None => doc,
+    };
     let dir = Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("failed to create {}: {e}", dir.display());
@@ -104,5 +229,54 @@ pub fn write_results(name: &str, doc: Json) {
     match std::fs::write(&path, doc.render() + "\n") {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing_covers_all_spellings() {
+        assert_eq!(parse_path_flag("--trace", &args(&[])), FlagArg::Absent);
+        assert_eq!(
+            parse_path_flag("--trace", &args(&["bin", "--quick"])),
+            FlagArg::Absent
+        );
+        assert_eq!(
+            parse_path_flag("--trace", &args(&["bin", "--trace", "t.json"])),
+            FlagArg::Present(Some(PathBuf::from("t.json")))
+        );
+        assert_eq!(
+            parse_path_flag("--trace", &args(&["bin", "--trace=t.json"])),
+            FlagArg::Present(Some(PathBuf::from("t.json")))
+        );
+        // Missing values are detected, not swallowed: a trailing flag or
+        // another option in value position both count as "no value".
+        assert_eq!(
+            parse_path_flag("--trace", &args(&["bin", "--trace"])),
+            FlagArg::Present(None)
+        );
+        assert_eq!(
+            parse_path_flag("--trace", &args(&["bin", "--trace", "--quick"])),
+            FlagArg::Present(None)
+        );
+        assert_eq!(
+            parse_path_flag("--trace", &args(&["bin", "--trace="])),
+            FlagArg::Present(None)
+        );
+        // --profile shares the same parser; a bare flag is valid there.
+        assert_eq!(
+            parse_path_flag("--profile", &args(&["bin", "--profile"])),
+            FlagArg::Present(None)
+        );
+        assert_eq!(
+            parse_path_flag("--profile", &args(&["bin", "--profile=p.json"])),
+            FlagArg::Present(Some(PathBuf::from("p.json")))
+        );
     }
 }

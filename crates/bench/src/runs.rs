@@ -53,11 +53,15 @@ pub struct SortRunResult {
 /// under failures).
 pub fn run_es_sort(p: EsSortParams) -> SortRunResult {
     let cluster = ClusterSpec::homogeneous(p.node, p.nodes);
+    let mut caps = cluster.device_caps();
+    if let Some(c) = p.store_capacity {
+        caps.store_bytes = c;
+    }
     let mut cfg = RtConfig::new(cluster);
     cfg.object_store_capacity = p.store_capacity;
-    // `--trace` instruments the first run of the sweep only.
-    let (trace_cfg, trace_path) = crate::obs::claim_trace();
-    cfg.trace = trace_cfg;
+    // `--trace`/`--profile` instrument the first run of the sweep only.
+    let obs = crate::obs::claim_obs();
+    cfg.trace = obs.cfg.clone();
     let spec = SortSpec {
         data_bytes: p.data_bytes,
         num_maps: p.partitions,
@@ -79,8 +83,8 @@ pub fn run_es_sort(p: EsSortParams) -> SortRunResult {
         rt.wait_all(&outs);
         rt.now() - t0
     });
-    if let Some(path) = trace_path {
-        crate::obs::export_trace(&path, &report.trace);
+    if obs.active() {
+        obs.finish(&report.trace, &caps);
     }
     SortRunResult {
         jct,

@@ -1,0 +1,442 @@
+//! Critical-path analysis over the task/object dependency DAG.
+//!
+//! The trace stream carries two kinds of facts we join here: task
+//! lifecycle spans ([`TaskPhase`] scheduled → dequeued → started →
+//! finished) and dependency edges ([`DepKind::Arg`] task-consumes-object,
+//! [`DepKind::Output`] task-produces-object). From these we reconstruct
+//! the task-level DAG and walk backwards from the last task to finish,
+//! at each step following the *latest-finishing* producer of any
+//! argument — the classic longest-weighted-path heuristic for "what
+//! actually gated job completion". Each critical task's contribution is
+//! the wall-clock interval it exclusively owned on that path.
+
+use std::collections::HashMap;
+
+use exo_trace::{DepKind, Event, EventKind, TaskPhase};
+
+/// One task on the critical path, with its lifecycle breakdown.
+#[derive(Debug, Clone)]
+pub struct CritTask {
+    pub task: u64,
+    pub label: &'static str,
+    pub node: u32,
+    pub attempt: u32,
+    /// Scheduled → dequeued: time spent queued behind other tasks.
+    pub queue_us: u64,
+    /// Dequeued → started: argument staging (restore/fetch/pin).
+    pub stage_us: u64,
+    /// Started → finished: execution (CPU + output write).
+    pub exec_us: u64,
+    /// Wall-clock this task spent blocked on non-resident arguments:
+    /// the union of matched fetch-wait begin/end intervals, so waits on
+    /// many objects at once count the elapsed time only once.
+    pub fetch_wait_us: u64,
+    /// Wall-clock this task exclusively owns on the critical path:
+    /// `finished − max(predecessor finish, scheduled)`.
+    pub contribution_us: u64,
+}
+
+/// The reconstructed critical path, last task first.
+#[derive(Debug, Clone, Default)]
+pub struct CritPath {
+    /// Tasks on the path, ordered from job completion backwards.
+    pub tasks: Vec<CritTask>,
+    /// Finish time of the last task (path end), microseconds.
+    pub end_us: u64,
+    /// Sum of per-task contributions.
+    pub covered_us: u64,
+}
+
+impl CritPath {
+    /// Fraction of the run's makespan explained by the path (0..=1).
+    /// Below ~0.8 usually means the run was gated by resource queueing
+    /// between tasks rather than by the dependency chain itself.
+    pub fn coverage(&self) -> f64 {
+        if self.end_us == 0 {
+            return 0.0;
+        }
+        self.covered_us as f64 / self.end_us as f64
+    }
+
+    /// Summed breakdown across the path: (queue, stage, exec, fetch).
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0);
+        for c in &self.tasks {
+            t.0 += c.queue_us;
+            t.1 += c.stage_us;
+            t.2 += c.exec_us;
+            t.3 += c.fetch_wait_us;
+        }
+        t
+    }
+}
+
+/// Total length covered by a set of possibly-overlapping intervals.
+fn interval_union_us(mut ivals: Vec<(u64, u64)>) -> u64 {
+    ivals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in ivals {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur {
+                    total += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskTimes {
+    scheduled: Option<u64>,
+    dequeued: Option<u64>,
+    started: Option<u64>,
+    finished: Option<u64>,
+    node: u32,
+    label: &'static str,
+    attempt: u32,
+}
+
+/// Computes the critical path of `events`. Tolerates partial streams:
+/// unmatched fetch-wait begins are dropped, unfinished tasks are never
+/// on the path, and unknown producers terminate the walk.
+pub fn critical_path(events: &[Event]) -> CritPath {
+    // --- Pass 1: fold per-task facts. ------------------------------
+    // Lifecycle keyed by (task, attempt); the walk later uses the
+    // attempt that finished last (retries replace earlier attempts).
+    let mut times: HashMap<(u64, u32), TaskTimes> = HashMap::new();
+    // task -> argument objects; object -> producing task.
+    let mut args: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut producer: HashMap<u64, u64> = HashMap::new();
+    // (task, object) -> open fetch-wait begin; task -> closed intervals.
+    let mut open_wait: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut wait_ivals: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+
+    for ev in events {
+        match &ev.kind {
+            EventKind::Task(t) => {
+                let e = times.entry((t.task, t.attempt)).or_default();
+                e.node = t.node;
+                e.attempt = t.attempt;
+                if !t.label.is_empty() {
+                    e.label = t.label;
+                }
+                match t.phase {
+                    TaskPhase::Scheduled => e.scheduled = Some(ev.at_us),
+                    TaskPhase::Dequeued => e.dequeued = Some(ev.at_us),
+                    TaskPhase::Started => e.started = Some(ev.at_us),
+                    TaskPhase::Finished => e.finished = Some(ev.at_us),
+                }
+            }
+            EventKind::Dep(d) => match d.kind {
+                DepKind::Arg => args.entry(d.task).or_default().push(d.object),
+                DepKind::Output => {
+                    producer.insert(d.object, d.task);
+                }
+            },
+            EventKind::FetchWait(w) => {
+                let key = (w.task, w.object);
+                if w.begin {
+                    // Keep the earliest begin if the runtime re-registers.
+                    open_wait.entry(key).or_insert(ev.at_us);
+                } else if let Some(b) = open_wait.remove(&key) {
+                    if ev.at_us > b {
+                        wait_ivals.entry(w.task).or_default().push((b, ev.at_us));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // A task staging many arguments waits on them concurrently; its
+    // blocked wall-clock is the union of the intervals, not their sum.
+    let fetch_wait: HashMap<u64, u64> = wait_ivals
+        .into_iter()
+        .map(|(task, ivals)| (task, interval_union_us(ivals)))
+        .collect();
+
+    // Best (latest-finishing) finished attempt per task.
+    let mut best: HashMap<u64, TaskTimes> = HashMap::new();
+    for (&(task, _), &tt) in &times {
+        if tt.finished.is_none() {
+            continue;
+        }
+        match best.get(&task) {
+            Some(prev) if prev.finished >= tt.finished => {}
+            _ => {
+                best.insert(task, tt);
+            }
+        }
+    }
+
+    // --- Pass 2: backward walk from the last finisher. -------------
+    let Some((&sink, _)) = best.iter().max_by_key(|(&task, tt)| (tt.finished, task)) else {
+        return CritPath::default();
+    };
+
+    let mut path = CritPath {
+        end_us: best[&sink].finished.unwrap_or(0),
+        ..CritPath::default()
+    };
+    let mut cur = sink;
+    let mut guard = 0usize;
+    loop {
+        let tt = best[&cur];
+        // Latest-finishing finished producer among this task's args.
+        let pred = args
+            .get(&cur)
+            .into_iter()
+            .flatten()
+            .filter_map(|obj| producer.get(obj))
+            .filter_map(|p| best.get(p).map(|ptt| (*p, ptt.finished)))
+            .max_by_key(|&(p, fin)| (fin, p))
+            .map(|(p, _)| p);
+
+        let finished = tt.finished.unwrap_or(0);
+        let own_start = match pred.and_then(|p| best[&p].finished) {
+            Some(pf) => pf.max(tt.scheduled.unwrap_or(pf)),
+            None => tt.scheduled.unwrap_or(0),
+        };
+        let contribution = finished.saturating_sub(own_start);
+        path.covered_us += contribution;
+        path.tasks.push(CritTask {
+            task: cur,
+            label: tt.label,
+            node: tt.node,
+            attempt: tt.attempt,
+            queue_us: tt
+                .dequeued
+                .zip(tt.scheduled)
+                .map(|(d, s)| d.saturating_sub(s))
+                .unwrap_or(0),
+            stage_us: tt
+                .started
+                .zip(tt.dequeued)
+                .map(|(st, d)| st.saturating_sub(d))
+                .unwrap_or(0),
+            exec_us: tt
+                .started
+                .map(|st| finished.saturating_sub(st))
+                .unwrap_or(0),
+            fetch_wait_us: fetch_wait.get(&cur).copied().unwrap_or(0),
+            contribution_us: contribution,
+        });
+
+        guard += 1;
+        match pred {
+            // A retry loop in a corrupt stream could cycle; the task
+            // count bounds any legitimate path.
+            Some(p) if guard <= best.len() => cur = p,
+            _ => break,
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_trace::{DepEvent, FetchWaitEvent, TaskSpan};
+
+    fn task_events(
+        task: u64,
+        label: &'static str,
+        node: u32,
+        sched: u64,
+        start: u64,
+        finish: u64,
+    ) -> Vec<Event> {
+        let mk = |phase, at_us| Event {
+            at_us,
+            kind: EventKind::Task(TaskSpan {
+                task,
+                phase,
+                node,
+                label,
+                attempt: 0,
+                retry: false,
+                reason: None,
+            }),
+        };
+        vec![
+            mk(TaskPhase::Scheduled, sched),
+            mk(TaskPhase::Dequeued, sched),
+            mk(TaskPhase::Started, start),
+            mk(TaskPhase::Finished, finish),
+        ]
+    }
+
+    fn dep(task: u64, object: u64, kind: DepKind) -> Event {
+        Event {
+            at_us: 0,
+            kind: EventKind::Dep(DepEvent { task, object, kind }),
+        }
+    }
+
+    /// Diamond DAG with a known answer:
+    ///
+    /// ```text
+    ///        a (0..10)
+    ///       / \
+    ///  b (10..30)  c (10..80)     <- c is the slow branch
+    ///       \ /
+    ///        d (80..100)
+    /// ```
+    ///
+    /// Critical path must be d ← c ← a, covering the full 100 µs.
+    #[test]
+    fn diamond_dag_follows_slow_branch() {
+        // a produces obj 1; b consumes 1, produces 2; c consumes 1,
+        // produces 3; d consumes 2 and 3, produces 4.
+        let mut events = vec![
+            dep(0, 1, DepKind::Output),
+            dep(1, 1, DepKind::Arg),
+            dep(1, 2, DepKind::Output),
+            dep(2, 1, DepKind::Arg),
+            dep(2, 3, DepKind::Output),
+            dep(3, 2, DepKind::Arg),
+            dep(3, 3, DepKind::Arg),
+            dep(3, 4, DepKind::Output),
+        ];
+        events.extend(task_events(0, "a", 0, 0, 0, 10));
+        events.extend(task_events(1, "b", 0, 10, 10, 30));
+        events.extend(task_events(2, "c", 1, 10, 12, 80));
+        events.extend(task_events(3, "d", 0, 80, 80, 100));
+        events.sort_by_key(|e| e.at_us);
+
+        let p = critical_path(&events);
+        let ids: Vec<u64> = p.tasks.iter().map(|t| t.task).collect();
+        assert_eq!(ids, vec![3, 2, 0], "path should be d <- c <- a");
+        assert_eq!(p.end_us, 100);
+        // d owns 80..100, c owns 10..80, a owns 0..10: full coverage.
+        assert_eq!(p.covered_us, 100);
+        assert!((p.coverage() - 1.0).abs() < 1e-9);
+        let c = &p.tasks[1];
+        assert_eq!(c.label, "c");
+        assert_eq!(c.queue_us, 0);
+        assert_eq!(c.stage_us, 2);
+        assert_eq!(c.exec_us, 68);
+        assert_eq!(c.contribution_us, 70);
+    }
+
+    #[test]
+    fn fetch_wait_intervals_attach_to_critical_tasks() {
+        let mut events = Vec::new();
+        events.push(dep(0, 1, DepKind::Output));
+        events.push(dep(1, 1, DepKind::Arg));
+        events.extend(task_events(0, "map", 0, 0, 0, 50));
+        events.extend(task_events(1, "reduce", 1, 50, 65, 100));
+        let fw = |at_us, begin| Event {
+            at_us,
+            kind: EventKind::FetchWait(FetchWaitEvent {
+                task: 1,
+                object: 1,
+                node: 1,
+                begin,
+            }),
+        };
+        events.push(fw(52, true));
+        events.push(fw(64, false));
+        // Orphan begin: never ended; must not contribute.
+        events.push(fw(70, true));
+        events.sort_by_key(|e| e.at_us);
+
+        let p = critical_path(&events);
+        assert_eq!(p.tasks[0].task, 1);
+        assert_eq!(p.tasks[0].fetch_wait_us, 12);
+    }
+
+    #[test]
+    fn concurrent_fetch_waits_count_elapsed_time_once() {
+        let mut events = Vec::new();
+        events.extend(task_events(1, "reduce", 0, 0, 40, 100));
+        // Waits on objects 10/11/12 overlap: [5,25], [10,30], [28,35].
+        // Union is [5,35] = 30 µs, not the 67 µs sum.
+        for (obj, b, e) in [(10u64, 5u64, 25u64), (11, 10, 30), (12, 28, 35)] {
+            for (at_us, begin) in [(b, true), (e, false)] {
+                events.push(Event {
+                    at_us,
+                    kind: EventKind::FetchWait(FetchWaitEvent {
+                        task: 1,
+                        object: obj,
+                        node: 0,
+                        begin,
+                    }),
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at_us);
+        let p = critical_path(&events);
+        assert_eq!(p.tasks[0].fetch_wait_us, 30);
+    }
+
+    #[test]
+    fn retried_task_uses_finishing_attempt() {
+        let mut events = Vec::new();
+        events.push(dep(0, 1, DepKind::Output));
+        // Attempt 0 never finishes (node died); attempt 1 does.
+        events.push(Event {
+            at_us: 0,
+            kind: EventKind::Task(TaskSpan {
+                task: 0,
+                phase: TaskPhase::Scheduled,
+                node: 0,
+                label: "map",
+                attempt: 0,
+                retry: false,
+                reason: None,
+            }),
+        });
+        events.extend(task_events_attempt(0, "map", 1, 1, 20, 25, 60));
+        let p = critical_path(&events);
+        assert_eq!(p.tasks.len(), 1);
+        assert_eq!(p.tasks[0].attempt, 1);
+        assert_eq!(p.end_us, 60);
+        // Contribution starts at its own scheduled time (20), not 0.
+        assert_eq!(p.covered_us, 40);
+    }
+
+    fn task_events_attempt(
+        task: u64,
+        label: &'static str,
+        node: u32,
+        attempt: u32,
+        sched: u64,
+        start: u64,
+        finish: u64,
+    ) -> Vec<Event> {
+        let mk = |phase, at_us| Event {
+            at_us,
+            kind: EventKind::Task(TaskSpan {
+                task,
+                phase,
+                node,
+                label,
+                attempt,
+                retry: attempt > 0,
+                reason: None,
+            }),
+        };
+        vec![
+            mk(TaskPhase::Scheduled, sched),
+            mk(TaskPhase::Dequeued, sched),
+            mk(TaskPhase::Started, start),
+            mk(TaskPhase::Finished, finish),
+        ]
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_path() {
+        let p = critical_path(&[]);
+        assert!(p.tasks.is_empty());
+        assert_eq!(p.coverage(), 0.0);
+    }
+}

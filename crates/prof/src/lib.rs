@@ -1,0 +1,30 @@
+//! # exo-prof — offline profiler for exo-trace streams
+//!
+//! Answers the three questions an Exoshuffle run report should open
+//! with, all derived from the retained [`exo_trace::Event`] stream:
+//!
+//! 1. **What gated completion?** [`critical_path`] reconstructs the
+//!    task/object dependency DAG from `Dep` edges and walks the
+//!    longest-weighted chain backwards from the last task to finish,
+//!    breaking each critical task into queue / staging / exec /
+//!    fetch-wait time.
+//! 2. **What was the run bound by?** [`attribute`] slices the run into
+//!    intervals and classifies each as cpu / disk / net / alloc-stall /
+//!    idle against the hardware capacities in [`exo_sim::DeviceCaps`],
+//!    yielding a bound profile like `disk 61% / net 22% / cpu 9%`.
+//! 3. **Were there stragglers or skew?** [`stage_stats`] reports
+//!    p50/p99/max execution time and output-bytes skew per stage label.
+//!
+//! [`profile`] bundles all three into a [`ProfileReport`] with a text
+//! rendering and a JSON embedding; the bench bins expose it behind
+//! `--profile`, and `bench_gate` regresses its headline metrics.
+
+pub mod attribution;
+pub mod critpath;
+pub mod report;
+pub mod stages;
+
+pub use attribution::{attribute, Bound, BoundProfile, Interval};
+pub use critpath::{critical_path, CritPath, CritTask};
+pub use report::{profile, ProfileReport};
+pub use stages::{stage_stats, StageStats};

@@ -1,0 +1,241 @@
+//! The combined profile report: critical path + bound profile + stage
+//! stats, with a human rendering (`Display`) and a JSON embedding for
+//! bench result files.
+
+use std::fmt;
+
+use exo_sim::DeviceCaps;
+use exo_trace::{Event, Json};
+
+use crate::attribution::{attribute, Bound, BoundProfile};
+use crate::critpath::{critical_path, CritPath};
+use crate::stages::{stage_stats, StageStats};
+
+/// Everything exo-prof derives from one run's event stream.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    pub critpath: CritPath,
+    pub bounds: BoundProfile,
+    pub stages: Vec<StageStats>,
+}
+
+/// Runs the full analysis over a retained trace stream.
+pub fn profile(events: &[Event], caps: &DeviceCaps) -> ProfileReport {
+    ProfileReport {
+        critpath: critical_path(events),
+        bounds: attribute(events, caps),
+        stages: stage_stats(events),
+    }
+}
+
+fn secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+impl ProfileReport {
+    /// JSON document embedded under `"profile"` in bench result files.
+    pub fn to_json(&self) -> Json {
+        let (queue, stage, exec, fetch) = self.critpath.totals();
+        let mut bounds = Json::obj();
+        for b in Bound::ALL {
+            bounds = bounds.set(b.name(), self.bounds.fraction(b));
+        }
+        let crit_tasks: Vec<Json> = self
+            .critpath
+            .tasks
+            .iter()
+            .map(|t| {
+                Json::obj()
+                    .set("task", t.task)
+                    .set("label", t.label)
+                    .set("node", t.node)
+                    .set("attempt", t.attempt)
+                    .set("queue_us", t.queue_us)
+                    .set("stage_us", t.stage_us)
+                    .set("exec_us", t.exec_us)
+                    .set("fetch_wait_us", t.fetch_wait_us)
+                    .set("contribution_us", t.contribution_us)
+            })
+            .collect();
+        let stages: Vec<Json> = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .set("label", s.label)
+                    .set("tasks", s.tasks)
+                    .set("p50_us", s.p50_us)
+                    .set("p99_us", s.p99_us)
+                    .set("max_us", s.max_us)
+                    .set("straggler_ratio", s.straggler_ratio())
+                    .set("mean_bytes", s.mean_bytes)
+                    .set("max_bytes", s.max_bytes)
+                    .set("bytes_skew", s.bytes_skew())
+            })
+            .collect();
+        Json::obj()
+            .set("dominant_bound", self.bounds.dominant().name())
+            .set("bound_profile", bounds)
+            .set(
+                "critical_path",
+                Json::obj()
+                    .set("end_us", self.critpath.end_us)
+                    .set("covered_us", self.critpath.covered_us)
+                    .set("coverage", self.critpath.coverage())
+                    .set("tasks_on_path", self.critpath.tasks.len())
+                    .set("queue_us", queue)
+                    .set("stage_us", stage)
+                    .set("exec_us", exec)
+                    .set("fetch_wait_us", fetch)
+                    .set("tasks", crit_tasks),
+            )
+            .set("stages", stages)
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "profile: bound by {}", self.bounds.one_line())?;
+        let cp = &self.critpath;
+        writeln!(
+            f,
+            "  critical path: {} tasks cover {:.2} s of {:.2} s makespan ({:.0}%)",
+            cp.tasks.len(),
+            secs(cp.covered_us),
+            secs(cp.end_us),
+            100.0 * cp.coverage()
+        )?;
+        let (queue, stage, exec, fetch) = cp.totals();
+        if !cp.tasks.is_empty() {
+            writeln!(
+                f,
+                "    on-path time: exec {:.2} s, staging {:.2} s, queued {:.2} s, fetch-wait {:.2} s",
+                secs(exec),
+                secs(stage),
+                secs(queue),
+                secs(fetch)
+            )?;
+            // The head of the walk is job completion; show the top
+            // contributors rather than the whole (possibly long) chain.
+            let mut top: Vec<&crate::critpath::CritTask> = cp.tasks.iter().collect();
+            top.sort_by_key(|t| std::cmp::Reverse(t.contribution_us));
+            writeln!(f, "    top critical tasks:")?;
+            for t in top.iter().take(5) {
+                writeln!(
+                    f,
+                    "      {:<20} node{:<3} task {:<8} owns {:>8.3} s (exec {:.3} s, fetch-wait {:.3} s)",
+                    t.label,
+                    t.node,
+                    t.task,
+                    secs(t.contribution_us),
+                    secs(t.exec_us),
+                    secs(t.fetch_wait_us)
+                )?;
+            }
+        }
+        if !self.stages.is_empty() {
+            writeln!(f, "  stages:")?;
+            for s in &self.stages {
+                write!(
+                    f,
+                    "    {:<20} {:>5} tasks  p50 {:>8.3} s  p99 {:>8.3} s  max {:>8.3} s  straggler x{:.2}",
+                    s.label,
+                    s.tasks,
+                    secs(s.p50_us),
+                    secs(s.p99_us),
+                    secs(s.max_us),
+                    s.straggler_ratio()
+                )?;
+                if s.mean_bytes > 0 {
+                    write!(f, "  bytes-skew x{:.2}", s.bytes_skew())?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_trace::{DepEvent, DepKind, EventKind, TaskPhase, TaskSpan};
+
+    fn caps() -> DeviceCaps {
+        DeviceCaps {
+            nodes: 1,
+            cpu_slots: 8,
+            disk_seq_bw: 1e9,
+            disk_random_iops: 1500.0,
+            disk_devices: 1,
+            nic_bw: 1e9,
+            store_bytes: 1 << 30,
+        }
+    }
+
+    fn chain() -> Vec<Event> {
+        let mut events = Vec::new();
+        for (task, (s, e)) in [(0u64, (0u64, 40u64)), (1, (40, 100))].into_iter() {
+            events.push(Event {
+                at_us: 0,
+                kind: EventKind::Dep(DepEvent {
+                    task,
+                    object: task + 1,
+                    kind: DepKind::Output,
+                }),
+            });
+            if task > 0 {
+                events.push(Event {
+                    at_us: 0,
+                    kind: EventKind::Dep(DepEvent {
+                        task,
+                        object: task,
+                        kind: DepKind::Arg,
+                    }),
+                });
+            }
+            for (phase, at) in [
+                (TaskPhase::Scheduled, s),
+                (TaskPhase::Started, s),
+                (TaskPhase::Finished, e),
+            ] {
+                events.push(Event {
+                    at_us: at,
+                    kind: EventKind::Task(TaskSpan {
+                        task,
+                        phase,
+                        node: 0,
+                        label: if task == 0 { "map" } else { "reduce" },
+                        attempt: 0,
+                        retry: false,
+                        reason: None,
+                    }),
+                });
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn report_renders_and_serialises_consistently() {
+        let events = chain();
+        let r = profile(&events, &caps());
+        assert_eq!(r.critpath.tasks.len(), 2);
+        assert_eq!(r.stages.len(), 2);
+        let text = r.to_string();
+        assert!(text.contains("critical path: 2 tasks"), "{text}");
+        assert!(text.contains("profile: bound by"), "{text}");
+        let json = r.to_json().render();
+        assert!(json.contains(r#""dominant_bound""#));
+        assert!(json.contains(r#""coverage":1"#), "{json}");
+        // The JSON round-trips through the parser.
+        let parsed = Json::parse(&json).expect("parse");
+        assert_eq!(
+            parsed
+                .get("critical_path")
+                .and_then(|c| c.get("tasks_on_path"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+}

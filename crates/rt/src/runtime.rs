@@ -13,8 +13,9 @@ use exo_sim::engine::{Ctx, Reply};
 use exo_sim::{ClusterSpec, IoKind, Resource, SimDuration, SimTime, Simulation};
 use exo_store::{AllocDecision, NodeStore, RestoreDecision, SpillBatch, StoreConfig};
 use exo_trace::{
-    EventKind, FailureEvent, FailureKind, IoDir, IoEvent, ObjectEvent, ObjectPhase, PlaceReason,
-    ResourceSample, TaskPhase, TaskSpan, TraceConfig, TraceSink,
+    DepEvent, DepKind, EventKind, FailureEvent, FailureKind, FetchWaitEvent, IoDir, IoEvent,
+    ObjectEvent, ObjectPhase, PlaceReason, ResourceSample, TaskPhase, TaskSpan, TraceConfig,
+    TraceSink,
 };
 
 use crate::command::{RtCommand, RtError};
@@ -403,6 +404,32 @@ impl Runtime {
         }
     }
 
+    /// Dependency edge (analysis-only; see exo-prof). Gated on retention
+    /// so the always-on counter path stays free of per-edge work.
+    fn emit_dep(&self, task: TaskId, object: ObjectId, kind: DepKind) {
+        if self.sink.retaining() {
+            self.sink.emit(EventKind::Dep(DepEvent {
+                task: task.0,
+                object: object.0,
+                kind,
+            }));
+        }
+    }
+
+    /// Fetch-wait interval boundary: a queued/running task is blocked on
+    /// an argument that isn't memory-resident locally yet (restore in
+    /// flight, remote transfer, or allocation queueing). Analysis-only.
+    fn emit_fetch_wait(&self, task: TaskId, object: ObjectId, node: NodeId, begin: bool) {
+        if self.sink.retaining() {
+            self.sink.emit(EventKind::FetchWait(FetchWaitEvent {
+                task: task.0,
+                object: object.0,
+                node: node.0 as u32,
+                begin,
+            }));
+        }
+    }
+
     fn fresh_obj(&mut self) -> ObjectId {
         let id = ObjectId(self.next_obj);
         self.next_obj += 1;
@@ -455,8 +482,13 @@ impl Runtime {
             reconstructing: false,
         };
         self.tasks.insert(task, entry);
+        // Record the task's dependency edges for offline DAG analysis.
+        for &o in &outputs {
+            self.emit_dep(task, o, DepKind::Output);
+        }
         // Hold the args on behalf of this consumer.
         for &a in &unique_args {
+            self.emit_dep(task, a, DepKind::Arg);
             self.ensure_obj_entry(a);
             self.objects.get_mut(&a).expect("ensured").task_refs += 1;
         }
@@ -766,6 +798,7 @@ impl Runtime {
                     self.try_start_staged(ctx, task, node);
                 }
                 RestoreDecision::Granted => {
+                    self.emit_fetch_wait(task, obj, node, true);
                     let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
                     let end = self.nodes[node.0]
                         .disk
@@ -774,8 +807,11 @@ impl Runtime {
                     let epoch = self.nodes[node.0].epoch;
                     ctx.schedule_at(end, RtEvent::RestoreDone { node, obj, epoch });
                 }
-                RestoreDecision::InFlight => {}
+                RestoreDecision::InFlight => {
+                    self.emit_fetch_wait(task, obj, node, true);
+                }
                 RestoreDecision::Queued => {
+                    self.emit_fetch_wait(task, obj, node, true);
                     // The queued restore may need spills to proceed; kick
                     // the pump so a quiescent node still makes progress.
                     self.pump_store(ctx, node);
@@ -786,7 +822,8 @@ impl Runtime {
         }
         // Remote or missing: register interest, then fetch if possible.
         n.arg_waiters.entry(obj).or_default().push(task);
-        if n.fetching.contains_key(&obj) {
+        self.emit_fetch_wait(task, obj, node, true);
+        if self.nodes[node.0].fetching.contains_key(&obj) {
             return; // a fetch is already on its way
         }
         let available = self
@@ -1176,6 +1213,7 @@ impl Runtime {
             self.nodes[node.0].store.pin(obj.0);
             entry.unstaged.remove(&obj);
             entry.pinned.push(obj);
+            self.emit_fetch_wait(t, obj, node, false);
             self.try_start_staged(ctx, t, node);
         }
     }
@@ -1192,9 +1230,17 @@ impl Runtime {
         let writes = entry.spec.opts.writes_output;
         let node = entry.node.expect("assigned");
         let epoch = entry.epoch;
+        let label = entry.spec.opts.label;
+        let attempt = entry.attempt;
         // `output_written` marks the final phase as initiated so this
         // function is idempotent while the write is in flight.
         self.tasks.get_mut(&task).expect("exists").output_written = true;
+        // The task is finished from the consumer's point of view here:
+        // its outputs are sealed and dependents can start. The remaining
+        // output flush holds the slot but is disk bookkeeping — and it
+        // may still be in flight when the driver disconnects, so emitting
+        // any later would drop final-stage spans from the trace.
+        self.emit_task(task, TaskPhase::Finished, node, label, attempt, false, None);
         if writes > 0 {
             let end = self.nodes[node.0]
                 .disk
@@ -1212,7 +1258,6 @@ impl Runtime {
         entry.state = TaskState::Done;
         entry.reconstructing = false;
         let label = entry.spec.opts.label;
-        let attempt = entry.attempt;
         let pinned = std::mem::take(&mut entry.pinned);
         let outputs = entry.outputs.clone();
         let args = entry.spec.object_args();
@@ -1236,7 +1281,8 @@ impl Runtime {
             }
             self.maybe_gc(a);
         }
-        self.emit_task(task, TaskPhase::Finished, node, label, attempt, false, None);
+        // The `Finished` span was already emitted at output-seal time in
+        // `check_task_completion`; here we only record progress.
         if self.cfg.record_progress {
             self.progress.push(ProgressSample {
                 at: ctx.now(),
@@ -1677,6 +1723,7 @@ impl Runtime {
             self.sink.emit(EventKind::Resource(ResourceSample {
                 node: i as u32,
                 cpu_slots_busy: cpus.saturating_sub(n.slots_free) as u32,
+                cpu_slots_total: cpus as u32,
                 store_used: n.store.used(),
                 disk_queue_depth: disk_ops,
                 nic_bytes_in_flight: tx_bytes + rx_bytes,

@@ -248,6 +248,43 @@ impl ClusterSpec {
     }
 }
 
+/// Per-node device capacities in plain units, decoupled from the
+/// queueing models — the capacity context an offline analyzer (exo-prof)
+/// needs to turn raw resource samples and I/O events into "fraction of
+/// what the hardware could do" without depending on the simulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceCaps {
+    /// Worker node count.
+    pub nodes: usize,
+    /// Concurrent task slots per node.
+    pub cpu_slots: usize,
+    /// Aggregate sequential disk bandwidth per node, bytes/second.
+    pub disk_seq_bw: f64,
+    /// Random-IOPS ceiling per node implied by the seek model.
+    pub disk_random_iops: f64,
+    /// Disk devices per node (spindles / NVMe channels).
+    pub disk_devices: usize,
+    /// Per-direction NIC bandwidth per node, bytes/second.
+    pub nic_bw: f64,
+    /// Object-store capacity per node, bytes.
+    pub store_bytes: u64,
+}
+
+impl ClusterSpec {
+    /// Capacity card for this cluster, consumed by offline analysis.
+    pub fn device_caps(&self) -> DeviceCaps {
+        DeviceCaps {
+            nodes: self.nodes,
+            cpu_slots: self.node.cpus,
+            disk_seq_bw: self.node.disk.seq_bw,
+            disk_random_iops: self.node.disk.random_iops(),
+            disk_devices: self.node.disk.devices,
+            nic_bw: self.node.nic.bw,
+            store_bytes: self.node.object_store_bytes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +321,18 @@ mod tests {
         let n = NodeSpec::i3_2xlarge();
         let r = n.disk.build("disk");
         assert_eq!(r.servers(), n.disk.devices);
+    }
+
+    #[test]
+    fn device_caps_mirror_cluster_spec() {
+        let c = ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 4);
+        let caps = c.device_caps();
+        assert_eq!(caps.nodes, 4);
+        assert_eq!(caps.cpu_slots, 8);
+        assert_eq!(caps.disk_devices, 6);
+        assert!((caps.disk_seq_bw - c.node.disk.seq_bw).abs() < 1.0);
+        assert!((caps.nic_bw - c.node.nic.bw).abs() < 1.0);
+        assert_eq!(caps.store_bytes, c.node.object_store_bytes);
+        assert!((caps.disk_random_iops - c.node.disk.random_iops()).abs() < 1e-6);
     }
 }

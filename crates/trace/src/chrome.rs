@@ -179,7 +179,10 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                     ),
                 ));
             }
-            EventKind::Io(_) => {}
+            // Dependency edges and fetch-wait intervals are analysis
+            // inputs (exo-prof); they stay out of the rendered timeline
+            // but remain available in the JSONL sibling.
+            EventKind::Dep(_) | EventKind::FetchWait(_) | EventKind::Io(_) => {}
         }
     }
 
@@ -313,6 +316,7 @@ mod tests {
             kind: EventKind::Resource(ResourceSample {
                 node: 2,
                 cpu_slots_busy: 3,
+                cpu_slots_total: 8,
                 store_used: 1024,
                 disk_queue_depth: 7,
                 nic_bytes_in_flight: 99,

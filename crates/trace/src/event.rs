@@ -82,6 +82,41 @@ pub struct ObjectEvent {
     pub bytes: u64,
 }
 
+/// Direction of a task↔object dependency edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// The task consumes the object as an argument.
+    Arg,
+    /// The task produces the object as one of its returns.
+    Output,
+}
+
+/// One edge of the task/object dependency DAG, emitted at submission
+/// time. `exo-prof` joins `Output` edges against `ObjectEvent::Created`
+/// bytes and `Arg` edges against producer finish times to reconstruct
+/// the DAG the critical-path analysis walks. Emitted only while the
+/// sink retains the full stream — the always-on counter fold ignores
+/// them.
+#[derive(Debug, Clone, Copy)]
+pub struct DepEvent {
+    pub task: u64,
+    pub object: u64,
+    pub kind: DepKind,
+}
+
+/// Start/end of one task's wait for an argument object to become
+/// memory-resident on its assigned node (remote fetch, spill restore, or
+/// upstream reconstruction). The interval `end − begin` is the
+/// fetch-wait time the critical-path report attributes to the task.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchWaitEvent {
+    pub task: u64,
+    pub object: u64,
+    pub node: u32,
+    /// True on the wait's start, false when the object is pinned.
+    pub begin: bool,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IoDir {
     Read,
@@ -102,6 +137,9 @@ pub struct IoEvent {
 pub struct ResourceSample {
     pub node: u32,
     pub cpu_slots_busy: u32,
+    /// Total CPU slots on the node, so consumers can compute occupancy
+    /// without knowing the cluster spec.
+    pub cpu_slots_total: u32,
     pub store_used: u64,
     pub disk_queue_depth: u32,
     pub nic_bytes_in_flight: u64,
@@ -125,6 +163,8 @@ pub struct FailureEvent {
 pub enum EventKind {
     Task(TaskSpan),
     Object(ObjectEvent),
+    Dep(DepEvent),
+    FetchWait(FetchWaitEvent),
     Io(IoEvent),
     Resource(ResourceSample),
     Failure(FailureEvent),
@@ -170,6 +210,15 @@ impl ObjectPhase {
             ObjectPhase::Evicted => "evicted",
             ObjectPhase::Reconstructed => "reconstructed",
             ObjectPhase::Fallback => "fallback",
+        }
+    }
+}
+
+impl DepKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            DepKind::Arg => "arg",
+            DepKind::Output => "output",
         }
     }
 }

@@ -44,6 +44,25 @@ pub fn event_json(ev: &Event) -> String {
                 let _ = write!(s, r#","src":{src}"#);
             }
         }
+        EventKind::Dep(d) => {
+            let _ = write!(
+                s,
+                r#","type":"dep","kind":"{}","task":{},"object":{}"#,
+                d.kind.name(),
+                d.task,
+                d.object
+            );
+        }
+        EventKind::FetchWait(w) => {
+            let _ = write!(
+                s,
+                r#","type":"fetch_wait","phase":"{}","task":{},"object":{},"node":{}"#,
+                if w.begin { "begin" } else { "end" },
+                w.task,
+                w.object,
+                w.node
+            );
+        }
         EventKind::Io(io) => {
             let dir = match io.dir {
                 IoDir::Read => "read",
@@ -58,8 +77,13 @@ pub fn event_json(ev: &Event) -> String {
         EventKind::Resource(r) => {
             let _ = write!(
                 s,
-                r#","type":"resource","node":{},"cpu_slots_busy":{},"store_used":{},"disk_queue_depth":{},"nic_bytes_in_flight":{}"#,
-                r.node, r.cpu_slots_busy, r.store_used, r.disk_queue_depth, r.nic_bytes_in_flight
+                r#","type":"resource","node":{},"cpu_slots_busy":{},"cpu_slots_total":{},"store_used":{},"disk_queue_depth":{},"nic_bytes_in_flight":{}"#,
+                r.node,
+                r.cpu_slots_busy,
+                r.cpu_slots_total,
+                r.store_used,
+                r.disk_queue_depth,
+                r.nic_bytes_in_flight
             );
         }
         EventKind::Failure(f) => {

@@ -32,8 +32,8 @@ pub mod summary;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use event::{
-    Event, EventKind, FailureEvent, FailureKind, IoDir, IoEvent, ObjectEvent, ObjectPhase,
-    PlaceReason, ResourceSample, TaskPhase, TaskSpan,
+    DepEvent, DepKind, Event, EventKind, FailureEvent, FailureKind, FetchWaitEvent, IoDir, IoEvent,
+    ObjectEvent, ObjectPhase, PlaceReason, ResourceSample, TaskPhase, TaskSpan,
 };
 pub use json::Json;
 pub use jsonl::{jsonl_string, write_jsonl};

@@ -93,7 +93,9 @@ impl TraceCounters {
                 crate::event::FailureKind::NodeKilled => self.node_failures += 1,
                 crate::event::FailureKind::ExecutorsKilled => self.executor_failures += 1,
             },
-            EventKind::Resource(_) => {}
+            // Dependency edges and fetch-wait intervals exist for offline
+            // analysis (exo-prof) only; nothing aggregates from them.
+            EventKind::Dep(_) | EventKind::FetchWait(_) | EventKind::Resource(_) => {}
         }
     }
 

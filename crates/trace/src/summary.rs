@@ -15,11 +15,31 @@ pub struct LongTask {
     pub dur_us: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NodeBusy {
     pub node: u32,
     pub tasks: u64,
     pub busy_us: u64,
+    /// Bytes this node spilled to / restored from disk.
+    pub spilled_bytes: u64,
+    pub restored_bytes: u64,
+    /// `ResourceSample` aggregation: number of samples seen, the sum of
+    /// busy-slot counts across them, and the node's slot capacity. Mean
+    /// occupancy is `busy_slot_samples / samples` out of `slots_total`.
+    pub samples: u64,
+    pub busy_slot_samples: u64,
+    pub slots_total: u32,
+}
+
+impl NodeBusy {
+    /// Mean CPU-slot occupancy as a fraction of capacity (0..=1), from
+    /// resource samples; `None` when sampling was off or capacity is 0.
+    pub fn slot_occupancy(&self) -> Option<f64> {
+        if self.samples == 0 || self.slots_total == 0 {
+            return None;
+        }
+        Some(self.busy_slot_samples as f64 / self.samples as f64 / self.slots_total as f64)
+    }
 }
 
 /// Aggregates computed by [`summarize`]; `Display` renders the report.
@@ -42,7 +62,7 @@ pub struct TraceSummary {
 pub fn summarize(events: &[Event]) -> TraceSummary {
     let mut s = TraceSummary::default();
     let mut started: HashMap<(u64, u32), u64> = HashMap::new();
-    let mut busy: HashMap<u32, (u64, u64)> = HashMap::new(); // node -> (tasks, busy_us)
+    let mut busy: HashMap<u32, NodeBusy> = HashMap::new();
     for ev in events {
         s.end_us = s.end_us.max(ev.at_us);
         match &ev.kind {
@@ -54,9 +74,9 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
                     s.tasks_finished += 1;
                     let start = started.remove(&(t.task, t.attempt)).unwrap_or(ev.at_us);
                     let dur = ev.at_us.saturating_sub(start);
-                    let e = busy.entry(t.node).or_insert((0, 0));
-                    e.0 += 1;
-                    e.1 += dur;
+                    let e = busy.entry(t.node).or_default();
+                    e.tasks += 1;
+                    e.busy_us += dur;
                     s.longest.push(LongTask {
                         label: t.label,
                         node: t.node,
@@ -76,15 +96,23 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
                 ObjectPhase::Spilled => {
                     s.spilled_bytes += o.bytes;
                     s.spill_ops += 1;
+                    busy.entry(o.node).or_default().spilled_bytes += o.bytes;
                 }
                 ObjectPhase::Restored => {
                     s.restored_bytes += o.bytes;
                     s.restore_ops += 1;
+                    busy.entry(o.node).or_default().restored_bytes += o.bytes;
                 }
                 ObjectPhase::Transferred => s.net_bytes += o.bytes,
                 ObjectPhase::Reconstructed => s.reconstructed += 1,
                 _ => {}
             },
+            EventKind::Resource(r) => {
+                let e = busy.entry(r.node).or_default();
+                e.samples += 1;
+                e.busy_slot_samples += r.cpu_slots_busy as u64;
+                e.slots_total = e.slots_total.max(r.cpu_slots_total);
+            }
             EventKind::Failure(_) => s.failures += 1,
             _ => {}
         }
@@ -93,10 +121,9 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
     s.longest.truncate(5);
     s.per_node = busy
         .into_iter()
-        .map(|(node, (tasks, busy_us))| NodeBusy {
-            node,
-            tasks,
-            busy_us,
+        .map(|(node, mut nb)| {
+            nb.node = node;
+            nb
         })
         .collect();
     s.per_node.sort_by_key(|n| n.node);
@@ -134,15 +161,33 @@ impl fmt::Display for TraceSummary {
             }
         }
         if !self.per_node.is_empty() && self.end_us > 0 {
-            writeln!(f, "  per-node busy:")?;
+            writeln!(f, "  per-node utilization:")?;
             for n in &self.per_node {
-                writeln!(
+                write!(
                     f,
                     "    node{:<3} {:>5.1}% busy  ({} tasks)",
                     n.node,
                     100.0 * n.busy_us as f64 / self.end_us as f64,
                     n.tasks
                 )?;
+                if let Some(occ) = n.slot_occupancy() {
+                    write!(
+                        f,
+                        "  slots {:>5.1}% ({:.1}/{} avg)",
+                        100.0 * occ,
+                        occ * n.slots_total as f64,
+                        n.slots_total
+                    )?;
+                }
+                if n.spilled_bytes > 0 || n.restored_bytes > 0 {
+                    write!(
+                        f,
+                        "  spilled {:.2} GB / restored {:.2} GB",
+                        gb(n.spilled_bytes),
+                        gb(n.restored_bytes)
+                    )?;
+                }
+                writeln!(f)?;
             }
         }
         writeln!(
@@ -211,8 +256,49 @@ mod tests {
         let n0 = s.per_node.iter().find(|n| n.node == 0).unwrap();
         assert_eq!(n0.tasks, 2);
         assert_eq!(n0.busy_us, 70);
+        assert_eq!(n0.spilled_bytes, 1_000);
         let text = s.to_string();
         assert!(text.contains("top-3 longest"));
         assert!(text.contains("node1"));
+    }
+
+    #[test]
+    fn per_node_utilization_from_resource_samples() {
+        let mut events: Vec<Event> = task_pair(1, 0, 0, 100).into();
+        for (at_us, busy) in [(25u64, 2u32), (50, 4), (75, 6)] {
+            events.push(Event {
+                at_us,
+                kind: EventKind::Resource(ResourceSample {
+                    node: 0,
+                    cpu_slots_busy: busy,
+                    cpu_slots_total: 8,
+                    store_used: 0,
+                    disk_queue_depth: 0,
+                    nic_bytes_in_flight: 0,
+                }),
+            });
+        }
+        events.push(Event {
+            at_us: 90,
+            kind: EventKind::Object(ObjectEvent {
+                object: 3,
+                phase: ObjectPhase::Restored,
+                node: 0,
+                src: None,
+                bytes: 2_000_000_000,
+            }),
+        });
+        let s = summarize(&events);
+        let n0 = s.per_node.iter().find(|n| n.node == 0).unwrap();
+        assert_eq!(n0.samples, 3);
+        assert_eq!(n0.busy_slot_samples, 12);
+        assert_eq!(n0.slots_total, 8);
+        let occ = n0.slot_occupancy().unwrap();
+        assert!((occ - 0.5).abs() < 1e-9, "{occ}");
+        assert_eq!(n0.restored_bytes, 2_000_000_000);
+        let text = s.to_string();
+        assert!(text.contains("per-node utilization"), "{text}");
+        assert!(text.contains("slots  50.0% (4.0/8 avg)"), "{text}");
+        assert!(text.contains("restored 2.00 GB"), "{text}");
     }
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the pinned small benchmark suite and compare
+# against the committed baseline (bench/baseline.json). Exits non-zero on
+# any out-of-tolerance metric.
+#
+#   ./scripts/bench_gate.sh                 # run + compare
+#   ./scripts/bench_gate.sh --write-baseline  # regenerate the baseline
+#
+# Extra flags are forwarded to the bench_gate binary (--baseline, --out).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --release -p exo-bench --bin bench_gate -- "$@"

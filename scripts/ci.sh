@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> bench_gate (perf-regression gate vs bench/baseline.json)"
+./scripts/bench_gate.sh
+
 echo "==> CI OK"

@@ -17,6 +17,7 @@
 pub use exo_agg as agg;
 pub use exo_ml as ml;
 pub use exo_monolith as monolith;
+pub use exo_prof as prof;
 pub use exo_rt as rt;
 pub use exo_shuffle as shuffle;
 pub use exo_sim as sim;
