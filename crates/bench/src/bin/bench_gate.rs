@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_gate [--baseline PATH] [--out PATH] [--write-baseline]
+//! bench_gate --diff A.json B.json
 //! ```
 //!
 //! Runs the small deterministic suite in `exo_bench::gate`, writes the
@@ -10,15 +11,65 @@
 //! any out-of-tolerance metric. `--write-baseline` instead regenerates
 //! the baseline file from this run — do that in the same PR as an
 //! intentional performance change.
+//!
+//! `--diff A B` runs no benchmarks: it loads two profiled result files
+//! (or bare `--profile=path` reports) and attributes the JCT delta to
+//! bound-category shifts (see `exo_bench::profdiff`).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use exo_bench::gate::{compare, default_tolerances, run_cases, today_string};
+use exo_bench::profdiff::{diff_profiles, extract_profile, render_diff};
 use exo_rt::trace::Json;
+
+fn load_profile(path: &str) -> Json {
+    let raw = std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: reading {path}: {e}");
+        exit(2);
+    });
+    let doc = Json::parse(&raw).unwrap_or_else(|e| {
+        eprintln!("error: parsing {path}: {e}");
+        exit(2);
+    });
+    match extract_profile(&doc) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!(
+                "error: {path} contains no profile — produce one with \
+                 `--profile=<path>` or a results file from a profiled run"
+            );
+            exit(2);
+        }
+    }
+}
+
+fn run_diff(a_path: &str, b_path: &str) -> ! {
+    let a = load_profile(a_path);
+    let b = load_profile(b_path);
+    match diff_profiles(&a, &b) {
+        Ok(d) => {
+            print!("{}", render_diff(&d));
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--diff") {
+        match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) if args.len() == 3 => run_diff(a, b),
+            _ => {
+                eprintln!("error: --diff takes exactly two profiled JSON files");
+                exit(2);
+            }
+        }
+    }
     let mut baseline_path = PathBuf::from("bench/baseline.json");
     let mut out_path: Option<PathBuf> = None;
     let mut write_baseline = false;
@@ -43,7 +94,8 @@ fn main() {
             other => {
                 eprintln!(
                     "error: unknown flag {other}\n\
-                     usage: bench_gate [--baseline PATH] [--out PATH] [--write-baseline]"
+                     usage: bench_gate [--baseline PATH] [--out PATH] [--write-baseline]\n\
+                            bench_gate --diff A.json B.json"
                 );
                 exit(2);
             }

@@ -58,13 +58,13 @@ fn main() {
                 .set("usd_per_tb", usd_per_tb(D3_2XLARGE, nodes, r.jct, data)),
         );
     }
-    let spark = spark_sort(&SparkConfig::native(cluster), data, parts, parts);
+    let spark = spark_sort(&SparkConfig::native(cluster.clone()), data, parts, parts);
     t.row(vec![
         "Spark".into(),
         format!("{:.0}", spark.jct.as_secs_f64()),
         format!("{:.3}", usd_per_tb(D3_2XLARGE, nodes, spark.jct, data)),
     ]);
-    let push = spark_sort(&SparkConfig::push(cluster), data, parts, parts);
+    let push = spark_sort(&SparkConfig::push(cluster.clone()), data, parts, parts);
     t.row(vec![
         "Spark-push".into(),
         format!("{:.0}", push.jct.as_secs_f64()),

@@ -94,7 +94,7 @@ fn main() {
                     .set("variant", variant_name(v)),
             );
         }
-        let spark = spark_sort(&SparkConfig::native(cluster), data, parts, parts);
+        let spark = spark_sort(&SparkConfig::native(cluster.clone()), data, parts, parts);
         table.row(vec![
             parts.to_string(),
             "Spark".into(),

@@ -62,7 +62,7 @@ fn main() {
     ]);
 
     let native = spark_sort(
-        &SparkConfig::native(cluster).with_compression(),
+        &SparkConfig::native(cluster.clone()).with_compression(),
         data,
         parts,
         parts,

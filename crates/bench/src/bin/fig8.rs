@@ -15,18 +15,35 @@ use exo_sim::{ClusterSpec, NodeSpec};
 
 fn main() {
     let epochs = if quick_mode() { 5 } else { 20 };
+    // `--mixed` swaps the single g4dn node for the heterogeneous
+    // ML-loader cluster: a g4dn.4xlarge trainer plus r6i.2xlarge feeder
+    // nodes, scheduled with per-node slot counts.
+    let mixed = std::env::args().any(|a| a == "--mixed");
     // HIGGS-like logical footprint: ~2 KB of stored/decoded bytes per
     // sample, so the single-process loader becomes the bottleneck exactly
     // as in the paper's setup.
     let dataset = DatasetSpec::new(if quick_mode() { 20_000 } else { 80_000 }, 16, 2023)
         .with_logical_sample_bytes(2000);
-    let rt_cfg = || RtConfig::new(ClusterSpec::homogeneous(NodeSpec::g4dn_4xlarge(), 1));
+    let rt_cfg = || {
+        RtConfig::new(if mixed {
+            ClusterSpec::ml_loader(2)
+        } else {
+            ClusterSpec::homogeneous(NodeSpec::g4dn_4xlarge(), 1)
+        })
+    };
     let gpu_ns = 40_000.0; // 40 µs/sample on the T4
 
-    println!(
-        "# Figure 8 — single-node training, {} epochs, g4dn.4xlarge\n",
-        epochs
-    );
+    if mixed {
+        println!(
+            "# Figure 8 (mixed cluster) — {} epochs, g4dn.4xlarge trainer + 2x r6i.2xlarge feeders\n",
+            epochs
+        );
+    } else {
+        println!(
+            "# Figure 8 — single-node training, {} epochs, g4dn.4xlarge\n",
+            epochs
+        );
+    }
 
     let es_cfg = TrainConfig {
         dataset,
@@ -86,10 +103,17 @@ fn main() {
             .collect::<Vec<_>>()
     };
     write_results(
-        "fig8",
+        if mixed { "fig8_mixed" } else { "fig8" },
         Json::obj()
-            .set("figure", "fig8")
-            .set("node", "g4dn_4xlarge")
+            .set("figure", if mixed { "fig8_mixed" } else { "fig8" })
+            .set(
+                "node",
+                if mixed {
+                    "ml_loader(2)"
+                } else {
+                    "g4dn_4xlarge"
+                },
+            )
             .set("epochs", epochs)
             .set("exoshuffle_total_s", es.total_time.as_secs_f64())
             .set("petastorm_total_s", ps.total_time.as_secs_f64())

@@ -1,0 +1,159 @@
+//! Heterogeneous-cluster presets, exercised end-to-end:
+//!
+//! 1. A mixed d3.2xlarge (HDD) + i3.2xlarge (NVMe SSD) sort on
+//!    [`ClusterSpec::mixed_hdd_ssd`] — the per-node bound profiles show
+//!    the HDD nodes disk-bound while the SSD nodes are not.
+//! 2. A g4dn.4xlarge trainer + r6i.2xlarge feeder ML-loader cluster
+//!    ([`ClusterSpec::ml_loader`]) running the fig8-shaped pipelined
+//!    shuffle training.
+//!
+//! Unlike the figure binaries this always traces and profiles: its whole
+//! point is the per-node capacity lines and bound profiles, so both land
+//! in `results/hetero_sort.json` / `results/hetero_ml.json` on every run.
+
+use exo_bench::obs::capacity_lines;
+use exo_bench::{quick_mode, write_results, Table};
+use exo_ml::{exoshuffle_training, DatasetSpec, TrainConfig};
+use exo_prof::profile;
+use exo_rt::trace::{summarize, Json};
+use exo_rt::{RtConfig, TraceConfig};
+use exo_shuffle::{run_shuffle, ShuffleVariant, ShuffleWindow};
+use exo_sim::ClusterSpec;
+use exo_sort::{sort_job, SortSpec};
+
+fn main() {
+    hetero_sort();
+    hetero_ml();
+}
+
+/// Mixed HDD + SSD sort: same dataset as a homogeneous small sort, but
+/// half the nodes seek and half don't.
+fn hetero_sort() {
+    let (d3, i3) = (2, 2);
+    let cluster = ClusterSpec::mixed_hdd_ssd(d3, i3);
+    let caps = cluster.device_caps();
+    let data: u64 = if quick_mode() {
+        2_000_000_000
+    } else {
+        8_000_000_000
+    };
+    let partitions = if quick_mode() { 16 } else { 32 };
+    let store_capacity = data / 5 / cluster.num_nodes() as u64;
+
+    println!(
+        "# Heterogeneous sort — {} GB over {}x d3.2xlarge (HDD) + {}x i3.2xlarge (NVMe)\n",
+        data / 1_000_000_000,
+        d3,
+        i3
+    );
+
+    let mut cfg = RtConfig::new(cluster);
+    cfg.object_store_capacity = Some(store_capacity);
+    cfg.trace = TraceConfig::on();
+    let spec = SortSpec {
+        data_bytes: data,
+        num_maps: partitions,
+        num_reduces: partitions,
+        scale: exo_bench::runs::default_scale(data),
+        seed: 7,
+    };
+    let (report, jct) = exo_rt::run(cfg, |rt| {
+        let job = sort_job(spec);
+        let t0 = rt.now();
+        let outs = run_shuffle(rt, &job, ShuffleVariant::PushStar { map_parallelism: 2 });
+        rt.wait_all(&outs);
+        rt.now() - t0
+    });
+
+    println!(
+        "{}",
+        summarize(&report.trace).with_capacities(capacity_lines(&caps))
+    );
+    let prof = profile(&report.trace, &caps);
+    println!("{prof}");
+
+    let mut t = Table::new(&["node", "hardware", "dominant bound"]);
+    for (i, p) in prof.per_node_bounds.iter().enumerate() {
+        t.row(vec![
+            format!("node{i}"),
+            if i < d3 {
+                "d3.2xlarge (HDD)"
+            } else {
+                "i3.2xlarge (NVMe)"
+            }
+            .into(),
+            p.dominant().name().into(),
+        ]);
+    }
+    t.print();
+
+    write_results(
+        "hetero_sort",
+        Json::obj()
+            .set("figure", "hetero_sort")
+            .set("cluster", format!("mixed_hdd_ssd({d3}, {i3})"))
+            .set("data_bytes", data)
+            .set("partitions", partitions)
+            .set("store_capacity", store_capacity)
+            .set("jct_s", jct.as_secs_f64())
+            .set("spilled_bytes", report.metrics.store.spilled_bytes)
+            .set("net_bytes", report.metrics.net_bytes)
+            .set("profile", prof.to_json()),
+    );
+}
+
+/// Fig8-shaped pipelined-shuffle training, but on a mixed cluster: one
+/// g4dn.4xlarge trainer plus r6i.2xlarge feeder nodes.
+fn hetero_ml() {
+    let feeders = 2;
+    let cluster = ClusterSpec::ml_loader(feeders);
+    let caps = cluster.device_caps();
+    let epochs = if quick_mode() { 3 } else { 10 };
+    let dataset = DatasetSpec::new(if quick_mode() { 10_000 } else { 40_000 }, 16, 2023)
+        .with_logical_sample_bytes(2000);
+
+    println!(
+        "\n# Heterogeneous ML loader — {} epochs, g4dn.4xlarge trainer + {}x r6i.2xlarge feeders\n",
+        epochs, feeders
+    );
+
+    let mut cfg = RtConfig::new(cluster);
+    cfg.trace = TraceConfig::on();
+    let train_cfg = TrainConfig {
+        dataset,
+        epochs,
+        batch_size: 128,
+        lr: 0.5,
+        variant: ShuffleVariant::Simple,
+        window: ShuffleWindow::Full,
+        gpu_ns_per_sample: 40_000.0,
+    };
+    let (report, out) = exo_rt::run(cfg, |rt| exoshuffle_training(rt, &train_cfg));
+
+    println!(
+        "{}",
+        summarize(&report.trace).with_capacities(capacity_lines(&caps))
+    );
+    let prof = profile(&report.trace, &caps);
+    println!("{prof}");
+    println!(
+        "end-to-end: {:.1} s over {} epochs (final accuracy {:.3})",
+        out.total_time.as_secs_f64(),
+        epochs,
+        out.accuracy.last().copied().unwrap_or(0.0)
+    );
+
+    write_results(
+        "hetero_ml",
+        Json::obj()
+            .set("figure", "hetero_ml")
+            .set("cluster", format!("ml_loader({feeders})"))
+            .set("epochs", epochs)
+            .set("total_s", out.total_time.as_secs_f64())
+            .set(
+                "final_accuracy",
+                out.accuracy.last().copied().unwrap_or(0.0),
+            )
+            .set("profile", prof.to_json()),
+    );
+}

@@ -17,6 +17,7 @@
 //! | `fig8` | Single-node ML training (Exoshuffle vs Petastorm) |
 //! | `fig9` | 4-node distributed training (full vs partial shuffle) |
 //! | `ablations` | Design-choice ablations called out in DESIGN.md |
+//! | `hetero` | Heterogeneous presets: mixed HDD+SSD sort, g4dn+r6i ML loader |
 //!
 //! All binaries accept `--quick` to shrink the sweep for smoke-testing;
 //! EXPERIMENTS.md records full-run outputs. Criterion microbenches for the
@@ -24,14 +25,15 @@
 
 pub mod gate;
 pub mod obs;
+pub mod profdiff;
 pub mod runs;
 pub mod table;
 
 pub use obs::{
-    claim_obs, claim_trace, export_trace, obs_not_applicable, sort_result_json, without_trace,
-    write_results, Obs,
+    claim_obs, claim_trace, export_trace, export_trace_with_caps, obs_not_applicable,
+    sort_result_json, without_trace, write_results, Obs,
 };
-pub use runs::{run_es_sort, EsSortParams, SortRunResult};
+pub use runs::{run_es_sort, run_es_sort_on, EsSortParams, SortRunResult};
 pub use table::Table;
 
 /// True when `--quick` was passed (shrunken sweeps for smoke tests).

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use exo_prof::profile;
-use exo_rt::trace::{summarize, write_chrome_trace, write_jsonl, Event, Json};
+use exo_rt::trace::{summarize, write_chrome_trace, write_jsonl, Event, Json, NodeCapacityLine};
 use exo_rt::TraceConfig;
 use exo_sim::DeviceCaps;
 
@@ -110,7 +110,7 @@ impl Obs {
     /// [`write_results`] embeds it under `"profile"`.
     pub fn finish(&self, events: &[Event], caps: &DeviceCaps) {
         if let Some(path) = &self.trace_path {
-            export_trace(path, events);
+            export_trace_with_caps(path, events, Some(caps));
         }
         if self.profile {
             let report = profile(events, caps);
@@ -176,6 +176,12 @@ static PROFILE_JSON: Mutex<Option<Json>> = Mutex::new(None);
 /// (loadable in Perfetto / `chrome://tracing`), a flat JSONL sibling, and
 /// the text summary on stdout.
 pub fn export_trace(path: &Path, events: &[Event]) {
+    export_trace_with_caps(path, events, None);
+}
+
+/// [`export_trace`], with per-node capacity lines in the text summary
+/// when the caller knows the cluster's capacity card.
+pub fn export_trace_with_caps(path: &Path, events: &[Event], caps: Option<&DeviceCaps>) {
     match write_chrome_trace(path, events) {
         Ok(()) => eprintln!(
             "wrote Chrome trace ({} events) to {} — load it at https://ui.perfetto.dev",
@@ -189,7 +195,27 @@ pub fn export_trace(path: &Path, events: &[Event]) {
         Ok(()) => eprintln!("wrote flat event log to {}", jsonl.display()),
         Err(e) => eprintln!("failed to write event log {}: {e}", jsonl.display()),
     }
-    println!("\n{}", summarize(events));
+    let mut summary = summarize(events);
+    if let Some(caps) = caps {
+        summary = summary.with_capacities(capacity_lines(caps));
+    }
+    println!("\n{summary}");
+}
+
+/// Per-node capacity lines for the trace summary, straight off the
+/// cluster's capacity card.
+pub fn capacity_lines(caps: &DeviceCaps) -> Vec<NodeCapacityLine> {
+    caps.per_node
+        .iter()
+        .enumerate()
+        .map(|(i, n)| NodeCapacityLine {
+            node: i as u32,
+            cpu_slots: n.cpu_slots as u32,
+            disk_seq_bw: n.disk_seq_bw,
+            nic_bw: n.nic_bw,
+            store_bytes: n.store_bytes,
+        })
+        .collect()
 }
 
 /// For binaries that run no `exo-rt` simulation (fig6, table1): explain

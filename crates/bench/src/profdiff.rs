@@ -1,0 +1,225 @@
+//! Cross-run profile diffing: compare two embedded exo-prof profile
+//! JSONs and attribute the JCT delta to bound-category shifts.
+//!
+//! Exposed as `bench_gate --diff a.json b.json`. Each argument may be a
+//! bench results file (`results/<name>.json`, profile embedded under
+//! `"profile"`) or a bare profile report written via `--profile=path`;
+//! both carry the same `bound_profile` / `critical_path` /
+//! `per_node_bounds` keys.
+
+use exo_rt::trace::Json;
+
+/// Locates the profile object inside a parsed document: bare profile
+/// reports carry `bound_profile` at top level, results files embed the
+/// report under `"profile"`.
+pub fn extract_profile(doc: &Json) -> Option<&Json> {
+    if doc.get("bound_profile").is_some() {
+        return Some(doc);
+    }
+    doc.get("profile")
+        .filter(|p| p.get("bound_profile").is_some())
+}
+
+fn makespan_s(profile: &Json) -> Option<f64> {
+    profile
+        .get("critical_path")?
+        .get("end_us")?
+        .as_f64()
+        .map(|us| us / 1e6)
+}
+
+/// One bound category's contribution shift between two runs, in seconds
+/// of makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundShift {
+    pub bound: String,
+    /// Seconds of run A's makespan classified into this category.
+    pub a_s: f64,
+    /// Seconds of run B's makespan classified into this category.
+    pub b_s: f64,
+}
+
+impl BoundShift {
+    pub fn delta_s(&self) -> f64 {
+        self.b_s - self.a_s
+    }
+}
+
+/// The structured diff of two profiles.
+#[derive(Debug, Clone)]
+pub struct ProfileDiff {
+    pub a_makespan_s: f64,
+    pub b_makespan_s: f64,
+    /// Cluster-wide shifts, one per bound category present in either run.
+    pub shifts: Vec<BoundShift>,
+    /// Per-node dominant-bound changes: `(node, a_dominant, b_dominant)`
+    /// for nodes whose classification flipped.
+    pub node_flips: Vec<(u64, String, String)>,
+}
+
+impl ProfileDiff {
+    pub fn jct_delta_s(&self) -> f64 {
+        self.b_makespan_s - self.a_makespan_s
+    }
+}
+
+fn bound_seconds(profile: &Json, makespan_s: f64) -> Vec<(String, f64)> {
+    let Some(Json::Obj(fields)) = profile.get("bound_profile") else {
+        return Vec::new();
+    };
+    fields
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f * makespan_s)))
+        .collect()
+}
+
+fn dominant_per_node(profile: &Json) -> Vec<(u64, String)> {
+    let Some(Json::Arr(nodes)) = profile.get("per_node_bounds") else {
+        return Vec::new();
+    };
+    nodes
+        .iter()
+        .filter_map(|n| {
+            let node = n.get("node")?.as_f64()? as u64;
+            let dom = n.get("dominant_bound")?.as_str()?.to_string();
+            Some((node, dom))
+        })
+        .collect()
+}
+
+/// Diffs two profile objects (already extracted via [`extract_profile`]).
+pub fn diff_profiles(a: &Json, b: &Json) -> Result<ProfileDiff, String> {
+    let a_makespan_s = makespan_s(a).ok_or("run A: profile has no critical_path.end_us")?;
+    let b_makespan_s = makespan_s(b).ok_or("run B: profile has no critical_path.end_us")?;
+    let a_bounds = bound_seconds(a, a_makespan_s);
+    let b_bounds = bound_seconds(b, b_makespan_s);
+    // Union of category names, in run A's order, then B-only extras.
+    let mut shifts: Vec<BoundShift> = a_bounds
+        .iter()
+        .map(|(bound, a_s)| BoundShift {
+            bound: bound.clone(),
+            a_s: *a_s,
+            b_s: b_bounds
+                .iter()
+                .find(|(k, _)| k == bound)
+                .map_or(0.0, |(_, s)| *s),
+        })
+        .collect();
+    for (bound, b_s) in &b_bounds {
+        if !shifts.iter().any(|s| &s.bound == bound) {
+            shifts.push(BoundShift {
+                bound: bound.clone(),
+                a_s: 0.0,
+                b_s: *b_s,
+            });
+        }
+    }
+
+    let a_nodes = dominant_per_node(a);
+    let b_nodes = dominant_per_node(b);
+    let node_flips = a_nodes
+        .iter()
+        .filter_map(|(node, a_dom)| {
+            let (_, b_dom) = b_nodes.iter().find(|(n, _)| n == node)?;
+            (a_dom != b_dom).then(|| (*node, a_dom.clone(), b_dom.clone()))
+        })
+        .collect();
+
+    Ok(ProfileDiff {
+        a_makespan_s,
+        b_makespan_s,
+        shifts,
+        node_flips,
+    })
+}
+
+/// Human rendering of the diff: the JCT delta with the bound-category
+/// shifts that account for it, largest movers first.
+pub fn render_diff(d: &ProfileDiff) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile diff: A {:.3} s -> B {:.3} s  (JCT {:+.3} s)\n",
+        d.a_makespan_s,
+        d.b_makespan_s,
+        d.jct_delta_s()
+    ));
+    let mut shifts = d.shifts.clone();
+    shifts.sort_by(|x, y| {
+        y.delta_s()
+            .abs()
+            .partial_cmp(&x.delta_s().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out.push_str("  bound-category shifts (seconds of makespan):\n");
+    for s in &shifts {
+        out.push_str(&format!(
+            "    {:<12} {:+8.3} s  ({:.3} s -> {:.3} s)\n",
+            s.bound,
+            s.delta_s(),
+            s.a_s,
+            s.b_s
+        ));
+    }
+    if !d.node_flips.is_empty() {
+        out.push_str("  per-node dominant-bound flips:\n");
+        for (node, a, b) in &d.node_flips {
+            out.push_str(&format!("    node{node}: {a} -> {b}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(end_us: u64, disk: f64, cpu: f64, doms: &[&str]) -> Json {
+        let per_node: Vec<Json> = doms
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                Json::obj()
+                    .set("node", i as u64)
+                    .set("dominant_bound", *d)
+                    .set(
+                        "bound_profile",
+                        Json::obj().set("disk", disk).set("cpu", cpu),
+                    )
+            })
+            .collect();
+        Json::obj()
+            .set("dominant_bound", if disk >= cpu { "disk" } else { "cpu" })
+            .set(
+                "bound_profile",
+                Json::obj().set("disk", disk).set("cpu", cpu),
+            )
+            .set("per_node_bounds", per_node)
+            .set("critical_path", Json::obj().set("end_us", end_us))
+    }
+
+    #[test]
+    fn attributes_jct_delta_to_category_shifts() {
+        let a = profile(10_000_000, 0.8, 0.2, &["disk", "disk"]);
+        let b = profile(14_000_000, 0.9, 0.1, &["disk", "cpu"]);
+        let d = diff_profiles(&a, &b).expect("diff");
+        assert!((d.jct_delta_s() - 4.0).abs() < 1e-9);
+        let disk = d.shifts.iter().find(|s| s.bound == "disk").unwrap();
+        // 0.8 × 10 s -> 0.9 × 14 s: disk time grew by 4.6 s.
+        assert!((disk.delta_s() - 4.6).abs() < 1e-9, "{disk:?}");
+        assert_eq!(d.node_flips, vec![(1, "disk".into(), "cpu".into())]);
+        let text = render_diff(&d);
+        assert!(text.contains("JCT +4.000 s"), "{text}");
+        assert!(text.contains("node1: disk -> cpu"), "{text}");
+    }
+
+    #[test]
+    fn extracts_embedded_and_bare_profiles() {
+        let bare = profile(1_000_000, 0.5, 0.5, &[]);
+        assert!(extract_profile(&bare).is_some());
+        let results = Json::obj()
+            .set("figure", "fig4a")
+            .set("profile", profile(1_000_000, 0.5, 0.5, &[]));
+        assert!(extract_profile(&results).is_some());
+        assert!(extract_profile(&Json::obj().set("figure", "fig6")).is_none());
+    }
+}

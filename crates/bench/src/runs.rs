@@ -52,11 +52,20 @@ pub struct SortRunResult {
 /// failure runs skip it here — the integration tests cover correctness
 /// under failures).
 pub fn run_es_sort(p: EsSortParams) -> SortRunResult {
-    let cluster = ClusterSpec::homogeneous(p.node, p.nodes);
+    run_es_sort_on(ClusterSpec::homogeneous(p.node, p.nodes), p)
+}
+
+/// Like [`run_es_sort`], but on an explicit (possibly heterogeneous)
+/// cluster; `p.node`/`p.nodes` are ignored in favour of the spec.
+pub fn run_es_sort_on(cluster: ClusterSpec, p: EsSortParams) -> SortRunResult {
     let mut caps = cluster.device_caps();
     if let Some(c) = p.store_capacity {
-        caps.store_bytes = c;
+        // The runtime override applies uniformly to every store.
+        for node in &mut caps.per_node {
+            node.store_bytes = c;
+        }
     }
+
     let mut cfg = RtConfig::new(cluster);
     cfg.object_store_capacity = p.store_capacity;
     // `--trace`/`--profile` instrument the first run of the sweep only.

@@ -1,0 +1,61 @@
+//! Pin: the per-node `ClusterSpec` refactor must be behaviour-preserving
+//! for homogeneous clusters. The three original gate cases are asserted
+//! here against the pre-refactor baseline readings *exactly* (to the
+//! 6-decimal precision the baseline file records), not merely within the
+//! gate's tolerance bands.
+
+use exo_bench::gate::CASES;
+
+/// The committed `bench/baseline.json` readings from before the
+/// heterogeneous-cluster refactor.
+const PINNED: &[(&str, &[(&str, f64)])] = &[
+    (
+        "sort_hdd_small",
+        &[
+            ("jct_s", 10.335596),
+            ("spilled_bytes", 2_000_240_000.0),
+            ("net_bytes", 3_005_344_000.0),
+        ],
+    ),
+    (
+        "sort_ssd_inmem_small",
+        &[
+            ("jct_s", 1.617023),
+            ("spilled_bytes", 0.0),
+            ("net_bytes", 1_494_832_000.0),
+        ],
+    ),
+    (
+        "agg_small",
+        &[("jct_s", 7.714392), ("net_bytes", 2_976_559_488.0)],
+    ),
+];
+
+#[test]
+fn homogeneous_gate_cases_match_pre_refactor_baseline_exactly() {
+    for (name, expected) in PINNED {
+        let case = CASES
+            .iter()
+            .find(|c| c.name == *name)
+            .unwrap_or_else(|| panic!("gate case {name} missing"));
+        let metrics = (case.run)();
+        for (metric, want) in *expected {
+            let got = metrics
+                .iter()
+                .find(|(m, _)| m == metric)
+                .unwrap_or_else(|| panic!("{name}: metric {metric} missing"))
+                .1;
+            // Byte counters are integers and must match exactly; the JCT
+            // is compared at the baseline file's 6-decimal precision.
+            let slack = if metric.ends_with("_bytes") {
+                0.0
+            } else {
+                5e-7
+            };
+            assert!(
+                (got - want).abs() <= slack,
+                "{name}.{metric}: got {got}, pinned baseline {want}"
+            );
+        }
+    }
+}

@@ -43,7 +43,7 @@ pub enum DaskMode {
 }
 
 /// Fig 6 experiment configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DaskSortConfig {
     /// The machine (the paper uses 32 vCPUs / 244 GB).
     pub cluster: ClusterSpec,
@@ -101,8 +101,8 @@ impl DaskOutcome {
 /// an all-to-all exchange, then merge tasks. Compute volume ≈ 2 passes
 /// over the data; exchange volume ≈ 1 pass.
 pub fn dask_sort(cfg: &DaskSortConfig, mode: DaskMode, data_bytes: u64) -> DaskOutcome {
-    let cores = cfg.cluster.node.cpus as f64;
-    let heap = cfg.cluster.node.heap_bytes;
+    let cores = cfg.cluster.node(0).cpus as f64;
+    let heap = cfg.cluster.node(0).heap_bytes;
     let compute_secs = 2.0 * data_bytes as f64 / cfg.sort_throughput;
 
     match mode {
@@ -111,10 +111,10 @@ pub fn dask_sort(cfg: &DaskSortConfig, mode: DaskMode, data_bytes: u64) -> DaskO
             // spilling handles any overflow (adds disk time at large
             // sizes).
             let mut t = compute_secs / cores;
-            let store = cfg.cluster.node.object_store_bytes;
+            let store = cfg.cluster.node(0).object_store_bytes;
             if data_bytes > store {
                 let spill = (data_bytes - store) as f64;
-                t += 2.0 * spill / cfg.cluster.node.disk.seq_bw;
+                t += 2.0 * spill / cfg.cluster.node(0).disk.seq_bw;
             }
             DaskOutcome::Finished(SimDuration::from_secs_f64(t))
         }
@@ -155,7 +155,7 @@ fn run_procs(
     data_bytes: u64,
     compute_secs: f64,
 ) -> DaskOutcome {
-    let cores = cfg.cluster.node.cpus as f64;
+    let cores = cfg.cluster.node(0).cpus as f64;
     let par = (procs as f64 * par_per_proc).min(cores);
     // Exchange: all-to-all between processes. A fraction (p-1)/p of the
     // data crosses process boundaries and is copied twice (serialise +

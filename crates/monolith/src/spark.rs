@@ -28,7 +28,7 @@ pub struct Compression {
 }
 
 /// Spark engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SparkConfig {
     /// Cluster hardware (same models as the Exoshuffle runs).
     pub cluster: ClusterSpec,
@@ -91,7 +91,7 @@ pub fn spark_sort(
     num_reduces: usize,
 ) -> SparkReport {
     let mut sim = StageSim::new(&cfg.cluster);
-    let nodes = cfg.cluster.nodes;
+    let nodes = cfg.cluster.num_nodes();
     let part = data_bytes / num_maps as u64;
     let (ratio, comp_cpu) = match cfg.compression {
         Some(c) => (c.ratio, c.cpu_ns_per_byte),
@@ -266,7 +266,7 @@ pub fn spark_sort_with_failure(
             // The dead executor held ~1/nodes of the map outputs: that
             // slice of the map stage re-runs serially on the restarted
             // executor before reduces can start (plus the restart).
-            let nodes = cfg.cluster.nodes as u64;
+            let nodes = cfg.cluster.num_nodes() as u64;
             let mut sim = StageSim::new(&cfg.cluster);
             let part = data_bytes / num_maps as u64;
             let ratio = cfg.compression.map(|c| c.ratio).unwrap_or(1.0);

@@ -50,29 +50,49 @@ pub struct StageSim {
     /// Cumulative network bytes.
     pub net_bytes: u64,
     nodes: usize,
-    lanes_per_node: usize,
+    /// Lane-id offset of each node's first lane; node `i` owns lanes
+    /// `[lane_offset[i], lane_offset[i+1])`, one per core of *that* node.
+    lane_offset: Vec<usize>,
+    total_lanes: usize,
 }
 
 impl StageSim {
-    /// Build the device state for a cluster.
+    /// Build the device state for a cluster (per-node disks, NICs, and
+    /// core-lane counts come from each node's own spec).
     pub fn new(cluster: &ClusterSpec) -> StageSim {
-        let n = cluster.nodes;
+        let n = cluster.num_nodes();
+        let mut lane_offset = Vec::with_capacity(n + 1);
+        let mut total_lanes = 0;
+        for i in 0..n {
+            lane_offset.push(total_lanes);
+            total_lanes += cluster.node(i).cpus;
+        }
+        lane_offset.push(total_lanes);
         StageSim {
             disks: (0..n)
-                .map(|i| cluster.node.disk.build(format!("disk[{i}]")))
+                .map(|i| cluster.node(i).disk.build(format!("disk[{i}]")))
                 .collect(),
             nic_tx: (0..n)
-                .map(|i| cluster.node.nic.build(format!("tx[{i}]")))
+                .map(|i| cluster.node(i).nic.build(format!("tx[{i}]")))
                 .collect(),
             nic_rx: (0..n)
-                .map(|i| cluster.node.nic.build(format!("rx[{i}]")))
+                .map(|i| cluster.node(i).nic.build(format!("rx[{i}]")))
                 .collect(),
             disk_read: 0,
             disk_write: 0,
             net_bytes: 0,
             nodes: n,
-            lanes_per_node: cluster.node.cpus,
+            lane_offset,
+            total_lanes,
         }
+    }
+
+    /// Lane bound to task `i`: node `i % nodes`, cycling through that
+    /// node's own core count.
+    fn lane_of(&self, i: usize) -> usize {
+        let node = i % self.nodes;
+        let lanes = self.lane_offset[node + 1] - self.lane_offset[node];
+        self.lane_offset[node] + (i / self.nodes) % lanes
     }
 
     /// Run one stage: `tasks[i]` is `(op chain, per-disk-op read flags)`,
@@ -80,13 +100,11 @@ impl StageSim {
     /// is the stage's begin time (the previous stage's barrier). Returns
     /// the stage end time (barrier).
     pub fn run_stage(&mut self, start: SimTime, tasks: &[(Vec<Op>, Vec<bool>)]) -> SimTime {
-        let total_lanes = self.nodes * self.lanes_per_node;
+        let total_lanes = self.total_lanes;
         // lane_tasks[l]: indices of tasks bound to lane l, in order.
         let mut lane_tasks: Vec<Vec<usize>> = vec![Vec::new(); total_lanes];
         for i in 0..tasks.len() {
-            let node = i % self.nodes;
-            let lane = node * self.lanes_per_node + (i / self.nodes) % self.lanes_per_node;
-            lane_tasks[lane].push(i);
+            lane_tasks[self.lane_of(i)].push(i);
         }
         // Heap of (ready_time, seq, task, op_idx, disk_op_idx); seq keeps
         // pops deterministic on ties.
@@ -101,10 +119,6 @@ impl StageSim {
                 lane_cursor[lane] = 1;
             }
         }
-        let lane_of = |i: usize| {
-            let node = i % self.nodes;
-            node * self.lanes_per_node + (i / self.nodes) % self.lanes_per_node
-        };
         let mut stage_end = start;
         while let Some(Reverse((t, _, task, op_idx, disk_idx))) = heap.pop() {
             let node = task % self.nodes;
@@ -112,7 +126,7 @@ impl StageSim {
             if op_idx >= chain.len() {
                 // Task finished: free its lane for the next task.
                 stage_end = stage_end.max(t);
-                let lane = lane_of(task);
+                let lane = self.lane_of(task);
                 if let Some(&next) = lane_tasks[lane].get(lane_cursor[lane]) {
                     lane_cursor[lane] += 1;
                     heap.push(Reverse((t, seq, next, 0, 0)));

@@ -123,14 +123,43 @@ const STORE_FULL_FRAC: f64 = 0.95;
 /// Target number of slices; short runs get fewer (≥ 1 µs each).
 const TARGET_SLICES: u64 = 120;
 
-/// Classifies the run in `events` against the capacities in `caps`.
+/// Classifies the run in `events` against the cluster-wide capacities in
+/// `caps` (per-node capacities summed).
 pub fn attribute(events: &[Event], caps: &DeviceCaps) -> BoundProfile {
     let end_us = events.iter().map(|e| e.at_us).max().unwrap_or(0);
+    attribute_selected(events, caps, end_us, None)
+}
+
+/// Per-node bound profiles, one per node in id order. Each node's slices
+/// are classified against *that node's* capacities, so on a mixed
+/// HDD+SSD cluster the same byte stream reads as disk-bound on the slow
+/// nodes and idle (or net-bound) on the fast ones. All profiles share
+/// the run's global end time and slice grid, so each node's fractions
+/// tile the makespan and sum to 1.
+pub fn attribute_per_node(events: &[Event], caps: &DeviceCaps) -> Vec<BoundProfile> {
+    let end_us = events.iter().map(|e| e.at_us).max().unwrap_or(0);
+    (0..caps.nodes())
+        .map(|n| attribute_selected(events, caps, end_us, Some(n as u32)))
+        .collect()
+}
+
+/// Shared engine behind [`attribute`] (whole cluster, `sel == None`) and
+/// [`attribute_per_node`] (one node). Capacities are summed over the
+/// selected nodes; store occupancy is tracked per node (carry-forward
+/// between samples) and summed, never extrapolated from one node — the
+/// nodes are not assumed symmetric.
+fn attribute_selected(
+    events: &[Event],
+    caps: &DeviceCaps,
+    end_us: u64,
+    sel: Option<u32>,
+) -> BoundProfile {
     if end_us == 0 {
         return BoundProfile::default();
     }
     let slice_us = (end_us / TARGET_SLICES).max(1);
     let slices = end_us.div_ceil(slice_us) as usize;
+    let selected = |node: u32| sel.is_none_or(|s| s == node);
 
     #[derive(Default, Clone, Copy)]
     struct Acc {
@@ -139,27 +168,41 @@ pub fn attribute(events: &[Event], caps: &DeviceCaps) -> BoundProfile {
         samples: u64,
         disk_bytes: u64,
         net_bytes: u64,
-        store_used_peak: u64,
         spill_ops: u64,
     }
     let mut acc = vec![Acc::default(); slices];
+    // Per-slice, per-node peak store sample (`None` = node not sampled in
+    // that slice; its last known level carries forward at readout).
+    let nodes = caps.nodes();
+    let mut store_peak: Vec<Option<u64>> = vec![None; slices * nodes];
     let idx = |at_us: u64| (((at_us.min(end_us - 1)) / slice_us) as usize).min(slices - 1);
 
     for ev in events {
-        let a = &mut acc[idx(ev.at_us)];
+        let i = idx(ev.at_us);
+        let a = &mut acc[i];
         match &ev.kind {
-            EventKind::Resource(r) => {
+            EventKind::Resource(r) if selected(r.node) => {
                 a.cpu_busy += r.cpu_slots_busy as f64;
                 a.cpu_total += r.cpu_slots_total.max(1) as f64;
                 a.samples += 1;
-                a.store_used_peak = a.store_used_peak.max(r.store_used);
+                if (r.node as usize) < nodes {
+                    let cell = &mut store_peak[i * nodes + r.node as usize];
+                    *cell = Some(cell.unwrap_or(0).max(r.store_used));
+                }
             }
             // Restore reads + output/spill writes all queue on the same
             // disks; direction doesn't matter for saturation.
-            EventKind::Io(io) => a.disk_bytes += io.bytes,
+            EventKind::Io(io) if selected(io.node) => a.disk_bytes += io.bytes,
             EventKind::Object(o) => match o.phase {
-                ObjectPhase::Transferred => a.net_bytes += o.bytes,
-                ObjectPhase::Spilled | ObjectPhase::Restored | ObjectPhase::Fallback => {
+                // A transfer occupies the receiver's rx direction and the
+                // sender's tx direction; count it against whichever
+                // selected node touched it (once for the cluster view).
+                ObjectPhase::Transferred if selected(o.node) || o.src.is_some_and(selected) => {
+                    a.net_bytes += o.bytes;
+                }
+                ObjectPhase::Spilled | ObjectPhase::Restored | ObjectPhase::Fallback
+                    if selected(o.node) =>
+                {
                     a.spill_ops += 1;
                 }
                 _ => {}
@@ -168,18 +211,24 @@ pub fn attribute(events: &[Event], caps: &DeviceCaps) -> BoundProfile {
         }
     }
 
-    // Cluster-wide capacities per slice.
+    // Capacities of the selected nodes per slice.
     let slice_secs = slice_us as f64 / 1e6;
-    let disk_cap = caps.disk_seq_bw * caps.nodes as f64 * slice_secs;
-    let net_cap = caps.nic_bw * caps.nodes as f64 * slice_secs;
-    let store_cap = (caps.store_bytes as f64 * caps.nodes as f64).max(1.0);
+    let sel_caps = || {
+        caps.per_node
+            .iter()
+            .enumerate()
+            .filter(|(n, _)| selected(*n as u32))
+    };
+    let disk_cap = sel_caps().map(|(_, c)| c.disk_seq_bw).sum::<f64>() * slice_secs;
+    let net_cap = sel_caps().map(|(_, c)| c.nic_bw).sum::<f64>() * slice_secs;
+    let store_cap = (sel_caps().map(|(_, c)| c.store_bytes).sum::<u64>() as f64).max(1.0);
 
     let mut profile = BoundProfile {
         intervals: Vec::with_capacity(slices),
         end_us,
     };
     let mut last_cpu = 0.0;
-    let mut last_store = 0.0;
+    let mut store_level: Vec<u64> = vec![0; nodes];
     for (i, a) in acc.iter().enumerate() {
         // Samples arrive every resource_sample_us; slices without one
         // carry the previous slice's levels (they describe occupancy,
@@ -189,15 +238,20 @@ pub fn attribute(events: &[Event], caps: &DeviceCaps) -> BoundProfile {
         } else {
             last_cpu
         };
-        // `store_used` is per-node; peak sample × nodes approximates the
-        // cluster's occupancy when nodes are symmetric (our clusters are).
-        let store_frac = if a.samples > 0 {
-            (a.store_used_peak as f64 * caps.nodes as f64 / store_cap).min(1.0)
-        } else {
-            last_store
-        };
         last_cpu = cpu_util;
-        last_store = store_frac;
+        // Store occupancy: sum each selected node's latest known level.
+        for (n, level) in store_level.iter_mut().enumerate() {
+            if let Some(peak) = store_peak[i * nodes + n] {
+                *level = peak;
+            }
+        }
+        let store_used: u64 = store_level
+            .iter()
+            .enumerate()
+            .filter(|(n, _)| selected(*n as u32))
+            .map(|(_, l)| *l)
+            .sum();
+        let store_frac = (store_used as f64 / store_cap).min(1.0);
         let disk_util = a.disk_bytes as f64 / disk_cap.max(1.0);
         let net_util = a.net_bytes as f64 / net_cap.max(1.0);
 
@@ -235,11 +289,11 @@ pub fn attribute(events: &[Event], caps: &DeviceCaps) -> BoundProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use exo_sim::NodeCaps;
     use exo_trace::{IoDir, IoEvent, ObjectEvent, ResourceSample};
 
-    fn caps() -> DeviceCaps {
-        DeviceCaps {
-            nodes: 2,
+    fn node_caps() -> NodeCaps {
+        NodeCaps {
             cpu_slots: 8,
             disk_seq_bw: 1e9,
             disk_random_iops: 1500.0,
@@ -249,22 +303,30 @@ mod tests {
         }
     }
 
-    fn io(at_us: u64, bytes: u64) -> Event {
+    fn caps() -> DeviceCaps {
+        DeviceCaps::uniform(node_caps(), 2)
+    }
+
+    fn io_on(node: u32, at_us: u64, bytes: u64) -> Event {
         Event {
             at_us,
             kind: EventKind::Io(IoEvent {
-                node: 0,
+                node,
                 dir: IoDir::Write,
                 bytes,
             }),
         }
     }
 
-    fn sample(at_us: u64, busy: u32, store_used: u64) -> Event {
+    fn io(at_us: u64, bytes: u64) -> Event {
+        io_on(0, at_us, bytes)
+    }
+
+    fn sample_on(node: u32, at_us: u64, busy: u32, store_used: u64) -> Event {
         Event {
             at_us,
             kind: EventKind::Resource(ResourceSample {
-                node: 0,
+                node,
                 cpu_slots_busy: busy,
                 cpu_slots_total: 8,
                 store_used,
@@ -272,6 +334,10 @@ mod tests {
                 nic_bytes_in_flight: 0,
             }),
         }
+    }
+
+    fn sample(at_us: u64, busy: u32, store_used: u64) -> Event {
+        sample_on(0, at_us, busy, store_used)
     }
 
     #[test]
@@ -288,7 +354,9 @@ mod tests {
 
     #[test]
     fn full_store_with_spilling_is_alloc_stall() {
-        let mut events = vec![sample(10, 1, 999_000)];
+        // Both nodes' stores are sampled near-full: cluster occupancy is
+        // the *sum* of per-node levels, not an extrapolation of one node.
+        let mut events = vec![sample_on(0, 10, 1, 999_000), sample_on(1, 10, 1, 999_000)];
         events.push(Event {
             at_us: 12,
             kind: EventKind::Object(ObjectEvent {
@@ -309,6 +377,78 @@ mod tests {
             .find(|i| i.start_us <= 12 && 12 < i.end_us)
             .expect("slice exists");
         assert_eq!(stalled.bound, Bound::AllocStall);
+    }
+
+    #[test]
+    fn one_full_store_does_not_stall_the_cluster_view() {
+        // Node 0 is wedged full and spilling; node 1's store is empty.
+        // Cluster occupancy is 50% — below the stall threshold — so the
+        // old "peak node × nodes" extrapolation would have been wrong.
+        let events = vec![
+            sample_on(0, 10, 1, 999_000),
+            sample_on(1, 10, 1, 0),
+            Event {
+                at_us: 12,
+                kind: EventKind::Object(ObjectEvent {
+                    object: 1,
+                    phase: ObjectPhase::Spilled,
+                    node: 0,
+                    src: None,
+                    bytes: 1000,
+                }),
+            },
+            sample(1000, 1, 999_000),
+        ];
+        let p = attribute(&events, &caps());
+        assert!(
+            (p.fraction(Bound::AllocStall) - 0.0).abs() < 1e-9,
+            "{}",
+            p.one_line()
+        );
+        // The per-node view still sees node 0 stalled.
+        let per_node = attribute_per_node(&events, &caps());
+        assert_eq!(per_node.len(), 2);
+        assert!(
+            per_node[0].fraction(Bound::AllocStall) > 0.0,
+            "{}",
+            per_node[0].one_line()
+        );
+        assert!(
+            (per_node[1].fraction(Bound::AllocStall) - 0.0).abs() < 1e-9,
+            "{}",
+            per_node[1].one_line()
+        );
+    }
+
+    #[test]
+    fn per_node_profiles_diverge_on_heterogeneous_caps() {
+        // Node 0 is a slow disk (100 MB/s), node 1 a fast one (10 GB/s).
+        // The same write stream on each node saturates only the slow one.
+        let slow = NodeCaps {
+            disk_seq_bw: 1e8,
+            ..node_caps()
+        };
+        let fast = NodeCaps {
+            disk_seq_bw: 1e10,
+            ..node_caps()
+        };
+        let caps = DeviceCaps {
+            per_node: vec![slow, fast],
+        };
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            events.push(io_on(0, i * 10 + 1, 10_000));
+            events.push(io_on(1, i * 10 + 1, 10_000));
+        }
+        let per_node = attribute_per_node(&events, &caps);
+        assert_eq!(per_node[0].dominant(), Bound::Disk, "slow node saturates");
+        assert_eq!(per_node[1].dominant(), Bound::Idle, "fast node coasts");
+        // Each node's fractions tile the shared makespan.
+        for p in &per_node {
+            let sum: f64 = Bound::ALL.iter().map(|b| p.fraction(*b)).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert_eq!(p.end_us, 991);
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod critpath;
 pub mod report;
 pub mod stages;
 
-pub use attribution::{attribute, Bound, BoundProfile, Interval};
+pub use attribution::{attribute, attribute_per_node, Bound, BoundProfile, Interval};
 pub use critpath::{critical_path, CritPath, CritTask};
 pub use report::{profile, ProfileReport};
 pub use stages::{stage_stats, StageStats};

@@ -7,7 +7,7 @@ use std::fmt;
 use exo_sim::DeviceCaps;
 use exo_trace::{Event, Json};
 
-use crate::attribution::{attribute, Bound, BoundProfile};
+use crate::attribution::{attribute, attribute_per_node, Bound, BoundProfile};
 use crate::critpath::{critical_path, CritPath};
 use crate::stages::{stage_stats, StageStats};
 
@@ -16,6 +16,10 @@ use crate::stages::{stage_stats, StageStats};
 pub struct ProfileReport {
     pub critpath: CritPath,
     pub bounds: BoundProfile,
+    /// One bound profile per node, classified against that node's own
+    /// capacities. On homogeneous clusters these mostly echo `bounds`;
+    /// on mixed clusters they are where the HDD/SSD asymmetry shows up.
+    pub per_node_bounds: Vec<BoundProfile>,
     pub stages: Vec<StageStats>,
 }
 
@@ -24,6 +28,7 @@ pub fn profile(events: &[Event], caps: &DeviceCaps) -> ProfileReport {
     ProfileReport {
         critpath: critical_path(events),
         bounds: attribute(events, caps),
+        per_node_bounds: attribute_per_node(events, caps),
         stages: stage_stats(events),
     }
 }
@@ -73,9 +78,25 @@ impl ProfileReport {
                     .set("bytes_skew", s.bytes_skew())
             })
             .collect();
+        let per_node: Vec<Json> = self
+            .per_node_bounds
+            .iter()
+            .enumerate()
+            .map(|(node, p)| {
+                let mut fractions = Json::obj();
+                for b in Bound::ALL {
+                    fractions = fractions.set(b.name(), p.fraction(b));
+                }
+                Json::obj()
+                    .set("node", node as u64)
+                    .set("dominant_bound", p.dominant().name())
+                    .set("bound_profile", fractions)
+            })
+            .collect();
         Json::obj()
             .set("dominant_bound", self.bounds.dominant().name())
             .set("bound_profile", bounds)
+            .set("per_node_bounds", per_node)
             .set(
                 "critical_path",
                 Json::obj()
@@ -96,6 +117,17 @@ impl ProfileReport {
 impl fmt::Display for ProfileReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "profile: bound by {}", self.bounds.one_line())?;
+        // Per-node lines only earn their space when they disagree with
+        // each other — i.e. the cluster is effectively heterogeneous.
+        let divergent = self
+            .per_node_bounds
+            .windows(2)
+            .any(|w| w[0].dominant() != w[1].dominant());
+        if divergent {
+            for (node, p) in self.per_node_bounds.iter().enumerate() {
+                writeln!(f, "    node{:<3} bound by {}", node, p.one_line())?;
+            }
+        }
         let cp = &self.critpath;
         writeln!(
             f,
@@ -162,15 +194,17 @@ mod tests {
     use exo_trace::{DepEvent, DepKind, EventKind, TaskPhase, TaskSpan};
 
     fn caps() -> DeviceCaps {
-        DeviceCaps {
-            nodes: 1,
-            cpu_slots: 8,
-            disk_seq_bw: 1e9,
-            disk_random_iops: 1500.0,
-            disk_devices: 1,
-            nic_bw: 1e9,
-            store_bytes: 1 << 30,
-        }
+        DeviceCaps::uniform(
+            exo_sim::NodeCaps {
+                cpu_slots: 8,
+                disk_seq_bw: 1e9,
+                disk_random_iops: 1500.0,
+                disk_devices: 1,
+                nic_bw: 1e9,
+                store_bytes: 1 << 30,
+            },
+            1,
+        )
     }
 
     fn chain() -> Vec<Event> {

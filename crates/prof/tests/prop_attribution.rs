@@ -2,21 +2,40 @@
 //! whatever the stream looks like, the derived aggregates must stay
 //! internally consistent.
 
-use exo_prof::{attribute, critical_path, Bound};
-use exo_sim::DeviceCaps;
+use exo_prof::{attribute, attribute_per_node, critical_path, Bound};
+use exo_sim::{DeviceCaps, NodeCaps};
 use exo_trace::{Event, EventKind, IoDir, IoEvent, ObjectEvent, ObjectPhase, ResourceSample};
 use proptest::prelude::*;
 
 fn caps(nodes: usize) -> DeviceCaps {
-    DeviceCaps {
+    DeviceCaps::uniform(
+        NodeCaps {
+            cpu_slots: 8,
+            disk_seq_bw: 500e6,
+            disk_random_iops: 1500.0,
+            disk_devices: 4,
+            nic_bw: 1e9,
+            store_bytes: 1 << 26,
+        },
         nodes,
-        cpu_slots: 8,
-        disk_seq_bw: 500e6,
-        disk_random_iops: 1500.0,
-        disk_devices: 4,
-        nic_bw: 1e9,
-        store_bytes: 1 << 26,
-    }
+    )
+}
+
+/// A deliberately lopsided capacity card: node capacities differ so the
+/// per-node property is exercised against heterogeneity, not just the
+/// uniform case.
+fn mixed_caps(nodes: usize) -> DeviceCaps {
+    let per_node = (0..nodes)
+        .map(|i| NodeCaps {
+            cpu_slots: 4 + 4 * (i % 3),
+            disk_seq_bw: 100e6 * (1 + i as u64 % 5) as f64,
+            disk_random_iops: 1500.0,
+            disk_devices: 1 + i % 4,
+            nic_bw: 1e9,
+            store_bytes: 1 << (24 + i % 4),
+        })
+        .collect();
+    DeviceCaps { per_node }
 }
 
 /// One random event: (selector, at_us, node, bytes-ish, busy-ish).
@@ -98,6 +117,40 @@ proptest! {
             prop_assert!(p.intervals.last().unwrap().end_us == p.end_us);
             for w in p.intervals.windows(2) {
                 prop_assert!(w[0].end_us == w[1].start_us, "intervals must be contiguous");
+            }
+        }
+    }
+
+    /// Per-node profiles share the cluster-wide slice grid: every node's
+    /// intervals tile the same [0, end_us] makespan and its fractions
+    /// sum to 1 — even when node capacities differ wildly.
+    #[test]
+    fn per_node_fractions_tile_the_makespan(
+        raw in proptest::collection::vec(
+            (any::<u8>(), 1u64..2_000_000, 0u32..4, 0u64..100_000_000, any::<u32>()),
+            0..200,
+        ),
+        nodes in 1usize..8,
+    ) {
+        let events = build(&raw);
+        let cluster = attribute(&events, &mixed_caps(nodes));
+        let per_node = attribute_per_node(&events, &mixed_caps(nodes));
+        prop_assert_eq!(per_node.len(), nodes);
+        for p in &per_node {
+            prop_assert_eq!(p.end_us, cluster.end_us, "per-node makespan must match cluster");
+            let mut sum = 0.0;
+            for b in Bound::ALL {
+                let f = p.fraction(b);
+                prop_assert!((0.0..=1.0).contains(&f), "fraction out of range: {}", f);
+                sum += f;
+            }
+            if !p.intervals.is_empty() {
+                prop_assert!((sum - 1.0).abs() < 1e-9, "per-node fractions must sum to 1, got {}", sum);
+                prop_assert!(p.intervals.first().unwrap().start_us == 0);
+                prop_assert!(p.intervals.last().unwrap().end_us == p.end_us);
+                for w in p.intervals.windows(2) {
+                    prop_assert!(w[0].end_us == w[1].start_us, "intervals must be contiguous");
+                }
             }
         }
     }

@@ -39,12 +39,15 @@ pub struct RunReport {
 pub fn run<R: Send>(cfg: RtConfig, driver: impl FnOnce(&RtHandle) -> R + Send) -> (RunReport, R) {
     validate_config(&cfg);
     let runtime = Runtime::new(cfg);
-    let (runtime, end, (result, metrics)) = run_with_driver(runtime, move |conn| {
+    let (runtime, end, result) = run_with_driver(runtime, move |conn| {
         let rt = RtHandle { conn };
-        let result = driver(&rt);
-        let metrics = rt.metrics();
-        (result, metrics)
+        driver(&rt)
     });
+    // Snapshot metrics and trace only after the engine has shut down: the
+    // shutdown drain completes in-flight final-stage output writes, so the
+    // report's disk-write accounting and task spans cover the tail the
+    // driver never waited on.
+    let metrics = runtime.final_metrics();
     let trace = runtime.take_trace();
     drop(runtime);
     (

@@ -14,7 +14,7 @@ use exo_sim::{ClusterSpec, IoKind, Resource, SimDuration, SimTime, Simulation};
 use exo_store::{AllocDecision, NodeStore, RestoreDecision, SpillBatch, StoreConfig};
 use exo_trace::{
     DepEvent, DepKind, EventKind, FailureEvent, FailureKind, FetchWaitEvent, IoDir, IoEvent,
-    ObjectEvent, ObjectPhase, PlaceReason, ResourceSample, TaskPhase, TaskSpan, TraceConfig,
+    ObjectEvent, ObjectPhase, Placement, ResourceSample, TaskPhase, TaskSpan, TraceConfig,
     TraceSink,
 };
 
@@ -69,8 +69,8 @@ impl RtConfig {
 
     /// Mark node `i` as a straggler: its compute runs `factor`× slower.
     pub fn with_slow_node(mut self, node: usize, factor: f64) -> Self {
-        if self.cpu_slowdown.len() < self.cluster.nodes {
-            self.cpu_slowdown.resize(self.cluster.nodes, 1.0);
+        if self.cpu_slowdown.len() < self.cluster.num_nodes() {
+            self.cpu_slowdown.resize(self.cluster.num_nodes(), 1.0);
         }
         self.cpu_slowdown[node] = factor;
         self
@@ -79,7 +79,7 @@ impl RtConfig {
 
 /// Panic early on nonsensical configs.
 pub(crate) fn validate_config(cfg: &RtConfig) {
-    assert!(cfg.cluster.nodes >= 1, "need at least one node");
+    assert!(cfg.cluster.num_nodes() >= 1, "need at least one node");
     if let Some(cap) = cfg.object_store_capacity {
         assert!(cap > 0, "object store capacity must be positive");
     }
@@ -306,16 +306,18 @@ pub struct Runtime {
 impl Runtime {
     /// Build the runtime for a cluster.
     pub fn new(cfg: RtConfig) -> Runtime {
-        let node_spec = cfg.cluster.node;
-        let capacity = cfg
-            .object_store_capacity
-            .unwrap_or(node_spec.object_store_bytes);
         let sink = TraceSink::new(&cfg.trace);
         // Device occupancy bookkeeping is only paid for when resource
         // sampling will actually read it.
         let track_pending = sink.sample_interval_us() > 0;
-        let nodes = (0..cfg.cluster.nodes)
+        let nodes = (0..cfg.cluster.num_nodes())
             .map(|i| {
+                // Each node is built from its *own* spec: heterogeneous
+                // clusters get per-node disks, NICs, stores, and slots.
+                let node_spec = cfg.cluster.node(i);
+                let capacity = cfg
+                    .object_store_capacity
+                    .unwrap_or(node_spec.object_store_bytes);
                 let mut disk = node_spec.disk.build(format!("disk[{i}]"));
                 let mut nic_tx = node_spec.nic.build(format!("nic-tx[{i}]"));
                 let mut nic_rx = node_spec.nic.build(format!("nic-rx[{i}]"));
@@ -381,7 +383,7 @@ impl Runtime {
         label: &'static str,
         attempt: u32,
         retry: bool,
-        reason: Option<PlaceReason>,
+        reason: Option<Placement>,
     ) {
         self.sink.emit(EventKind::Task(TaskSpan {
             task: task.0,
@@ -550,6 +552,8 @@ impl Runtime {
                 id: n.id,
                 alive: n.alive,
                 load: n.load(),
+                cpus: self.cfg.cluster.node(n.id.0).cpus,
+                slots_free: n.slots_free,
                 local_arg_bytes: args
                     .iter()
                     .filter_map(|a| {
@@ -579,6 +583,14 @@ impl Runtime {
         }
         let retry = std::mem::take(&mut entry.retry_pending);
         let (label, attempt) = (entry.spec.opts.label, entry.attempt);
+        // Record the capacity the scheduler saw on the chosen node, so the
+        // placement trace is interpretable on heterogeneous clusters.
+        let chosen = &snapshots[node.0];
+        let placement = Placement {
+            reason,
+            slots_free: chosen.slots_free as u32,
+            slots_total: chosen.cpus as u32,
+        };
         self.nodes[node.0].queue.push_back(task);
         self.emit_task(
             task,
@@ -587,7 +599,7 @@ impl Runtime {
             label,
             attempt,
             retry,
-            Some(reason),
+            Some(placement),
         );
         self.pump_node(ctx, node);
     }
@@ -651,7 +663,7 @@ impl Runtime {
             // args are pinned so concurrent tasks cannot evict each
             // other's arguments — the thrash Ray's pull manager likewise
             // prevents by capping in-flight task-arg pulls).
-            let window = 2 * self.cfg.cluster.node.cpus;
+            let window = 2 * self.cfg.cluster.node(node.0).cpus;
             let queued: Vec<TaskId> = self.nodes[node.0]
                 .queue
                 .iter()
@@ -1230,17 +1242,9 @@ impl Runtime {
         let writes = entry.spec.opts.writes_output;
         let node = entry.node.expect("assigned");
         let epoch = entry.epoch;
-        let label = entry.spec.opts.label;
-        let attempt = entry.attempt;
         // `output_written` marks the final phase as initiated so this
         // function is idempotent while the write is in flight.
         self.tasks.get_mut(&task).expect("exists").output_written = true;
-        // The task is finished from the consumer's point of view here:
-        // its outputs are sealed and dependents can start. The remaining
-        // output flush holds the slot but is disk bookkeeping — and it
-        // may still be in flight when the driver disconnects, so emitting
-        // any later would drop final-stage spans from the trace.
-        self.emit_task(task, TaskPhase::Finished, node, label, attempt, false, None);
         if writes > 0 {
             let end = self.nodes[node.0]
                 .disk
@@ -1258,6 +1262,7 @@ impl Runtime {
         entry.state = TaskState::Done;
         entry.reconstructing = false;
         let label = entry.spec.opts.label;
+        let attempt = entry.attempt;
         let pinned = std::mem::take(&mut entry.pinned);
         let outputs = entry.outputs.clone();
         let args = entry.spec.object_args();
@@ -1281,8 +1286,10 @@ impl Runtime {
             }
             self.maybe_gc(a);
         }
-        // The `Finished` span was already emitted at output-seal time in
-        // `check_task_completion`; here we only record progress.
+        // The slot is released and the output flush (if any) has landed:
+        // this is the task's true end. In-flight `OutputWriteDone` events
+        // are drained on driver exit, so final-stage spans still land.
+        self.emit_task(task, TaskPhase::Finished, node, label, attempt, false, None);
         if self.cfg.record_progress {
             self.progress.push(ProgressSample {
                 at: ctx.now(),
@@ -1539,6 +1546,7 @@ impl Runtime {
 
     fn kill_node(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId) {
         let capacity = self.nodes[node.0].store.config().capacity;
+        let cpus = self.cfg.cluster.node(node.0).cpus;
         let sink = self.sink.clone();
         let n = &mut self.nodes[node.0];
         if !n.alive {
@@ -1559,7 +1567,7 @@ impl Runtime {
         n.nic_rx.reset(ctx.now());
         n.fetching.clear();
         n.arg_waiters.clear();
-        n.slots_free = self.cfg.cluster.node.cpus;
+        n.slots_free = cpus;
         let queued: Vec<TaskId> = n.queue.drain(..).collect();
         let mut running: Vec<TaskId> = std::mem::take(&mut n.running).into_iter().collect();
         running.sort();
@@ -1622,7 +1630,7 @@ impl Runtime {
             .into_iter()
             .collect();
         running.sort();
-        self.nodes[node.0].slots_free = self.cfg.cluster.node.cpus;
+        self.nodes[node.0].slots_free = self.cfg.cluster.node(node.0).cpus;
         for t in running {
             let Some(e) = self.tasks.get_mut(&t) else {
                 continue;
@@ -1683,6 +1691,13 @@ impl Runtime {
     // Metrics
     // ------------------------------------------------------------------
 
+    /// Metrics computed after the engine has fully shut down (including
+    /// the drain of in-flight output writes), used by `driver::run` so the
+    /// report reflects the whole run rather than the driver's last call.
+    pub(crate) fn final_metrics(&self) -> RtMetrics {
+        self.snapshot_metrics()
+    }
+
     fn snapshot_metrics(&self) -> RtMetrics {
         let mut m = RtMetrics::from_counters(&self.sink.counters());
         for n in &self.nodes {
@@ -1712,11 +1727,11 @@ impl Runtime {
     /// Emit one [`ResourceSample`] per alive node: busy CPU slots, store
     /// bytes in use, disk ops queued, and NIC bytes in flight.
     fn emit_resource_samples(&self, now: SimTime) {
-        let cpus = self.cfg.cluster.node.cpus;
         for (i, n) in self.nodes.iter().enumerate() {
             if !n.alive {
                 continue;
             }
+            let cpus = self.cfg.cluster.node(i).cpus;
             let (disk_ops, _) = n.disk.pending_at(now);
             let (_, tx_bytes) = n.nic_tx.pending_at(now);
             let (_, rx_bytes) = n.nic_rx.pending_at(now);
@@ -1975,6 +1990,15 @@ impl Simulation for Runtime {
 
     fn deadlock_report(&self) -> Vec<String> {
         self.stall_report()
+    }
+
+    /// Final-stage output flushes are pure disk bookkeeping the driver
+    /// never waits on; drain them on exit so disk-write completion,
+    /// `Finished` spans, and progress samples cover the tail. Everything
+    /// else (wait deadlines, scheduled failures, sampling ticks) is
+    /// discarded.
+    fn drains_on_shutdown(&self, ev: &RtEvent) -> bool {
+        matches!(ev, RtEvent::OutputWriteDone { .. })
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, RtEvent>, ev: RtEvent) {

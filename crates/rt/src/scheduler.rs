@@ -24,8 +24,25 @@ pub struct NodeSnapshot {
     pub alive: bool,
     /// Tasks queued + running on the node.
     pub load: usize,
+    /// CPU slot capacity of the node (task slots). Heterogeneous clusters
+    /// have differing values; load comparisons are made *relative* to it.
+    pub cpus: usize,
+    /// CPU slots currently free on the node.
+    pub slots_free: usize,
     /// Bytes of this task's arguments already resident on the node.
     pub local_arg_bytes: u64,
+}
+
+impl NodeSnapshot {
+    /// Compare two nodes' load per CPU slot without floating point:
+    /// `a.load / a.cpus  <=>  b.load / b.cpus` via cross-multiplication.
+    /// On equal-capacity nodes this reduces to comparing raw load, so
+    /// homogeneous clusters keep the old placement order exactly.
+    fn relative_load_cmp(&self, other: &NodeSnapshot) -> std::cmp::Ordering {
+        let lhs = self.load as u128 * other.cpus.max(1) as u128;
+        let rhs = other.load as u128 * self.cpus.max(1) as u128;
+        lhs.cmp(&rhs)
+    }
 }
 
 /// Pick a node for a task and report why it was chosen. `rr` is a
@@ -56,12 +73,14 @@ pub fn place(
         }
         SchedulingStrategy::Default => {
             // Locality first: most local argument bytes; ties and the
-            // no-args case go to the least-loaded node (stable by id).
+            // no-args case go to the node with the least load *per CPU
+            // slot* (stable by id), so a 16-core node legitimately takes
+            // twice the queue of an 8-core one before losing a tie.
             let best = alive()
                 .max_by(|a, b| {
                     a.local_arg_bytes
                         .cmp(&b.local_arg_bytes)
-                        .then(b.load.cmp(&a.load))
+                        .then(b.relative_load_cmp(a))
                         .then(b.id.cmp(&a.id))
                 })
                 .expect("alive checked");
@@ -84,7 +103,20 @@ mod tests {
             id: NodeId(id),
             alive,
             load,
+            cpus: 8,
+            slots_free: 8usize.saturating_sub(load),
             local_arg_bytes: local,
+        }
+    }
+
+    fn snap_cpus(id: usize, load: usize, cpus: usize) -> NodeSnapshot {
+        NodeSnapshot {
+            id: NodeId(id),
+            alive: true,
+            load,
+            cpus,
+            slots_free: cpus.saturating_sub(load),
+            local_arg_bytes: 0,
         }
     }
 
@@ -113,6 +145,24 @@ mod tests {
         assert_eq!(
             place(SchedulingStrategy::Default, &nodes, &mut rr),
             Some((NodeId(1), PlaceReason::LeastLoaded))
+        );
+    }
+
+    #[test]
+    fn default_balances_load_relative_to_capacity() {
+        // 6/16 = 0.375 load per slot beats 4/8 = 0.5, even though the big
+        // node has more raw tasks.
+        let nodes = [snap_cpus(0, 4, 8), snap_cpus(1, 6, 16)];
+        let mut rr = 0;
+        assert_eq!(
+            place(SchedulingStrategy::Default, &nodes, &mut rr),
+            Some((NodeId(1), PlaceReason::LeastLoaded))
+        );
+        // At equal relative load (4/8 vs 8/16), ties break by lower id.
+        let nodes = [snap_cpus(0, 4, 8), snap_cpus(1, 8, 16)];
+        assert_eq!(
+            place(SchedulingStrategy::Default, &nodes, &mut rr),
+            Some((NodeId(0), PlaceReason::LeastLoaded))
         );
     }
 

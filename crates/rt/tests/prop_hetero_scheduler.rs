@@ -1,0 +1,106 @@
+//! Property test: on clusters whose nodes have *different* core counts,
+//! the capacity-aware scheduler never runs more concurrent tasks on a
+//! node than that node has slots — checked from the trace stream, not
+//! the scheduler's own accounting.
+
+use bytes::Bytes;
+use exo_rt::trace::{EventKind, TaskPhase, TraceConfig};
+use exo_rt::{CpuCost, Payload, RtConfig, SchedulingStrategy};
+use exo_sim::{ClusterSpec, NodeSpec, SimDuration};
+use proptest::prelude::*;
+
+/// A node with a preset's devices but an arbitrary core count.
+fn node_with_cpus(cpus: usize) -> NodeSpec {
+    let mut n = NodeSpec::i3_2xlarge();
+    n.cpus = cpus;
+    n
+}
+
+fn run_and_check(cpus_per_node: &[usize], tasks: usize, spread: bool) -> Result<(), String> {
+    let cluster =
+        ClusterSpec::heterogeneous(cpus_per_node.iter().map(|&c| node_with_cpus(c)).collect());
+    let mut cfg = RtConfig::new(cluster);
+    cfg.trace = TraceConfig::on();
+    let (report, ()) = exo_rt::run(cfg, move |rt| {
+        let refs: Vec<_> = (0..tasks)
+            .map(|_| {
+                let mut b = rt
+                    .task(|_ctx| vec![Payload::inline(Bytes::from_static(b"x"))])
+                    .cpu(CpuCost::fixed(SimDuration::from_millis(100)));
+                if spread {
+                    b = b.strategy(SchedulingStrategy::Spread);
+                }
+                b.submit_one()
+            })
+            .collect();
+        rt.wait_all(&refs);
+    });
+
+    // Fold the trace: a task occupies a slot from `Dequeued` (pump_node
+    // decrements slots_free) until `Finished` (complete_task releases
+    // it). `Scheduled` only places the task in the node's queue — a busy
+    // node may legitimately hold a long queue. Track per-node concurrency
+    // over the stream.
+    let mut running = vec![0i64; cpus_per_node.len()];
+    for ev in &report.trace {
+        let EventKind::Task(t) = &ev.kind else {
+            continue;
+        };
+        let node = t.node as usize;
+        match t.phase {
+            TaskPhase::Dequeued => {
+                running[node] += 1;
+                let cap = cpus_per_node[node] as i64;
+                if running[node] > cap {
+                    return Err(format!(
+                        "node{node} ({cap} slots) reached {} concurrent tasks at {} us",
+                        running[node], ev.at_us
+                    ));
+                }
+            }
+            // Placement events must report that node's true capacity.
+            TaskPhase::Scheduled => {
+                if let Some(p) = t.reason {
+                    if p.slots_total != cpus_per_node[node] as u32 {
+                        return Err(format!(
+                            "node{node}: placement recorded {} total slots, spec says {}",
+                            p.slots_total, cpus_per_node[node]
+                        ));
+                    }
+                    if p.slots_free > p.slots_total {
+                        return Err(format!(
+                            "node{node}: placement with slots_free {} of {}",
+                            p.slots_free, p.slots_total
+                        ));
+                    }
+                }
+            }
+            TaskPhase::Finished => running[node] -= 1,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scheduler_never_exceeds_any_nodes_slot_count(
+        cpus_per_node in proptest::collection::vec(1usize..9, 1..5),
+        tasks in 1usize..48,
+        spread in any::<bool>(),
+    ) {
+        if let Err(e) = run_and_check(&cpus_per_node, tasks, spread) {
+            prop_assert!(false, "{} (cluster {:?})", e, cpus_per_node);
+        }
+    }
+}
+
+#[test]
+fn lopsided_cluster_respects_the_small_node() {
+    // Deterministic worst case: a 1-slot node next to a 8-slot node,
+    // oversubscribed 4x.
+    run_and_check(&[1, 8], 36, true).expect("slot bound");
+    run_and_check(&[1, 8], 36, false).expect("slot bound");
+}

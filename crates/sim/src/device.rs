@@ -219,25 +219,75 @@ impl NodeSpec {
     }
 }
 
-/// A homogeneous cluster: `n` identical nodes.
-#[derive(Clone, Copy, Debug)]
+/// A cluster: an ordered list of per-node hardware descriptions. Node `i`
+/// in the runtime maps to `spec.node(i)`. Most experiments build the
+/// homogeneous case via [`ClusterSpec::homogeneous`]; the mixed-hardware
+/// experiments (HDD+SSD sort, GPU-trainer + CPU-feeder loading) use
+/// [`ClusterSpec::heterogeneous`] or the presets below.
+#[derive(Clone, Debug)]
 pub struct ClusterSpec {
-    /// Per-node hardware description.
-    pub node: NodeSpec,
-    /// Number of worker nodes.
-    pub nodes: usize,
+    nodes: Vec<NodeSpec>,
 }
 
 impl ClusterSpec {
     /// Build a cluster of `nodes` copies of `node`.
     pub fn homogeneous(node: NodeSpec, nodes: usize) -> Self {
         assert!(nodes >= 1, "cluster needs at least one node");
-        ClusterSpec { node, nodes }
+        ClusterSpec {
+            nodes: vec![node; nodes],
+        }
+    }
+
+    /// Build a cluster from an explicit per-node list.
+    pub fn heterogeneous(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        ClusterSpec { nodes }
+    }
+
+    /// Mixed sort cluster: `d3` HDD nodes (`d3.2xlarge`) followed by `i3`
+    /// NVMe nodes (`i3.2xlarge`) — the two disk tiers the paper's sort
+    /// evaluation covers, combined into one cluster.
+    pub fn mixed_hdd_ssd(d3: usize, i3: usize) -> Self {
+        assert!(d3 + i3 >= 1, "cluster needs at least one node");
+        let mut nodes = vec![NodeSpec::d3_2xlarge(); d3];
+        nodes.extend(vec![NodeSpec::i3_2xlarge(); i3]);
+        ClusterSpec { nodes }
+    }
+
+    /// ML data-loader cluster (§5.3, Fig 8 shape): one `g4dn.4xlarge` GPU
+    /// trainer plus `feeders` memory-optimised `r6i.2xlarge` CPU nodes
+    /// that shuffle and feed batches over the network.
+    pub fn ml_loader(feeders: usize) -> Self {
+        let mut nodes = vec![NodeSpec::g4dn_4xlarge()];
+        nodes.extend(vec![NodeSpec::r6i_2xlarge(); feeders]);
+        ClusterSpec { nodes }
+    }
+
+    /// Number of worker nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Hardware description of node `i`.
+    pub fn node(&self, i: usize) -> &NodeSpec {
+        &self.nodes[i]
+    }
+
+    /// All per-node hardware descriptions, in node-id order.
+    pub fn node_specs(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// True when every node has the same shape as node 0 (field-for-field
+    /// in the capacity card; used only for reporting, never for behavior).
+    pub fn is_homogeneous(&self) -> bool {
+        let first = self.nodes[0].caps();
+        self.nodes.iter().all(|n| n.caps() == first)
     }
 
     /// Aggregate sequential disk bandwidth of the cluster, bytes/second.
     pub fn aggregate_disk_bw(&self) -> f64 {
-        self.node.disk.seq_bw * self.nodes as f64
+        self.nodes.iter().map(|n| n.disk.seq_bw).sum()
     }
 
     /// The paper's theoretical external-sort lower bound `T = 4D / B`
@@ -248,39 +298,94 @@ impl ClusterSpec {
     }
 }
 
-/// Per-node device capacities in plain units, decoupled from the
+/// One node's device capacities in plain units, decoupled from the
 /// queueing models — the capacity context an offline analyzer (exo-prof)
 /// needs to turn raw resource samples and I/O events into "fraction of
 /// what the hardware could do" without depending on the simulator.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct DeviceCaps {
-    /// Worker node count.
-    pub nodes: usize,
-    /// Concurrent task slots per node.
+pub struct NodeCaps {
+    /// Concurrent task slots on the node.
     pub cpu_slots: usize,
-    /// Aggregate sequential disk bandwidth per node, bytes/second.
+    /// Aggregate sequential disk bandwidth, bytes/second.
     pub disk_seq_bw: f64,
-    /// Random-IOPS ceiling per node implied by the seek model.
+    /// Random-IOPS ceiling implied by the seek model.
     pub disk_random_iops: f64,
-    /// Disk devices per node (spindles / NVMe channels).
+    /// Disk devices (spindles / NVMe channels).
     pub disk_devices: usize,
-    /// Per-direction NIC bandwidth per node, bytes/second.
+    /// Per-direction NIC bandwidth, bytes/second.
     pub nic_bw: f64,
-    /// Object-store capacity per node, bytes.
+    /// Object-store capacity, bytes.
     pub store_bytes: u64,
+}
+
+impl NodeSpec {
+    /// Capacity card for this node, consumed by offline analysis.
+    pub fn caps(&self) -> NodeCaps {
+        NodeCaps {
+            cpu_slots: self.cpus,
+            disk_seq_bw: self.disk.seq_bw,
+            disk_random_iops: self.disk.random_iops(),
+            disk_devices: self.disk.devices,
+            nic_bw: self.nic.bw,
+            store_bytes: self.object_store_bytes,
+        }
+    }
+}
+
+/// Per-node capacity cards for a whole cluster, in node-id order.
+/// Offline analysis classifies each node's samples against its own entry
+/// and uses the `total_*` aggregates for cluster-wide views.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceCaps {
+    /// One capacity card per node, indexed by node id.
+    pub per_node: Vec<NodeCaps>,
+}
+
+impl DeviceCaps {
+    /// Capacity card for `n` identical nodes.
+    pub fn uniform(node: NodeCaps, n: usize) -> DeviceCaps {
+        assert!(n >= 1, "need at least one node");
+        DeviceCaps {
+            per_node: vec![node; n],
+        }
+    }
+
+    /// Worker node count.
+    pub fn nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Capacity card of node `i`.
+    pub fn node(&self, i: usize) -> &NodeCaps {
+        &self.per_node[i]
+    }
+
+    /// Cluster-wide CPU slot count.
+    pub fn total_cpu_slots(&self) -> usize {
+        self.per_node.iter().map(|n| n.cpu_slots).sum()
+    }
+
+    /// Cluster-wide sequential disk bandwidth, bytes/second.
+    pub fn total_disk_seq_bw(&self) -> f64 {
+        self.per_node.iter().map(|n| n.disk_seq_bw).sum()
+    }
+
+    /// Cluster-wide per-direction NIC bandwidth, bytes/second.
+    pub fn total_nic_bw(&self) -> f64 {
+        self.per_node.iter().map(|n| n.nic_bw).sum()
+    }
+
+    /// Cluster-wide object-store capacity, bytes.
+    pub fn total_store_bytes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.store_bytes).sum()
+    }
 }
 
 impl ClusterSpec {
     /// Capacity card for this cluster, consumed by offline analysis.
     pub fn device_caps(&self) -> DeviceCaps {
         DeviceCaps {
-            nodes: self.nodes,
-            cpu_slots: self.node.cpus,
-            disk_seq_bw: self.node.disk.seq_bw,
-            disk_random_iops: self.node.disk.random_iops(),
-            disk_devices: self.node.disk.devices,
-            nic_bw: self.node.nic.bw,
-            store_bytes: self.node.object_store_bytes,
+            per_node: self.nodes.iter().map(|n| n.caps()).collect(),
         }
     }
 }
@@ -327,12 +432,47 @@ mod tests {
     fn device_caps_mirror_cluster_spec() {
         let c = ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 4);
         let caps = c.device_caps();
-        assert_eq!(caps.nodes, 4);
-        assert_eq!(caps.cpu_slots, 8);
-        assert_eq!(caps.disk_devices, 6);
-        assert!((caps.disk_seq_bw - c.node.disk.seq_bw).abs() < 1.0);
-        assert!((caps.nic_bw - c.node.nic.bw).abs() < 1.0);
-        assert_eq!(caps.store_bytes, c.node.object_store_bytes);
-        assert!((caps.disk_random_iops - c.node.disk.random_iops()).abs() < 1e-6);
+        assert_eq!(caps.nodes(), 4);
+        let node = c.node(0);
+        for nc in &caps.per_node {
+            assert_eq!(nc.cpu_slots, 8);
+            assert_eq!(nc.disk_devices, 6);
+            assert!((nc.disk_seq_bw - node.disk.seq_bw).abs() < 1.0);
+            assert!((nc.nic_bw - node.nic.bw).abs() < 1.0);
+            assert_eq!(nc.store_bytes, node.object_store_bytes);
+            assert!((nc.disk_random_iops - node.disk.random_iops()).abs() < 1e-6);
+        }
+        assert!((caps.total_disk_seq_bw() - c.aggregate_disk_bw()).abs() < 1.0);
+        assert_eq!(caps.total_cpu_slots(), 32);
+        assert!(c.is_homogeneous());
+    }
+
+    #[test]
+    fn heterogeneous_cluster_keeps_node_order_and_sums_bandwidth() {
+        let c = ClusterSpec::mixed_hdd_ssd(2, 3);
+        assert_eq!(c.num_nodes(), 5);
+        // HDD nodes first, then SSD nodes.
+        assert_eq!(c.node(0).disk.devices, 6);
+        assert_eq!(c.node(1).disk.devices, 6);
+        assert_eq!(c.node(2).disk.devices, 8);
+        assert_eq!(c.node(4).disk.devices, 8);
+        assert!(!c.is_homogeneous());
+        let expect =
+            2.0 * NodeSpec::d3_2xlarge().disk.seq_bw + 3.0 * NodeSpec::i3_2xlarge().disk.seq_bw;
+        assert!((c.aggregate_disk_bw() - expect).abs() < 1.0);
+        let caps = c.device_caps();
+        assert_eq!(caps.nodes(), 5);
+        assert!(caps.node(0).disk_random_iops < caps.node(4).disk_random_iops);
+    }
+
+    #[test]
+    fn ml_loader_cluster_puts_trainer_on_node_zero() {
+        let c = ClusterSpec::ml_loader(3);
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.node(0).cpus, 16); // g4dn.4xlarge trainer
+        for i in 1..4 {
+            assert_eq!(c.node(i).cpus, 8); // r6i.2xlarge feeders
+        }
+        assert!(!c.is_homogeneous());
     }
 }

@@ -81,6 +81,18 @@ pub trait Simulation: Sized {
     fn deadlock_report(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Called for each event still queued when the last driver detaches.
+    /// Return `true` to process the event (advancing the clock to its fire
+    /// time) before the engine shuts down; `false` to discard it. Used for
+    /// completion-style events whose accounting would otherwise be lost —
+    /// e.g. in-flight final-stage disk writes — while far-future timers
+    /// (wait deadlines, scheduled failures) stay discarded so the final
+    /// virtual time is not dragged out past the run. The default drains
+    /// nothing.
+    fn drains_on_shutdown(&self, _ev: &Self::Event) -> bool {
+        false
+    }
 }
 
 /// Handler context: the current time plus scheduling and reply capabilities.
@@ -311,7 +323,12 @@ impl<S: Simulation> Engine<S> {
                 self.handle_msg(msg);
             }
             if self.live == 0 {
-                break;
+                // The returned end time is when the last driver detached;
+                // the drain below may advance the internal clock further,
+                // but that tail is bookkeeping, not program runtime.
+                let end = self.now;
+                self.drain_shutdown_events();
+                return Ok((self.sim, end));
             }
             if self.running > 0 {
                 // Some driver is computing; its next command (or detach)
@@ -368,6 +385,29 @@ impl<S: Simulation> Engine<S> {
             }
         }
         Ok((self.sim, self.now))
+    }
+
+    /// After the last driver detaches, run the in-flight completion events
+    /// the simulation opts into via [`Simulation::drains_on_shutdown`]
+    /// (advancing the clock to each fire time) and discard the rest, so
+    /// final-stage accounting like trailing disk writes lands before the
+    /// simulation state is returned.
+    fn drain_shutdown_events(&mut self) {
+        while let Some((t, ev)) = self.queue.pop() {
+            if !self.sim.drains_on_shutdown(&ev) {
+                continue;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            let mut woken = 0;
+            let mut ctx = Ctx {
+                now: self.now,
+                queue: &mut self.queue,
+                woken: &mut woken,
+            };
+            self.sim.on_event(&mut ctx, ev);
+        }
     }
 
     fn handle_msg(&mut self, msg: EngineMsg<S::Command>) {
@@ -546,6 +586,65 @@ mod tests {
         });
         assert_eq!(end, SimTime::ZERO);
         assert_eq!(sim.sleeps, 0);
+    }
+
+    /// A simulation with two event flavours: `Completion` opts into the
+    /// shutdown drain, `Timer` does not.
+    struct DrainSim {
+        completions: u64,
+        timers: u64,
+    }
+
+    enum DrainEv {
+        Completion,
+        Timer,
+    }
+
+    enum DrainCmd {
+        /// Schedule a completion at +1s and a timer at +100s, then return.
+        Kick(Reply<()>),
+    }
+
+    impl Simulation for DrainSim {
+        type Event = DrainEv;
+        type Command = DrainCmd;
+
+        fn on_command(&mut self, ctx: &mut Ctx<'_, DrainEv>, cmd: DrainCmd) {
+            let DrainCmd::Kick(reply) = cmd;
+            ctx.schedule(SimDuration::from_secs(1), DrainEv::Completion);
+            ctx.schedule(SimDuration::from_secs(100), DrainEv::Timer);
+            ctx.reply(reply, ());
+        }
+
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, DrainEv>, ev: DrainEv) {
+            match ev {
+                DrainEv::Completion => self.completions += 1,
+                DrainEv::Timer => self.timers += 1,
+            }
+        }
+
+        fn drains_on_shutdown(&self, ev: &DrainEv) -> bool {
+            matches!(ev, DrainEv::Completion)
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_opted_in_events_and_discards_the_rest() {
+        let (sim, end, ()) = run_with_driver(
+            DrainSim {
+                completions: 0,
+                timers: 0,
+            },
+            |conn| {
+                conn.call(DrainCmd::Kick);
+                // Detach with both events still queued.
+            },
+        );
+        assert_eq!(sim.completions, 1, "in-flight completion must drain");
+        assert_eq!(sim.timers, 0, "far-future timer must be discarded");
+        // The reported end time is when the driver detached — the drained
+        // completion's fire time is bookkeeping, not program runtime.
+        assert_eq!(end, SimTime::ZERO);
     }
 
     /// A simulation that never answers — must be detected as deadlock.

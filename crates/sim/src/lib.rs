@@ -37,7 +37,7 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 
-pub use device::{ClusterSpec, DeviceCaps, DiskSpec, NicSpec, NodeSpec};
+pub use device::{ClusterSpec, DeviceCaps, DiskSpec, NicSpec, NodeCaps, NodeSpec};
 pub use engine::{Ctx, DriverConn, Engine, Reply, Simulation};
 pub use queue::EventQueue;
 pub use resource::{IoKind, Resource};

@@ -81,7 +81,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                                 scheduled: Some(ev.at_us),
                                 dequeued: None,
                                 started: None,
-                                reason: t.reason.map(|r| r.name()),
+                                reason: t.reason.map(|p| p.reason.name()),
                             },
                         );
                     }
@@ -282,7 +282,7 @@ mod tests {
                 attempt: 0,
                 retry: false,
                 reason: if phase == TaskPhase::Scheduled {
-                    Some(PlaceReason::LocalityHit)
+                    Some(Placement::bare(PlaceReason::LocalityHit))
                 } else {
                     None
                 },

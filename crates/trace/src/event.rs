@@ -34,6 +34,31 @@ pub enum PlaceReason {
     Spread,
 }
 
+/// A placement decision: why the node was chosen, plus the capacity the
+/// scheduler saw on it at decision time. Heterogeneous clusters have
+/// differing `slots_total` per node, so the capacity considered is part
+/// of the record rather than recoverable from a global constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    pub reason: PlaceReason,
+    /// Free CPU slots on the chosen node when the decision was made.
+    pub slots_free: u32,
+    /// Total CPU slots on the chosen node.
+    pub slots_total: u32,
+}
+
+impl Placement {
+    /// A placement record with no capacity context (tests, synthetic
+    /// streams).
+    pub fn bare(reason: PlaceReason) -> Placement {
+        Placement {
+            reason,
+            slots_free: 0,
+            slots_total: 0,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 pub struct TaskSpan {
     pub task: u64,
@@ -49,7 +74,7 @@ pub struct TaskSpan {
     /// fold counts only lineage resubmits as `tasks_reexecuted`.
     pub retry: bool,
     /// Present on `Scheduled` events only.
-    pub reason: Option<PlaceReason>,
+    pub reason: Option<Placement>,
 }
 
 /// Object lifecycle transitions in the plasma-style store and data plane.

@@ -27,8 +27,14 @@ pub fn event_json(ev: &Event) -> String {
             if t.retry {
                 s.push_str(r#","retry":true"#);
             }
-            if let Some(r) = t.reason {
-                let _ = write!(s, r#","reason":"{}""#, r.name());
+            if let Some(p) = t.reason {
+                let _ = write!(
+                    s,
+                    r#","reason":"{}","slots_free":{},"slots_total":{}"#,
+                    p.reason.name(),
+                    p.slots_free,
+                    p.slots_total
+                );
             }
         }
         EventKind::Object(o) => {

@@ -33,9 +33,10 @@ pub mod summary;
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use event::{
     DepEvent, DepKind, Event, EventKind, FailureEvent, FailureKind, FetchWaitEvent, IoDir, IoEvent,
-    ObjectEvent, ObjectPhase, PlaceReason, ResourceSample, TaskPhase, TaskSpan,
+    ObjectEvent, ObjectPhase, PlaceReason, Placement, ResourceSample, TaskPhase, TaskSpan,
 };
 pub use json::Json;
 pub use jsonl::{jsonl_string, write_jsonl};
 pub use sink::{TraceConfig, TraceCounters, TraceSink};
+pub use summary::NodeCapacityLine;
 pub use summary::{summarize, TraceSummary};

@@ -335,7 +335,7 @@ mod tests {
             label: "map",
             attempt: 1,
             retry: true,
-            reason: Some(PlaceReason::Spread),
+            reason: Some(Placement::bare(PlaceReason::Spread)),
         }));
         c.apply(&obj(ObjectPhase::Reconstructed, 5));
         c.apply(&EventKind::Failure(FailureEvent {

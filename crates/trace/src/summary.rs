@@ -42,6 +42,26 @@ impl NodeBusy {
     }
 }
 
+/// One node's hardware capacities, in plain units. This crate has no
+/// dependency on the simulator, so callers that know the cluster spec
+/// (e.g. exo-bench) convert it into these lines via
+/// [`TraceSummary::with_capacities`]; the summary then prints a per-node
+/// capacity section — essential context when the cluster is
+/// heterogeneous and 40% busy on one node means something different than
+/// on another.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeCapacityLine {
+    pub node: u32,
+    /// Concurrent task slots.
+    pub cpu_slots: u32,
+    /// Sequential disk bandwidth, bytes/second.
+    pub disk_seq_bw: f64,
+    /// Per-direction NIC bandwidth, bytes/second.
+    pub nic_bw: f64,
+    /// Object-store capacity, bytes.
+    pub store_bytes: u64,
+}
+
 /// Aggregates computed by [`summarize`]; `Display` renders the report.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
@@ -49,6 +69,9 @@ pub struct TraceSummary {
     pub tasks_finished: u64,
     pub longest: Vec<LongTask>,
     pub per_node: Vec<NodeBusy>,
+    /// Per-node hardware capacities, when the caller supplied them via
+    /// [`TraceSummary::with_capacities`]; empty otherwise.
+    pub capacities: Vec<NodeCapacityLine>,
     pub spilled_bytes: u64,
     pub spill_ops: u64,
     pub restored_bytes: u64,
@@ -56,6 +79,14 @@ pub struct TraceSummary {
     pub net_bytes: u64,
     pub reconstructed: u64,
     pub failures: u64,
+}
+
+impl TraceSummary {
+    /// Attach per-node capacity context for the report.
+    pub fn with_capacities(mut self, capacities: Vec<NodeCapacityLine>) -> TraceSummary {
+        self.capacities = capacities;
+        self
+    }
 }
 
 /// Folds the stream into a [`TraceSummary`].
@@ -157,6 +188,20 @@ impl fmt::Display for TraceSummary {
                     t.task,
                     secs(t.dur_us),
                     secs(t.start_us)
+                )?;
+            }
+        }
+        if !self.capacities.is_empty() {
+            writeln!(f, "  per-node capacity:")?;
+            for c in &self.capacities {
+                writeln!(
+                    f,
+                    "    node{:<3} {:>3} slots  disk {:>7.1} MB/s  nic {:>7.1} MB/s  store {:>6.2} GB",
+                    c.node,
+                    c.cpu_slots,
+                    c.disk_seq_bw / 1e6,
+                    c.nic_bw / 1e6,
+                    gb(c.store_bytes)
                 )?;
             }
         }
@@ -300,5 +345,31 @@ mod tests {
         assert!(text.contains("per-node utilization"), "{text}");
         assert!(text.contains("slots  50.0% (4.0/8 avg)"), "{text}");
         assert!(text.contains("restored 2.00 GB"), "{text}");
+    }
+
+    #[test]
+    fn capacity_lines_render_per_node() {
+        let events: Vec<Event> = task_pair(1, 0, 0, 100).into();
+        let s = summarize(&events).with_capacities(vec![
+            NodeCapacityLine {
+                node: 0,
+                cpu_slots: 8,
+                disk_seq_bw: 1_153_433_600.0,
+                nic_bw: 750_000_000.0,
+                store_bytes: 20 * 1024 * 1024 * 1024,
+            },
+            NodeCapacityLine {
+                node: 1,
+                cpu_slots: 16,
+                disk_seq_bw: 450_000_000.0,
+                nic_bw: 2_500_000_000.0,
+                store_bytes: 5 * 1024 * 1024 * 1024,
+            },
+        ]);
+        let text = s.to_string();
+        assert!(text.contains("per-node capacity:"), "{text}");
+        assert!(text.contains("node0     8 slots"), "{text}");
+        assert!(text.contains("node1    16 slots"), "{text}");
+        assert!(text.contains("disk   450.0 MB/s"), "{text}");
     }
 }

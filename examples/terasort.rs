@@ -34,7 +34,7 @@ fn main() {
         ShuffleVariant::Push { factor: 8 },
         ShuffleVariant::PushStar { map_parallelism: 2 },
     ] {
-        let cfg = RtConfig::new(cluster);
+        let cfg = RtConfig::new(cluster.clone());
         let (report, outputs) = exoshuffle::rt::run(cfg, |rt| {
             let job = sort_job(spec);
             let outs = run_shuffle(rt, &job, variant);

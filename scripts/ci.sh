@@ -17,4 +17,7 @@ cargo test -q --workspace
 echo "==> bench_gate (perf-regression gate vs bench/baseline.json)"
 ./scripts/bench_gate.sh
 
+echo "==> heterogeneous smoke (mixed HDD+SSD sort + g4dn/r6i ML loader)"
+cargo run --release -p exo-bench --bin hetero -- --quick
+
 echo "==> CI OK"
