@@ -104,6 +104,32 @@ pub mod strategy {
         }
     }
 
+    /// A type-erased generator arm of a [`Union`].
+    pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Strategy choosing uniformly among alternatives, built by the
+    /// [`prop_oneof!`](crate::prop_oneof) macro. The arms are erased to
+    /// generator closures so heterogeneous strategy types can mix, as
+    /// long as they produce the same value type.
+    pub struct Union<T> {
+        options: Vec<UnionArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<UnionArm<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            (self.options[i])(rng)
+        }
+    }
+
     /// Strategy that always yields a clone of one value.
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone>(pub T);
@@ -279,7 +305,24 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Picks uniformly among the given strategies (upstream's weighted form
+/// is not supported). Arms may be different strategy types as long as
+/// they generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $({
+                let __s = $arm;
+                Box::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&__s, __rng)
+                }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    }};
 }
 
 /// Defines property tests: each `fn name(pat in strategy, ...) { body }`
@@ -362,6 +405,15 @@ mod tests {
         #[test]
         fn config_cases_apply(x in 0u32..10) {
             prop_assert!(x < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_draws_only_from_its_arms(
+            x in prop_oneof![Just(2u32), Just(5u32), 10u32..12],
+        ) {
+            prop_assert!([2u32, 5, 10, 11].contains(&x), "{x}");
         }
     }
 

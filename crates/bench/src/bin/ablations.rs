@@ -31,6 +31,7 @@ fn run(
     let cluster = ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 10);
     let caps = cluster.device_caps();
     let mut cfg = RtConfig::new(cluster);
+    exo_bench::obs::apply_policy(&mut cfg);
     let obs = claim_obs();
     cfg.trace = obs.cfg.clone();
     let spec = SortSpec {

@@ -41,6 +41,7 @@ fn main() {
     let cluster = ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 10);
     let caps = cluster.device_caps();
     let mut rt_cfg = RtConfig::new(cluster);
+    exo_bench::obs::apply_policy(&mut rt_cfg);
     let obs = claim_obs();
     rt_cfg.trace = obs.cfg.clone();
 

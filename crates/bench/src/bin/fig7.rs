@@ -20,6 +20,7 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
     let mut cfg = RtConfig::new(cluster);
     cfg.fuse_spill_writes = fuse;
     cfg.prefetch_args = prefetch;
+    exo_bench::obs::apply_policy(&mut cfg);
     let obs = claim_obs();
     cfg.trace = obs.cfg.clone();
     let returns_per_task = 64usize;

@@ -25,11 +25,13 @@ fn main() {
     let dataset = DatasetSpec::new(if quick_mode() { 20_000 } else { 80_000 }, 16, 2023)
         .with_logical_sample_bytes(2000);
     let rt_cfg = || {
-        RtConfig::new(if mixed {
+        let mut cfg = RtConfig::new(if mixed {
             ClusterSpec::ml_loader(2)
         } else {
             ClusterSpec::homogeneous(NodeSpec::g4dn_4xlarge(), 1)
-        })
+        });
+        exo_bench::obs::apply_policy(&mut cfg);
+        cfg
     };
     let gpu_ns = 40_000.0; // 40 µs/sample on the T4
 

@@ -20,7 +20,11 @@ fn main() {
     // as in the paper's setup.
     let dataset = DatasetSpec::new(if quick_mode() { 20_000 } else { 80_000 }, 16, 2023)
         .with_logical_sample_bytes(2000);
-    let rt_cfg = || RtConfig::new(ClusterSpec::homogeneous(NodeSpec::g4dn_xlarge(), 4));
+    let rt_cfg = || {
+        let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::g4dn_xlarge(), 4));
+        exo_bench::obs::apply_policy(&mut cfg);
+        cfg
+    };
 
     let base = TrainConfig {
         dataset,

@@ -13,9 +13,10 @@
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use exo_agg::{regular_aggregation, AggConfig, PageviewSpec};
+use exo_ml::{exoshuffle_training, DatasetSpec, TrainConfig};
 use exo_rt::trace::Json;
 use exo_rt::RtConfig;
-use exo_shuffle::ShuffleVariant;
+use exo_shuffle::{ShuffleVariant, ShuffleWindow};
 use exo_sim::{ClusterSpec, NodeSpec, SimDuration, SimTime};
 
 use crate::runs::{run_es_sort, EsSortParams};
@@ -133,6 +134,28 @@ fn agg_small() -> Vec<(&'static str, f64)> {
     ]
 }
 
+fn ml_loader_small() -> Vec<(&'static str, f64)> {
+    // Fig-8-shaped: pipelined-shuffle training on the ml_loader cluster
+    // (one g4dn.4xlarge trainer, two r6i.2xlarge feeders), small enough
+    // to stay inside gate budget but large enough that the loader's
+    // shuffle traffic dominates the metrics.
+    let cfg = RtConfig::new(ClusterSpec::ml_loader(2));
+    let train_cfg = TrainConfig {
+        dataset: DatasetSpec::new(20_000, 16, 2023).with_logical_sample_bytes(2000),
+        epochs: 5,
+        batch_size: 128,
+        lr: 0.5,
+        variant: ShuffleVariant::Simple,
+        window: ShuffleWindow::Full,
+        gpu_ns_per_sample: 40_000.0,
+    };
+    let (report, out) = exo_rt::run(cfg, |rt| exoshuffle_training(rt, &train_cfg));
+    vec![
+        ("jct_s", out.total_time.as_secs_f64()),
+        ("net_bytes", report.metrics.net_bytes as f64),
+    ]
+}
+
 /// The pinned gate suite. Append-only: removing or resizing a case
 /// invalidates the committed baseline.
 pub const CASES: &[GateCase] = &[
@@ -151,6 +174,10 @@ pub const CASES: &[GateCase] = &[
     GateCase {
         name: "agg_small",
         run: agg_small,
+    },
+    GateCase {
+        name: "ml_loader_small",
+        run: ml_loader_small,
     },
 ];
 

@@ -74,6 +74,39 @@ pub fn profile_flag() -> (bool, Option<PathBuf>) {
     }
 }
 
+/// Placement policy requested via `--policy <name>` /
+/// `--policy=<name>`, if any. Unknown names and a bare `--policy` are
+/// hard usage errors — silently falling back to the default would make
+/// policy comparisons lie.
+pub fn policy_flag() -> Option<std::sync::Arc<dyn exo_rt::PlacementPolicy>> {
+    match parse_path_flag("--policy", &argv()) {
+        FlagArg::Absent => None,
+        FlagArg::Present(Some(path)) => {
+            let name = path.to_string_lossy();
+            match exo_rt::policy_from_name(&name) {
+                Some(policy) => Some(policy),
+                None => {
+                    eprintln!(
+                        "error: unknown --policy '{name}' (expected load_balance, bound_aware or hybrid)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        FlagArg::Present(None) => {
+            eprintln!("error: --policy requires a name: load_balance, bound_aware or hybrid");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Apply the `--policy` flag (if present) to a run's config.
+pub fn apply_policy(cfg: &mut exo_rt::RtConfig) {
+    if let Some(policy) = policy_flag() {
+        cfg.placement = policy;
+    }
+}
+
 static OBS_CLAIMED: AtomicBool = AtomicBool::new(false);
 static OBS_SUPPRESSED: AtomicBool = AtomicBool::new(false);
 

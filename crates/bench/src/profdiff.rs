@@ -50,6 +50,11 @@ impl BoundShift {
 pub struct ProfileDiff {
     pub a_makespan_s: f64,
     pub b_makespan_s: f64,
+    /// Placement policy that produced each run (from the profile's
+    /// `placement.policy`); `None` when the run recorded no policy-made
+    /// placements.
+    pub a_policy: Option<String>,
+    pub b_policy: Option<String>,
     /// Cluster-wide shifts, one per bound category present in either run.
     pub shifts: Vec<BoundShift>,
     /// Per-node dominant-bound changes: `(node, a_dominant, b_dominant)`
@@ -73,18 +78,34 @@ fn bound_seconds(profile: &Json, makespan_s: f64) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn dominant_per_node(profile: &Json) -> Vec<(u64, String)> {
+/// Per-node dominants, or a clear error when the profile carries no
+/// `per_node_bounds` key at all (e.g. written by a pre-profiler build):
+/// the node-flip half of the diff would silently read as "no flips".
+/// An *empty* array is valid — a zero-node run genuinely has no nodes.
+fn dominant_per_node(profile: &Json, which: &str) -> Result<Vec<(u64, String)>, String> {
     let Some(Json::Arr(nodes)) = profile.get("per_node_bounds") else {
-        return Vec::new();
+        return Err(format!(
+            "run {which}: profile has no per_node_bounds — re-profile it \
+             with a current exo-prof build before diffing"
+        ));
     };
-    nodes
+    Ok(nodes
         .iter()
         .filter_map(|n| {
             let node = n.get("node")?.as_f64()? as u64;
             let dom = n.get("dominant_bound")?.as_str()?.to_string();
             Some((node, dom))
         })
-        .collect()
+        .collect())
+}
+
+fn policy_of(profile: &Json) -> Option<String> {
+    profile
+        .get("placement")?
+        .get("policy")?
+        .as_str()
+        .filter(|p| *p != "none")
+        .map(str::to_string)
 }
 
 /// Diffs two profile objects (already extracted via [`extract_profile`]).
@@ -115,8 +136,8 @@ pub fn diff_profiles(a: &Json, b: &Json) -> Result<ProfileDiff, String> {
         }
     }
 
-    let a_nodes = dominant_per_node(a);
-    let b_nodes = dominant_per_node(b);
+    let a_nodes = dominant_per_node(a, "A")?;
+    let b_nodes = dominant_per_node(b, "B")?;
     let node_flips = a_nodes
         .iter()
         .filter_map(|(node, a_dom)| {
@@ -128,6 +149,8 @@ pub fn diff_profiles(a: &Json, b: &Json) -> Result<ProfileDiff, String> {
     Ok(ProfileDiff {
         a_makespan_s,
         b_makespan_s,
+        a_policy: policy_of(a),
+        b_policy: policy_of(b),
         shifts,
         node_flips,
     })
@@ -137,9 +160,15 @@ pub fn diff_profiles(a: &Json, b: &Json) -> Result<ProfileDiff, String> {
 /// shifts that account for it, largest movers first.
 pub fn render_diff(d: &ProfileDiff) -> String {
     let mut out = String::new();
+    let tag = |p: &Option<String>| match p {
+        Some(name) => format!(" [{name}]"),
+        None => String::new(),
+    };
     out.push_str(&format!(
-        "profile diff: A {:.3} s -> B {:.3} s  (JCT {:+.3} s)\n",
+        "profile diff: A{} {:.3} s -> B{} {:.3} s  (JCT {:+.3} s)\n",
+        tag(&d.a_policy),
         d.a_makespan_s,
+        tag(&d.b_policy),
         d.b_makespan_s,
         d.jct_delta_s()
     ));
@@ -210,6 +239,56 @@ mod tests {
         let text = render_diff(&d);
         assert!(text.contains("JCT +4.000 s"), "{text}");
         assert!(text.contains("node1: disk -> cpu"), "{text}");
+    }
+
+    #[test]
+    fn missing_per_node_bounds_is_a_clear_error_not_a_silent_pass() {
+        let mut a = profile(10_000_000, 0.8, 0.2, &["disk"]);
+        let b = profile(14_000_000, 0.9, 0.1, &["disk"]);
+        a = a.remove("per_node_bounds");
+        let err = diff_profiles(&a, &b).unwrap_err();
+        assert!(
+            err.contains("run A") && err.contains("per_node_bounds"),
+            "{err}"
+        );
+        // The other side too.
+        let a = profile(10_000_000, 0.8, 0.2, &["disk"]);
+        let b = profile(14_000_000, 0.9, 0.1, &["disk"]).remove("per_node_bounds");
+        let err = diff_profiles(&a, &b).unwrap_err();
+        assert!(err.contains("run B"), "{err}");
+        // An *empty* per_node_bounds array stays valid.
+        let a = profile(10_000_000, 0.8, 0.2, &[]);
+        let b = profile(14_000_000, 0.9, 0.1, &[]);
+        assert!(diff_profiles(&a, &b).is_ok());
+    }
+
+    #[test]
+    fn policies_from_placement_blocks_appear_in_the_header() {
+        let with_policy = |p: Json, name: &str| {
+            p.set(
+                "placement",
+                Json::obj().set("policy", name).set("decisions", 32u64),
+            )
+        };
+        let a = with_policy(profile(10_000_000, 0.8, 0.2, &["disk"]), "load_balance");
+        let b = with_policy(profile(9_000_000, 0.7, 0.3, &["disk"]), "bound_aware");
+        let d = diff_profiles(&a, &b).expect("diff");
+        assert_eq!(d.a_policy.as_deref(), Some("load_balance"));
+        assert_eq!(d.b_policy.as_deref(), Some("bound_aware"));
+        let text = render_diff(&d);
+        assert!(
+            text.contains("A [load_balance]") && text.contains("B [bound_aware]"),
+            "{text}"
+        );
+        // "none" (no policy-made placements) renders as no tag at all.
+        let a = with_policy(profile(10_000_000, 0.8, 0.2, &["disk"]), "none");
+        let d = diff_profiles(&a, &b).expect("diff");
+        assert_eq!(d.a_policy, None);
+        assert!(
+            render_diff(&d).contains("A 10.000 s"),
+            "{}",
+            render_diff(&d)
+        );
     }
 
     #[test]

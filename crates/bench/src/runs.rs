@@ -68,6 +68,8 @@ pub fn run_es_sort_on(cluster: ClusterSpec, p: EsSortParams) -> SortRunResult {
 
     let mut cfg = RtConfig::new(cluster);
     cfg.object_store_capacity = p.store_capacity;
+    // `--policy` swaps the placement policy for the whole sweep.
+    crate::obs::apply_policy(&mut cfg);
     // `--trace`/`--profile` instrument the first run of the sweep only.
     let obs = crate::obs::claim_obs();
     cfg.trace = obs.cfg.clone();

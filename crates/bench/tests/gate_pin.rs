@@ -1,13 +1,17 @@
-//! Pin: the per-node `ClusterSpec` refactor must be behaviour-preserving
-//! for homogeneous clusters. The three original gate cases are asserted
-//! here against the pre-refactor baseline readings *exactly* (to the
-//! 6-decimal precision the baseline file records), not merely within the
-//! gate's tolerance bands.
+//! Pin: behaviour-preserving refactors of the scheduler must keep the
+//! homogeneous gate cases *exactly* on the committed baseline readings
+//! (to the 6-decimal precision the baseline file records), not merely
+//! within the gate's tolerance bands. First pinned across the per-node
+//! `ClusterSpec` refactor; now also guards the `PlacementPolicy`
+//! extraction — on homogeneous clusters the default `LoadBalance`
+//! policy (and `BoundAware`'s degenerate path) must be bit-identical to
+//! the historical inlined scheduler.
 
 use exo_bench::gate::CASES;
 
-/// The committed `bench/baseline.json` readings from before the
-/// heterogeneous-cluster refactor.
+/// The committed `bench/baseline.json` readings for every homogeneous
+/// gate case (the heterogeneous `ml_loader_small` case is covered by
+/// the tolerance gate, not pinned here).
 const PINNED: &[(&str, &[(&str, f64)])] = &[
     (
         "sort_hdd_small",
@@ -23,6 +27,14 @@ const PINNED: &[(&str, &[(&str, f64)])] = &[
             ("jct_s", 1.617023),
             ("spilled_bytes", 0.0),
             ("net_bytes", 1_494_832_000.0),
+        ],
+    ),
+    (
+        "sort_ft_small",
+        &[
+            ("jct_s", 3.897817),
+            ("net_bytes", 1_809_360_000.0),
+            ("tasks_reexecuted", 11.0),
         ],
     ),
     (

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use exo_rt::{CpuCost, Payload};
+use exo_rt::{CpuCost, Payload, TaskShape};
 use exo_sim::SplitMix64;
 
 /// Produce one map task's output: `R` partition blocks for map `m`.
@@ -83,6 +83,32 @@ impl ShuffleJob {
         self.merge_cpu = merge;
         self.reduce_cpu = reduce;
         self
+    }
+
+    /// Resource shape a map task declares: CPU from the map cost model, a
+    /// sequential partition read from disk, and its outputs leaving over
+    /// the network (map outputs are consumed on other nodes in
+    /// expectation). Argument fetch bytes are accounted by the policy.
+    pub fn map_shape(&self) -> TaskShape {
+        TaskShape::from_cost(self.map_cpu, self.map_input_bytes, self.map_input_bytes)
+            .with_disk(self.map_input_bytes)
+            .with_net(self.map_input_bytes)
+    }
+
+    /// Resource shape of a merge task combining roughly one map's worth of
+    /// blocks: pure CPU — its inputs are argument objects (policy-counted)
+    /// and its output stays in the object store.
+    pub fn merge_shape(&self) -> TaskShape {
+        TaskShape::from_cost(self.merge_cpu, self.map_input_bytes, self.map_input_bytes)
+    }
+
+    /// Resource shape of a reduce task: CPU over its partition's share of
+    /// the shuffled data plus the sequential output write.
+    pub fn reduce_shape(&self) -> TaskShape {
+        let reduce_in =
+            self.num_maps as u64 * self.map_input_bytes / self.num_reduces.max(1) as u64;
+        TaskShape::from_cost(self.reduce_cpu, reduce_in, self.reduce_output_bytes)
+            .with_disk(self.reduce_output_bytes)
     }
 }
 

@@ -52,6 +52,7 @@ pub fn merge_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: MergeConfig) -> Vec<O
             .num_returns(r_total)
             .strategy(SchedulingStrategy::Spread)
             .cpu(job.map_cpu)
+            .shape(job.map_shape())
             .reads_input(job.map_input_bytes)
             .label("map")
             .submit()
@@ -93,6 +94,7 @@ pub fn merge_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: MergeConfig) -> Vec<O
                 })
                 .num_returns(r_total)
                 .cpu(job.merge_cpu)
+                .shape(job.merge_shape())
                 .generator()
                 .label("merge");
             for row in &group {
@@ -115,6 +117,7 @@ pub fn merge_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: MergeConfig) -> Vec<O
             rt.task(move |ctx: TaskCtx| vec![reduce(r, &ctx.args)])
                 .args(column)
                 .cpu(job.reduce_cpu)
+                .shape(job.reduce_shape())
                 .writes_output(job.reduce_output_bytes)
                 .label("reduce")
                 .submit_one()

@@ -53,6 +53,7 @@ pub fn push_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushConfig) -> Vec<Obj
             .num_returns(r_total)
             .strategy(SchedulingStrategy::Spread)
             .cpu(job.map_cpu)
+            .shape(job.map_shape())
             .reads_input(job.map_input_bytes)
             .label("map")
             .submit()
@@ -73,6 +74,7 @@ pub fn push_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushConfig) -> Vec<Obj
                         .task(move |ctx: TaskCtx| vec![combine(&ctx.args)])
                         .args(column)
                         .cpu(job.merge_cpu)
+                        .shape(job.merge_shape())
                         .label("merge");
                     if cfg.affinity {
                         b = b.on_node(reducer_home(r, nodes));
@@ -93,6 +95,7 @@ pub fn push_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushConfig) -> Vec<Obj
             rt.task(move |ctx: TaskCtx| vec![reduce(r, &ctx.args)])
                 .args(column)
                 .cpu(job.reduce_cpu)
+                .shape(job.reduce_shape())
                 .writes_output(job.reduce_output_bytes)
                 .label("reduce")
                 .submit_one()

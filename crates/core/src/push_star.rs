@@ -139,6 +139,7 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
                 .num_returns(workers)
                 .strategy(SchedulingStrategy::Spread)
                 .cpu(job.map_cpu)
+                .shape(job.map_shape())
                 .reads_input(job.map_input_bytes)
                 .label("map")
                 .submit()
@@ -177,6 +178,7 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
                 .num_returns(n_owned)
                 .on_node(exo_rt::NodeId(w))
                 .cpu(job.merge_cpu)
+                .shape(job.merge_shape())
                 .label("merge");
             if cfg.generators {
                 b = b.generator();
@@ -210,6 +212,7 @@ pub fn push_star_shuffle(rt: &RtHandle, job: &ShuffleJob, cfg: PushStarConfig) -
                 .task(move |ctx: TaskCtx| vec![reduce(r, &ctx.args)])
                 .args(column)
                 .cpu(job.reduce_cpu)
+                .shape(job.reduce_shape())
                 .writes_output(job.reduce_output_bytes)
                 .label("reduce")
                 .submit_one();

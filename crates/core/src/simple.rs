@@ -26,6 +26,7 @@ pub fn simple_shuffle(rt: &RtHandle, job: &ShuffleJob) -> Vec<ObjectRef> {
             .num_returns(r_total)
             .strategy(SchedulingStrategy::Spread)
             .cpu(job.map_cpu)
+            .shape(job.map_shape())
             .reads_input(job.map_input_bytes)
             .label("map")
             .submit()
@@ -43,6 +44,7 @@ pub fn simple_shuffle(rt: &RtHandle, job: &ShuffleJob) -> Vec<ObjectRef> {
             })
             .args(column)
             .cpu(job.reduce_cpu)
+            .shape(job.reduce_shape())
             .writes_output(job.reduce_output_bytes)
             .label("reduce")
             .submit_one()

@@ -53,6 +53,7 @@ pub fn speculative_simple_shuffle(
         .num_returns(r_total)
         .strategy(SchedulingStrategy::Spread)
         .cpu(job.map_cpu)
+        .shape(job.map_shape())
         .reads_input(job.map_input_bytes)
         .label("map")
         .submit()
@@ -66,6 +67,7 @@ pub fn speculative_simple_shuffle(
         .num_returns(r_total)
         .on_node(node)
         .cpu(job.map_cpu)
+        .shape(job.map_shape())
         .reads_input(job.map_input_bytes)
         .label("map-speculative")
         .submit()
@@ -129,6 +131,7 @@ pub fn speculative_simple_shuffle(
             rt.task(move |ctx: TaskCtx| vec![reduce(r, &ctx.args)])
                 .args(chosen.iter())
                 .cpu(job.reduce_cpu)
+                .shape(job.reduce_shape())
                 .writes_output(job.reduce_output_bytes)
                 .label("reduce")
                 .submit_one()

@@ -56,6 +56,7 @@ pub fn streaming_shuffle(
                 .num_returns(r_total)
                 .strategy(SchedulingStrategy::Spread)
                 .cpu(job.map_cpu)
+                .shape(job.map_shape())
                 .reads_input(job.map_input_bytes)
                 .label("map")
                 .submit()
@@ -77,6 +78,7 @@ pub fn streaming_shuffle(
                         vec![reduce_state(r, prev, blocks)]
                     })
                     .cpu(job.reduce_cpu)
+                    .shape(job.reduce_shape())
                     .label("reduce");
                 if let Some(prev) = &states[r] {
                     b = b.arg(prev);

@@ -89,6 +89,14 @@ pub fn petastorm_training(
                 .on_node(exo_rt::NodeId(0))
                 .reads_input(spec.partition_bytes())
                 .cpu(CpuCost::input_throughput(cfg.decode_throughput))
+                .shape(
+                    exo_rt::TaskShape::from_cost(
+                        CpuCost::input_throughput(cfg.decode_throughput),
+                        spec.partition_bytes(),
+                        spec.partition_bytes(),
+                    )
+                    .with_disk(spec.partition_bytes()),
+                )
                 .label("decode")
                 .submit_one()
         };

@@ -115,6 +115,7 @@ fn local_window_shuffle(
             .num_returns(r_total)
             .on_node(node)
             .cpu(job.map_cpu)
+            .shape(job.map_shape())
             .reads_input(job.map_input_bytes)
             .label("map")
             .submit()
@@ -128,6 +129,7 @@ fn local_window_shuffle(
                 .args(column)
                 .on_node(node)
                 .cpu(job.reduce_cpu)
+                .shape(job.reduce_shape())
                 .label("reduce")
                 .submit_one()
         })

@@ -177,11 +177,32 @@ fn attribute_selected(
     let mut store_peak: Vec<Option<u64>> = vec![None; slices * nodes];
     let idx = |at_us: u64| (((at_us.min(end_us - 1)) / slice_us) as usize).min(slices - 1);
 
+    // Reconstructed per-node FIFO transmit cursor. Transfer events carry
+    // their *submit* time, and staging submits whole stages in bursts at
+    // a single instant — crediting the bytes to the submit slice would
+    // read as one absurd spike followed by silence. Replaying the
+    // source's transmit queue (transfers serve back-to-back at the NIC's
+    // bandwidth, exactly the runtime's model) recovers when each
+    // transfer actually occupied the wire, and the bytes are smeared
+    // over that service window.
+    let mut tx_free: Vec<u64> = vec![0; nodes];
+    // Add `bytes` to the slices overlapping [start, end) µs, pro rata.
+    let spread = |acc: &mut Vec<Acc>, start: u64, end: u64, bytes: u64| {
+        let dur = (end - start).max(1);
+        let last = end.min(end_us);
+        let (i0, i1) = (idx(start), idx(last.saturating_sub(1)));
+        for (i, slot) in acc.iter_mut().enumerate().take(i1 + 1).skip(i0) {
+            let s = (i as u64 * slice_us).max(start);
+            let e = ((i as u64 + 1) * slice_us).min(last);
+            let share = (bytes as u128 * (e.saturating_sub(s)) as u128 / dur as u128) as u64;
+            slot.net_bytes += share;
+        }
+    };
     for ev in events {
         let i = idx(ev.at_us);
-        let a = &mut acc[i];
         match &ev.kind {
             EventKind::Resource(r) if selected(r.node) => {
+                let a = &mut acc[i];
                 a.cpu_busy += r.cpu_slots_busy as f64;
                 a.cpu_total += r.cpu_slots_total.max(1) as f64;
                 a.samples += 1;
@@ -192,18 +213,30 @@ fn attribute_selected(
             }
             // Restore reads + output/spill writes all queue on the same
             // disks; direction doesn't matter for saturation.
-            EventKind::Io(io) if selected(io.node) => a.disk_bytes += io.bytes,
+            EventKind::Io(io) if selected(io.node) => acc[i].disk_bytes += io.bytes,
             EventKind::Object(o) => match o.phase {
                 // A transfer occupies the receiver's rx direction and the
                 // sender's tx direction; count it against whichever
                 // selected node touched it (once for the cluster view).
-                ObjectPhase::Transferred if selected(o.node) || o.src.is_some_and(selected) => {
-                    a.net_bytes += o.bytes;
+                // The queue cursor advances on *every* transfer — the
+                // wire is shared whether or not this view selects it.
+                ObjectPhase::Transferred => {
+                    let window = o.src.filter(|s| (*s as usize) < nodes).map(|s| {
+                        let bw = caps.per_node[s as usize].nic_bw.max(1.0);
+                        let start = ev.at_us.max(tx_free[s as usize]);
+                        let end = start + ((o.bytes as f64 * 1e6 / bw).ceil() as u64).max(1);
+                        tx_free[s as usize] = end;
+                        (start, end)
+                    });
+                    if selected(o.node) || o.src.is_some_and(selected) {
+                        let (start, end) = window.unwrap_or((ev.at_us, ev.at_us + 1));
+                        spread(&mut acc, start, end, o.bytes);
+                    }
                 }
                 ObjectPhase::Spilled | ObjectPhase::Restored | ObjectPhase::Fallback
                     if selected(o.node) =>
                 {
-                    a.spill_ops += 1;
+                    acc[i].spill_ops += 1;
                 }
                 _ => {}
             },

@@ -14,6 +14,10 @@
 //!    yielding a bound profile like `disk 61% / net 22% / cpu 9%`.
 //! 3. **Were there stragglers or skew?** [`stage_stats`] reports
 //!    p50/p99/max execution time and output-bytes skew per stage label.
+//! 4. **Did the scheduler place tasks well?** [`placement_quality`]
+//!    replays object locations and charges each placement decision with
+//!    the argument bytes it moved and the share a better-placed node
+//!    would have kept local.
 //!
 //! [`profile`] bundles all three into a [`ProfileReport`] with a text
 //! rendering and a JSON embedding; the bench bins expose it behind
@@ -21,10 +25,12 @@
 
 pub mod attribution;
 pub mod critpath;
+pub mod placement;
 pub mod report;
 pub mod stages;
 
 pub use attribution::{attribute, attribute_per_node, Bound, BoundProfile, Interval};
 pub use critpath::{critical_path, CritPath, CritTask};
+pub use placement::{placement_quality, PlacementQuality};
 pub use report::{profile, ProfileReport};
 pub use stages::{stage_stats, StageStats};

@@ -9,6 +9,7 @@ use exo_trace::{Event, Json};
 
 use crate::attribution::{attribute, attribute_per_node, Bound, BoundProfile};
 use crate::critpath::{critical_path, CritPath};
+use crate::placement::{placement_quality, PlacementQuality};
 use crate::stages::{stage_stats, StageStats};
 
 /// Everything exo-prof derives from one run's event stream.
@@ -21,6 +22,8 @@ pub struct ProfileReport {
     /// on mixed clusters they are where the HDD/SSD asymmetry shows up.
     pub per_node_bounds: Vec<BoundProfile>,
     pub stages: Vec<StageStats>,
+    /// How well the placement policy kept argument bytes local.
+    pub placement: PlacementQuality,
 }
 
 /// Runs the full analysis over a retained trace stream.
@@ -30,6 +33,7 @@ pub fn profile(events: &[Event], caps: &DeviceCaps) -> ProfileReport {
         bounds: attribute(events, caps),
         per_node_bounds: attribute_per_node(events, caps),
         stages: stage_stats(events),
+        placement: placement_quality(events),
     }
 }
 
@@ -97,6 +101,7 @@ impl ProfileReport {
             .set("dominant_bound", self.bounds.dominant().name())
             .set("bound_profile", bounds)
             .set("per_node_bounds", per_node)
+            .set("placement", self.placement.to_json())
             .set(
                 "critical_path",
                 Json::obj()
@@ -127,6 +132,17 @@ impl fmt::Display for ProfileReport {
             for (node, p) in self.per_node_bounds.iter().enumerate() {
                 writeln!(f, "    node{:<3} bound by {}", node, p.one_line())?;
             }
+        }
+        if self.placement.decisions > 0 {
+            writeln!(
+                f,
+                "  placement ({}): {} decisions moved {:.1} MB of argument bytes, {:.1} MB avoidable ({:.0}%)",
+                self.placement.policy.unwrap_or("none"),
+                self.placement.decisions,
+                self.placement.transfer_bytes as f64 / 1e6,
+                self.placement.avoidable_bytes as f64 / 1e6,
+                100.0 * self.placement.avoidable_fraction()
+            )?;
         }
         let cp = &self.critpath;
         writeln!(

@@ -14,7 +14,9 @@ use crate::ids::{NodeId, ObjectId};
 use crate::metrics::RtMetrics;
 use crate::object::{ObjectRef, Payload};
 use crate::runtime::{validate_config, RtConfig, Runtime};
-use crate::task::{ArgSpec, CpuCost, SchedulingStrategy, TaskCtx, TaskFn, TaskOptions, TaskSpec};
+use crate::task::{
+    ArgSpec, CpuCost, SchedulingStrategy, TaskCtx, TaskFn, TaskOptions, TaskShape, TaskSpec,
+};
 
 /// Handle through which a driver program talks to the runtime.
 #[derive(Clone)]
@@ -229,6 +231,12 @@ impl TaskBuilder {
     /// Set the CPU cost model.
     pub fn cpu(mut self, c: CpuCost) -> Self {
         self.opts.cpu = c;
+        self
+    }
+
+    /// Declare the task's resource shape for bound-aware placement.
+    pub fn shape(mut self, s: TaskShape) -> Self {
+        self.opts.shape = s;
         self
     }
 

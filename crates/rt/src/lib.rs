@@ -59,7 +59,10 @@ pub use ids::{NodeId, ObjectId, TaskId};
 pub use metrics::RtMetrics;
 pub use object::{ObjectRef, Payload};
 pub use runtime::RtConfig;
-pub use task::{CpuCost, SchedulingStrategy, TaskCtx, TaskOptions};
+pub use scheduler::{
+    policy_from_name, BoundAware, Hybrid, LoadBalance, NodeSnapshot, Placed, PlacementPolicy,
+};
+pub use task::{CpuCost, SchedulingStrategy, TaskCtx, TaskOptions, TaskShape};
 
 /// Re-export of the tracing crate so applications can configure and
 /// consume traces without a separate dependency.

@@ -7,6 +7,7 @@
 //! deterministic function of the driver program.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use exo_sim::engine::{Ctx, Reply};
@@ -22,7 +23,7 @@ use crate::command::{RtCommand, RtError};
 use crate::ids::{NodeId, ObjectId, TaskId};
 use crate::metrics::{ProgressSample, RtMetrics};
 use crate::object::Payload;
-use crate::scheduler::{place, NodeSnapshot};
+use crate::scheduler::{place, LoadBalance, NodeSnapshot, PlacementPolicy};
 use crate::task::{task_seed, ArgSpec, TaskCtx, TaskSpec};
 
 /// Runtime configuration.
@@ -50,6 +51,10 @@ pub struct RtConfig {
     /// counters; enabling this retains the full stream for export and
     /// turns on periodic resource sampling.
     pub trace: TraceConfig,
+    /// Placement policy for `Default`-strategy tasks (`Spread` and
+    /// `NodeAffinity` are explicit application requests and bypass it).
+    /// Defaults to [`LoadBalance`], the historical behaviour.
+    pub placement: Arc<dyn PlacementPolicy>,
 }
 
 impl RtConfig {
@@ -64,7 +69,14 @@ impl RtConfig {
             record_progress: false,
             cpu_slowdown: Vec::new(),
             trace: TraceConfig::default(),
+            placement: Arc::new(LoadBalance),
         }
+    }
+
+    /// Swap the placement policy for `Default`-strategy tasks.
+    pub fn with_placement(mut self, policy: Arc<dyn PlacementPolicy>) -> Self {
+        self.placement = policy;
+        self
     }
 
     /// Mark node `i` as a straggler: its compute runs `factor`× slower.
@@ -545,6 +557,7 @@ impl Runtime {
             return;
         }
         // Place.
+        let now = ctx.now();
         let snapshots: Vec<NodeSnapshot> = self
             .nodes
             .iter()
@@ -561,12 +574,29 @@ impl Runtime {
                         o.copies.contains(&n.id).then_some(o.logical)
                     })
                     .sum(),
+                caps: self.cfg.cluster.node(n.id.0).caps(),
+                disk_backlog_us: n.disk.queue_delay(now).as_micros(),
+                nic_tx_backlog_us: n.nic_tx.queue_delay(now).as_micros(),
             })
             .collect();
+        let total_arg_bytes: u64 = args
+            .iter()
+            .filter_map(|a| self.objects.get(a).map(|o| o.logical))
+            .sum();
         let strategy = entry.spec.opts.strategy;
-        let Some((node, reason)) = place(strategy, &snapshots, &mut self.rr_cursor) else {
+        let shape = entry.spec.opts.shape;
+        let policy = Arc::clone(&self.cfg.placement);
+        let Some(placed) = place(
+            policy.as_ref(),
+            strategy,
+            shape,
+            total_arg_bytes,
+            &snapshots,
+            &mut self.rr_cursor,
+        ) else {
             return; // no node alive; retried when a node restarts
         };
+        let node = placed.node;
         let entry = self.tasks.get_mut(&task).expect("task exists");
         entry.state = TaskState::Queued;
         entry.node = Some(node);
@@ -587,7 +617,9 @@ impl Runtime {
         // placement trace is interpretable on heterogeneous clusters.
         let chosen = &snapshots[node.0];
         let placement = Placement {
-            reason,
+            reason: placed.reason,
+            policy: policy.name(),
+            score: placed.score,
             slots_free: chosen.slots_free as u32,
             slots_total: chosen.cpus as u32,
         };

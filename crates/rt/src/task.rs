@@ -72,6 +72,63 @@ impl CpuCost {
     }
 }
 
+/// Resource shape a task declares at submission time: a hint to
+/// bound-aware placement policies about how much of each device the task
+/// will consume, matched against per-node hardware capacities
+/// (`exo_sim::NodeCaps`). Shuffle libraries derive it from their cost
+/// models. All-zero means "undeclared" — shapeless tasks keep plain
+/// load-balanced placement under every policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskShape {
+    /// Estimated CPU microseconds on a reference core.
+    pub cpu: u64,
+    /// Bytes of sequential disk I/O the task performs at its node
+    /// (input reads + output writes).
+    pub disk_bytes: u64,
+    /// Bytes the task moves over the network *beyond* its argument
+    /// fetches (e.g. a map task's outputs being pushed away). Argument
+    /// bytes are accounted by the policy from object locality.
+    pub net_bytes: u64,
+}
+
+impl TaskShape {
+    /// Shape with explicit components.
+    pub fn new(cpu_us: u64, disk_bytes: u64, net_bytes: u64) -> TaskShape {
+        TaskShape {
+            cpu: cpu_us,
+            disk_bytes,
+            net_bytes,
+        }
+    }
+
+    /// Derive a shape from a CPU cost model evaluated at the expected
+    /// input/output sizes, plus the device byte counts.
+    pub fn from_cost(cpu: CpuCost, in_bytes: u64, out_bytes: u64) -> TaskShape {
+        TaskShape {
+            cpu: cpu.eval(in_bytes, out_bytes).as_micros(),
+            disk_bytes: 0,
+            net_bytes: 0,
+        }
+    }
+
+    /// Add sequential disk bytes to the shape.
+    pub fn with_disk(mut self, bytes: u64) -> TaskShape {
+        self.disk_bytes = bytes;
+        self
+    }
+
+    /// Add non-argument network bytes to the shape.
+    pub fn with_net(mut self, bytes: u64) -> TaskShape {
+        self.net_bytes = bytes;
+        self
+    }
+
+    /// True when no component was declared.
+    pub fn is_empty(&self) -> bool {
+        self.cpu == 0 && self.disk_bytes == 0 && self.net_bytes == 0
+    }
+}
+
 /// Where the scheduler should place a task (§4.3.2).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SchedulingStrategy {
@@ -110,6 +167,9 @@ pub struct TaskOptions {
     pub generator: bool,
     /// Label recorded in progress metrics (e.g. `"map"`, `"reduce"`).
     pub label: &'static str,
+    /// Declared resource shape, consumed by bound-aware placement
+    /// policies (ignored by plain load balancing).
+    pub shape: TaskShape,
 }
 
 impl Default for TaskOptions {
@@ -122,6 +182,7 @@ impl Default for TaskOptions {
             writes_output: 0,
             generator: false,
             label: "task",
+            shape: TaskShape::default(),
         }
     }
 }

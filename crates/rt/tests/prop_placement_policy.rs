@@ -1,0 +1,209 @@
+//! Property tests for the `BoundAware` placement policy: the safety
+//! invariants (never a dead node, never more concurrent tasks than a
+//! node has slots) hold for arbitrary snapshots and clusters, and on
+//! clusters whose nodes are capacity-identical the policy is *exactly*
+//! `LoadBalance` — the bit-identity the homogeneous gate pins depend on.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use exo_rt::trace::{EventKind, TaskPhase, TraceConfig};
+use exo_rt::{
+    BoundAware, CpuCost, LoadBalance, NodeId, NodeSnapshot, Payload, PlacementPolicy, RtConfig,
+    TaskShape,
+};
+use exo_sim::{ClusterSpec, NodeCaps, NodeSpec, SimDuration};
+use proptest::prelude::*;
+
+/// Strategy for one node's hardware card. Drawn from a small discrete
+/// set so clusters land on both the identical-caps degenerate path and
+/// the genuinely heterogeneous scoring path.
+fn arb_caps() -> impl Strategy<Value = NodeCaps> {
+    (
+        prop_oneof![Just(500e6), Just(1.2e9)],
+        prop_oneof![Just(750e6), Just(3e9)],
+        1usize..3,
+    )
+        .prop_map(|(disk_seq_bw, nic_bw, disk_devices)| NodeCaps {
+            cpu_slots: 8,
+            disk_seq_bw,
+            disk_random_iops: 10_000.0,
+            disk_devices,
+            nic_bw,
+            store_bytes: 1 << 30,
+        })
+}
+
+fn arb_cluster(max_nodes: usize) -> impl Strategy<Value = Vec<NodeSnapshot>> {
+    proptest::collection::vec(
+        (
+            any::<bool>(),
+            0usize..24,
+            arb_caps(),
+            0u64..2_000_000_000,
+            0u64..5_000_000,
+            0u64..5_000_000,
+        ),
+        1..=max_nodes,
+    )
+    .prop_map(|per_node| {
+        per_node
+            .into_iter()
+            .enumerate()
+            .map(
+                |(i, (alive, load, caps, local_arg_bytes, disk_backlog_us, nic_tx_backlog_us))| {
+                    NodeSnapshot {
+                        id: NodeId(i),
+                        alive,
+                        load,
+                        cpus: caps.cpu_slots,
+                        slots_free: caps.cpu_slots.saturating_sub(load),
+                        local_arg_bytes,
+                        caps,
+                        disk_backlog_us,
+                        nic_tx_backlog_us,
+                    }
+                },
+            )
+            .collect()
+    })
+}
+
+fn arb_shape() -> impl Strategy<Value = TaskShape> {
+    (0u64..1_000_000, 0u64..2_000_000_000, 0u64..2_000_000_000)
+        .prop_map(|(cpu, disk, net)| TaskShape::new(cpu, disk, net))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// BoundAware never places on a dead node, and returns `None` only
+    /// when every node is dead.
+    #[test]
+    fn bound_aware_never_places_on_a_dead_node(
+        nodes in arb_cluster(6),
+        shape in arb_shape(),
+        total_args in 0u64..4_000_000_000,
+    ) {
+        let placed = BoundAware.place_default(shape, total_args, &nodes);
+        match placed {
+            Some(p) => {
+                let n = nodes.iter().find(|n| n.id == p.node)
+                    .expect("placed on a node outside the snapshot");
+                prop_assert!(n.alive, "placed on dead node{}", p.node.0);
+            }
+            None => prop_assert!(
+                nodes.iter().all(|n| !n.alive),
+                "returned None with alive nodes present"
+            ),
+        }
+    }
+
+    /// On capacity-identical clusters — whatever the loads, locality, and
+    /// backlogs — BoundAware reproduces LoadBalance's decision exactly.
+    #[test]
+    fn bound_aware_degenerates_to_load_balance_on_identical_caps(
+        caps in arb_caps(),
+        per_node in proptest::collection::vec(
+            (any::<bool>(), 0usize..24, 0u64..2_000_000_000, 0u64..5_000_000),
+            1..6,
+        ),
+        shape in arb_shape(),
+        total_args in 0u64..4_000_000_000,
+    ) {
+        let nodes: Vec<NodeSnapshot> = per_node
+            .into_iter()
+            .enumerate()
+            .map(|(i, (alive, load, local, backlog))| NodeSnapshot {
+                id: NodeId(i),
+                alive,
+                load,
+                cpus: caps.cpu_slots,
+                slots_free: caps.cpu_slots.saturating_sub(load),
+                local_arg_bytes: local,
+                caps,
+                disk_backlog_us: backlog,
+                nic_tx_backlog_us: backlog / 2,
+            })
+            .collect();
+        let ba = BoundAware.place_default(shape, total_args, &nodes);
+        let lb = LoadBalance.place_default(shape, total_args, &nodes);
+        prop_assert_eq!(ba, lb);
+    }
+}
+
+/// End-to-end slot-bound check under BoundAware on a heterogeneous
+/// cluster, mirroring `prop_hetero_scheduler` but with the bound-aware
+/// policy active and every task declaring a shape (so the scoring path,
+/// not the degenerate path, is exercised).
+fn run_bound_aware_and_check(cpus_per_node: &[usize], tasks: usize) -> Result<(), String> {
+    let specs: Vec<NodeSpec> = cpus_per_node
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            // Alternate presets so the capacity cards genuinely differ.
+            let mut n = if i % 2 == 0 {
+                NodeSpec::d3_2xlarge()
+            } else {
+                NodeSpec::i3_2xlarge()
+            };
+            n.cpus = c;
+            n
+        })
+        .collect();
+    let mut cfg =
+        RtConfig::new(ClusterSpec::heterogeneous(specs)).with_placement(Arc::new(BoundAware));
+    cfg.trace = TraceConfig::on();
+    let (report, ()) = exo_rt::run(cfg, move |rt| {
+        let refs: Vec<_> = (0..tasks)
+            .map(|i| {
+                rt.task(|_ctx| vec![Payload::inline(Bytes::from_static(b"x"))])
+                    .cpu(CpuCost::fixed(SimDuration::from_millis(50)))
+                    .shape(TaskShape::new(
+                        50_000,
+                        10_000_000 + (i as u64) * 1_000,
+                        5_000_000,
+                    ))
+                    .submit_one()
+            })
+            .collect();
+        rt.wait_all(&refs);
+    });
+
+    let mut running = vec![0i64; cpus_per_node.len()];
+    for ev in &report.trace {
+        let EventKind::Task(t) = &ev.kind else {
+            continue;
+        };
+        let node = t.node as usize;
+        match t.phase {
+            TaskPhase::Dequeued => {
+                running[node] += 1;
+                let cap = cpus_per_node[node] as i64;
+                if running[node] > cap {
+                    return Err(format!(
+                        "node{node} ({cap} slots) reached {} concurrent tasks at {} us",
+                        running[node], ev.at_us
+                    ));
+                }
+            }
+            TaskPhase::Finished => running[node] -= 1,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bound_aware_never_exceeds_any_nodes_slot_count(
+        cpus_per_node in proptest::collection::vec(1usize..9, 1..5),
+        tasks in 1usize..48,
+    ) {
+        if let Err(e) = run_bound_aware_and_check(&cpus_per_node, tasks) {
+            prop_assert!(false, "{} (cluster {:?})", e, cpus_per_node);
+        }
+    }
+}

@@ -189,6 +189,18 @@ impl Resource {
         *self.free_at.iter().min().expect("at least one server")
     }
 
+    /// Queueing delay a newly submitted op would see at `now`: how far in
+    /// the future the earliest-free server is booked. Zero while any
+    /// server is idle, so it measures genuine backlog, not utilisation.
+    pub fn queue_delay(&self, now: SimTime) -> SimDuration {
+        let free = self.earliest_free();
+        if free > now {
+            free - now
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
     /// Total bytes served so far.
     pub fn bytes_served(&self) -> u64 {
         self.bytes
@@ -298,6 +310,19 @@ mod tests {
         assert_eq!((ops, bytes), (1, 100_000_000));
         // After completion nothing is in flight.
         assert_eq!(d.pending_at(end), (0, 0));
+    }
+
+    #[test]
+    fn queue_delay_reports_booked_time() {
+        let mut d = disk();
+        assert_eq!(d.queue_delay(SimTime::ZERO), SimDuration::ZERO);
+        // One op leaves the second server idle: still no queueing delay.
+        d.submit(SimTime::ZERO, 100_000_000, IoKind::Sequential);
+        assert_eq!(d.queue_delay(SimTime::ZERO), SimDuration::ZERO);
+        // Both busy: a new op waits for the earliest-free server.
+        let end = d.submit(SimTime::ZERO, 100_000_000, IoKind::Sequential);
+        assert_eq!(d.queue_delay(SimTime::ZERO), end - SimTime::ZERO);
+        assert_eq!(d.queue_delay(end), SimDuration::ZERO);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         scheduled: Option<u64>,
         dequeued: Option<u64>,
         started: Option<u64>,
-        reason: Option<&'static str>,
+        reason: Option<(&'static str, &'static str)>,
     }
     let mut open: HashMap<(u64, u32), Open> = HashMap::new();
     struct Span {
@@ -62,7 +62,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         queue_wait: u64,
         stage_wait: u64,
         attempt: u32,
-        reason: Option<&'static str>,
+        reason: Option<(&'static str, &'static str)>,
         task: u64,
     }
     let mut spans: Vec<Span> = Vec::new();
@@ -81,7 +81,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                                 scheduled: Some(ev.at_us),
                                 dequeued: None,
                                 started: None,
-                                reason: t.reason.map(|p| p.reason.name()),
+                                reason: t.reason.map(|p| (p.reason.name(), p.policy)),
                             },
                         );
                     }
@@ -210,8 +210,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             r#""task":{},"attempt":{},"queue_wait_us":{},"stage_wait_us":{}"#,
             s.task, s.attempt, s.queue_wait, s.stage_wait
         );
-        if let Some(r) = s.reason {
-            let _ = write!(args, r#","placed":"{r}""#);
+        if let Some((r, policy)) = s.reason {
+            let _ = write!(args, r#","placed":"{r}","policy":"{policy}""#);
         }
         entries.push((
             s.start,

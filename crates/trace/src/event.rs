@@ -32,15 +32,26 @@ pub enum PlaceReason {
     AffinityFallback,
     /// Round-robin spread placement.
     Spread,
+    /// A bound-aware policy matched the task's resource shape against the
+    /// node's hardware capacities.
+    BoundMatch,
 }
 
-/// A placement decision: why the node was chosen, plus the capacity the
-/// scheduler saw on it at decision time. Heterogeneous clusters have
-/// differing `slots_total` per node, so the capacity considered is part
-/// of the record rather than recoverable from a global constant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A placement decision: why the node was chosen, which policy chose it,
+/// plus the capacity the scheduler saw on it at decision time.
+/// Heterogeneous clusters have differing `slots_total` per node, so the
+/// capacity considered is part of the record rather than recoverable
+/// from a global constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Placement {
     pub reason: PlaceReason,
+    /// Name of the placement policy that made the decision
+    /// (e.g. `"load_balance"`, `"bound_aware"`, `"hybrid"`).
+    pub policy: &'static str,
+    /// Policy-defined score of the winning node: estimated completion
+    /// cost in microseconds for bound-aware policies, load-per-slot for
+    /// load balancing. Comparable only within a single policy.
+    pub score: f64,
     /// Free CPU slots on the chosen node when the decision was made.
     pub slots_free: u32,
     /// Total CPU slots on the chosen node.
@@ -48,11 +59,13 @@ pub struct Placement {
 }
 
 impl Placement {
-    /// A placement record with no capacity context (tests, synthetic
-    /// streams).
+    /// A placement record with no capacity or policy context (tests,
+    /// synthetic streams).
     pub fn bare(reason: PlaceReason) -> Placement {
         Placement {
             reason,
+            policy: "load_balance",
+            score: 0.0,
             slots_free: 0,
             slots_total: 0,
         }
@@ -221,6 +234,7 @@ impl PlaceReason {
             PlaceReason::Affinity => "affinity",
             PlaceReason::AffinityFallback => "affinity_fallback",
             PlaceReason::Spread => "spread",
+            PlaceReason::BoundMatch => "bound_match",
         }
     }
 }

@@ -52,6 +52,16 @@ impl Json {
         self
     }
 
+    /// Drops a field from an object (no-op when absent); panics on
+    /// non-objects (builder misuse).
+    pub fn remove(mut self, key: &str) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.retain(|(k, _)| k != key),
+            _ => panic!("Json::remove on non-object"),
+        }
+        self
+    }
+
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
@@ -466,6 +476,13 @@ mod tests {
             doc.render(),
             r#"{"name":"fig4a","n":3,"ok":true,"xs":[1,2.5]}"#
         );
+    }
+
+    #[test]
+    fn remove_drops_the_field_and_tolerates_absence() {
+        let doc = Json::obj().set("a", 1u64).set("b", 2u64);
+        let doc = doc.remove("a").remove("missing");
+        assert_eq!(doc.render(), r#"{"b":2}"#);
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub fn event_json(ev: &Event) -> String {
             if let Some(p) = t.reason {
                 let _ = write!(
                     s,
-                    r#","reason":"{}","slots_free":{},"slots_total":{}"#,
+                    r#","reason":"{}","policy":"{}","score":{},"slots_free":{},"slots_total":{}"#,
                     p.reason.name(),
+                    escape(p.policy),
+                    p.score,
                     p.slots_free,
                     p.slots_total
                 );

@@ -20,4 +20,11 @@ echo "==> bench_gate (perf-regression gate vs bench/baseline.json)"
 echo "==> heterogeneous smoke (mixed HDD+SSD sort + g4dn/r6i ML loader)"
 cargo run --release -p exo-bench --bin hetero -- --quick
 
+echo "==> placement-policy smoke (load_balance vs bound_aware vs hybrid)"
+cargo run --release -p exo-bench --bin hetero -- --compare --quick
+grep -q '"bound_aware_not_worse":true' results/hetero_policy.json || {
+    echo "FAIL: bound-aware placement regressed vs load_balance on mixed_hdd_ssd" >&2
+    exit 1
+}
+
 echo "==> CI OK"
