@@ -34,6 +34,7 @@ fn run(
     exo_bench::obs::apply_policy(&mut cfg);
     let obs = claim_obs();
     cfg.trace = obs.cfg.clone();
+    cfg.live = obs.live_cfg();
     let spec = SortSpec {
         data_bytes: data,
         num_maps: parts,
@@ -48,7 +49,7 @@ fn run(
         rt.wait_all(&outs);
         rt.now() - t0
     });
-    obs.finish(&report.trace, &caps);
+    obs.finish(&report, &caps);
     Outcome {
         jct: jct.as_secs_f64(),
         net_gb: report.metrics.net_bytes as f64 / 1e9,

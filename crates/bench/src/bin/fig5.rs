@@ -44,6 +44,7 @@ fn main() {
     exo_bench::obs::apply_policy(&mut rt_cfg);
     let obs = claim_obs();
     rt_cfg.trace = obs.cfg.clone();
+    rt_cfg.live = obs.live_cfg();
 
     println!("# Figure 5 — online aggregation, 10× r6i.2xlarge\n");
     let (report, (t_batch, samples, t_stream)) = exo_rt::run(rt_cfg, |rt| {
@@ -51,7 +52,7 @@ fn main() {
         let (samples, t_stream) = streaming_aggregation(rt, &cfg, &truth);
         (t_batch, samples, t_stream)
     });
-    obs.finish(&report.trace, &caps);
+    obs.finish(&report, &caps);
 
     println!("regular shuffle total:   {:.1} s", t_batch.as_secs_f64());
     println!("streaming shuffle total: {:.1} s", t_stream.as_secs_f64());

@@ -23,6 +23,7 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
     exo_bench::obs::apply_policy(&mut cfg);
     let obs = claim_obs();
     cfg.trace = obs.cfg.clone();
+    cfg.live = obs.live_cfg();
     let returns_per_task = 64usize;
     let n_objs = (total_bytes / obj_bytes) as usize;
     let n_tasks = n_objs.div_ceil(returns_per_task);
@@ -56,7 +57,7 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
             .collect();
         rt.wait_all(&consumers);
     });
-    obs.finish(&report.trace, &caps);
+    obs.finish(&report, &caps);
     report.end_time.as_secs_f64()
 }
 

@@ -60,8 +60,9 @@ fn main() {
     let mut es_rt_cfg = rt_cfg();
     let caps = es_rt_cfg.cluster.device_caps();
     es_rt_cfg.trace = obs.cfg.clone();
+    es_rt_cfg.live = obs.live_cfg();
     let (es_report, es) = exo_rt::run(es_rt_cfg, |rt| exoshuffle_training(rt, &es_cfg));
-    obs.finish(&es_report.trace, &caps);
+    obs.finish(&es_report, &caps);
 
     let ps_cfg = PetastormConfig {
         dataset,

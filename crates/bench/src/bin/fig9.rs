@@ -44,8 +44,9 @@ fn main() {
     let mut full_rt_cfg = rt_cfg();
     let caps = full_rt_cfg.cluster.device_caps();
     full_rt_cfg.trace = obs.cfg.clone();
+    full_rt_cfg.live = obs.live_cfg();
     let (full_rep, full) = exo_rt::run(full_rt_cfg, |rt| exoshuffle_training(rt, &base));
-    obs.finish(&full_rep.trace, &caps);
+    obs.finish(&full_rep, &caps);
     let mut windowed_cfg = base;
     windowed_cfg.window = ShuffleWindow::Window { partitions: 4 }; // per-node batches only
     let (win_rep, win) = exo_rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &windowed_cfg));

@@ -1,0 +1,101 @@
+//! `live_check <snapshots.jsonl> <results.json>` — CI validator for a
+//! `--live` timeseries.
+//!
+//! Asserts the invariants the live pipeline promises:
+//!
+//! 1. every JSONL line parses and carries `at_us`/`counters`/`delta`;
+//! 2. timestamps are strictly monotonic;
+//! 3. summing every line's `delta` reproduces the final line's
+//!    cumulative counters exactly (the streaming analogue of
+//!    `fold_matches_incremental_counters`);
+//! 4. the final line's counters match the `"live"` summary block in the
+//!    results file bit-for-bit.
+//!
+//! Exits non-zero with a diagnostic on the first violated invariant.
+
+use exo_live::counters_from_json;
+use exo_trace::{Json, TraceCounters};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("live_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, jsonl_path, results_path] = args.as_slice() else {
+        eprintln!("usage: live_check <snapshots.jsonl> <results.json>");
+        std::process::exit(2);
+    };
+
+    let jsonl = std::fs::read_to_string(jsonl_path)
+        .unwrap_or_else(|e| fail(&format!("read {jsonl_path}: {e}")));
+
+    let mut last_at: Option<u64> = None;
+    let mut folded = TraceCounters::default();
+    let mut last_counters: Option<TraceCounters> = None;
+    let mut lines = 0usize;
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let snap = Json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("{jsonl_path}:{}: invalid JSON: {e}", i + 1)));
+        let at_us = match snap.get("at_us") {
+            Some(Json::U64(n)) => *n,
+            other => fail(&format!("{jsonl_path}:{}: bad at_us: {other:?}", i + 1)),
+        };
+        if let Some(prev) = last_at {
+            if at_us <= prev {
+                fail(&format!(
+                    "{jsonl_path}:{}: timestamps not strictly monotonic ({at_us} after {prev})",
+                    i + 1
+                ));
+            }
+        }
+        last_at = Some(at_us);
+        let counters = snap
+            .get("counters")
+            .ok_or("missing counters".to_string())
+            .and_then(counters_from_json)
+            .unwrap_or_else(|e| fail(&format!("{jsonl_path}:{}: {e}", i + 1)));
+        let delta = snap
+            .get("delta")
+            .ok_or("missing delta".to_string())
+            .and_then(counters_from_json)
+            .unwrap_or_else(|e| fail(&format!("{jsonl_path}:{}: {e}", i + 1)));
+        folded.add(&delta);
+        last_counters = Some(counters);
+        lines += 1;
+    }
+
+    let Some(last_counters) = last_counters else {
+        fail(&format!("{jsonl_path}: no snapshots"));
+    };
+    if folded != last_counters {
+        fail(&format!(
+            "delta fold != final counters:\n  folded: {folded:?}\n  final:  {last_counters:?}"
+        ));
+    }
+
+    let results = std::fs::read_to_string(results_path)
+        .unwrap_or_else(|e| fail(&format!("read {results_path}: {e}")));
+    let results = Json::parse(&results)
+        .unwrap_or_else(|e| fail(&format!("{results_path}: invalid JSON: {e}")));
+    let embedded = results
+        .get("live")
+        .and_then(|l| l.get("final_counters"))
+        .ok_or(format!("{results_path}: no live.final_counters block"))
+        .and_then(|j| counters_from_json(j).map_err(|e| format!("{results_path}: {e}")))
+        .unwrap_or_else(|e| fail(&e));
+    if embedded != last_counters {
+        fail(&format!(
+            "results live.final_counters != timeseries final counters:\n  results: {embedded:?}\n  series:  {last_counters:?}"
+        ));
+    }
+
+    println!(
+        "live_check: OK — {lines} snapshots, strictly monotonic, delta fold and \
+         {results_path} counters all agree"
+    );
+}

@@ -30,7 +30,7 @@ pub mod runs;
 pub mod table;
 
 pub use obs::{
-    claim_obs, claim_trace, export_trace, export_trace_with_caps, obs_not_applicable,
+    claim_obs, claim_trace, export_trace, export_trace_with_caps, live_flag, obs_not_applicable,
     sort_result_json, without_trace, write_results, Obs,
 };
 pub use runs::{run_es_sort, run_es_sort_on, EsSortParams, SortRunResult};

@@ -1,7 +1,8 @@
 //! Bench-side observability plumbing: the shared `--trace <path>` /
-//! `--profile [path]` flags, Chrome-trace/JSONL export with an
-//! end-of-run text summary, the exo-prof report, and the
-//! machine-readable `results/<name>.json` files every binary writes.
+//! `--profile [path]` / `--live <path>` flags, Chrome-trace/JSONL export
+//! with an end-of-run text summary, the exo-prof report, the streaming
+//! live-metrics timeseries, and the machine-readable
+//! `results/<name>.json` files every binary writes.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -9,7 +10,7 @@ use std::sync::Mutex;
 
 use exo_prof::profile;
 use exo_rt::trace::{summarize, write_chrome_trace, write_jsonl, Event, Json, NodeCapacityLine};
-use exo_rt::TraceConfig;
+use exo_rt::{LiveConfig, RunReport, TraceConfig};
 use exo_sim::DeviceCaps;
 
 use crate::runs::SortRunResult;
@@ -74,6 +75,26 @@ pub fn profile_flag() -> (bool, Option<PathBuf>) {
     }
 }
 
+/// Path given via `--live <path>` or `--live=<path>`, if any: the JSONL
+/// live-metrics timeseries destination. Like `--trace`, a bare `--live`
+/// is a hard usage error rather than a silently-discarded timeseries.
+pub fn live_flag() -> Option<PathBuf> {
+    match parse_path_flag("--live", &argv()) {
+        FlagArg::Absent => None,
+        FlagArg::Present(Some(path)) => Some(path),
+        FlagArg::Present(None) => {
+            eprintln!("error: --live requires an output path, e.g. `--live run.live.jsonl`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Whether `--live-progress` was passed: print the one-line live
+/// summary to stderr at every snapshot tick.
+pub fn live_progress_flag() -> bool {
+    !matches!(parse_path_flag("--live-progress", &argv()), FlagArg::Absent)
+}
+
 /// Placement policy requested via `--policy <name>` /
 /// `--policy=<name>`, if any. Unknown names and a bare `--policy` are
 /// hard usage errors — silently falling back to the default would make
@@ -120,6 +141,8 @@ pub struct Obs {
     trace_path: Option<PathBuf>,
     profile: bool,
     profile_path: Option<PathBuf>,
+    live_path: Option<PathBuf>,
+    live_progress: bool,
 }
 
 impl Obs {
@@ -129,26 +152,40 @@ impl Obs {
             trace_path: None,
             profile: false,
             profile_path: None,
+            live_path: None,
+            live_progress: false,
         }
     }
 
     /// Whether this run was instrumented at all.
     pub fn active(&self) -> bool {
-        self.cfg.enabled
+        self.cfg.enabled || self.live_path.is_some()
     }
 
-    /// Consume a finished run's retained events: export the Chrome
-    /// trace + JSONL if `--trace` asked for them, and compute/print the
-    /// exo-prof report if `--profile` did — also stashing its JSON so
-    /// [`write_results`] embeds it under `"profile"`.
-    pub fn finish(&self, events: &[Event], caps: &DeviceCaps) {
+    /// The [`LiveConfig`] to put on `RtConfig::live` before running, if
+    /// `--live` asked for a timeseries. Streaming observers need no
+    /// event retention, so `--live` alone leaves `cfg.enabled` false.
+    pub fn live_cfg(&self) -> Option<LiveConfig> {
+        self.live_path.as_ref().map(|_| LiveConfig {
+            progress: self.live_progress,
+            ..LiveConfig::default()
+        })
+    }
+
+    /// Consume a finished run's report: export the Chrome trace + JSONL
+    /// if `--trace` asked for them, compute/print the exo-prof report if
+    /// `--profile` did, and write the live timeseries if `--live` did —
+    /// stashing the profile/live JSON so [`write_results`] embeds them
+    /// under `"profile"` / `"live"`.
+    pub fn finish(&self, report: &RunReport, caps: &DeviceCaps) {
+        let events = &report.trace;
         if let Some(path) = &self.trace_path {
             export_trace_with_caps(path, events, Some(caps));
         }
         if self.profile {
-            let report = profile(events, caps);
-            println!("\n{report}");
-            let json = report.to_json();
+            let prof = profile(events, caps);
+            println!("\n{prof}");
+            let json = prof.to_json();
             if let Some(path) = &self.profile_path {
                 match std::fs::write(path, json.render() + "\n") {
                     Ok(()) => eprintln!("wrote profile report to {}", path.display()),
@@ -157,30 +194,62 @@ impl Obs {
             }
             *PROFILE_JSON.lock().expect("profile stash poisoned") = Some(json);
         }
+        if let Some(path) = &self.live_path {
+            match &report.live {
+                Some(series) => {
+                    match std::fs::write(path, series.to_jsonl()) {
+                        Ok(()) => eprintln!(
+                            "wrote live timeseries ({} snapshots) to {}",
+                            series.len(),
+                            path.display()
+                        ),
+                        Err(e) => {
+                            eprintln!("failed to write live timeseries {}: {e}", path.display())
+                        }
+                    }
+                    *LIVE_JSON.lock().expect("live stash poisoned") = Some(series.summary_json());
+                }
+                // finish() on a run that never had live configured — a
+                // caller wiring bug worth surfacing, not hiding.
+                None => eprintln!(
+                    "warning: --live was claimed but the run produced no live series \
+                     (RtConfig::live not set?)"
+                ),
+            }
+        }
     }
 }
 
-/// Claim the `--trace`/`--profile` flags for the *first* simulated run
-/// of a sweep. Returns an enabled [`Obs`] exactly once; every later
-/// call gets a disabled one, so instrumenting one representative run
-/// leaves the rest of the sweep unperturbed.
+/// Claim the `--trace`/`--profile`/`--live` flags for the *first*
+/// simulated run of a sweep. Returns an enabled [`Obs`] exactly once;
+/// every later call gets a disabled one, so instrumenting one
+/// representative run leaves the rest of the sweep unperturbed.
 pub fn claim_obs() -> Obs {
     if OBS_SUPPRESSED.load(Ordering::SeqCst) {
         return Obs::disabled();
     }
     let trace_path = trace_flag();
     let (profile, profile_path) = profile_flag();
-    if trace_path.is_none() && !profile {
+    let live_path = live_flag();
+    if trace_path.is_none() && !profile && live_path.is_none() {
         return Obs::disabled();
     }
     if OBS_CLAIMED.swap(true, Ordering::SeqCst) {
         return Obs::disabled();
     }
     Obs {
-        cfg: TraceConfig::on(),
+        // Live streaming alone needs no retention; only --trace/--profile
+        // (which analyze the full stream) switch it on.
+        cfg: if trace_path.is_some() || profile {
+            TraceConfig::on()
+        } else {
+            TraceConfig::default()
+        },
         trace_path,
         profile,
         profile_path,
+        live_path,
+        live_progress: live_progress_flag(),
     }
 }
 
@@ -204,6 +273,10 @@ pub fn without_trace<T>(f: impl FnOnce() -> T) -> T {
 /// The profile JSON of the instrumented run, for embedding into the
 /// results file written later in the same process.
 static PROFILE_JSON: Mutex<Option<Json>> = Mutex::new(None);
+
+/// The live summary JSON of the instrumented run, embedded under
+/// `"live"` by [`write_results`].
+static LIVE_JSON: Mutex<Option<Json>> = Mutex::new(None);
 
 /// Export a finished run's trace: Chrome trace-event JSON at `path`
 /// (loadable in Perfetto / `chrome://tracing`), a flat JSONL sibling, and
@@ -255,8 +328,8 @@ pub fn capacity_lines(caps: &DeviceCaps) -> Vec<NodeCapacityLine> {
 /// why `--trace`/`--profile` produce nothing rather than silently
 /// ignoring them.
 pub fn obs_not_applicable(bin: &str) {
-    if trace_flag().is_some() || profile_flag().0 {
-        eprintln!("note: {bin} runs no exo-rt simulation; --trace/--profile are ignored");
+    if trace_flag().is_some() || profile_flag().0 || live_flag().is_some() {
+        eprintln!("note: {bin} runs no exo-rt simulation; --trace/--profile/--live are ignored");
     }
 }
 
@@ -273,10 +346,15 @@ pub fn sort_result_json(r: &SortRunResult) -> Json {
 
 /// Write `results/<name>.json` (creating `results/` if needed) so sweeps
 /// are machine-readable alongside the printed tables. When the process
-/// profiled a run (`--profile`), its report is embedded as `"profile"`.
+/// profiled a run (`--profile`), its report is embedded as `"profile"`;
+/// a `--live` run's summary is embedded as `"live"`.
 pub fn write_results(name: &str, doc: Json) {
     let doc = match PROFILE_JSON.lock().expect("profile stash poisoned").clone() {
         Some(profile) => doc.set("profile", profile),
+        None => doc,
+    };
+    let doc = match LIVE_JSON.lock().expect("live stash poisoned").clone() {
+        Some(live) => doc.set("live", live),
         None => doc,
     };
     let dir = Path::new("results");

@@ -73,6 +73,7 @@ pub fn run_es_sort_on(cluster: ClusterSpec, p: EsSortParams) -> SortRunResult {
     // `--trace`/`--profile` instrument the first run of the sweep only.
     let obs = crate::obs::claim_obs();
     cfg.trace = obs.cfg.clone();
+    cfg.live = obs.live_cfg();
     let spec = SortSpec {
         data_bytes: p.data_bytes,
         num_maps: p.partitions,
@@ -95,7 +96,7 @@ pub fn run_es_sort_on(cluster: ClusterSpec, p: EsSortParams) -> SortRunResult {
         rt.now() - t0
     });
     if obs.active() {
-        obs.finish(&report.trace, &caps);
+        obs.finish(&report, &caps);
     }
     SortRunResult {
         jct,

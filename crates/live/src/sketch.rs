@@ -1,0 +1,317 @@
+//! Deterministic online quantile sketch: an HDR-style log-bucketed
+//! histogram over microsecond durations.
+//!
+//! No randomness, no retained samples, fixed bucket count. Values below
+//! `2^SUB_BITS` get exact unit-width buckets; above that, each octave
+//! `[2^k, 2^(k+1))` is split into `2^SUB_BITS` equal sub-buckets, so a
+//! bucket's width is at most `1/2^SUB_BITS` of its lower edge. Reported
+//! quantiles are the *upper edge* of the bucket holding the rank, which
+//! bounds the error one-sidedly:
+//!
+//! ```text
+//! exact ≤ reported ≤ exact × (1 + RELATIVE_ERROR)
+//! ```
+//!
+//! (the proptest in `tests/proptests.rs` checks exactly this bound
+//! against sorted exact percentiles).
+
+/// Sub-bucket resolution exponent: `2^SUB_BITS` sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS; // 32
+/// Values saturate below `2^MAX_OCTAVE` µs (~12.7 virtual days).
+const MAX_OCTAVE: u32 = 40;
+const BUCKETS: usize = SUB + (MAX_OCTAVE - SUB_BITS) as usize * SUB;
+
+/// One-sided relative error bound of reported quantiles.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+/// Fixed-memory histogram of `u64` microsecond values.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let v = v.min((1u64 << MAX_OCTAVE) - 1);
+        let msb = 63 - v.leading_zeros(); // ≥ SUB_BITS
+        let shift = msb - SUB_BITS;
+        let sub = ((v >> shift) as usize) & (SUB - 1);
+        SUB + (msb - SUB_BITS) as usize * SUB + sub
+    }
+
+    /// Upper edge of bucket `idx` — the value reported for ranks that
+    /// land in it.
+    fn upper(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let oct = (idx - SUB) / SUB;
+        let sub = (idx - SUB) % SUB;
+        let shift = oct as u32;
+        let lo = ((SUB + sub) as u64) << shift;
+        lo + (1u64 << shift) - 1
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum of the recorded values (not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum of the recorded values; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (0..=1): the upper edge of the bucket
+    /// containing the rank-`⌈q·n⌉` smallest sample. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the exact max (the top bucket's
+                // upper edge can overshoot it).
+                return Self::upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Latency sketches fed by the live event stream: task execution time,
+/// fetch-wait time, and queue delay, plus per-stage execution sketches.
+/// Memory is O(stages × buckets + in-flight tasks) — in-flight state is
+/// bounded by cluster slots, never by run length.
+#[derive(Debug, Default)]
+pub struct LatencySketches {
+    /// Execution time (`Finished − Started`) across all tasks.
+    pub task_us: QuantileSketch,
+    /// Argument fetch-wait intervals (remote fetch / restore / rebuild).
+    pub fetch_wait_us: QuantileSketch,
+    /// Queue delay (`Dequeued − Scheduled`).
+    pub queue_us: QuantileSketch,
+    stages: std::collections::HashMap<&'static str, QuantileSketch>,
+    open_sched: std::collections::HashMap<u64, u64>,
+    open_start: std::collections::HashMap<u64, (u64, &'static str)>,
+    open_fetch: std::collections::HashMap<(u64, u64), u64>,
+}
+
+impl LatencySketches {
+    pub fn on_event(&mut self, ev: &exo_trace::Event) {
+        use exo_trace::{EventKind, TaskPhase};
+        match &ev.kind {
+            EventKind::Task(t) => match t.phase {
+                // A retry re-schedules the same task id; latest wins.
+                TaskPhase::Scheduled => {
+                    self.open_sched.insert(t.task, ev.at_us);
+                }
+                TaskPhase::Dequeued => {
+                    if let Some(s) = self.open_sched.remove(&t.task) {
+                        self.queue_us.record(ev.at_us.saturating_sub(s));
+                    }
+                }
+                TaskPhase::Started => {
+                    self.open_start.insert(t.task, (ev.at_us, t.label));
+                }
+                TaskPhase::Finished => {
+                    if let Some((s, label)) = self.open_start.remove(&t.task) {
+                        let d = ev.at_us.saturating_sub(s);
+                        self.task_us.record(d);
+                        self.stages.entry(label).or_default().record(d);
+                    }
+                }
+            },
+            EventKind::FetchWait(f) => {
+                if f.begin {
+                    self.open_fetch.insert((f.task, f.object), ev.at_us);
+                } else if let Some(b) = self.open_fetch.remove(&(f.task, f.object)) {
+                    self.fetch_wait_us.record(ev.at_us.saturating_sub(b));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Per-stage execution sketches, label-sorted for deterministic
+    /// output.
+    pub fn stages(&self) -> Vec<(&'static str, &QuantileSketch)> {
+        let mut v: Vec<_> = self.stages.iter().map(|(l, s)| (*l, s)).collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = QuantileSketch::new();
+        for v in [0u64, 1, 5, 17, 31] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.5), 5);
+        assert_eq!(s.quantile(1.0), 31);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 31);
+    }
+
+    #[test]
+    fn quantiles_bound_exact_values() {
+        let mut s = QuantileSketch::new();
+        let vals: Vec<u64> = (0..10_000u64).map(|i| i * 37 + 13).collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = s.quantile(q);
+            assert!(est >= exact, "q={q}: {est} < {exact}");
+            assert!(
+                est as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR),
+                "q={q}: {est} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturates_at_cap_without_panicking() {
+        let mut s = QuantileSketch::new();
+        s.record(u64::MAX);
+        s.record(1 << 50);
+        assert_eq!(s.count(), 2);
+        assert!(s.quantile(1.0) >= (1u64 << MAX_OCTAVE) - (1 << (MAX_OCTAVE - SUB_BITS)));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut last = 0usize;
+        for v in (0..1_000_000u64).step_by(997) {
+            let i = QuantileSketch::index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(i < BUCKETS);
+            last = i;
+        }
+    }
+
+    #[test]
+    fn empty_sketch_reports_zeros() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn latency_sketches_track_task_lifecycle() {
+        use exo_trace::{Event, EventKind, FetchWaitEvent, TaskPhase, TaskSpan};
+        let span = |task, phase, at_us| Event {
+            at_us,
+            kind: EventKind::Task(TaskSpan {
+                task,
+                phase,
+                node: 0,
+                label: "map",
+                attempt: 0,
+                retry: false,
+                reason: None,
+            }),
+        };
+        let mut ls = LatencySketches::default();
+        ls.on_event(&span(1, TaskPhase::Scheduled, 0));
+        ls.on_event(&span(1, TaskPhase::Dequeued, 10)); // queue 10
+        ls.on_event(&span(1, TaskPhase::Started, 15));
+        ls.on_event(&Event {
+            at_us: 15,
+            kind: EventKind::FetchWait(FetchWaitEvent {
+                task: 1,
+                object: 9,
+                node: 0,
+                begin: true,
+            }),
+        });
+        ls.on_event(&Event {
+            at_us: 22,
+            kind: EventKind::FetchWait(FetchWaitEvent {
+                task: 1,
+                object: 9,
+                node: 0,
+                begin: false,
+            }),
+        });
+        ls.on_event(&span(1, TaskPhase::Finished, 40)); // exec 25
+        assert_eq!(ls.queue_us.quantile(0.5), 10);
+        assert_eq!(ls.fetch_wait_us.quantile(0.5), 7);
+        assert_eq!(ls.task_us.quantile(0.5), 25);
+        let stages = ls.stages();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].0, "map");
+        assert_eq!(stages[0].1.count(), 1);
+        // Open-state maps drained: fixed memory across a long run.
+        assert!(ls.open_sched.is_empty() || !ls.open_sched.contains_key(&1));
+        assert!(ls.open_start.is_empty());
+        assert!(ls.open_fetch.is_empty());
+    }
+}

@@ -104,15 +104,21 @@ struct TaskTimes {
     attempt: u32,
 }
 
-/// Computes the critical path of `events`. Tolerates partial streams:
-/// unmatched fetch-wait begins are dropped, unfinished tasks are never
-/// on the path, and unknown producers terminate the walk.
-pub fn critical_path(events: &[Event]) -> CritPath {
-    // --- Pass 1: fold per-task facts. ------------------------------
-    // Lifecycle keyed by (task, attempt); the walk later uses the
-    // attempt that finished last (retries replace earlier attempts).
+/// The per-task facts both path analyses start from, folded from the
+/// raw stream in one pass.
+struct Folded {
+    /// Lifecycle keyed by (task, attempt).
+    times: HashMap<(u64, u32), TaskTimes>,
+    /// task -> argument objects.
+    args: HashMap<u64, Vec<u64>>,
+    /// object -> producing task.
+    producer: HashMap<u64, u64>,
+    /// task -> unioned fetch-wait wall-clock.
+    fetch_wait: HashMap<u64, u64>,
+}
+
+fn fold_events(events: &[Event]) -> Folded {
     let mut times: HashMap<(u64, u32), TaskTimes> = HashMap::new();
-    // task -> argument objects; object -> producing task.
     let mut args: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut producer: HashMap<u64, u64> = HashMap::new();
     // (task, object) -> open fetch-wait begin; task -> closed intervals.
@@ -162,6 +168,29 @@ pub fn critical_path(events: &[Event]) -> CritPath {
         .into_iter()
         .map(|(task, ivals)| (task, interval_union_us(ivals)))
         .collect();
+
+    Folded {
+        times,
+        args,
+        producer,
+        fetch_wait,
+    }
+}
+
+/// Computes the critical path of `events`. Tolerates partial streams:
+/// unmatched fetch-wait begins are dropped, unfinished tasks are never
+/// on the path, and unknown producers terminate the walk.
+///
+/// This is the fast greedy walk (always follow the *latest-finishing*
+/// producer); [`longest_paths`] computes the DP-exact longest chain and
+/// the near-critical runners-up.
+pub fn critical_path(events: &[Event]) -> CritPath {
+    let Folded {
+        times,
+        args,
+        producer,
+        fetch_wait,
+    } = fold_events(events);
 
     // Best (latest-finishing) finished attempt per task.
     let mut best: HashMap<u64, TaskTimes> = HashMap::new();
@@ -239,6 +268,201 @@ pub fn critical_path(events: &[Event]) -> CritPath {
         }
     }
     path
+}
+
+/// Summary of one near-critical chain: a dependency chain that almost
+/// gated the run. Feeds what-if analysis — e.g. "if the critical chain
+/// is sped up by more than `slack_us`, this chain gates instead".
+#[derive(Debug, Clone)]
+pub struct NearPath {
+    /// Task the chain ends at.
+    pub end_task: u64,
+    pub end_label: &'static str,
+    /// Finish time of the chain's last task, microseconds.
+    pub end_us: u64,
+    /// Total covered (exclusively-owned) time along the chain.
+    pub covered_us: u64,
+    /// Covered-time deficit vs the longest chain: how much faster the
+    /// critical chain would have to get before this one gates the run.
+    pub slack_us: u64,
+    /// Task ids along the chain, end first.
+    pub tasks: Vec<u64>,
+}
+
+/// DP-exact path analysis: the true longest chain plus slack-ranked
+/// near-critical runners-up.
+#[derive(Debug, Clone, Default)]
+pub struct PathAnalysis {
+    /// Longest-covered dependency chain ending at the run's last
+    /// finisher. `covered_us` here is >= the greedy [`critical_path`]
+    /// cover (the greedy walk follows latest-finishing producers, which
+    /// is not always the longest chain).
+    pub longest: CritPath,
+    /// Top near-critical chains, ranked by ascending slack. Chains may
+    /// share ancestry with the critical chain (most real chains share
+    /// sources), but every entry ends at a distinct attempt and strict
+    /// sub-chains of already-reported chains are suppressed.
+    pub near: Vec<NearPath>,
+}
+
+/// True longest-path DP over *all finished attempts* in `events`.
+///
+/// Unlike [`critical_path`]'s greedy walk this maximizes total covered
+/// time: for every finished attempt it considers every finished producer
+/// attempt of every argument (so a consumer fed by an early attempt of a
+/// later-retried task credits the attempt that actually fed it) and
+/// keeps the chain with the largest exclusively-owned wall-clock.
+/// Processing attempts in finish-time order makes the recurrence a DAG
+/// walk even on corrupt streams: edges only ever point backwards.
+pub fn longest_paths(events: &[Event], top_k: usize) -> PathAnalysis {
+    let f = fold_events(events);
+
+    // All finished attempts in a deterministic topological order: a
+    // consumer attempt cannot finish before the producer attempt that
+    // fed it, so sorting by (finish, task, attempt) lets the DP below
+    // only look backwards.
+    let mut nodes: Vec<((u64, u32), TaskTimes)> = f
+        .times
+        .iter()
+        .filter(|(_, tt)| tt.finished.is_some())
+        .map(|(&k, &tt)| (k, tt))
+        .collect();
+    nodes.sort_by_key(|&((task, attempt), tt)| (tt.finished, task, attempt));
+    if nodes.is_empty() {
+        return PathAnalysis::default();
+    }
+
+    // task -> indices of its finished attempts (ascending finish).
+    let mut attempts: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, ((task, _), _)) in nodes.iter().enumerate() {
+        attempts.entry(*task).or_default().push(i);
+    }
+
+    // dp[i]: covered time of the longest chain ending at attempt i;
+    // choice[i]: the producer attempt that chain comes through.
+    let mut dp = vec![0u64; nodes.len()];
+    let mut choice: Vec<Option<usize>> = vec![None; nodes.len()];
+    for i in 0..nodes.len() {
+        let ((task, _), tt) = nodes[i];
+        let fin = tt.finished.unwrap_or(0);
+        let sched = tt.scheduled.unwrap_or(0).min(fin);
+        // Base case: the chain is just this attempt.
+        let mut best = fin - sched;
+        let mut pred = None;
+        for obj in f.args.get(&task).into_iter().flatten() {
+            let Some(p) = f.producer.get(obj) else {
+                continue;
+            };
+            for &j in attempts.get(p).into_iter().flatten() {
+                if j >= i {
+                    // Sorted by finish time: a producer attempt that
+                    // finished after us cannot have fed us.
+                    continue;
+                }
+                let pfin = nodes[j].1.finished.unwrap_or(0);
+                let own = fin - pfin.max(sched).min(fin);
+                let cand = dp[j] + own;
+                if cand > best {
+                    best = cand;
+                    pred = Some(j);
+                }
+            }
+        }
+        dp[i] = best;
+        choice[i] = pred;
+    }
+
+    // Reconstruct the chain ending at attempt `end` into a CritPath.
+    let build = |end: usize| -> (CritPath, Vec<usize>) {
+        let mut path = CritPath {
+            end_us: nodes[end].1.finished.unwrap_or(0),
+            ..CritPath::default()
+        };
+        let mut members = Vec::new();
+        let mut cur = end;
+        loop {
+            let ((task, _), tt) = nodes[cur];
+            let fin = tt.finished.unwrap_or(0);
+            let sched = tt.scheduled.unwrap_or(0).min(fin);
+            let own_start = match choice[cur] {
+                Some(j) => nodes[j].1.finished.unwrap_or(0).max(sched).min(fin),
+                None => sched,
+            };
+            let contribution = fin - own_start;
+            path.covered_us += contribution;
+            members.push(cur);
+            path.tasks.push(CritTask {
+                task,
+                label: tt.label,
+                node: tt.node,
+                attempt: tt.attempt,
+                queue_us: tt
+                    .dequeued
+                    .zip(tt.scheduled)
+                    .map(|(d, s)| d.saturating_sub(s))
+                    .unwrap_or(0),
+                stage_us: tt
+                    .started
+                    .zip(tt.dequeued)
+                    .map(|(st, d)| st.saturating_sub(d))
+                    .unwrap_or(0),
+                exec_us: tt.started.map(|st| fin.saturating_sub(st)).unwrap_or(0),
+                fetch_wait_us: f.fetch_wait.get(&task).copied().unwrap_or(0),
+                contribution_us: contribution,
+            });
+            match choice[cur] {
+                Some(j) => cur = j,
+                None => break,
+            }
+        }
+        (path, members)
+    };
+
+    // The main chain ends at the run's last finisher (the last node in
+    // finish order — same sink the greedy walk starts from).
+    let (longest, main_members) = build(nodes.len() - 1);
+    let mut used = vec![false; nodes.len()];
+    for &i in &main_members {
+        used[i] = true;
+    }
+
+    // Near-critical: rank every other attempt's chain by covered time
+    // (descending == ascending slack), greedily claiming disjoint
+    // chains. Deterministic: ties break on later finish, then task id.
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(dp[i]),
+            std::cmp::Reverse(nodes[i].1.finished),
+            nodes[i].0,
+        )
+    });
+    let mut near = Vec::new();
+    for i in order {
+        if near.len() >= top_k {
+            break;
+        }
+        if used[i] {
+            continue;
+        }
+        let (path, members) = build(i);
+        // Mark the whole chain: prefixes of a reported chain must not
+        // re-emerge as "distinct" near-critical chains of their own.
+        for &m in &members {
+            used[m] = true;
+        }
+        let ((end_task, _), tt) = nodes[i];
+        near.push(NearPath {
+            end_task,
+            end_label: tt.label,
+            end_us: path.end_us,
+            covered_us: path.covered_us,
+            slack_us: longest.covered_us.saturating_sub(path.covered_us),
+            tasks: path.tasks.iter().map(|t| t.task).collect(),
+        });
+    }
+
+    PathAnalysis { longest, near }
 }
 
 #[cfg(test)]
@@ -438,5 +662,109 @@ mod tests {
         let p = critical_path(&[]);
         assert!(p.tasks.is_empty());
         assert_eq!(p.coverage(), 0.0);
+        let a = longest_paths(&[], 3);
+        assert!(a.longest.tasks.is_empty());
+        assert!(a.near.is_empty());
+    }
+
+    /// A DAG where the greedy latest-finishing-producer walk picks the
+    /// wrong branch:
+    ///
+    /// ```text
+    ///   a (0..10) -> b (10..70) \
+    ///                            d (80..100)
+    ///         c (75..80, short) /
+    /// ```
+    ///
+    /// c finishes last among d's producers so the greedy walk takes
+    /// d <- c (covered 25 µs); the longest chain is d <- b <- a
+    /// (covered 90 µs).
+    #[test]
+    fn dp_beats_greedy_on_late_short_producer() {
+        let mut events = vec![
+            dep(0, 1, DepKind::Output),
+            dep(1, 1, DepKind::Arg),
+            dep(1, 2, DepKind::Output),
+            dep(2, 3, DepKind::Output),
+            dep(3, 2, DepKind::Arg),
+            dep(3, 3, DepKind::Arg),
+        ];
+        events.extend(task_events(0, "a", 0, 0, 0, 10));
+        events.extend(task_events(1, "b", 0, 10, 10, 70));
+        events.extend(task_events(2, "c", 1, 75, 75, 80));
+        events.extend(task_events(3, "d", 0, 80, 80, 100));
+        events.sort_by_key(|e| e.at_us);
+
+        let greedy = critical_path(&events);
+        let greedy_ids: Vec<u64> = greedy.tasks.iter().map(|t| t.task).collect();
+        assert_eq!(greedy_ids, vec![3, 2], "greedy follows the late producer");
+        assert_eq!(greedy.covered_us, 25);
+
+        let a = longest_paths(&events, 3);
+        let dp_ids: Vec<u64> = a.longest.tasks.iter().map(|t| t.task).collect();
+        assert_eq!(dp_ids, vec![3, 1, 0], "DP finds d <- b <- a");
+        assert_eq!(a.longest.covered_us, 90);
+        assert_eq!(a.longest.end_us, 100);
+        // The skipped branch shows up as the top near-critical chain.
+        assert_eq!(a.near.len(), 1);
+        assert_eq!(a.near[0].end_task, 2);
+        assert_eq!(a.near[0].covered_us, 5);
+        assert_eq!(a.near[0].slack_us, 85);
+    }
+
+    /// DP runs over *all* finished attempts: a consumer fed by an early
+    /// attempt of a later-retried producer credits the attempt that
+    /// actually fed it, not the late re-execution.
+    #[test]
+    fn dp_credits_the_attempt_that_fed_the_consumer() {
+        let mut events = vec![dep(0, 1, DepKind::Output), dep(1, 1, DepKind::Arg)];
+        // Producer attempt 0 finishes at 30; re-executed attempt 1 (say
+        // the object was lost later) finishes at 90 — after the
+        // consumer already finished at 50.
+        events.extend(task_events(0, "map", 0, 0, 0, 30));
+        events.extend(task_events_attempt(0, "map", 0, 1, 60, 60, 90));
+        events.extend(task_events(1, "reduce", 1, 30, 30, 50));
+        events.sort_by_key(|e| e.at_us);
+
+        let a = longest_paths(&events, 3);
+        // Last finisher is map attempt 1, so the main chain is just it.
+        assert_eq!(a.longest.end_us, 90);
+        assert_eq!(a.longest.tasks.len(), 1);
+        assert_eq!(a.longest.covered_us, 30);
+        // The consumer's chain goes through attempt 0 (finish 30), not
+        // the future attempt: reduce owns 30..50, map#0 owns 0..30.
+        let near: Vec<_> = a.near.iter().map(|n| (n.end_task, n.covered_us)).collect();
+        assert_eq!(near, vec![(1, 50)]);
+        assert_eq!(a.near[0].tasks, vec![1, 0]);
+    }
+
+    #[test]
+    fn near_paths_are_disjoint_and_slack_ranked() {
+        // One shared source, three independent tails of decreasing
+        // length; tail0 is critical, tails 1 and 2 near-critical.
+        let mut events = vec![dep(0, 1, DepKind::Output)];
+        events.extend(task_events(0, "map", 0, 0, 0, 10));
+        for (i, fin) in [(1u64, 100u64), (2, 80), (3, 60)] {
+            events.push(dep(i, 1, DepKind::Arg));
+            events.push(dep(i, 1 + i, DepKind::Output));
+            events.extend(task_events(i, "reduce", i as u32, 10, 10, fin));
+        }
+        events.sort_by_key(|e| e.at_us);
+
+        let a = longest_paths(&events, 5);
+        assert_eq!(a.longest.covered_us, 100);
+        let ids: Vec<u64> = a.longest.tasks.iter().map(|t| t.task).collect();
+        assert_eq!(ids, vec![1, 0]);
+        // Both tails reported, longer (less slack) first; near chains
+        // share the map source with the critical chain, and the map task
+        // itself never re-emerges as a chain of its own.
+        let near: Vec<_> = a
+            .near
+            .iter()
+            .map(|n| (n.end_task, n.covered_us, n.slack_us))
+            .collect();
+        assert_eq!(near, vec![(2, 80, 20), (3, 60, 40)]);
+        assert_eq!(a.near[0].tasks, vec![2, 0]);
+        assert_eq!(a.near[1].tasks, vec![3, 0]);
     }
 }

@@ -7,7 +7,9 @@
 //!    task/object dependency DAG from `Dep` edges and walks the
 //!    longest-weighted chain backwards from the last task to finish,
 //!    breaking each critical task into queue / staging / exec /
-//!    fetch-wait time.
+//!    fetch-wait time. [`longest_paths`] sharpens this with a DP-exact
+//!    longest chain over all finished attempts plus slack-ranked
+//!    near-critical chains for what-if analysis.
 //! 2. **What was the run bound by?** [`attribute`] slices the run into
 //!    intervals and classifies each as cpu / disk / net / alloc-stall /
 //!    idle against the hardware capacities in [`exo_sim::DeviceCaps`],
@@ -30,7 +32,7 @@ pub mod report;
 pub mod stages;
 
 pub use attribution::{attribute, attribute_per_node, Bound, BoundProfile, Interval};
-pub use critpath::{critical_path, CritPath, CritTask};
+pub use critpath::{critical_path, longest_paths, CritPath, CritTask, NearPath, PathAnalysis};
 pub use placement::{placement_quality, PlacementQuality};
 pub use report::{profile, ProfileReport};
 pub use stages::{stage_stats, StageStats};

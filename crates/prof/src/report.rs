@@ -8,7 +8,7 @@ use exo_sim::DeviceCaps;
 use exo_trace::{Event, Json};
 
 use crate::attribution::{attribute, attribute_per_node, Bound, BoundProfile};
-use crate::critpath::{critical_path, CritPath};
+use crate::critpath::{critical_path, longest_paths, CritPath, PathAnalysis};
 use crate::placement::{placement_quality, PlacementQuality};
 use crate::stages::{stage_stats, StageStats};
 
@@ -16,6 +16,9 @@ use crate::stages::{stage_stats, StageStats};
 #[derive(Debug, Clone)]
 pub struct ProfileReport {
     pub critpath: CritPath,
+    /// DP-exact longest chain plus slack-ranked near-critical chains,
+    /// alongside the greedy `critpath` walk (see [`longest_paths`]).
+    pub paths: PathAnalysis,
     pub bounds: BoundProfile,
     /// One bound profile per node, classified against that node's own
     /// capacities. On homogeneous clusters these mostly echo `bounds`;
@@ -30,6 +33,7 @@ pub struct ProfileReport {
 pub fn profile(events: &[Event], caps: &DeviceCaps) -> ProfileReport {
     ProfileReport {
         critpath: critical_path(events),
+        paths: longest_paths(events, 3),
         bounds: attribute(events, caps),
         per_node_bounds: attribute_per_node(events, caps),
         stages: stage_stats(events),
@@ -115,6 +119,37 @@ impl ProfileReport {
                     .set("fetch_wait_us", fetch)
                     .set("tasks", crit_tasks),
             )
+            .set(
+                "paths",
+                Json::obj()
+                    .set(
+                        "longest",
+                        Json::obj()
+                            .set("end_us", self.paths.longest.end_us)
+                            .set("covered_us", self.paths.longest.covered_us)
+                            .set("coverage", self.paths.longest.coverage())
+                            .set("tasks_on_path", self.paths.longest.tasks.len()),
+                    )
+                    .set(
+                        "near",
+                        self.paths
+                            .near
+                            .iter()
+                            .map(|n| {
+                                Json::obj()
+                                    .set("end_task", n.end_task)
+                                    .set("end_label", n.end_label)
+                                    .set("end_us", n.end_us)
+                                    .set("covered_us", n.covered_us)
+                                    .set("slack_us", n.slack_us)
+                                    .set(
+                                        "tasks",
+                                        n.tasks.iter().map(|&t| Json::from(t)).collect::<Vec<_>>(),
+                                    )
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+            )
             .set("stages", stages)
     }
 }
@@ -153,6 +188,32 @@ impl fmt::Display for ProfileReport {
             secs(cp.end_us),
             100.0 * cp.coverage()
         )?;
+        // The DP path only earns a line when it disagrees with the
+        // greedy walk, or when a near-critical chain is close enough
+        // (< 20% slack) to matter for what-if analysis.
+        let lp = &self.paths.longest;
+        if lp.covered_us > cp.covered_us {
+            writeln!(
+                f,
+                "    longest chain (DP): {} tasks cover {:.2} s ({:.0}%)",
+                lp.tasks.len(),
+                secs(lp.covered_us),
+                100.0 * lp.coverage()
+            )?;
+        }
+        for n in &self.paths.near {
+            if lp.covered_us > 0 && (n.slack_us as f64) < 0.2 * lp.covered_us as f64 {
+                writeln!(
+                    f,
+                    "    near-critical: {} tasks ending at {} task {} cover {:.2} s (slack {:.2} s)",
+                    n.tasks.len(),
+                    n.end_label,
+                    n.end_task,
+                    secs(n.covered_us),
+                    secs(n.slack_us)
+                )?;
+            }
+        }
         let (queue, stage, exec, fetch) = cp.totals();
         if !cp.tasks.is_empty() {
             writeln!(

@@ -34,6 +34,9 @@ pub struct RunReport {
     /// Full trace-event stream, in emission order. Empty unless
     /// [`RtConfig::trace`] enabled retention ([`exo_trace::TraceConfig`]).
     pub trace: Vec<exo_trace::Event>,
+    /// Live metrics timeseries, closed out at `end_time`. `None` unless
+    /// [`RtConfig::live`] was set.
+    pub live: Option<exo_live::LiveSeries>,
 }
 
 /// Build and run a driver program against a simulated cluster; returns the
@@ -51,12 +54,14 @@ pub fn run<R: Send>(cfg: RtConfig, driver: impl FnOnce(&RtHandle) -> R + Send) -
     // driver never waited on.
     let metrics = runtime.final_metrics();
     let trace = runtime.take_trace();
+    let live = runtime.take_live(end);
     drop(runtime);
     (
         RunReport {
             end_time: end,
             metrics,
             trace,
+            live,
         },
         result,
     )

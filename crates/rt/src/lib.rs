@@ -68,3 +68,9 @@ pub use task::{CpuCost, SchedulingStrategy, TaskCtx, TaskOptions, TaskShape};
 /// consume traces without a separate dependency.
 pub use exo_trace as trace;
 pub use exo_trace::TraceConfig;
+
+/// Re-export of the live-observability crate: configure streaming
+/// snapshots via [`RtConfig::live`](crate::RtConfig) and consume the
+/// resulting [`LiveSeries`](exo_live::LiveSeries) from `RunReport`.
+pub use exo_live as live;
+pub use exo_live::LiveConfig;

@@ -10,6 +10,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use exo_live::{LiveConfig, LiveHandle};
 use exo_sim::engine::{Ctx, Reply};
 use exo_sim::{ClusterSpec, IoKind, Resource, SimDuration, SimTime, Simulation};
 use exo_store::{AllocDecision, NodeStore, RestoreDecision, SpillBatch, StoreConfig};
@@ -51,6 +52,11 @@ pub struct RtConfig {
     /// counters; enabling this retains the full stream for export and
     /// turns on periodic resource sampling.
     pub trace: TraceConfig,
+    /// Streaming live observability (off by default). When set, a
+    /// fixed-memory `exo-live` recorder observes the trace stream —
+    /// independent of retention — and the runtime emits a
+    /// `MetricsSnapshot` every `snapshot_interval_us` of virtual time.
+    pub live: Option<LiveConfig>,
     /// Placement policy for `Default`-strategy tasks (`Spread` and
     /// `NodeAffinity` are explicit application requests and bypass it).
     /// Defaults to [`LoadBalance`], the historical behaviour.
@@ -69,6 +75,7 @@ impl RtConfig {
             record_progress: false,
             cpu_slowdown: Vec::new(),
             trace: TraceConfig::default(),
+            live: None,
             placement: Arc::new(LoadBalance),
         }
     }
@@ -175,6 +182,9 @@ pub enum RtEvent {
     /// real commands/events, never by itself, so a quiescent or
     /// deadlocked simulation still stalls out.
     SampleResources,
+    /// Periodic live-metrics snapshot tick (only when [`RtConfig::live`]
+    /// is set). Same re-arm discipline as `SampleResources`.
+    LiveSnapshot,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -311,6 +321,12 @@ pub struct Runtime {
     progress: Vec<ProgressSample>,
     /// A `SampleResources` tick is already in the event queue.
     sampling_scheduled: bool,
+    /// Live-observability recorder; one clone of its state is registered
+    /// as a sink observer, this handle drives snapshot ticks and answers
+    /// mid-run bound queries.
+    live: Option<LiveHandle>,
+    /// A `LiveSnapshot` tick is already in the event queue.
+    live_scheduled: bool,
     /// Fatal job error (OOM); fails all subsequent gets.
     failed: Option<RtError>,
 }
@@ -319,6 +335,14 @@ impl Runtime {
     /// Build the runtime for a cluster.
     pub fn new(cfg: RtConfig) -> Runtime {
         let sink = TraceSink::new(&cfg.trace);
+        // Live observers must be registered before `sample_interval_us`
+        // is read below: a registered observer is a sample consumer even
+        // with retention off.
+        let live = cfg.live.clone().map(|lc| {
+            let handle = LiveHandle::new(lc, &cfg.cluster.device_caps());
+            sink.register_observer(handle.observer());
+            handle
+        });
         // Device occupancy bookkeeping is only paid for when resource
         // sampling will actually read it.
         let track_pending = sink.sample_interval_us() > 0;
@@ -376,8 +400,24 @@ impl Runtime {
             sink,
             progress: Vec::new(),
             sampling_scheduled: false,
+            live,
+            live_scheduled: false,
             failed: None,
         }
+    }
+
+    /// The live-observability handle, when configured. Mid-run callers
+    /// (adaptive placement, diagnostics) can query
+    /// [`LiveHandle::bounds_now`] through it.
+    #[allow(dead_code)] // mid-run hook for a future adaptive PlacementPolicy
+    pub fn live_handle(&self) -> Option<&LiveHandle> {
+        self.live.as_ref()
+    }
+
+    /// Finalize the live snapshot series at the run's end time (empty
+    /// unless [`RtConfig::live`] was set).
+    pub(crate) fn take_live(&self, end: SimTime) -> Option<exo_live::LiveSeries> {
+        self.live.as_ref().map(|h| h.finish(end.as_micros()))
     }
 
     /// Drain the retained trace-event stream (empty unless tracing was
@@ -419,7 +459,9 @@ impl Runtime {
     }
 
     /// Dependency edge (analysis-only; see exo-prof). Gated on retention
-    /// so the always-on counter path stays free of per-edge work.
+    /// so the always-on counter path stays free of per-edge work. Unlike
+    /// fetch-waits, live observers don't consume dep edges, so this stays
+    /// retention-only.
     fn emit_dep(&self, task: TaskId, object: ObjectId, kind: DepKind) {
         if self.sink.retaining() {
             self.sink.emit(EventKind::Dep(DepEvent {
@@ -432,9 +474,12 @@ impl Runtime {
 
     /// Fetch-wait interval boundary: a queued/running task is blocked on
     /// an argument that isn't memory-resident locally yet (restore in
-    /// flight, remote transfer, or allocation queueing). Analysis-only.
+    /// flight, remote transfer, or allocation queueing). Analysis-only,
+    /// but live observers consume these too (fetch-wait sketches), so the
+    /// gate is retention *or* observation — with neither, the hot path is
+    /// unchanged.
     fn emit_fetch_wait(&self, task: TaskId, object: ObjectId, node: NodeId, begin: bool) {
-        if self.sink.retaining() {
+        if self.sink.retaining() || self.sink.observing() {
             self.sink.emit(EventKind::FetchWait(FetchWaitEvent {
                 task: task.0,
                 object: object.0,
@@ -1756,6 +1801,21 @@ impl Runtime {
         ctx.schedule(SimDuration::from_micros(interval), RtEvent::SampleResources);
     }
 
+    /// Arm the next [`RtEvent::LiveSnapshot`] tick. Same discipline as
+    /// [`Runtime::maybe_schedule_sampling`]: only real commands/events
+    /// arm it, so a quiescent run does not tick forever.
+    fn maybe_schedule_live(&mut self, ctx: &mut Ctx<'_, RtEvent>) {
+        let Some(live) = &self.live else { return };
+        if self.live_scheduled {
+            return;
+        }
+        self.live_scheduled = true;
+        ctx.schedule(
+            SimDuration::from_micros(live.config().snapshot_interval_us),
+            RtEvent::LiveSnapshot,
+        );
+    }
+
     /// Emit one [`ResourceSample`] per alive node: busy CPU slots, store
     /// bytes in use, disk ops queued, and NIC bytes in flight.
     fn emit_resource_samples(&self, now: SimTime) {
@@ -1865,6 +1925,7 @@ impl Simulation for Runtime {
     fn on_command(&mut self, ctx: &mut Ctx<'_, RtEvent>, cmd: RtCommand) {
         self.sink.set_now(ctx.now().as_micros());
         self.maybe_schedule_sampling(ctx);
+        self.maybe_schedule_live(ctx);
         match cmd {
             RtCommand::Submit { spec, reply } => {
                 let ids = self.submit(ctx, spec);
@@ -2035,8 +2096,9 @@ impl Simulation for Runtime {
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, RtEvent>, ev: RtEvent) {
         self.sink.set_now(ctx.now().as_micros());
-        if !matches!(ev, RtEvent::SampleResources) {
+        if !matches!(ev, RtEvent::SampleResources | RtEvent::LiveSnapshot) {
             self.maybe_schedule_sampling(ctx);
+            self.maybe_schedule_live(ctx);
         }
         match ev {
             RtEvent::TaskInputDone { task, epoch } => {
@@ -2174,6 +2236,14 @@ impl Simulation for Runtime {
             RtEvent::SampleResources => {
                 self.sampling_scheduled = false;
                 self.emit_resource_samples(ctx.now());
+            }
+            RtEvent::LiveSnapshot => {
+                self.live_scheduled = false;
+                if let Some(live) = &self.live {
+                    if let Some(line) = live.tick(ctx.now().as_micros()) {
+                        eprintln!("{line}");
+                    }
+                }
             }
         }
     }

@@ -37,6 +37,6 @@ pub use event::{
 };
 pub use json::Json;
 pub use jsonl::{jsonl_string, write_jsonl};
-pub use sink::{TraceConfig, TraceCounters, TraceSink};
+pub use sink::{Observer, TraceConfig, TraceCounters, TraceSink};
 pub use summary::NodeCapacityLine;
 pub use summary::{summarize, TraceSummary};

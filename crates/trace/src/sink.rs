@@ -11,12 +11,29 @@
 //! The sink carries its own microsecond clock (`set_now`), updated by
 //! the runtime at each simulation dispatch, so time-free components
 //! like the object store can emit correctly stamped events.
+//!
+//! Streaming consumers plug in through [`Observer`]: each registered
+//! observer sees every event as it is emitted, under the sink lock,
+//! without the stream being retained. With no observers registered the
+//! fan-out is a single branch on an empty `Vec` — the always-on cost
+//! class is unchanged.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, EventKind, IoDir, ObjectPhase, TaskPhase};
+
+/// A streaming consumer of the event stream. Observers are invoked
+/// synchronously from [`TraceSink::emit_at`] while the sink lock is
+/// held, so implementations must be cheap, must not block, and must not
+/// call back into the sink. They see every event exactly once, in
+/// emission order, whether or not the full stream is retained — this is
+/// how fixed-memory live observability (`exo-live`) taps the stream
+/// without O(events) retention.
+pub trait Observer: Send {
+    fn on_event(&mut self, ev: &Event);
+}
 
 /// Tracing knobs, carried on `RtConfig`. Off by default.
 #[derive(Debug, Clone)]
@@ -24,8 +41,8 @@ pub struct TraceConfig {
     /// Retain the full event stream for export.
     pub enabled: bool,
     /// Virtual-time interval between `ResourceSample` emissions
-    /// (microseconds); 0 disables sampling. Only honoured when
-    /// `enabled` is set.
+    /// (microseconds); 0 disables sampling. Honoured whenever there is
+    /// a sample consumer: full retention *or* a registered observer.
     pub resource_sample_us: u64,
     /// Capacity of the always-on recent-event ring (deadlock dumps).
     pub ring: usize,
@@ -107,18 +124,53 @@ impl TraceCounters {
         }
         c
     }
+
+    /// Accumulates another counter set into this one (folding snapshot
+    /// deltas back into a total).
+    pub fn add(&mut self, other: &TraceCounters) {
+        self.tasks_completed += other.tasks_completed;
+        self.tasks_reexecuted += other.tasks_reexecuted;
+        self.net_bytes += other.net_bytes;
+        self.net_ops += other.net_ops;
+        self.disk_read_bytes += other.disk_read_bytes;
+        self.disk_write_bytes += other.disk_write_bytes;
+        self.objects_reconstructed += other.objects_reconstructed;
+        self.node_failures += other.node_failures;
+        self.executor_failures += other.executor_failures;
+    }
+
+    /// The per-interval delta between two cumulative counter snapshots
+    /// (`self` taken after `earlier`). Counters are monotonic, so plain
+    /// subtraction is exact.
+    pub fn delta_since(&self, earlier: &TraceCounters) -> TraceCounters {
+        TraceCounters {
+            tasks_completed: self.tasks_completed - earlier.tasks_completed,
+            tasks_reexecuted: self.tasks_reexecuted - earlier.tasks_reexecuted,
+            net_bytes: self.net_bytes - earlier.net_bytes,
+            net_ops: self.net_ops - earlier.net_ops,
+            disk_read_bytes: self.disk_read_bytes - earlier.disk_read_bytes,
+            disk_write_bytes: self.disk_write_bytes - earlier.disk_write_bytes,
+            objects_reconstructed: self.objects_reconstructed - earlier.objects_reconstructed,
+            node_failures: self.node_failures - earlier.node_failures,
+            executor_failures: self.executor_failures - earlier.executor_failures,
+        }
+    }
 }
 
 struct SinkState {
     events: Vec<Event>,
     ring: VecDeque<Event>,
     counters: TraceCounters,
+    observers: Vec<Box<dyn Observer>>,
 }
 
 struct SinkInner {
     retain: bool,
     ring_cap: usize,
     sample_us: u64,
+    /// Mirrors `state.observers.is_empty()` so gating decisions (resource
+    /// sampling, fetch-wait emission) can be made without the lock.
+    observing: AtomicBool,
     now_us: AtomicU64,
     state: Mutex<SinkState>,
 }
@@ -135,16 +187,14 @@ impl TraceSink {
             inner: Arc::new(SinkInner {
                 retain: cfg.enabled,
                 ring_cap: cfg.ring,
-                sample_us: if cfg.enabled {
-                    cfg.resource_sample_us
-                } else {
-                    0
-                },
+                sample_us: cfg.resource_sample_us,
+                observing: AtomicBool::new(false),
                 now_us: AtomicU64::new(0),
                 state: Mutex::new(SinkState {
                     events: Vec::new(),
                     ring: VecDeque::with_capacity(cfg.ring.min(1024)),
                     counters: TraceCounters::default(),
+                    observers: Vec::new(),
                 }),
             }),
         }
@@ -161,9 +211,28 @@ impl TraceSink {
         self.inner.retain
     }
 
+    /// Whether at least one streaming [`Observer`] is registered.
+    pub fn observing(&self) -> bool {
+        self.inner.observing.load(Ordering::Relaxed)
+    }
+
+    /// Registers a streaming observer. It sees every event emitted from
+    /// this point on, in order, under the sink lock.
+    pub fn register_observer(&self, obs: Box<dyn Observer>) {
+        let mut st = self.inner.state.lock().expect("trace sink poisoned");
+        st.observers.push(obs);
+        self.inner.observing.store(true, Ordering::Relaxed);
+    }
+
     /// Virtual-time interval for `ResourceSample`s; 0 when sampling off.
+    /// Sampling runs whenever there is a consumer for the samples: full
+    /// retention *or* a registered observer.
     pub fn sample_interval_us(&self) -> u64 {
-        self.inner.sample_us
+        if self.inner.retain || self.observing() {
+            self.inner.sample_us
+        } else {
+            0
+        }
     }
 
     /// Advances the sink clock (virtual-time microseconds). Called by
@@ -196,6 +265,11 @@ impl TraceSink {
         }
         if self.inner.retain {
             st.events.push(ev);
+        }
+        if !st.observers.is_empty() {
+            for obs in st.observers.iter_mut() {
+                obs.on_event(&ev);
+            }
         }
     }
 
@@ -234,14 +308,13 @@ impl TraceSink {
         std::mem::take(&mut self.inner.state.lock().expect("trace sink poisoned").events)
     }
 
-    /// Clones the retained event stream without draining it.
-    pub fn events(&self) -> Vec<Event> {
-        self.inner
-            .state
-            .lock()
-            .expect("trace sink poisoned")
-            .events
-            .clone()
+    /// Runs `f` against the retained event stream by borrow, without
+    /// cloning it — the O(1)-copy path exporters and tests should use.
+    /// The sink lock is held for the duration of `f`, so `f` must not
+    /// call back into the sink.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> R {
+        let st = self.inner.state.lock().expect("trace sink poisoned");
+        f(&st.events)
     }
 }
 
@@ -295,7 +368,40 @@ mod tests {
         assert_eq!(c.net_ops, 2);
         assert_eq!(c.disk_write_bytes, 7);
         assert_eq!(c.tasks_completed, 1);
-        assert_eq!(TraceCounters::fold(&sink.events()), c);
+        assert_eq!(sink.with_events(TraceCounters::fold), c);
+    }
+
+    #[test]
+    fn observers_see_every_event_without_retention() {
+        struct Tally(std::sync::Arc<Mutex<(u64, TraceCounters)>>);
+        impl Observer for Tally {
+            fn on_event(&mut self, ev: &Event) {
+                let mut t = self.0.lock().unwrap();
+                t.0 += 1;
+                t.1.apply(&ev.kind);
+            }
+        }
+        let sink = TraceSink::disabled();
+        assert!(!sink.observing());
+        assert_eq!(
+            sink.sample_interval_us(),
+            0,
+            "no retention and no observers: sampling must stay off"
+        );
+        let tally = std::sync::Arc::new(Mutex::new((0u64, TraceCounters::default())));
+        sink.register_observer(Box::new(Tally(tally.clone())));
+        assert!(sink.observing());
+        assert_eq!(
+            sink.sample_interval_us(),
+            TraceConfig::default().resource_sample_us,
+            "a registered observer is a sample consumer"
+        );
+        sink.emit(obj(ObjectPhase::Transferred, 100));
+        sink.emit(obj(ObjectPhase::Transferred, 50));
+        assert!(sink.is_empty(), "retention stays off with observers");
+        let t = tally.lock().unwrap();
+        assert_eq!(t.0, 2);
+        assert_eq!(t.1, sink.counters());
     }
 
     #[test]

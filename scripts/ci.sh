@@ -27,4 +27,9 @@ grep -q '"bound_aware_not_worse":true' results/hetero_policy.json || {
     exit 1
 }
 
+echo "==> live-observability smoke (--live JSONL timeseries + live_check)"
+cargo run --release -p exo-bench --bin fig4c -- --quick --live results/fig4c.live.jsonl
+cargo run --release -p exo-bench --bin live_check -- \
+    results/fig4c.live.jsonl results/fig4c.json
+
 echo "==> CI OK"

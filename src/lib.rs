@@ -15,6 +15,7 @@
 //! - [`trace`]: structured event tracing + Chrome-trace/JSONL export.
 
 pub use exo_agg as agg;
+pub use exo_live as live;
 pub use exo_ml as ml;
 pub use exo_monolith as monolith;
 pub use exo_prof as prof;

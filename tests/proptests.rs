@@ -174,6 +174,47 @@ proptest! {
     }
 }
 
+/// The live quantile sketch promises a one-sided relative-error bound:
+/// for any stream of durations and any rank, the reported quantile is
+/// at least the exact sorted value and overshoots it by at most the
+/// bucket's relative width.
+mod live_sketch {
+    use super::*;
+    use exoshuffle::live::{QuantileSketch, RELATIVE_ERROR};
+
+    proptest! {
+        #[test]
+        fn sketch_percentiles_within_relative_error_of_exact(
+            // Up to ~2^39.9 µs stays below the sketch's 2^40 saturation
+            // cap, so the bound must hold with no carve-outs.
+            vals in proptest::collection::vec(0u64..1_000_000_000_000, 1..400),
+            q_millis in 0u64..1001,
+        ) {
+            let q = q_millis as f64 / 1000.0;
+            let mut s = QuantileSketch::new();
+            for &v in &vals {
+                s.record(v);
+            }
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            for q in [q, 0.5, 0.99, 0.999] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                let est = s.quantile(q);
+                prop_assert!(est >= exact, "q={}: reported {} below exact {}", q, est, exact);
+                prop_assert!(
+                    est as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR),
+                    "q={}: reported {} overshoots exact {} beyond {}",
+                    q, est, exact, RELATIVE_ERROR
+                );
+            }
+            prop_assert_eq!(s.count(), vals.len() as u64);
+            prop_assert_eq!(s.max(), *sorted.last().unwrap());
+            prop_assert_eq!(s.min(), sorted[0]);
+        }
+    }
+}
+
 /// Random small DAGs executed on the runtime must produce exactly the
 /// values a direct (reference) evaluation produces — regardless of
 /// topology, placement or payload sizes.

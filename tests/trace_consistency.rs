@@ -314,6 +314,30 @@ fn folded_trace_matches_runtime_metrics() {
 }
 
 #[test]
+fn sink_with_events_exports_without_cloning() {
+    // The exporters read the retained stream in place through the
+    // borrow-based accessor — no O(events) copy of the stream.
+    let report = traced_run();
+    let sink = exoshuffle::trace::TraceSink::new(&TraceConfig::on());
+    for ev in &report.trace {
+        sink.set_now(ev.at_us);
+        sink.emit(ev.kind);
+    }
+    let json = sink.with_events(|events| {
+        assert_eq!(events.len(), report.trace.len());
+        chrome_trace_json(events)
+    });
+    let V::Arr(entries) = parse(&json) else {
+        panic!("trace must be a JSON array")
+    };
+    assert!(!entries.is_empty());
+    assert_eq!(
+        sink.with_events(TraceCounters::fold),
+        TraceCounters::fold(&report.trace)
+    );
+}
+
+#[test]
 fn disabled_tracing_retains_no_events_but_keeps_metrics() {
     let cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 2));
     let spec = SortSpec {
