@@ -35,6 +35,7 @@ fn run(
     let obs = claim_obs();
     cfg.trace = obs.cfg.clone();
     cfg.live = obs.live_cfg();
+    cfg.watch = obs.watch_cfg();
     let spec = SortSpec {
         data_bytes: data,
         num_maps: parts,

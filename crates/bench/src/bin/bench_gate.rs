@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_gate [--baseline PATH] [--out PATH] [--write-baseline]
+//! bench_gate --incidents-diff [--baseline PATH] [--out PATH] [--write-incidents]
 //! bench_gate --diff A.json B.json
 //! ```
 //!
@@ -12,6 +13,15 @@
 //! the baseline file from this run — do that in the same PR as an
 //! intentional performance change.
 //!
+//! `--incidents-diff` runs the incident-gate suite instead: the pinned
+//! sort cases re-run with the `exo-watch` online detectors forced on,
+//! and the detected incident sets are compared **bit-for-bit** against
+//! `bench/incidents.json` (detection is deterministic, so there are no
+//! tolerances). Healthy cases must stay silent and the fault-injection
+//! case must fire regardless of what the baseline says. Regenerate the
+//! pinned sets with `--write-incidents` when a detector or threshold
+//! change is intentional.
+//!
 //! `--diff A B` runs no benchmarks: it loads two profiled result files
 //! (or bare `--profile=path` reports) and attributes the JCT delta to
 //! bound-category shifts (see `exo_bench::profdiff`).
@@ -19,7 +29,9 @@
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use exo_bench::gate::{compare, default_tolerances, run_cases, today_string};
+use exo_bench::gate::{
+    compare, compare_incidents, default_tolerances, run_cases, run_incident_cases, today_string,
+};
 use exo_bench::profdiff::{diff_profiles, extract_profile, render_diff};
 use exo_rt::trace::Json;
 
@@ -59,6 +71,110 @@ fn run_diff(a_path: &str, b_path: &str) -> ! {
     }
 }
 
+/// The `--incidents-diff` mode: run the watched suite, persist the
+/// readings, and compare them bit-for-bit against the pinned baseline.
+fn run_incidents_gate(args: &[String]) -> ! {
+    let mut baseline_path = PathBuf::from("bench/incidents.json");
+    let mut out_path: Option<PathBuf> = None;
+    let mut write_incidents = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline_path = PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --baseline requires a path");
+                    exit(2);
+                }));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --out requires a path");
+                    exit(2);
+                })));
+            }
+            "--write-incidents" => write_incidents = true,
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\n\
+                     usage: bench_gate --incidents-diff [--baseline PATH] [--out PATH] \
+                     [--write-incidents]"
+                );
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let date = today_string();
+    let current = run_incident_cases();
+
+    let out_path = out_path.unwrap_or_else(|| PathBuf::from(format!("INCIDENTS_{date}.json")));
+    if let Err(e) = std::fs::write(&out_path, current.clone().set("date", date).render_pretty()) {
+        eprintln!("error: writing {}: {e}", out_path.display());
+        exit(2);
+    }
+    println!("bench_gate: wrote {}", out_path.display());
+
+    if write_incidents {
+        // No date stamp in the committed baseline: the file must be
+        // byte-stable across regenerations that change nothing.
+        if let Some(dir) = baseline_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&baseline_path, current.render_pretty()) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            exit(2);
+        }
+        println!(
+            "bench_gate: wrote incident baseline {}",
+            baseline_path.display()
+        );
+        exit(0);
+    }
+
+    let raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "error: reading incident baseline {}: {e}\n\
+                 hint: generate one with `bench_gate --incidents-diff --write-incidents`",
+                baseline_path.display()
+            );
+            exit(2);
+        }
+    };
+    let baseline = match Json::parse(&raw) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: parsing {}: {e}", baseline_path.display());
+            exit(2);
+        }
+    };
+
+    let violations = compare_incidents(&current, &baseline);
+    if violations.is_empty() {
+        println!(
+            "bench_gate: PASS — incident sets bit-identical to {}",
+            baseline_path.display()
+        );
+        exit(0);
+    }
+    eprintln!(
+        "bench_gate: FAIL — {} incident violation(s):",
+        violations.len()
+    );
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    eprintln!(
+        "if this detector change is intentional, regenerate the pinned sets with \
+         `cargo run --release --bin bench_gate -- --incidents-diff --write-incidents`"
+    );
+    exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "--diff") {
@@ -69,6 +185,9 @@ fn main() {
                 exit(2);
             }
         }
+    }
+    if args.first().is_some_and(|a| a == "--incidents-diff") {
+        run_incidents_gate(&args[1..]);
     }
     let mut baseline_path = PathBuf::from("bench/baseline.json");
     let mut out_path: Option<PathBuf> = None;
@@ -95,6 +214,7 @@ fn main() {
                 eprintln!(
                     "error: unknown flag {other}\n\
                      usage: bench_gate [--baseline PATH] [--out PATH] [--write-baseline]\n\
+                            bench_gate --incidents-diff [--write-incidents]\n\
                             bench_gate --diff A.json B.json"
                 );
                 exit(2);

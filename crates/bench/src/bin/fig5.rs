@@ -45,6 +45,7 @@ fn main() {
     let obs = claim_obs();
     rt_cfg.trace = obs.cfg.clone();
     rt_cfg.live = obs.live_cfg();
+    rt_cfg.watch = obs.watch_cfg();
 
     println!("# Figure 5 — online aggregation, 10× r6i.2xlarge\n");
     let (report, (t_batch, samples, t_stream)) = exo_rt::run(rt_cfg, |rt| {

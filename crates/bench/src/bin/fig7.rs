@@ -24,6 +24,7 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
     let obs = claim_obs();
     cfg.trace = obs.cfg.clone();
     cfg.live = obs.live_cfg();
+    cfg.watch = obs.watch_cfg();
     let returns_per_task = 64usize;
     let n_objs = (total_bytes / obj_bytes) as usize;
     let n_tasks = n_objs.div_ceil(returns_per_task);

@@ -61,6 +61,7 @@ fn main() {
     let caps = es_rt_cfg.cluster.device_caps();
     es_rt_cfg.trace = obs.cfg.clone();
     es_rt_cfg.live = obs.live_cfg();
+    es_rt_cfg.watch = obs.watch_cfg();
     let (es_report, es) = exo_rt::run(es_rt_cfg, |rt| exoshuffle_training(rt, &es_cfg));
     obs.finish(&es_report, &caps);
 

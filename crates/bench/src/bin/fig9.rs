@@ -45,6 +45,7 @@ fn main() {
     let caps = full_rt_cfg.cluster.device_caps();
     full_rt_cfg.trace = obs.cfg.clone();
     full_rt_cfg.live = obs.live_cfg();
+    full_rt_cfg.watch = obs.watch_cfg();
     let (full_rep, full) = exo_rt::run(full_rt_cfg, |rt| exoshuffle_training(rt, &base));
     obs.finish(&full_rep, &caps);
     let mut windowed_cfg = base;

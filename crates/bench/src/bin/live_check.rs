@@ -1,59 +1,170 @@
-//! `live_check <snapshots.jsonl> <results.json>` — CI validator for a
-//! `--live` timeseries.
+//! `live_check <snapshots.jsonl> <results.json> [--rerun <other.jsonl>]`
+//! — CI validator for a `--live` timeseries.
 //!
 //! Asserts the invariants the live pipeline promises:
 //!
-//! 1. every JSONL line parses and carries `at_us`/`counters`/`delta`;
-//! 2. timestamps are strictly monotonic;
-//! 3. summing every line's `delta` reproduces the final line's
+//! 1. every JSONL line parses; snapshot lines carry
+//!    `at_us`/`counters`/`delta`, incident lines (`"type":"incident"`)
+//!    carry well-formed open/close records;
+//! 2. snapshot timestamps are strictly monotonic, and the merged stream
+//!    (snapshots + incidents) is non-decreasing in `at_us`;
+//! 3. summing every snapshot's `delta` reproduces the final snapshot's
 //!    cumulative counters exactly (the streaming analogue of
 //!    `fold_matches_incremental_counters`);
-//! 4. the final line's counters match the `"live"` summary block in the
-//!    results file bit-for-bit.
+//! 4. the final snapshot's counters match the `"live"` summary block in
+//!    the results file bit-for-bit;
+//! 5. incident records pair: every close has a prior open with the same
+//!    id (`t_open ≤ t_close`), ids never reopen, and nothing is left
+//!    open at end of stream (the runtime force-closes at `end_time`);
+//! 6. incident scopes resolve: node scope indexes a node present in the
+//!    snapshot timeseries, stage scope is a non-empty label, and when
+//!    the results file embeds an `"incidents"` report every JSONL open
+//!    matches a summarized incident (by id, kind, and scope);
+//! 7. with `--rerun <other.jsonl>`: the incident lines of both files
+//!    are byte-identical — detection is deterministic, so two runs of
+//!    the same seed must tell the same story.
 //!
 //! Exits non-zero with a diagnostic on the first violated invariant.
 
+use std::collections::HashMap;
+
 use exo_live::counters_from_json;
-use exo_trace::{Json, TraceCounters};
+use exo_trace::{IncidentKind, Json, TraceCounters};
 
 fn fail(msg: &str) -> ! {
     eprintln!("live_check: FAIL: {msg}");
     std::process::exit(1);
 }
 
+/// One parsed `"type":"incident"` line, kept for pairing/scope checks.
+struct IncLine {
+    at_us: u64,
+    open: bool,
+    id: u64,
+    kind: String,
+    node: Option<u64>,
+    stage: Option<String>,
+}
+
+/// Extracts the incident lines of a JSONL file verbatim (for the
+/// determinism diff).
+fn incident_lines(jsonl: &str) -> Vec<&str> {
+    jsonl
+        .lines()
+        .filter(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|j| j.get("type").and_then(Json::as_str).map(str::to_owned))
+                .as_deref()
+                == Some("incident")
+        })
+        .collect()
+}
+
+fn parse_incident(path: &str, lineno: usize, j: &Json) -> IncLine {
+    let ctx = format!("{path}:{lineno}");
+    let at_us = match j.get("at_us") {
+        Some(Json::U64(n)) => *n,
+        other => fail(&format!("{ctx}: incident bad at_us: {other:?}")),
+    };
+    let open = match j.get("phase").and_then(Json::as_str) {
+        Some("open") => true,
+        Some("close") => false,
+        other => fail(&format!("{ctx}: incident bad phase: {other:?}")),
+    };
+    let id = match j.get("id") {
+        Some(Json::U64(n)) => *n,
+        other => fail(&format!("{ctx}: incident bad id: {other:?}")),
+    };
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail(&format!("{ctx}: incident missing kind")))
+        .to_owned();
+    if !IncidentKind::ALL.iter().any(|k| k.name() == kind) {
+        fail(&format!("{ctx}: unknown incident kind {kind:?}"));
+    }
+    for field in ["severity", "value", "threshold"] {
+        if j.get(field).and_then(Json::as_f64).is_none() {
+            fail(&format!("{ctx}: incident missing numeric {field}"));
+        }
+    }
+    let node = match j.get("node") {
+        None => None,
+        Some(Json::U64(n)) => Some(*n),
+        other => fail(&format!("{ctx}: incident bad node: {other:?}")),
+    };
+    let stage = j.get("stage").map(|s| match s.as_str() {
+        Some(s) if !s.is_empty() => s.to_owned(),
+        other => fail(&format!("{ctx}: incident bad stage: {other:?}")),
+    });
+    IncLine {
+        at_us,
+        open,
+        id,
+        kind,
+        node,
+        stage,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let [_, jsonl_path, results_path] = args.as_slice() else {
-        eprintln!("usage: live_check <snapshots.jsonl> <results.json>");
-        std::process::exit(2);
+    let (jsonl_path, results_path, rerun_path) = match args.as_slice() {
+        [_, a, b] => (a, b, None),
+        [_, a, b, flag, c] if flag == "--rerun" => (a, b, Some(c)),
+        _ => {
+            eprintln!("usage: live_check <snapshots.jsonl> <results.json> [--rerun <other.jsonl>]");
+            std::process::exit(2);
+        }
     };
 
     let jsonl = std::fs::read_to_string(jsonl_path)
         .unwrap_or_else(|e| fail(&format!("read {jsonl_path}: {e}")));
 
+    let mut last_snap_at: Option<u64> = None;
     let mut last_at: Option<u64> = None;
     let mut folded = TraceCounters::default();
     let mut last_counters: Option<TraceCounters> = None;
     let mut lines = 0usize;
+    let mut max_node_seen: Option<u64> = None;
+    let mut incidents: Vec<IncLine> = Vec::new();
     for (i, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let snap = Json::parse(line)
             .unwrap_or_else(|e| fail(&format!("{jsonl_path}:{}: invalid JSON: {e}", i + 1)));
+
         let at_us = match snap.get("at_us") {
             Some(Json::U64(n)) => *n,
             other => fail(&format!("{jsonl_path}:{}: bad at_us: {other:?}", i + 1)),
         };
         if let Some(prev) = last_at {
-            if at_us <= prev {
+            if at_us < prev {
                 fail(&format!(
-                    "{jsonl_path}:{}: timestamps not strictly monotonic ({at_us} after {prev})",
+                    "{jsonl_path}:{}: merged stream not time-ordered ({at_us} after {prev})",
                     i + 1
                 ));
             }
         }
         last_at = Some(at_us);
+
+        if snap.get("type").and_then(Json::as_str) == Some("incident") {
+            incidents.push(parse_incident(jsonl_path, i + 1, &snap));
+            continue;
+        }
+
+        if let Some(prev) = last_snap_at {
+            if at_us <= prev {
+                fail(&format!(
+                    "{jsonl_path}:{}: snapshot timestamps not strictly monotonic \
+                     ({at_us} after {prev})",
+                    i + 1
+                ));
+            }
+        }
+        last_snap_at = Some(at_us);
         let counters = snap
             .get("counters")
             .ok_or("missing counters".to_string())
@@ -66,6 +177,13 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("{jsonl_path}:{}: {e}", i + 1)));
         folded.add(&delta);
         last_counters = Some(counters);
+        if let Some(Json::Arr(nodes)) = snap.get("nodes") {
+            for n in nodes {
+                if let Some(Json::U64(idx)) = n.get("node") {
+                    max_node_seen = Some(max_node_seen.unwrap_or(0).max(*idx));
+                }
+            }
+        }
         lines += 1;
     }
 
@@ -75,6 +193,49 @@ fn main() {
     if folded != last_counters {
         fail(&format!(
             "delta fold != final counters:\n  folded: {folded:?}\n  final:  {last_counters:?}"
+        ));
+    }
+
+    // Incident pairing: open-then-close per id, nothing dangling.
+    let mut open_at: HashMap<u64, u64> = HashMap::new();
+    let mut closed: Vec<u64> = Vec::new();
+    for inc in &incidents {
+        if inc.open {
+            if open_at.insert(inc.id, inc.at_us).is_some() || closed.contains(&inc.id) {
+                fail(&format!("incident id {} opened twice", inc.id));
+            }
+        } else {
+            let Some(t_open) = open_at.remove(&inc.id) else {
+                fail(&format!("incident id {} closed without an open", inc.id));
+            };
+            if inc.at_us < t_open {
+                fail(&format!(
+                    "incident id {}: t_close {} < t_open {t_open}",
+                    inc.id, inc.at_us
+                ));
+            }
+            closed.push(inc.id);
+        }
+        // Scope resolution against the timeseries itself.
+        if let (Some(node), Some(max)) = (inc.node, max_node_seen) {
+            if node > max {
+                fail(&format!(
+                    "incident id {}: node scope {node} beyond observed cluster (max node {max})",
+                    inc.id
+                ));
+            }
+        }
+        if let Some(stage) = &inc.stage {
+            if stage.trim().is_empty() {
+                fail(&format!("incident id {}: blank stage scope", inc.id));
+            }
+        }
+    }
+    if !open_at.is_empty() {
+        let mut ids: Vec<_> = open_at.keys().collect();
+        ids.sort();
+        fail(&format!(
+            "incident id(s) {ids:?} never closed — end-of-run force-close missing"
         ));
     }
 
@@ -94,8 +255,60 @@ fn main() {
         ));
     }
 
+    // When the run was watched, the embedded report and the stream must
+    // describe the same incidents.
+    if let Some(report) = results.get("incidents") {
+        let summarized: Vec<&Json> = match report.get("incidents") {
+            Some(Json::Arr(list)) => list.iter().collect(),
+            _ => fail(&format!("{results_path}: incidents block without a list")),
+        };
+        let opens: Vec<&IncLine> = incidents.iter().filter(|i| i.open).collect();
+        if opens.len() != summarized.len() {
+            fail(&format!(
+                "{} incident open(s) in {jsonl_path} vs {} summarized in {results_path}",
+                opens.len(),
+                summarized.len()
+            ));
+        }
+        for open in opens {
+            let hit = summarized.iter().any(|s| {
+                s.get("id").and_then(Json::as_f64) == Some(open.id as f64)
+                    && s.get("kind").and_then(Json::as_str) == Some(&open.kind)
+                    && s.get("node").and_then(Json::as_f64) == open.node.map(|n| n as f64)
+            });
+            if !hit {
+                fail(&format!(
+                    "incident id {} ({}) in {jsonl_path} has no matching record in {results_path}",
+                    open.id, open.kind
+                ));
+            }
+        }
+    } else if !incidents.is_empty() {
+        fail(&format!(
+            "{jsonl_path} carries incident lines but {results_path} has no incidents block"
+        ));
+    }
+
+    // Determinism: a rerun of the same seed must produce byte-identical
+    // incident lines.
+    if let Some(rerun_path) = rerun_path {
+        let rerun = std::fs::read_to_string(rerun_path)
+            .unwrap_or_else(|e| fail(&format!("read {rerun_path}: {e}")));
+        let a = incident_lines(&jsonl);
+        let b = incident_lines(&rerun);
+        if a != b {
+            fail(&format!(
+                "incident lines differ between {jsonl_path} ({} line(s)) and {rerun_path} \
+                 ({} line(s)) — detection is not deterministic",
+                a.len(),
+                b.len()
+            ));
+        }
+    }
+
     println!(
-        "live_check: OK — {lines} snapshots, strictly monotonic, delta fold and \
-         {results_path} counters all agree"
+        "live_check: OK — {lines} snapshots, {} incident line(s), strictly monotonic, \
+         delta fold and {results_path} counters all agree",
+        incidents.len()
     );
 }

@@ -19,7 +19,7 @@ use exo_rt::RtConfig;
 use exo_shuffle::{ShuffleVariant, ShuffleWindow};
 use exo_sim::{ClusterSpec, NodeSpec, SimDuration, SimTime};
 
-use crate::runs::{run_es_sort, EsSortParams};
+use crate::runs::{run_es_sort, run_es_sort_watched, EsSortParams};
 
 /// Relative tolerance per metric name; `default` covers the rest.
 const TOLERANCES: &[(&str, f64)] = &[
@@ -56,12 +56,13 @@ fn sort_metrics(p: EsSortParams) -> Vec<(&'static str, f64)> {
     ]
 }
 
-fn sort_hdd_small() -> Vec<(&'static str, f64)> {
-    // Fig-4a-shaped: HDD nodes with a store small enough to force the
-    // spill path (data:store 5:1 overall).
+/// Fig-4a-shaped: HDD nodes with a store small enough to force the
+/// spill path (data:store 5:1 overall). The incident gate reruns these
+/// exact parameters, so the metric and incident readings stay paired.
+fn sort_hdd_small_params() -> EsSortParams {
     let data = 4_000_000_000u64;
     let nodes = 4;
-    sort_metrics(EsSortParams {
+    EsSortParams {
         node: NodeSpec::d3_2xlarge(),
         nodes,
         data_bytes: data,
@@ -71,13 +72,13 @@ fn sort_hdd_small() -> Vec<(&'static str, f64)> {
         failure: None,
         in_memory: false,
         store_capacity: Some(data / 5 / nodes as u64),
-    })
+    }
 }
 
-fn sort_ssd_inmem_small() -> Vec<(&'static str, f64)> {
-    // Fig-4c-shaped: SSD nodes, everything fits in memory, no spill.
+/// Fig-4c-shaped: SSD nodes, everything fits in memory, no spill.
+fn sort_ssd_inmem_small_params() -> EsSortParams {
     let data = 2_000_000_000u64;
-    sort_metrics(EsSortParams {
+    EsSortParams {
         node: NodeSpec::i3_2xlarge(),
         nodes: 4,
         data_bytes: data,
@@ -87,15 +88,15 @@ fn sort_ssd_inmem_small() -> Vec<(&'static str, f64)> {
         failure: None,
         in_memory: true,
         store_capacity: None,
-    })
+    }
 }
 
-fn sort_ft_small() -> Vec<(&'static str, f64)> {
-    // Fig-4_ft-shaped: kill a worker mid-run and restart it, so lineage
-    // reconstruction (and its extra network/re-execution cost) is pinned
-    // alongside the clean paths.
+/// Fig-4_ft-shaped: kill a worker mid-run and restart it, so lineage
+/// reconstruction (and its extra network/re-execution cost) is pinned
+/// alongside the clean paths.
+fn sort_ft_small_params() -> EsSortParams {
     let data = 2_000_000_000u64;
-    let r = run_es_sort(EsSortParams {
+    EsSortParams {
         node: NodeSpec::d3_2xlarge(),
         nodes: 4,
         data_bytes: data,
@@ -105,7 +106,19 @@ fn sort_ft_small() -> Vec<(&'static str, f64)> {
         failure: Some((3, SimTime(2_000_000), SimDuration::from_secs(5))),
         in_memory: false,
         store_capacity: None,
-    });
+    }
+}
+
+fn sort_hdd_small() -> Vec<(&'static str, f64)> {
+    sort_metrics(sort_hdd_small_params())
+}
+
+fn sort_ssd_inmem_small() -> Vec<(&'static str, f64)> {
+    sort_metrics(sort_ssd_inmem_small_params())
+}
+
+fn sort_ft_small() -> Vec<(&'static str, f64)> {
+    let r = run_es_sort(sort_ft_small_params());
     vec![
         ("jct_s", r.jct.as_secs_f64()),
         ("net_bytes", r.net as f64),
@@ -258,6 +271,111 @@ pub fn compare(current: &Json, baseline: &Json) -> Vec<String> {
     violations
 }
 
+/// One incident-gated scenario: a pinned workload run with the online
+/// detectors forced on, plus whether the baseline expects it to fire.
+pub struct IncidentCase {
+    pub name: &'static str,
+    pub params: fn() -> EsSortParams,
+    /// `true`: the case must detect at least one incident (fault
+    /// injection). `false`: a healthy run must stay silent.
+    pub expect_incidents: bool,
+}
+
+/// The incident-gate suite. Reuses the exact parameter sets of the
+/// metric gate so the two baselines describe the same runs. The fault
+/// case must fire; the healthy cases pin the detectors' silence.
+pub const INCIDENT_CASES: &[IncidentCase] = &[
+    IncidentCase {
+        name: "sort_hdd_small",
+        params: sort_hdd_small_params,
+        expect_incidents: false,
+    },
+    IncidentCase {
+        name: "sort_ssd_inmem_small",
+        params: sort_ssd_inmem_small_params,
+        expect_incidents: false,
+    },
+    IncidentCase {
+        name: "sort_ft_small",
+        params: sort_ft_small_params,
+        expect_incidents: true,
+    },
+];
+
+/// Runs every incident case watched and returns
+/// `{"cases": {name: <incident report>}}`.
+pub fn run_incident_cases() -> Json {
+    let mut cases = Json::obj();
+    for case in INCIDENT_CASES {
+        eprintln!("bench_gate: running {} (watched) ...", case.name);
+        let (_, watch) = run_es_sort_watched((case.params)());
+        cases = cases.set(case.name, watch.to_json());
+    }
+    Json::obj().set("cases", cases)
+}
+
+/// Compares the current incident sets against the committed baseline.
+/// Unlike the metric gate there are no tolerances: detection is
+/// deterministic, so the comparison is bit-for-bit — any drift in ids,
+/// timestamps, peaks, or counts is a behavior change to review (and to
+/// lock in via `--write-incidents` when intended). Also enforces the
+/// structural expectations independent of the baseline: fault cases
+/// must fire, healthy cases must stay silent.
+pub fn compare_incidents(current: &Json, baseline: &Json) -> Vec<String> {
+    let mut violations = Vec::new();
+    let empty = Json::obj();
+    let base_cases = baseline.get("cases").unwrap_or(&empty);
+    let cur_cases = current.get("cases").unwrap_or(&empty);
+
+    for case in INCIDENT_CASES {
+        let total = cur_cases
+            .get(case.name)
+            .and_then(|c| c.get("total"))
+            .and_then(Json::as_f64);
+        match total {
+            None => violations.push(format!("case {}: missing from current run", case.name)),
+            Some(t) if case.expect_incidents && t == 0.0 => violations.push(format!(
+                "case {}: fault run detected no incidents; expected a nonempty set",
+                case.name
+            )),
+            Some(t) if !case.expect_incidents && t != 0.0 => violations.push(format!(
+                "case {}: healthy run fired {t:.0} incident(s); expected none",
+                case.name
+            )),
+            Some(_) => {}
+        }
+    }
+
+    for (case, base_doc) in base_cases.entries() {
+        match cur_cases.get(case) {
+            None => {
+                // Already reported above when the case is still pinned.
+                if !INCIDENT_CASES.iter().any(|c| c.name == case) {
+                    violations.push(format!("case {case}: missing from current run"));
+                }
+            }
+            Some(cur_doc) if cur_doc.render() != base_doc.render() => {
+                violations.push(format!(
+                    "case {case}: incident set differs from baseline \
+                     (regenerate with --write-incidents if intended)\n  \
+                     baseline: {}\n  current:  {}",
+                    base_doc.render(),
+                    cur_doc.render()
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for (case, _) in cur_cases.entries() {
+        if base_cases.get(case).is_none() {
+            violations.push(format!(
+                "case {case}: not in incident baseline — regenerate with --write-incidents"
+            ));
+        }
+    }
+    violations
+}
+
 /// Today's UTC date as `YYYY-MM-DD` (no chrono in the tree; this is
 /// Howard Hinnant's civil-from-days algorithm).
 pub fn today_string() -> String {
@@ -353,6 +471,88 @@ mod tests {
             parsed.get("date").and_then(Json::as_str),
             Some("2026-08-05")
         );
+    }
+
+    /// Builds `{"cases": {...}}` incident docs from (name, total) pairs;
+    /// `detail` varies the per-case body to exercise the exact diff.
+    fn inc_doc(cases: &[(&str, f64, &str)]) -> Json {
+        let mut c = Json::obj();
+        for (name, total, detail) in cases {
+            c = c.set(
+                name,
+                Json::obj().set("total", *total).set("detail", *detail),
+            );
+        }
+        Json::obj().set("cases", c)
+    }
+
+    fn inc_full(ft_detail: &str) -> Json {
+        inc_doc(&[
+            ("sort_hdd_small", 0.0, ""),
+            ("sort_ssd_inmem_small", 0.0, ""),
+            ("sort_ft_small", 2.0, ft_detail),
+        ])
+    }
+
+    #[test]
+    fn identical_incident_sets_pass() {
+        let base = inc_full("cascade");
+        assert!(compare_incidents(&inc_full("cascade"), &base).is_empty());
+    }
+
+    #[test]
+    fn incident_drift_is_bit_exact_violation() {
+        let base = inc_full("cascade");
+        // Same totals, different body: still a violation — the diff is
+        // on the rendered report, not on summary counts.
+        let v = compare_incidents(&inc_full("cascade+straggler"), &base);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("sort_ft_small"), "{v:?}");
+        assert!(v[0].contains("--write-incidents"), "{v:?}");
+    }
+
+    #[test]
+    fn structural_expectations_hold_without_baseline_agreement() {
+        // Healthy case firing + fault case silent both violate even when
+        // the baseline matches the (broken) current run exactly.
+        let broken = inc_doc(&[
+            ("sort_hdd_small", 3.0, ""),
+            ("sort_ssd_inmem_small", 0.0, ""),
+            ("sort_ft_small", 0.0, ""),
+        ]);
+        let v = compare_incidents(&broken, &broken);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|s| s.contains("healthy run fired")), "{v:?}");
+        assert!(
+            v.iter().any(|s| s.contains("detected no incidents")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_incident_cases_are_violations() {
+        let base = inc_full("cascade");
+        let partial = inc_doc(&[
+            ("sort_hdd_small", 0.0, ""),
+            ("sort_ssd_inmem_small", 0.0, ""),
+        ]);
+        let v = compare_incidents(&partial, &base);
+        // Exactly one "missing" per absent case, not one per loop.
+        assert_eq!(
+            v.iter().filter(|s| s.contains("missing")).count(),
+            1,
+            "{v:?}"
+        );
+        let extra = inc_full("cascade").remove("cases").set(
+            "cases",
+            inc_full("cascade")
+                .get("cases")
+                .cloned()
+                .unwrap()
+                .set("surprise", Json::obj().set("total", 1.0)),
+        );
+        let v = compare_incidents(&extra, &base);
+        assert!(v.iter().any(|s| s.contains("surprise")), "{v:?}");
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! Bench-side observability plumbing: the shared `--trace <path>` /
-//! `--profile [path]` / `--live <path>` flags, Chrome-trace/JSONL export
-//! with an end-of-run text summary, the exo-prof report, the streaming
-//! live-metrics timeseries, and the machine-readable
-//! `results/<name>.json` files every binary writes.
+//! `--profile [path]` / `--live <path>` / `--watch` flags,
+//! Chrome-trace/JSONL export with an end-of-run text summary, the
+//! exo-prof report, the streaming live-metrics timeseries, the online
+//! incident detector, and the machine-readable `results/<name>.json`
+//! files every binary writes.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use exo_prof::profile;
-use exo_rt::trace::{summarize, write_chrome_trace, write_jsonl, Event, Json, NodeCapacityLine};
-use exo_rt::{LiveConfig, RunReport, TraceConfig};
+use exo_rt::trace::{
+    summarize, write_chrome_trace, write_jsonl, Event, EventKind, IncidentEvent, Json,
+    NodeCapacityLine, TaskPhase,
+};
+use exo_rt::watch::WatchReport;
+use exo_rt::{LiveConfig, RunReport, TraceConfig, WatchConfig};
 use exo_sim::DeviceCaps;
 
 use crate::runs::SortRunResult;
@@ -95,6 +100,13 @@ pub fn live_progress_flag() -> bool {
     !matches!(parse_path_flag("--live-progress", &argv()), FlagArg::Absent)
 }
 
+/// Whether `--watch` was passed: run the `exo-watch` online incident
+/// detectors against the instrumented run and embed the incident set
+/// under `"incidents"` in the results file.
+pub fn watch_flag() -> bool {
+    !matches!(parse_path_flag("--watch", &argv()), FlagArg::Absent)
+}
+
 /// Placement policy requested via `--policy <name>` /
 /// `--policy=<name>`, if any. Unknown names and a bare `--policy` are
 /// hard usage errors — silently falling back to the default would make
@@ -143,6 +155,7 @@ pub struct Obs {
     profile_path: Option<PathBuf>,
     live_path: Option<PathBuf>,
     live_progress: bool,
+    watch: bool,
 }
 
 impl Obs {
@@ -154,12 +167,13 @@ impl Obs {
             profile_path: None,
             live_path: None,
             live_progress: false,
+            watch: false,
         }
     }
 
     /// Whether this run was instrumented at all.
     pub fn active(&self) -> bool {
-        self.cfg.enabled || self.live_path.is_some()
+        self.cfg.enabled || self.live_path.is_some() || self.watch
     }
 
     /// The [`LiveConfig`] to put on `RtConfig::live` before running, if
@@ -172,6 +186,13 @@ impl Obs {
         })
     }
 
+    /// The [`WatchConfig`] to put on `RtConfig::watch` before running,
+    /// if `--watch` asked for incident detection. Like `--live`, the
+    /// detector is a streaming observer and needs no event retention.
+    pub fn watch_cfg(&self) -> Option<WatchConfig> {
+        self.watch.then(WatchConfig::default)
+    }
+
     /// Consume a finished run's report: export the Chrome trace + JSONL
     /// if `--trace` asked for them, compute/print the exo-prof report if
     /// `--profile` did, and write the live timeseries if `--live` did —
@@ -182,9 +203,13 @@ impl Obs {
         if let Some(path) = &self.trace_path {
             export_trace_with_caps(path, events, Some(caps));
         }
+        let mut crit_spans: Option<Vec<(u64, u64, u64)>> = None;
         if self.profile {
             let prof = profile(events, caps);
             println!("\n{prof}");
+            if self.watch {
+                crit_spans = Some(crit_task_spans(&prof, events));
+            }
             let json = prof.to_json();
             if let Some(path) = &self.profile_path {
                 match std::fs::write(path, json.render() + "\n") {
@@ -194,10 +219,44 @@ impl Obs {
             }
             *PROFILE_JSON.lock().expect("profile stash poisoned") = Some(json);
         }
+        if self.watch {
+            match &report.incidents {
+                Some(watch) => {
+                    let kinds: Vec<String> = watch
+                        .by_kind()
+                        .into_iter()
+                        .map(|(k, n)| format!("{}={n}", k.name()))
+                        .collect();
+                    eprintln!(
+                        "[watch] {} incident(s){}{}",
+                        watch.len(),
+                        if kinds.is_empty() { "" } else { ": " },
+                        kinds.join(" ")
+                    );
+                    *WATCH_JSON.lock().expect("watch stash poisoned") =
+                        Some(incidents_json(watch, crit_spans.as_deref()));
+                }
+                // finish() on a run that never had watch configured — a
+                // caller wiring bug worth surfacing, not hiding.
+                None => eprintln!(
+                    "warning: --watch was claimed but the run produced no incident report \
+                     (RtConfig::watch not set?)"
+                ),
+            }
+        }
         if let Some(path) = &self.live_path {
             match &report.live {
                 Some(series) => {
-                    match std::fs::write(path, series.to_jsonl()) {
+                    // Incident transitions interleave into the live
+                    // timeseries as `"type":"incident"` lines, ordered
+                    // by virtual time.
+                    let content = match &report.incidents {
+                        Some(watch) if !watch.is_empty() => {
+                            merge_incident_lines(&series.to_jsonl(), watch)
+                        }
+                        _ => series.to_jsonl(),
+                    };
+                    match std::fs::write(path, content) {
                         Ok(()) => eprintln!(
                             "wrote live timeseries ({} snapshots) to {}",
                             series.len(),
@@ -220,6 +279,123 @@ impl Obs {
     }
 }
 
+/// The open/close trace events of one detected incident, carrying its
+/// peak evidence on both edges (the report keeps only the peak).
+fn incident_edge_events(inc: &exo_rt::watch::Incident) -> [Event; 2] {
+    let edge = |open| Event {
+        at_us: if open {
+            inc.t_open_us
+        } else {
+            inc.t_close_us.unwrap_or(inc.t_open_us)
+        },
+        kind: EventKind::Incident(IncidentEvent {
+            id: inc.id,
+            kind: inc.kind,
+            open,
+            severity: inc.severity,
+            node: inc.node,
+            stage: inc.stage,
+            task: inc.task,
+            value: inc.value,
+            threshold: inc.threshold,
+        }),
+    };
+    [edge(true), edge(false)]
+}
+
+/// Merges incident open/close lines into a live-snapshot JSONL stream,
+/// ordered by `at_us` (snapshots first at equal times, so delta folding
+/// over snapshot lines is unaffected).
+fn merge_incident_lines(snapshot_jsonl: &str, watch: &WatchReport) -> String {
+    fn at_us_of(line: &str) -> u64 {
+        line.strip_prefix(r#"{"at_us":"#)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(0)
+    }
+    let mut entries: Vec<(u64, u8, String)> = snapshot_jsonl
+        .lines()
+        .map(|l| (at_us_of(l), 0, l.to_string()))
+        .collect();
+    for inc in &watch.incidents {
+        for ev in incident_edge_events(inc) {
+            entries.push((ev.at_us, 1, exo_rt::trace::jsonl::event_json(&ev)));
+        }
+    }
+    entries.sort_by_key(|(at, class, _)| (*at, *class));
+    let mut out = String::with_capacity(snapshot_jsonl.len() + watch.len() * 160);
+    for (_, _, line) in entries {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// `(task, start_us, end_us)` execution spans of the critical-path
+/// tasks, joined from the profile's path against the trace's task
+/// events (the profile report carries durations, not absolute times).
+fn crit_task_spans(prof: &exo_prof::ProfileReport, events: &[Event]) -> Vec<(u64, u64, u64)> {
+    use std::collections::HashMap;
+    let mut started: HashMap<(u64, u32), u64> = HashMap::new();
+    let mut spans: HashMap<(u64, u32), (u64, u64)> = HashMap::new();
+    for ev in events {
+        if let EventKind::Task(t) = &ev.kind {
+            match t.phase {
+                TaskPhase::Started => {
+                    started.insert((t.task, t.attempt), ev.at_us);
+                }
+                TaskPhase::Finished => {
+                    if let Some(s) = started.remove(&(t.task, t.attempt)) {
+                        spans.insert((t.task, t.attempt), (s, ev.at_us));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    prof.critpath
+        .tasks
+        .iter()
+        .filter_map(|ct| {
+            spans
+                .get(&(ct.task, ct.attempt))
+                .map(|&(s, e)| (ct.task, s, e))
+        })
+        .collect()
+}
+
+/// The `"incidents"` results block: the watch report's JSON, plus —
+/// when the run was also profiled — the exo-prof cross-attribution
+/// (which incidents overlap the critical path).
+fn incidents_json(watch: &WatchReport, crit_spans: Option<&[(u64, u64, u64)]>) -> Json {
+    let doc = watch.to_json();
+    let Some(spans) = crit_spans else { return doc };
+    let on_path: Vec<&exo_rt::watch::Incident> = watch
+        .incidents
+        .iter()
+        .filter(|inc| {
+            let close = inc.t_close_us.unwrap_or(inc.t_open_us);
+            spans.iter().any(|&(task, s, e)| {
+                // A task-scoped incident attributes by identity; the
+                // rest by interval overlap with an on-path execution.
+                match inc.task {
+                    Some(t) => t == task,
+                    None => inc.t_open_us <= e && s <= close,
+                }
+            })
+        })
+        .collect();
+    doc.set("on_critical_path", on_path.len()).set(
+        "critical_path_incident_ids",
+        Json::from(
+            on_path
+                .iter()
+                .map(|inc| Json::from(u64::from(inc.id)))
+                .collect::<Vec<_>>(),
+        ),
+    )
+}
+
 /// Claim the `--trace`/`--profile`/`--live` flags for the *first*
 /// simulated run of a sweep. Returns an enabled [`Obs`] exactly once;
 /// every later call gets a disabled one, so instrumenting one
@@ -231,15 +407,17 @@ pub fn claim_obs() -> Obs {
     let trace_path = trace_flag();
     let (profile, profile_path) = profile_flag();
     let live_path = live_flag();
-    if trace_path.is_none() && !profile && live_path.is_none() {
+    let watch = watch_flag();
+    if trace_path.is_none() && !profile && live_path.is_none() && !watch {
         return Obs::disabled();
     }
     if OBS_CLAIMED.swap(true, Ordering::SeqCst) {
         return Obs::disabled();
     }
     Obs {
-        // Live streaming alone needs no retention; only --trace/--profile
-        // (which analyze the full stream) switch it on.
+        // Live streaming and incident detection alone need no retention;
+        // only --trace/--profile (which analyze the full stream) switch
+        // it on.
         cfg: if trace_path.is_some() || profile {
             TraceConfig::on()
         } else {
@@ -250,6 +428,7 @@ pub fn claim_obs() -> Obs {
         profile_path,
         live_path,
         live_progress: live_progress_flag(),
+        watch,
     }
 }
 
@@ -277,6 +456,10 @@ static PROFILE_JSON: Mutex<Option<Json>> = Mutex::new(None);
 /// The live summary JSON of the instrumented run, embedded under
 /// `"live"` by [`write_results`].
 static LIVE_JSON: Mutex<Option<Json>> = Mutex::new(None);
+
+/// The incident-set JSON of the instrumented run, embedded under
+/// `"incidents"` by [`write_results`].
+static WATCH_JSON: Mutex<Option<Json>> = Mutex::new(None);
 
 /// Export a finished run's trace: Chrome trace-event JSON at `path`
 /// (loadable in Perfetto / `chrome://tracing`), a flat JSONL sibling, and
@@ -328,8 +511,10 @@ pub fn capacity_lines(caps: &DeviceCaps) -> Vec<NodeCapacityLine> {
 /// why `--trace`/`--profile` produce nothing rather than silently
 /// ignoring them.
 pub fn obs_not_applicable(bin: &str) {
-    if trace_flag().is_some() || profile_flag().0 || live_flag().is_some() {
-        eprintln!("note: {bin} runs no exo-rt simulation; --trace/--profile/--live are ignored");
+    if trace_flag().is_some() || profile_flag().0 || live_flag().is_some() || watch_flag() {
+        eprintln!(
+            "note: {bin} runs no exo-rt simulation; --trace/--profile/--live/--watch are ignored"
+        );
     }
 }
 
@@ -355,6 +540,10 @@ pub fn write_results(name: &str, doc: Json) {
     };
     let doc = match LIVE_JSON.lock().expect("live stash poisoned").clone() {
         Some(live) => doc.set("live", live),
+        None => doc,
+    };
+    let doc = match WATCH_JSON.lock().expect("watch stash poisoned").clone() {
+        Some(watch) => doc.set("incidents", watch),
         None => doc,
     };
     let dir = Path::new("results");

@@ -58,6 +58,27 @@ pub fn run_es_sort(p: EsSortParams) -> SortRunResult {
 /// Like [`run_es_sort`], but on an explicit (possibly heterogeneous)
 /// cluster; `p.node`/`p.nodes` are ignored in favour of the spec.
 pub fn run_es_sort_on(cluster: ClusterSpec, p: EsSortParams) -> SortRunResult {
+    run_es_sort_inner(cluster, p, None).0
+}
+
+/// Like [`run_es_sort`], but with the online incident detectors forced
+/// on at their default thresholds, independent of the CLI flags —
+/// returns the metrics plus the detected incident set. The incident
+/// gate (`bench_gate --incidents-diff`) pins the latter bit-for-bit.
+pub fn run_es_sort_watched(p: EsSortParams) -> (SortRunResult, exo_rt::watch::WatchReport) {
+    let (result, watch) = run_es_sort_inner(
+        ClusterSpec::homogeneous(p.node, p.nodes),
+        p,
+        Some(exo_rt::WatchConfig::default()),
+    );
+    (result, watch.expect("watch was configured"))
+}
+
+fn run_es_sort_inner(
+    cluster: ClusterSpec,
+    p: EsSortParams,
+    force_watch: Option<exo_rt::WatchConfig>,
+) -> (SortRunResult, Option<exo_rt::watch::WatchReport>) {
     let mut caps = cluster.device_caps();
     if let Some(c) = p.store_capacity {
         // The runtime override applies uniformly to every store.
@@ -74,6 +95,7 @@ pub fn run_es_sort_on(cluster: ClusterSpec, p: EsSortParams) -> SortRunResult {
     let obs = crate::obs::claim_obs();
     cfg.trace = obs.cfg.clone();
     cfg.live = obs.live_cfg();
+    cfg.watch = force_watch.or_else(|| obs.watch_cfg());
     let spec = SortSpec {
         data_bytes: p.data_bytes,
         num_maps: p.partitions,
@@ -98,14 +120,17 @@ pub fn run_es_sort_on(cluster: ClusterSpec, p: EsSortParams) -> SortRunResult {
     if obs.active() {
         obs.finish(&report, &caps);
     }
-    SortRunResult {
-        jct,
-        spilled: report.metrics.store.spilled_bytes,
-        net: report.metrics.net_bytes,
-        disk_read: report.metrics.disk_read_bytes,
-        disk_write: report.metrics.disk_write_bytes,
-        reexecuted: report.metrics.tasks_reexecuted,
-    }
+    (
+        SortRunResult {
+            jct,
+            spilled: report.metrics.store.spilled_bytes,
+            net: report.metrics.net_bytes,
+            disk_read: report.metrics.disk_read_bytes,
+            disk_write: report.metrics.disk_write_bytes,
+            reexecuted: report.metrics.tasks_reexecuted,
+        },
+        report.incidents,
+    )
 }
 
 /// Default payload scale factor for a dataset size: keeps real bytes in

@@ -24,7 +24,7 @@ pub mod sketch;
 pub mod snapshot;
 
 pub use bounds::{BoundKind, NodeWindow, RollingBounds, StageWindow};
-pub use sketch::{LatencySketches, QuantileSketch, RELATIVE_ERROR};
+pub use sketch::{BaselineSketch, LatencySketches, QuantileSketch, RELATIVE_ERROR};
 pub use snapshot::{counters_from_json, counters_to_json, MetricsSnapshot, SketchStat, StageStat};
 
 use std::sync::{Arc, Mutex};

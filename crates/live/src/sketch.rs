@@ -114,6 +114,22 @@ impl QuantileSketch {
         }
     }
 
+    /// Absorbs every sample of `other` into `self`. Buckets are aligned
+    /// by construction (same fixed geometry), so merging is an
+    /// element-wise sum and the merged sketch is *identical* to one that
+    /// recorded both sample sets directly — the ≤[`RELATIVE_ERROR`]
+    /// one-sided quantile bound is preserved exactly (property-tested in
+    /// `tests/proptests.rs`).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The value at quantile `q` (0..=1): the upper edge of the bucket
     /// containing the rank-`⌈q·n⌉` smallest sample. 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -131,6 +147,54 @@ impl QuantileSketch {
             }
         }
         self.max
+    }
+}
+
+/// A run-so-far / recent-window split over one metric: samples land in
+/// the `window` sketch; [`BaselineSketch::rotate`] merges the window
+/// into the `baseline` and clears it. Drift detectors (exo-watch's
+/// queue-delay blowup) compare the current window's quantiles against
+/// the baseline of everything that came before it — the "is *now*
+/// different from *this run so far*" question a single cumulative
+/// sketch cannot answer.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineSketch {
+    baseline: QuantileSketch,
+    window: QuantileSketch,
+}
+
+impl BaselineSketch {
+    pub fn new() -> BaselineSketch {
+        BaselineSketch::default()
+    }
+
+    /// Records into the current window.
+    pub fn record(&mut self, v: u64) {
+        self.window.record(v);
+    }
+
+    /// Run-so-far sketch, excluding the current window.
+    pub fn baseline(&self) -> &QuantileSketch {
+        &self.baseline
+    }
+
+    /// The current (not yet rotated) window sketch.
+    pub fn window(&self) -> &QuantileSketch {
+        &self.window
+    }
+
+    /// Folds the current window into the baseline and starts a fresh
+    /// window. Merging is exact (aligned buckets), so after any sequence
+    /// of rotations `baseline` is identical to a sketch that recorded
+    /// every pre-window sample directly.
+    pub fn rotate(&mut self) {
+        let window = std::mem::take(&mut self.window);
+        self.baseline.merge(&window);
+    }
+
+    /// Total samples recorded (baseline + window).
+    pub fn count(&self) -> u64 {
+        self.baseline.count() + self.window.count()
     }
 }
 
@@ -262,6 +326,67 @@ mod tests {
         assert_eq!(s.min(), 0);
         assert_eq!(s.mean(), 0.0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_is_identical_to_direct_recording() {
+        let (mut a, mut b, mut direct) = (
+            QuantileSketch::new(),
+            QuantileSketch::new(),
+            QuantileSketch::new(),
+        );
+        for v in (0..500u64).map(|i| i * 101 + 7) {
+            a.record(v);
+            direct.record(v);
+        }
+        for v in (0..300u64).map(|i| i * 977 + 3) {
+            b.record(v);
+            direct.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.min(), direct.min());
+        assert_eq!(a.max(), direct.max());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), direct.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_sketch_is_a_noop() {
+        let mut a = QuantileSketch::new();
+        a.record(42);
+        a.merge(&QuantileSketch::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 42);
+        assert_eq!(a.max(), 42);
+        let mut empty = QuantileSketch::new();
+        empty.merge(&a);
+        assert_eq!(empty.quantile(0.5), a.quantile(0.5));
+    }
+
+    #[test]
+    fn baseline_split_rotates_window_into_baseline() {
+        let mut s = BaselineSketch::new();
+        for v in [10u64, 12, 11, 13] {
+            s.record(v);
+        }
+        assert_eq!(s.baseline().count(), 0);
+        assert_eq!(s.window().count(), 4);
+        s.rotate();
+        assert_eq!(s.baseline().count(), 4);
+        assert_eq!(s.window().count(), 0);
+        // A drifted second window never contaminates the baseline until
+        // rotated.
+        for v in [500u64, 510] {
+            s.record(v);
+        }
+        assert_eq!(s.baseline().quantile(0.99), 13);
+        let p50 = s.window().quantile(0.5);
+        assert!((500..=500 + (500.0 * RELATIVE_ERROR) as u64).contains(&p50));
+        assert_eq!(s.count(), 6);
+        s.rotate();
+        assert_eq!(s.baseline().max(), 510);
     }
 
     #[test]

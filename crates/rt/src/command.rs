@@ -129,4 +129,11 @@ pub enum RtCommand {
         /// Count (including dead ones).
         reply: Reply<usize>,
     },
+    /// Incidents the online detectors have decided so far — open and
+    /// closed — when [`crate::RtConfig::watch`] is set; empty otherwise.
+    /// The mid-run trigger surface for adaptive placement/variant logic.
+    IncidentsNow {
+        /// Decided incidents, in detection order.
+        reply: Reply<Vec<exo_watch::Incident>>,
+    },
 }

@@ -37,6 +37,9 @@ pub struct RunReport {
     /// Live metrics timeseries, closed out at `end_time`. `None` unless
     /// [`RtConfig::live`] was set.
     pub live: Option<exo_live::LiveSeries>,
+    /// Detected incidents, every one closed by `end_time`. `None`
+    /// unless [`RtConfig::watch`] was set.
+    pub incidents: Option<exo_watch::WatchReport>,
 }
 
 /// Build and run a driver program against a simulated cluster; returns the
@@ -53,6 +56,10 @@ pub fn run<R: Send>(cfg: RtConfig, driver: impl FnOnce(&RtHandle) -> R + Send) -
     // report's disk-write accounting and task spans cover the tail the
     // driver never waited on.
     let metrics = runtime.final_metrics();
+    // Watch finalization force-closes open incidents and emits the
+    // outstanding transitions into the sink, so it must run before the
+    // trace stream is drained.
+    let incidents = runtime.take_watch(end);
     let trace = runtime.take_trace();
     let live = runtime.take_live(end);
     drop(runtime);
@@ -62,6 +69,7 @@ pub fn run<R: Send>(cfg: RtConfig, driver: impl FnOnce(&RtHandle) -> R + Send) -
             metrics,
             trace,
             live,
+            incidents,
         },
         result,
     )
@@ -164,6 +172,16 @@ impl RtHandle {
     /// Snapshot runtime metrics.
     pub fn metrics(&self) -> RtMetrics {
         self.conn.call(|reply| RtCommand::Metrics { reply })
+    }
+
+    /// Incidents the online detectors ([`RtConfig::watch`]) have decided
+    /// so far — open and closed, in detection order. Empty when no
+    /// watcher is configured. Detection advances on virtual-time
+    /// evaluation boundaries, so a query can lag the current instant by
+    /// up to one evaluation interval. This is the mid-run trigger
+    /// surface adaptive placement/variant-switching logic consumes.
+    pub fn incidents_now(&self) -> Vec<exo_watch::Incident> {
+        self.conn.call(|reply| RtCommand::IncidentsNow { reply })
     }
 
     /// Number of nodes in the cluster.

@@ -74,3 +74,10 @@ pub use exo_trace::TraceConfig;
 /// resulting [`LiveSeries`](exo_live::LiveSeries) from `RunReport`.
 pub use exo_live as live;
 pub use exo_live::LiveConfig;
+
+/// Re-export of the incident-detection crate: configure online
+/// detectors via [`RtConfig::watch`](crate::RtConfig) and consume the
+/// resulting [`WatchReport`](exo_watch::WatchReport) from `RunReport`
+/// (or query [`WatchHandle`](exo_watch::WatchHandle) mid-run).
+pub use exo_watch as watch;
+pub use exo_watch::WatchConfig;

@@ -19,6 +19,7 @@ use exo_trace::{
     ObjectEvent, ObjectPhase, Placement, ResourceSample, TaskPhase, TaskSpan, TraceConfig,
     TraceSink,
 };
+use exo_watch::{WatchConfig, WatchHandle};
 
 use crate::command::{RtCommand, RtError};
 use crate::ids::{NodeId, ObjectId, TaskId};
@@ -57,6 +58,13 @@ pub struct RtConfig {
     /// independent of retention — and the runtime emits a
     /// `MetricsSnapshot` every `snapshot_interval_us` of virtual time.
     pub live: Option<LiveConfig>,
+    /// Online incident detection (off by default). When set, a
+    /// fixed-memory `exo-watch` recorder observes the trace stream and
+    /// the runtime feeds its open/close verdicts back into the sink as
+    /// [`EventKind::Incident`] events. Detection is driven by event
+    /// timestamps (evaluation boundaries in virtual time), so the
+    /// incident set is bit-identical across reruns of the same program.
+    pub watch: Option<WatchConfig>,
     /// Placement policy for `Default`-strategy tasks (`Spread` and
     /// `NodeAffinity` are explicit application requests and bypass it).
     /// Defaults to [`LoadBalance`], the historical behaviour.
@@ -76,6 +84,7 @@ impl RtConfig {
             cpu_slowdown: Vec::new(),
             trace: TraceConfig::default(),
             live: None,
+            watch: None,
             placement: Arc::new(LoadBalance),
         }
     }
@@ -185,6 +194,12 @@ pub enum RtEvent {
     /// Periodic live-metrics snapshot tick (only when [`RtConfig::live`]
     /// is set). Same re-arm discipline as `SampleResources`.
     LiveSnapshot,
+    /// Periodic drain of detected incident transitions into the trace
+    /// sink (only when [`RtConfig::watch`] is set). Detection itself
+    /// happens inside the observer at virtual-time evaluation
+    /// boundaries; this tick only moves already-decided verdicts into
+    /// the event stream, so its cadence cannot change what is detected.
+    WatchTick,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -327,6 +342,12 @@ pub struct Runtime {
     live: Option<LiveHandle>,
     /// A `LiveSnapshot` tick is already in the event queue.
     live_scheduled: bool,
+    /// Incident-detection recorder; one clone of its state is registered
+    /// as a sink observer, this handle drains transitions and answers
+    /// mid-run incident queries.
+    watch: Option<WatchHandle>,
+    /// A `WatchTick` is already in the event queue.
+    watch_scheduled: bool,
     /// Fatal job error (OOM); fails all subsequent gets.
     failed: Option<RtError>,
 }
@@ -340,6 +361,20 @@ impl Runtime {
         // with retention off.
         let live = cfg.live.clone().map(|lc| {
             let handle = LiveHandle::new(lc, &cfg.cluster.device_caps());
+            sink.register_observer(handle.observer());
+            handle
+        });
+        // Same for the incident detector — and its store-pressure
+        // thresholds must see the *effective* per-node store capacity,
+        // including the `object_store_capacity` override.
+        let watch = cfg.watch.clone().map(|wc| {
+            let mut caps = cfg.cluster.device_caps();
+            if let Some(cap) = cfg.object_store_capacity {
+                for n in &mut caps.per_node {
+                    n.store_bytes = cap;
+                }
+            }
+            let handle = WatchHandle::new(wc, &caps);
             sink.register_observer(handle.observer());
             handle
         });
@@ -402,6 +437,8 @@ impl Runtime {
             sampling_scheduled: false,
             live,
             live_scheduled: false,
+            watch,
+            watch_scheduled: false,
             failed: None,
         }
     }
@@ -418,6 +455,41 @@ impl Runtime {
     /// unless [`RtConfig::live`] was set).
     pub(crate) fn take_live(&self, end: SimTime) -> Option<exo_live::LiveSeries> {
         self.live.as_ref().map(|h| h.finish(end.as_micros()))
+    }
+
+    /// The incident-detection handle, when configured. Mid-run callers
+    /// can query [`WatchHandle::incidents_now`] through it.
+    pub fn watch_handle(&self) -> Option<&WatchHandle> {
+        self.watch.as_ref()
+    }
+
+    /// Finalize incident detection at the run's end time: run the
+    /// remaining evaluation boundaries, force-close every still-open
+    /// incident at `end`, and emit the outstanding open/close
+    /// transitions into the sink. Must run *before* the trace stream is
+    /// drained so the close edges appear in the export.
+    pub(crate) fn take_watch(&self, end: SimTime) -> Option<exo_watch::WatchReport> {
+        self.watch.as_ref().map(|h| {
+            let report = h.finish(end.as_micros());
+            self.drain_watch();
+            report
+        })
+    }
+
+    /// Move already-decided incident transitions out of the recorder and
+    /// into the trace sink. Emitting re-enters every observer, so this
+    /// must happen *outside* the recorder lock (the observer skips
+    /// `Incident` events, but the lock is not re-entrant).
+    fn drain_watch(&self) {
+        let Some(watch) = &self.watch else { return };
+        let transitions = watch.drain_transitions();
+        let progress = self.live.as_ref().is_some_and(|l| l.config().progress);
+        for (at, inc) in transitions {
+            self.sink.emit_at(at, EventKind::Incident(inc));
+            if progress {
+                eprintln!("{}", exo_watch::progress_line(at, &inc));
+            }
+        }
     }
 
     /// Drain the retained trace-event stream (empty unless tracing was
@@ -1816,6 +1888,20 @@ impl Runtime {
         );
     }
 
+    /// Arm the next [`RtEvent::WatchTick`]. Same discipline as
+    /// [`Runtime::maybe_schedule_live`].
+    fn maybe_schedule_watch(&mut self, ctx: &mut Ctx<'_, RtEvent>) {
+        let Some(watch) = &self.watch else { return };
+        if self.watch_scheduled {
+            return;
+        }
+        self.watch_scheduled = true;
+        ctx.schedule(
+            SimDuration::from_micros(watch.config().eval_interval_us),
+            RtEvent::WatchTick,
+        );
+    }
+
     /// Emit one [`ResourceSample`] per alive node: busy CPU slots, store
     /// bytes in use, disk ops queued, and NIC bytes in flight.
     fn emit_resource_samples(&self, now: SimTime) {
@@ -1926,6 +2012,7 @@ impl Simulation for Runtime {
         self.sink.set_now(ctx.now().as_micros());
         self.maybe_schedule_sampling(ctx);
         self.maybe_schedule_live(ctx);
+        self.maybe_schedule_watch(ctx);
         match cmd {
             RtCommand::Submit { spec, reply } => {
                 let ids = self.submit(ctx, spec);
@@ -2068,6 +2155,13 @@ impl Simulation for Runtime {
                 let n = self.nodes.len();
                 ctx.reply(reply, n);
             }
+            RtCommand::IncidentsNow { reply } => {
+                let incidents = self
+                    .watch_handle()
+                    .map(|w| w.incidents_now())
+                    .unwrap_or_default();
+                ctx.reply(reply, incidents);
+            }
         }
     }
 
@@ -2096,9 +2190,13 @@ impl Simulation for Runtime {
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, RtEvent>, ev: RtEvent) {
         self.sink.set_now(ctx.now().as_micros());
-        if !matches!(ev, RtEvent::SampleResources | RtEvent::LiveSnapshot) {
+        if !matches!(
+            ev,
+            RtEvent::SampleResources | RtEvent::LiveSnapshot | RtEvent::WatchTick
+        ) {
             self.maybe_schedule_sampling(ctx);
             self.maybe_schedule_live(ctx);
+            self.maybe_schedule_watch(ctx);
         }
         match ev {
             RtEvent::TaskInputDone { task, epoch } => {
@@ -2244,6 +2342,10 @@ impl Simulation for Runtime {
                         eprintln!("{line}");
                     }
                 }
+            }
+            RtEvent::WatchTick => {
+                self.watch_scheduled = false;
+                self.drain_watch();
             }
         }
     }

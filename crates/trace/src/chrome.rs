@@ -15,11 +15,15 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-use crate::event::{Event, EventKind, ObjectPhase, TaskPhase};
+use crate::event::{Event, EventKind, IncidentKind, ObjectPhase, TaskPhase};
 use crate::json::escape;
 
 /// Lane used for store instant events, above any plausible slot count.
 const STORE_LANE: u32 = 1000;
+
+/// Pseudo-process id for the `incidents` track (detector verdicts from
+/// `exo-watch`), above any plausible node id.
+const INCIDENTS_PID: u32 = 9999;
 
 /// Serialises `events` as a Chrome trace-event JSON array.
 pub fn chrome_trace_json(events: &[Event]) -> String {
@@ -54,6 +58,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         reason: Option<(&'static str, &'static str)>,
     }
     let mut open: HashMap<(u64, u32), Open> = HashMap::new();
+    // Incident open edges awaiting their close: id → (t_open, event).
+    let mut open_incidents: HashMap<u32, (u64, crate::event::IncidentEvent)> = HashMap::new();
+    let mut any_incident = false;
     struct Span {
         node: u32,
         label: &'static str,
@@ -179,10 +186,48 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                     ),
                 ));
             }
+            EventKind::Incident(inc) => {
+                any_incident = true;
+                if inc.open {
+                    open_incidents.insert(inc.id, (ev.at_us, *inc));
+                } else if let Some((t_open, _)) = open_incidents.remove(&inc.id) {
+                    // The close edge carries the peak severity/value, so
+                    // the rendered span reports the whole incident.
+                    entries.push((t_open, incident_span(t_open, ev.at_us, inc)));
+                }
+            }
             // Dependency edges and fetch-wait intervals are analysis
             // inputs (exo-prof); they stay out of the rendered timeline
             // but remain available in the JSONL sibling.
             EventKind::Dep(_) | EventKind::FetchWait(_) | EventKind::Io(_) => {}
+        }
+    }
+    // Open incidents with no close edge (a truncated stream; the runtime
+    // force-closes at end_time) still render, as zero-length spans.
+    for (t_open, inc) in open_incidents.into_values() {
+        entries.push((t_open, incident_span(t_open, t_open, &inc)));
+    }
+    if any_incident {
+        entries.push((
+            0,
+            format!(
+                r#"{{"name":"process_name","ph":"M","pid":{INCIDENTS_PID},"tid":0,"args":{{"name":"incidents"}}}}"#
+            ),
+        ));
+        entries.push((
+            0,
+            format!(
+                r#"{{"name":"process_sort_index","ph":"M","pid":{INCIDENTS_PID},"tid":0,"args":{{"sort_index":{INCIDENTS_PID}}}}}"#
+            ),
+        ));
+        for (lane, kind) in IncidentKind::ALL.iter().enumerate() {
+            entries.push((
+                0,
+                format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":{INCIDENTS_PID},"tid":{lane},"args":{{"name":"{}"}}}}"#,
+                    kind.name()
+                ),
+            ));
         }
     }
 
@@ -259,6 +304,40 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     }
     out.push_str("\n]\n");
     out
+}
+
+/// One incident as a complete (`"X"`) span on the `incidents` track,
+/// one lane per [`IncidentKind`].
+fn incident_span(t_open: u64, t_close: u64, inc: &crate::event::IncidentEvent) -> String {
+    let lane = IncidentKind::ALL
+        .iter()
+        .position(|k| *k == inc.kind)
+        .unwrap_or(0);
+    let mut args = format!(
+        r#""id":{},"severity":{},"value":{},"threshold":{}"#,
+        inc.id,
+        crate::json::Json::from(inc.severity).render(),
+        crate::json::Json::from(inc.value).render(),
+        crate::json::Json::from(inc.threshold).render()
+    );
+    if let Some(node) = inc.node {
+        let _ = write!(args, r#","node":{node}"#);
+    }
+    if let Some(stage) = inc.stage {
+        let _ = write!(args, r#","stage":"{}""#, escape(stage));
+    }
+    if let Some(task) = inc.task {
+        let _ = write!(args, r#","task":{task}"#);
+    }
+    format!(
+        r#"{{"name":"{}","cat":"incident","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{{}}}}}"#,
+        inc.kind.name(),
+        t_open,
+        t_close.saturating_sub(t_open).max(1),
+        INCIDENTS_PID,
+        lane,
+        args
+    )
 }
 
 /// Writes the Chrome trace for `events` to `path`.

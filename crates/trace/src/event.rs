@@ -197,6 +197,55 @@ pub struct FailureEvent {
     pub kind: FailureKind,
 }
 
+/// What an online detector (`exo-watch`) decided was anomalous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncidentKind {
+    /// A task's execution time exceeded k× its stage's live p50 while
+    /// enough peers had already finished.
+    Straggler,
+    /// One node's rolling disk-busy fraction pinned high while the
+    /// cluster median stayed low.
+    DiskHotspot,
+    /// Same, for the network.
+    NetHotspot,
+    /// Windowed spill-byte rate crossed a store-pressure threshold.
+    SpillStorm,
+    /// Live queue-delay p99 drifted k× above its run-so-far baseline.
+    QueueDelay,
+    /// Re-executed tasks after a failure exceeded the direct-loss set.
+    ReconstructionCascade,
+}
+
+/// The open or close edge of one detected incident. Emitted into the
+/// trace sink by the runtime (never by observers themselves) so the
+/// detection layer's verdicts become first-class, exportable events:
+/// Chrome traces render open/close pairs as spans on an `incidents`
+/// track, and the JSONL stream carries them as `"type":"incident"`
+/// lines. `id` pairs the two edges; evidence is the observed `value`
+/// against the configured `threshold` at that edge, and `severity` is
+/// their ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct IncidentEvent {
+    /// Detector-assigned id, unique within a run, pairing open ↔ close.
+    pub id: u32,
+    pub kind: IncidentKind,
+    /// True on the incident's open edge, false on its close.
+    pub open: bool,
+    /// Evidence ratio `value / threshold` (peak-so-far on close).
+    pub severity: f64,
+    /// Node scope, when the incident is attributable to one node.
+    pub node: Option<u32>,
+    /// Stage scope (task label), e.g. for stragglers.
+    pub stage: Option<&'static str>,
+    /// Task scope, for per-task incidents.
+    pub task: Option<u64>,
+    /// The observed quantity that triggered (or peaked during) the
+    /// incident, in the detector's native unit (µs, bytes, utilisation).
+    pub value: f64,
+    /// The configured threshold it is measured against.
+    pub threshold: f64,
+}
+
 #[derive(Debug, Clone, Copy)]
 pub enum EventKind {
     Task(TaskSpan),
@@ -206,6 +255,7 @@ pub enum EventKind {
     Io(IoEvent),
     Resource(ResourceSample),
     Failure(FailureEvent),
+    Incident(IncidentEvent),
 }
 
 /// A timestamped event. `at_us` is virtual time in microseconds.
@@ -269,4 +319,26 @@ impl FailureKind {
             FailureKind::ExecutorsKilled => "executors_killed",
         }
     }
+}
+
+impl IncidentKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            IncidentKind::Straggler => "straggler",
+            IncidentKind::DiskHotspot => "disk_hotspot",
+            IncidentKind::NetHotspot => "net_hotspot",
+            IncidentKind::SpillStorm => "spill_storm",
+            IncidentKind::QueueDelay => "queue_delay",
+            IncidentKind::ReconstructionCascade => "reconstruction_cascade",
+        }
+    }
+
+    pub const ALL: [IncidentKind; 6] = [
+        IncidentKind::Straggler,
+        IncidentKind::DiskHotspot,
+        IncidentKind::NetHotspot,
+        IncidentKind::SpillStorm,
+        IncidentKind::QueueDelay,
+        IncidentKind::ReconstructionCascade,
+    ];
 }

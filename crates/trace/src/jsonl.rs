@@ -102,6 +102,27 @@ pub fn event_json(ev: &Event) -> String {
                 f.node
             );
         }
+        EventKind::Incident(inc) => {
+            let _ = write!(
+                s,
+                r#","type":"incident","phase":"{}","id":{},"kind":"{}","severity":{},"value":{},"threshold":{}"#,
+                if inc.open { "open" } else { "close" },
+                inc.id,
+                inc.kind.name(),
+                crate::json::Json::from(inc.severity).render(),
+                crate::json::Json::from(inc.value).render(),
+                crate::json::Json::from(inc.threshold).render(),
+            );
+            if let Some(node) = inc.node {
+                let _ = write!(s, r#","node":{node}"#);
+            }
+            if let Some(stage) = inc.stage {
+                let _ = write!(s, r#","stage":"{}""#, escape(stage));
+            }
+            if let Some(task) = inc.task {
+                let _ = write!(s, r#","task":{task}"#);
+            }
+        }
     }
     s.push('}');
     s

@@ -110,9 +110,15 @@ impl TraceCounters {
                 crate::event::FailureKind::NodeKilled => self.node_failures += 1,
                 crate::event::FailureKind::ExecutorsKilled => self.executor_failures += 1,
             },
-            // Dependency edges and fetch-wait intervals exist for offline
-            // analysis (exo-prof) only; nothing aggregates from them.
-            EventKind::Dep(_) | EventKind::FetchWait(_) | EventKind::Resource(_) => {}
+            // Dependency edges, fetch-wait intervals and resource samples
+            // exist for offline analysis (exo-prof) only; incident events
+            // are detector *verdicts* about the stream, not facts of the
+            // simulation — folding them would let observability perturb
+            // the bit-identical counters the gate pins. None aggregate.
+            EventKind::Dep(_)
+            | EventKind::FetchWait(_)
+            | EventKind::Resource(_)
+            | EventKind::Incident(_) => {}
         }
     }
 

@@ -1,0 +1,728 @@
+//! The detector engine: one [`Recorder`] fed every trace event, holding
+//! fixed-memory rolling state and the incident table.
+//!
+//! Evaluation discipline: before an event at `t` is applied, every
+//! virtual-time boundary `b ≤ t` (multiples of `eval_interval_us`) that
+//! has not yet been evaluated is, in order — so detector verdicts
+//! depend only on the event stream's timestamps, never on how often the
+//! runtime happens to tick. Anything that iterates across tasks or open
+//! incidents sorts first: incident ids must not depend on hash order.
+
+use std::collections::HashMap;
+
+use exo_live::{BaselineSketch, QuantileSketch, RollingBounds};
+use exo_sim::DeviceCaps;
+use exo_trace::{Event, EventKind, IncidentEvent, IncidentKind, ObjectPhase, TaskPhase};
+
+use crate::Incident;
+use crate::WatchConfig;
+
+/// Identity of an *open* incident, for matching a later close edge to
+/// it. Ordered so force-close sweeps are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    /// Per running task.
+    Straggler(u64),
+    /// Per node; `true` = network, `false` = disk.
+    Hotspot(u32, bool),
+    /// Per node.
+    Spill(u32),
+    /// Cluster-wide (one queue-delay sketch).
+    Queue,
+    /// Per failure, by index into `cascades`.
+    Cascade(u32),
+}
+
+/// What we remember about a not-yet-finished task.
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    node: u32,
+    label: &'static str,
+    scheduled_us: u64,
+    started_us: Option<u64>,
+}
+
+/// One failure's reconstruction accounting.
+#[derive(Debug, Clone, Copy)]
+struct Cascade {
+    node: u32,
+    t_fail_us: u64,
+    /// Tasks that were queued or running on the failed node — the set
+    /// the failure loses *directly*. Lineage resubmits beyond this are
+    /// the cascade.
+    direct_loss: u64,
+    retries: u64,
+}
+
+/// Windowed per-node byte counter (spill pressure), same ring-tagging
+/// scheme as `RollingBounds` but bytes-only.
+#[derive(Debug)]
+struct ByteRing {
+    bucket_us: u64,
+    /// Buckets per readable window; the ring holds exactly this many
+    /// (spill events are emitted at completion time, never ahead).
+    window: usize,
+    /// `ring[node * window + (bucket % window)]` = (epoch, bytes).
+    ring: Vec<(u64, u64)>,
+}
+
+impl ByteRing {
+    fn new(nodes: usize, window_us: u64, window_buckets: usize) -> ByteRing {
+        let window = window_buckets.max(1);
+        ByteRing {
+            bucket_us: (window_us / window as u64).max(1),
+            window,
+            ring: vec![(0, 0); nodes * window],
+        }
+    }
+
+    fn add(&mut self, node: usize, at_us: u64, bytes: u64) {
+        let b = at_us / self.bucket_us;
+        let slot = &mut self.ring[node * self.window + (b % self.window as u64) as usize];
+        if slot.0 != b {
+            *slot = (b, 0);
+        }
+        slot.1 += bytes;
+    }
+
+    fn window_sum(&self, node: usize, now_us: u64) -> u64 {
+        let now_b = now_us / self.bucket_us;
+        let lo = now_b.saturating_sub(self.window as u64 - 1);
+        (lo..=now_b)
+            .map(|b| {
+                let slot = self.ring[node * self.window + (b % self.window as u64) as usize];
+                if slot.0 == b {
+                    slot.1
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+}
+
+pub(crate) struct Recorder {
+    cfg: WatchConfig,
+    /// Per-node store capacity (spill-storm threshold base).
+    store_bytes: Vec<u64>,
+    bounds: RollingBounds,
+    spill: ByteRing,
+    queue: BaselineSketch,
+    queue_next_rotate_us: u64,
+    /// Run-so-far execution-time sketch per stage (straggler p50).
+    stage_exec: HashMap<&'static str, QuantileSketch>,
+    tasks: HashMap<u64, TaskState>,
+    cascades: Vec<Cascade>,
+    /// Since when the hotspot condition has held, per node × {disk,net}.
+    hot_since: Vec<[Option<u64>; 2]>,
+    incidents: Vec<Incident>,
+    open: HashMap<Key, usize>,
+    transitions: Vec<(u64, IncidentEvent)>,
+    next_id: u32,
+    next_eval_us: u64,
+}
+
+impl Recorder {
+    pub(crate) fn new(cfg: &WatchConfig, caps: &DeviceCaps) -> Recorder {
+        let nodes = caps.nodes();
+        Recorder {
+            cfg: cfg.clone(),
+            store_bytes: caps.per_node.iter().map(|n| n.store_bytes).collect(),
+            bounds: RollingBounds::new(caps, cfg.window_us, cfg.window_buckets),
+            spill: ByteRing::new(nodes, cfg.window_us, cfg.window_buckets),
+            queue: BaselineSketch::new(),
+            queue_next_rotate_us: cfg.window_us,
+            stage_exec: HashMap::new(),
+            tasks: HashMap::new(),
+            cascades: Vec::new(),
+            hot_since: vec![[None; 2]; nodes],
+            incidents: Vec::new(),
+            open: HashMap::new(),
+            transitions: Vec::new(),
+            next_id: 0,
+            next_eval_us: cfg.eval_interval_us,
+        }
+    }
+
+    pub(crate) fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    pub(crate) fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    pub(crate) fn drain_transitions(&mut self) -> Vec<(u64, IncidentEvent)> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    pub(crate) fn observe(&mut self, ev: &Event) {
+        // Catch up on every evaluation boundary this event's timestamp
+        // crosses, *before* applying the event: state at boundary `b`
+        // is exactly the events strictly before `b` plus those at `b`
+        // already seen, which is what an online monitor would have.
+        while self.next_eval_us <= ev.at_us {
+            let t = self.next_eval_us;
+            self.evaluate(t);
+            self.next_eval_us = t + self.cfg.eval_interval_us;
+        }
+        self.bounds.on_event(ev);
+        match &ev.kind {
+            EventKind::Task(t) => match t.phase {
+                TaskPhase::Scheduled => {
+                    if t.retry {
+                        self.on_retry(ev.at_us);
+                    }
+                    // A reschedule (failure re-run or lineage resubmit)
+                    // supersedes the old attempt; a straggler verdict
+                    // on it closes here.
+                    self.close(Key::Straggler(t.task), ev.at_us);
+                    self.tasks.insert(
+                        t.task,
+                        TaskState {
+                            node: t.node,
+                            label: t.label,
+                            scheduled_us: ev.at_us,
+                            started_us: None,
+                        },
+                    );
+                }
+                TaskPhase::Dequeued => {
+                    if let Some(st) = self.tasks.get(&t.task) {
+                        self.queue.record(ev.at_us - st.scheduled_us);
+                    }
+                }
+                TaskPhase::Started => {
+                    if let Some(st) = self.tasks.get_mut(&t.task) {
+                        st.node = t.node;
+                        st.started_us = Some(ev.at_us);
+                    }
+                }
+                TaskPhase::Finished => {
+                    if let Some(st) = self.tasks.remove(&t.task) {
+                        if let Some(s) = st.started_us {
+                            self.stage_exec
+                                .entry(st.label)
+                                .or_default()
+                                .record(ev.at_us - s);
+                        }
+                    }
+                    self.close(Key::Straggler(t.task), ev.at_us);
+                }
+            },
+            EventKind::Object(o)
+                if matches!(o.phase, ObjectPhase::Spilled | ObjectPhase::Fallback)
+                    && (o.node as usize) < self.store_bytes.len() =>
+            {
+                self.spill.add(o.node as usize, ev.at_us, o.bytes);
+            }
+            EventKind::Failure(f) => {
+                let direct = self.tasks.values().filter(|s| s.node == f.node).count() as u64;
+                self.cascades.push(Cascade {
+                    node: f.node,
+                    t_fail_us: ev.at_us,
+                    direct_loss: direct,
+                    retries: 0,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// A lineage resubmit at `at_us`: credit it to every failure whose
+    /// attribution window covers it, opening the cascade incident at
+    /// the resubmit that first exceeds the direct-loss set.
+    fn on_retry(&mut self, at_us: u64) {
+        for i in 0..self.cascades.len() {
+            let c = &mut self.cascades[i];
+            if at_us > c.t_fail_us + self.cfg.cascade_window_us {
+                continue;
+            }
+            c.retries += 1;
+            let threshold = c.direct_loss.max(1) as f64;
+            let (retries, node) = (c.retries as f64, c.node);
+            if retries > threshold {
+                self.open_or_peak(
+                    Key::Cascade(i as u32),
+                    at_us,
+                    IncidentKind::ReconstructionCascade,
+                    Some(node),
+                    None,
+                    None,
+                    retries,
+                    threshold,
+                );
+            }
+        }
+    }
+
+    /// One detector pass at virtual time `t` (an eval boundary).
+    fn evaluate(&mut self, t: u64) {
+        self.eval_hotspots(t);
+        self.eval_spill(t);
+        self.eval_queue(t);
+        self.eval_stragglers(t);
+        self.eval_cascades(t);
+    }
+
+    fn eval_hotspots(&mut self, t: u64) {
+        let windows = self.bounds.snapshot(t);
+        // Median over nodes, per device. With a single pinned outlier
+        // the median tracks the healthy majority.
+        let median = |vals: &mut Vec<f64>| -> f64 {
+            vals.sort_by(f64::total_cmp);
+            vals.get(vals.len() / 2).copied().unwrap_or(0.0)
+        };
+        let mut disk: Vec<f64> = windows.iter().map(|w| w.disk_util).collect();
+        let mut net: Vec<f64> = windows.iter().map(|w| w.net_util).collect();
+        let med = [median(&mut disk), median(&mut net)];
+        for w in &windows {
+            for (dev, util) in [(0usize, w.disk_util), (1, w.net_util)] {
+                let key = Key::Hotspot(w.node, dev == 1);
+                let kind = if dev == 1 {
+                    IncidentKind::NetHotspot
+                } else {
+                    IncidentKind::DiskHotspot
+                };
+                let pinned =
+                    util >= self.cfg.hotspot_util && med[dev] <= self.cfg.hotspot_median_util;
+                if pinned {
+                    let since = *self.hot_since[w.node as usize][dev].get_or_insert(t);
+                    if t - since >= self.cfg.hotspot_min_us {
+                        self.open_or_peak(
+                            key,
+                            t,
+                            kind,
+                            Some(w.node),
+                            None,
+                            None,
+                            util,
+                            self.cfg.hotspot_util,
+                        );
+                    }
+                } else {
+                    self.hot_since[w.node as usize][dev] = None;
+                    self.close(key, t);
+                }
+            }
+        }
+    }
+
+    fn eval_spill(&mut self, t: u64) {
+        for node in 0..self.store_bytes.len() {
+            let threshold = self.cfg.spill_window_frac * self.store_bytes[node] as f64;
+            let bytes = self.spill.window_sum(node, t) as f64;
+            if threshold > 0.0 && bytes > threshold {
+                self.open_or_peak(
+                    Key::Spill(node as u32),
+                    t,
+                    IncidentKind::SpillStorm,
+                    Some(node as u32),
+                    None,
+                    None,
+                    bytes,
+                    threshold,
+                );
+            } else {
+                self.close(Key::Spill(node as u32), t);
+            }
+        }
+    }
+
+    fn eval_queue(&mut self, t: u64) {
+        let base_p99 = self
+            .queue
+            .baseline()
+            .quantile(0.99)
+            .max(self.cfg.queue_min_us);
+        let threshold = self.cfg.queue_ratio * base_p99 as f64;
+        let window_p99 = self.queue.window().quantile(0.99) as f64;
+        let blown = self.queue.window().count() >= self.cfg.queue_min_count
+            && self.queue.baseline().count() >= self.cfg.queue_min_count
+            && window_p99 > threshold;
+        if blown {
+            self.open_or_peak(
+                Key::Queue,
+                t,
+                IncidentKind::QueueDelay,
+                None,
+                None,
+                None,
+                window_p99,
+                threshold,
+            );
+        } else {
+            self.close(Key::Queue, t);
+        }
+        // Rotate *after* judging, on window boundaries: the window just
+        // judged becomes baseline.
+        if t >= self.queue_next_rotate_us {
+            self.queue.rotate();
+            self.queue_next_rotate_us = t + self.cfg.window_us;
+        }
+    }
+
+    fn eval_stragglers(&mut self, t: u64) {
+        // Sorted sweep: incident ids must not depend on hash order.
+        let mut ids: Vec<u64> = self.tasks.keys().copied().collect();
+        ids.sort_unstable();
+        for task in ids {
+            let st = self.tasks[&task];
+            let Some(started) = st.started_us else {
+                continue;
+            };
+            let peers = self
+                .stage_exec
+                .get(st.label)
+                .map(|s| (s.count(), s.quantile(0.5)))
+                .filter(|(n, _)| *n >= self.cfg.straggler_min_peers);
+            let Some((_, p50)) = peers else { continue };
+            let threshold =
+                (self.cfg.straggler_ratio * p50 as f64).max(self.cfg.straggler_min_us as f64);
+            let elapsed = (t - started) as f64;
+            if elapsed > threshold {
+                self.open_or_peak(
+                    Key::Straggler(task),
+                    t,
+                    IncidentKind::Straggler,
+                    Some(st.node),
+                    Some(st.label),
+                    Some(task),
+                    elapsed,
+                    threshold,
+                );
+            }
+            // No else-close: a straggler verdict stands until the task
+            // finishes or is rescheduled (handled in `observe`).
+        }
+    }
+
+    fn eval_cascades(&mut self, t: u64) {
+        for i in 0..self.cascades.len() {
+            if t > self.cascades[i].t_fail_us + self.cfg.cascade_window_us {
+                self.close(Key::Cascade(i as u32), t);
+            }
+        }
+    }
+
+    /// Opens the incident for `key` (recording the open transition), or
+    /// updates its peak evidence if already open.
+    #[allow(clippy::too_many_arguments)]
+    fn open_or_peak(
+        &mut self,
+        key: Key,
+        t: u64,
+        kind: IncidentKind,
+        node: Option<u32>,
+        stage: Option<&'static str>,
+        task: Option<u64>,
+        value: f64,
+        threshold: f64,
+    ) {
+        if let Some(&idx) = self.open.get(&key) {
+            let inc = &mut self.incidents[idx];
+            if value > inc.value {
+                inc.value = value;
+                inc.severity = value / inc.threshold.max(f64::MIN_POSITIVE);
+            }
+            return;
+        }
+        let severity = value / threshold.max(f64::MIN_POSITIVE);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open.insert(key, self.incidents.len());
+        self.incidents.push(Incident {
+            id,
+            kind,
+            t_open_us: t,
+            t_close_us: None,
+            node,
+            stage,
+            task,
+            value,
+            threshold,
+            severity,
+        });
+        self.transitions.push((
+            t,
+            IncidentEvent {
+                id,
+                kind,
+                open: true,
+                severity,
+                node,
+                stage,
+                task,
+                value,
+                threshold,
+            },
+        ));
+    }
+
+    /// Closes the incident for `key` at `t`, if open, recording the
+    /// close transition with the peak evidence.
+    fn close(&mut self, key: Key, t: u64) {
+        let Some(idx) = self.open.remove(&key) else {
+            return;
+        };
+        let inc = &mut self.incidents[idx];
+        inc.t_close_us = Some(t.max(inc.t_open_us));
+        self.transitions.push((
+            inc.t_close_us.expect("just set"),
+            IncidentEvent {
+                id: inc.id,
+                kind: inc.kind,
+                open: false,
+                severity: inc.severity,
+                node: inc.node,
+                stage: inc.stage,
+                task: inc.task,
+                value: inc.value,
+                threshold: inc.threshold,
+            },
+        ));
+    }
+
+    /// Final flush at the run's end time: evaluate any boundaries the
+    /// event stream never reached, then force-close everything still
+    /// open at `end_us` so every incident has a close edge.
+    pub(crate) fn finish(&mut self, end_us: u64) {
+        while self.next_eval_us <= end_us {
+            let t = self.next_eval_us;
+            self.evaluate(t);
+            self.next_eval_us = t + self.cfg.eval_interval_us;
+        }
+        let mut keys: Vec<Key> = self.open.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            self.close(key, end_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_sim::NodeCaps;
+    use exo_trace::{FailureEvent, FailureKind, IoDir, IoEvent, ObjectEvent, TaskSpan};
+
+    fn caps(nodes: usize) -> DeviceCaps {
+        DeviceCaps::uniform(
+            NodeCaps {
+                cpu_slots: 8,
+                disk_seq_bw: 1e8,
+                disk_random_iops: 1500.0,
+                disk_devices: 1,
+                nic_bw: 1e8,
+                store_bytes: 1_000_000,
+            },
+            nodes,
+        )
+    }
+
+    fn cfg() -> WatchConfig {
+        WatchConfig {
+            eval_interval_us: 100_000,
+            window_us: 1_000_000,
+            window_buckets: 10,
+            straggler_min_peers: 2,
+            straggler_min_us: 100_000,
+            hotspot_min_us: 300_000,
+            queue_min_count: 4,
+            ..WatchConfig::default()
+        }
+    }
+
+    fn rec() -> Recorder {
+        Recorder::new(&cfg(), &caps(4))
+    }
+
+    fn task(phase: TaskPhase, id: u64, node: u32, at_us: u64) -> Event {
+        task_retry(phase, id, node, at_us, false)
+    }
+
+    fn task_retry(phase: TaskPhase, id: u64, node: u32, at_us: u64, retry: bool) -> Event {
+        Event {
+            at_us,
+            kind: EventKind::Task(TaskSpan {
+                task: id,
+                phase,
+                node,
+                label: "map",
+                attempt: 0,
+                retry,
+                reason: None,
+            }),
+        }
+    }
+
+    fn run_task(r: &mut Recorder, id: u64, node: u32, start: u64, exec: u64) {
+        r.observe(&task(TaskPhase::Scheduled, id, node, start));
+        r.observe(&task(TaskPhase::Dequeued, id, node, start));
+        r.observe(&task(TaskPhase::Started, id, node, start));
+        r.observe(&task(TaskPhase::Finished, id, node, start + exec));
+    }
+
+    #[test]
+    fn straggler_fires_after_peers_finish_and_closes_on_finish() {
+        let mut r = rec();
+        for id in 0..4 {
+            run_task(&mut r, id, 0, 1_000 * id, 50_000);
+        }
+        // Task 99 starts at 200 ms and runs far past 3× the 50 ms p50.
+        r.observe(&task(TaskPhase::Scheduled, 99, 1, 200_000));
+        r.observe(&task(TaskPhase::Started, 99, 1, 200_000));
+        r.observe(&task(TaskPhase::Finished, 99, 1, 1_200_000));
+        let open = r.incidents();
+        assert_eq!(open.len(), 1, "exactly one straggler: {open:?}");
+        let inc = open[0];
+        assert_eq!(inc.kind, IncidentKind::Straggler);
+        assert_eq!(inc.task, Some(99));
+        assert_eq!(inc.stage, Some("map"));
+        assert_eq!(inc.t_close_us, Some(1_200_000));
+        assert!(inc.severity >= 1.0);
+    }
+
+    #[test]
+    fn uniform_tasks_fire_nothing() {
+        let mut r = rec();
+        for id in 0..32 {
+            run_task(&mut r, id, (id % 4) as u32, 10_000 * id, 60_000);
+        }
+        r.finish(2_000_000);
+        assert!(r.incidents().is_empty(), "{:?}", r.incidents());
+    }
+
+    #[test]
+    fn single_hot_disk_opens_and_closes() {
+        let mut r = rec();
+        // 1e8 B/s disk → 10 KB per 100 µs bucket capacity; node 0 writes
+        // at ~2× capacity for 2.5 s while others are idle.
+        for i in 0..25u64 {
+            r.observe(&Event {
+                at_us: i * 100_000,
+                kind: EventKind::Io(IoEvent {
+                    node: 0,
+                    dir: IoDir::Write,
+                    bytes: 20_000_000,
+                }),
+            });
+        }
+        // Quiet period long enough for the window to drain.
+        r.observe(&Event {
+            at_us: 6_000_000,
+            kind: EventKind::Io(IoEvent {
+                node: 1,
+                dir: IoDir::Read,
+                bytes: 1,
+            }),
+        });
+        let incs = r.incidents();
+        let hot: Vec<_> = incs
+            .iter()
+            .filter(|i| i.kind == IncidentKind::DiskHotspot)
+            .collect();
+        assert_eq!(hot.len(), 1, "{incs:?}");
+        assert_eq!(hot[0].node, Some(0));
+        assert!(hot[0].t_close_us.is_some());
+    }
+
+    #[test]
+    fn spill_storm_on_windowed_bytes() {
+        let mut r = rec();
+        // Store is 1 MB; default frac 8.0 → 8 MB/window threshold.
+        // Spill 10 MB within half a window on node 2.
+        for i in 0..10u64 {
+            r.observe(&Event {
+                at_us: 100_000 + i * 50_000,
+                kind: EventKind::Object(ObjectEvent {
+                    object: i,
+                    phase: ObjectPhase::Spilled,
+                    node: 2,
+                    src: None,
+                    bytes: 1_000_000,
+                }),
+            });
+        }
+        r.finish(1_000_000);
+        let incs = r.incidents();
+        assert_eq!(incs.len(), 1, "{incs:?}");
+        assert_eq!(incs[0].kind, IncidentKind::SpillStorm);
+        assert_eq!(incs[0].node, Some(2));
+        assert_eq!(incs[0].t_close_us, Some(1_000_000), "force-closed at end");
+    }
+
+    #[test]
+    fn cascade_counts_only_beyond_direct_loss() {
+        let mut r = rec();
+        // Two tasks live on node 3 at failure time → direct loss 2.
+        r.observe(&task(TaskPhase::Scheduled, 1, 3, 10_000));
+        r.observe(&task(TaskPhase::Scheduled, 2, 3, 11_000));
+        r.observe(&task(TaskPhase::Scheduled, 3, 1, 12_000));
+        r.observe(&Event {
+            at_us: 20_000,
+            kind: EventKind::Failure(FailureEvent {
+                node: 3,
+                kind: FailureKind::NodeKilled,
+            }),
+        });
+        // Two lineage resubmits: at the direct-loss budget, no incident.
+        r.observe(&task_retry(TaskPhase::Scheduled, 10, 1, 30_000, true));
+        r.observe(&task_retry(TaskPhase::Scheduled, 11, 1, 31_000, true));
+        assert!(r.incidents().is_empty());
+        // The third exceeds it: cascade opens at that event's time.
+        r.observe(&task_retry(TaskPhase::Scheduled, 12, 1, 32_000, true));
+        let incs = r.incidents();
+        assert_eq!(incs.len(), 1);
+        assert_eq!(incs[0].kind, IncidentKind::ReconstructionCascade);
+        assert_eq!(incs[0].t_open_us, 32_000);
+        assert_eq!(incs[0].node, Some(3));
+        // Window expiry closes it.
+        r.finish(20_000 + cfg().cascade_window_us + 200_000);
+        assert!(r.incidents()[0].t_close_us.is_some());
+    }
+
+    #[test]
+    fn queue_blowup_against_baseline() {
+        let mut r = rec();
+        let mut id = 0u64;
+        // Baseline: ~10 ms queue delays over the first two windows.
+        let mut t = 0u64;
+        for _ in 0..40 {
+            r.observe(&task(TaskPhase::Scheduled, id, 0, t));
+            r.observe(&task(TaskPhase::Dequeued, id, 0, t + 10_000));
+            id += 1;
+            t += 50_000;
+        }
+        // Blowup: 400 ms delays (≥ 4× the 50 ms floor) in later windows.
+        for _ in 0..40 {
+            r.observe(&task(TaskPhase::Scheduled, id, 0, t));
+            r.observe(&task(TaskPhase::Dequeued, id, 0, t + 400_000));
+            id += 1;
+            t += 50_000;
+        }
+        r.finish(t + 1_000_000);
+        let incs = r.incidents();
+        assert!(
+            incs.iter().any(|i| i.kind == IncidentKind::QueueDelay),
+            "{incs:?}"
+        );
+    }
+
+    #[test]
+    fn transitions_pair_and_drain_once() {
+        let mut r = rec();
+        for id in 0..4 {
+            run_task(&mut r, id, 0, 1_000 * id, 50_000);
+        }
+        r.observe(&task(TaskPhase::Scheduled, 99, 1, 200_000));
+        r.observe(&task(TaskPhase::Started, 99, 1, 200_000));
+        r.observe(&task(TaskPhase::Finished, 99, 1, 1_200_000));
+        let tr = r.drain_transitions();
+        assert_eq!(tr.len(), 2);
+        assert!(tr[0].1.open && !tr[1].1.open);
+        assert_eq!(tr[0].1.id, tr[1].1.id);
+        assert!(tr[0].0 <= tr[1].0);
+        assert!(r.drain_transitions().is_empty());
+    }
+}

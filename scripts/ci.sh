@@ -32,4 +32,18 @@ cargo run --release -p exo-bench --bin fig4c -- --quick --live results/fig4c.liv
 cargo run --release -p exo-bench --bin live_check -- \
     results/fig4c.live.jsonl results/fig4c.json
 
+echo "==> incident gate (bench_gate --incidents-diff vs bench/incidents.json)"
+cargo run --release -p exo-bench --bin bench_gate -- --incidents-diff \
+    --out results/INCIDENTS_ci.json
+
+echo "==> watched fault-case smoke (--watch incident JSONL, validated twice for determinism)"
+cargo run --release -p exo-bench --bin fig4_ft -- --quick --watch \
+    --live results/fig4_ft.live.jsonl
+cargo run --release -p exo-bench --bin fig4_ft -- --quick --watch \
+    --live results/fig4_ft.live.rerun.jsonl
+cargo run --release -p exo-bench --bin live_check -- \
+    results/fig4_ft.live.jsonl results/fig4_ft.json \
+    --rerun results/fig4_ft.live.rerun.jsonl
+# results/*.jsonl (incident + snapshot lines) are uploaded as CI artifacts.
+
 echo "==> CI OK"

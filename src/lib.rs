@@ -25,3 +25,4 @@ pub use exo_sim as sim;
 pub use exo_sort as sort;
 pub use exo_store as store;
 pub use exo_trace as trace;
+pub use exo_watch as watch;

@@ -215,6 +215,126 @@ mod live_sketch {
     }
 }
 
+/// Merging sketches must preserve the same one-sided relative-error
+/// bound as recording into one: for any split of a stream across two
+/// sketches, the merged sketch answers every quantile within the bound
+/// of the exact combined distribution.
+mod sketch_merge {
+    use super::*;
+    use exoshuffle::live::{QuantileSketch, RELATIVE_ERROR};
+
+    proptest! {
+        #[test]
+        fn merge_preserves_relative_error_bound(
+            a in proptest::collection::vec(0u64..1_000_000_000_000, 0..300),
+            b in proptest::collection::vec(0u64..1_000_000_000_000, 1..300),
+        ) {
+            let mut sa = QuantileSketch::new();
+            for &v in &a {
+                sa.record(v);
+            }
+            let mut sb = QuantileSketch::new();
+            for &v in &b {
+                sb.record(v);
+            }
+            sa.merge(&sb);
+
+            let mut sorted: Vec<u64> = a.iter().chain(&b).copied().collect();
+            sorted.sort_unstable();
+            prop_assert_eq!(sa.count(), sorted.len() as u64);
+            prop_assert_eq!(sa.max(), *sorted.last().unwrap());
+            prop_assert_eq!(sa.min(), sorted[0]);
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                let est = sa.quantile(q);
+                prop_assert!(est >= exact, "q={}: merged {} below exact {}", q, est, exact);
+                prop_assert!(
+                    est as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR),
+                    "q={}: merged {} overshoots exact {} beyond {}",
+                    q, est, exact, RELATIVE_ERROR
+                );
+            }
+        }
+    }
+}
+
+/// Detector quiescence: a uniform, fault-free synthetic event stream —
+/// evenly spread tasks with tightly banded execution times, modest
+/// queue delays, no spills, no failures — must fire zero incidents at
+/// the default thresholds, for any draw of the stream's shape.
+mod watch_quiescence {
+    use super::*;
+    use exoshuffle::sim::{DeviceCaps, NodeCaps};
+    use exoshuffle::trace::{Event, EventKind, TaskPhase, TaskSpan};
+    use exoshuffle::watch::{WatchConfig, WatchHandle};
+
+    fn caps(nodes: usize) -> DeviceCaps {
+        DeviceCaps::uniform(
+            NodeCaps {
+                cpu_slots: 8,
+                disk_seq_bw: 1e8,
+                disk_random_iops: 1500.0,
+                disk_devices: 1,
+                nic_bw: 1e8,
+                store_bytes: 100_000_000,
+            },
+            nodes,
+        )
+    }
+
+    fn task_ev(at_us: u64, task: u64, node: u32, phase: TaskPhase) -> Event {
+        Event {
+            at_us,
+            kind: EventKind::Task(TaskSpan {
+                task,
+                phase,
+                node,
+                label: "map",
+                attempt: 0,
+                retry: false,
+                reason: None,
+            }),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn uniform_no_fault_stream_fires_zero_incidents(
+            nodes in 2usize..8,
+            tasks in 4u64..60,
+            stride_us in 10_000u64..200_000,
+            // Execution stays under the 500 ms straggler floor and the
+            // band is narrower than the 3× ratio; queue delays stay
+            // under the 50 ms baseline floor.
+            exec_us in proptest::collection::vec(100_000u64..400_000, 60),
+            delay_us in proptest::collection::vec(0u64..40_000, 60),
+        ) {
+            let handle = WatchHandle::new(WatchConfig::default(), &caps(nodes));
+            let mut obs = handle.observer();
+            let mut events = Vec::new();
+            let mut end = 0u64;
+            for i in 0..tasks {
+                let at = i * stride_us;
+                let node = (i % nodes as u64) as u32;
+                let started = at + delay_us[i as usize % delay_us.len()];
+                let finished = started + exec_us[i as usize % exec_us.len()];
+                events.push(task_ev(at, i, node, TaskPhase::Scheduled));
+                events.push(task_ev(started, i, node, TaskPhase::Started));
+                events.push(task_ev(finished, i, node, TaskPhase::Finished));
+                end = end.max(finished);
+            }
+            // Observers see the sink's stream in virtual-time order.
+            events.sort_by_key(|e| e.at_us);
+            for ev in &events {
+                obs.on_event(ev);
+            }
+            let report = handle.finish(end);
+            prop_assert!(report.is_empty(), "incidents: {:?}", report.incidents);
+        }
+    }
+}
+
 /// Random small DAGs executed on the runtime must produce exactly the
 /// values a direct (reference) evaluation produces — regardless of
 /// topology, placement or payload sizes.

@@ -1,0 +1,203 @@
+//! End-to-end incident-detection guarantees: a seeded fault run fires a
+//! pinned incident sequence, detection is bit-identical across reruns,
+//! watching never perturbs the simulation (same discipline as
+//! `tests/live_observability.rs`), incident edges land in the retained
+//! trace stream as paired first-class events, and the mid-run
+//! `incidents_now` query surfaces verdicts while the run is still going.
+
+use exoshuffle::rt::{NodeId, RtConfig, RtHandle, RunReport, TraceConfig, WatchConfig};
+use exoshuffle::shuffle::{run_shuffle, ShuffleVariant};
+use exoshuffle::sim::{ClusterSpec, NodeSpec, SimDuration, SimTime};
+use exoshuffle::sort::{sort_job, SortSpec};
+use exoshuffle::trace::{EventKind, IncidentKind};
+use exoshuffle::watch::Incident;
+
+/// The pinned fault case: the same shape as the gate's `sort_ft_small`
+/// (2 GB push* sort on 4 HDD nodes, node 3 killed at t=2 s and
+/// restarted 5 s later), so this suite and `bench_gate --incidents-diff`
+/// pin the same detection story from opposite sides.
+fn fault_spec() -> SortSpec {
+    SortSpec {
+        data_bytes: 2_000_000_000,
+        num_maps: 16,
+        num_reduces: 16,
+        scale: 40,
+        seed: 7,
+    }
+}
+
+fn fault_run(trace: bool, watch: bool) -> RunReport {
+    let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 4));
+    if trace {
+        cfg.trace = TraceConfig::on();
+    }
+    if watch {
+        cfg.watch = Some(WatchConfig::default());
+    }
+    let spec = fault_spec();
+    let (report, ()) = exoshuffle::rt::run(cfg, |rt: &RtHandle| {
+        rt.kill_node(
+            NodeId(3),
+            SimTime(2_000_000),
+            Some(SimDuration::from_secs(5)),
+        );
+        let job = sort_job(spec);
+        let outs = run_shuffle(rt, &job, ShuffleVariant::PushStar { map_parallelism: 2 });
+        rt.wait_all(&outs);
+    });
+    report
+}
+
+/// The healthy counterpart: the uniform in-memory-sized pinned case
+/// from `tests/live_observability.rs`, watched.
+fn healthy_run(watch: bool) -> RunReport {
+    let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 4));
+    if watch {
+        cfg.watch = Some(WatchConfig::default());
+    }
+    let spec = SortSpec {
+        data_bytes: 64 * 1000 * 1000,
+        num_maps: 8,
+        num_reduces: 4,
+        scale: 100,
+        seed: 11,
+    };
+    let (report, ()) = exoshuffle::rt::run(cfg, |rt: &RtHandle| {
+        let job = sort_job(spec);
+        let outs = run_shuffle(rt, &job, ShuffleVariant::Simple);
+        rt.wait_all(&outs);
+    });
+    report
+}
+
+#[test]
+fn fault_run_pins_exact_incident_sequence() {
+    let report = fault_run(false, true);
+    let watch = report.incidents.expect("watch configured");
+    let incs = &watch.incidents;
+    assert_eq!(incs.len(), 1, "{incs:?}");
+    let inc: &Incident = &incs[0];
+    assert_eq!(inc.id, 0);
+    assert_eq!(inc.kind, IncidentKind::ReconstructionCascade);
+    assert_eq!(inc.node, Some(3), "scoped to the killed node");
+    assert_eq!(inc.t_open_us, 2_000_000, "opens at the failure time");
+    assert_eq!(
+        inc.t_close_us,
+        Some(report.end_time.as_micros()),
+        "stays open to the end and is force-closed there"
+    );
+    assert_eq!(inc.value, 11.0, "11 lineage resubmits attributed");
+    assert_eq!(inc.threshold, 1.0, "direct-loss set at the kill instant");
+    assert_eq!(inc.severity, 11.0);
+}
+
+#[test]
+fn healthy_run_fires_no_incidents() {
+    let report = healthy_run(true);
+    let watch = report.incidents.expect("watch configured");
+    assert!(watch.is_empty(), "{:?}", watch.incidents);
+}
+
+#[test]
+fn detection_is_bit_identical_across_reruns() {
+    let a = fault_run(false, true).incidents.expect("watched");
+    let b = fault_run(false, true).incidents.expect("watched");
+    assert_eq!(a.to_json().render(), b.to_json().render());
+}
+
+#[test]
+fn watch_does_not_perturb_the_simulation() {
+    // Same discipline as `live_and_plain_runs_agree_on_metrics`: the
+    // detectors are pure observers, so a watched run must report
+    // identical end time and metrics to an unwatched one.
+    let plain = fault_run(false, false);
+    let watched = fault_run(false, true);
+    assert_eq!(plain.end_time, watched.end_time);
+    assert_eq!(
+        plain.metrics.tasks_completed,
+        watched.metrics.tasks_completed
+    );
+    assert_eq!(
+        plain.metrics.tasks_reexecuted,
+        watched.metrics.tasks_reexecuted
+    );
+    assert_eq!(plain.metrics.net_bytes, watched.metrics.net_bytes);
+    assert_eq!(
+        plain.metrics.disk_read_bytes,
+        watched.metrics.disk_read_bytes
+    );
+    assert_eq!(
+        plain.metrics.disk_write_bytes,
+        watched.metrics.disk_write_bytes
+    );
+    assert!(plain.incidents.is_none());
+}
+
+#[test]
+fn incident_edges_reach_the_trace_as_paired_events() {
+    let report = fault_run(true, true);
+    let watch = report.incidents.as_ref().expect("watch configured");
+
+    let mut opens = Vec::new();
+    let mut closes = Vec::new();
+    for ev in &report.trace {
+        if let EventKind::Incident(inc) = &ev.kind {
+            if inc.open {
+                opens.push((ev.at_us, *inc));
+            } else {
+                closes.push((ev.at_us, *inc));
+            }
+        }
+    }
+    assert_eq!(opens.len(), watch.len(), "one open edge per incident");
+    assert_eq!(closes.len(), watch.len(), "every incident closed");
+    for inc in &watch.incidents {
+        let (at, open) = opens
+            .iter()
+            .find(|(_, e)| e.id == inc.id)
+            .expect("open edge present");
+        assert_eq!(*at, inc.t_open_us);
+        assert_eq!(open.kind, inc.kind);
+        assert_eq!(open.node, inc.node);
+        let (at, close) = closes
+            .iter()
+            .find(|(_, e)| e.id == inc.id)
+            .expect("close edge present");
+        assert_eq!(*at, inc.t_close_us.expect("closed"));
+        assert_eq!(close.severity, inc.severity, "close edge carries the peak");
+    }
+}
+
+#[test]
+fn incidents_are_queryable_mid_run() {
+    let mut cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::d3_2xlarge(), 4));
+    cfg.watch = Some(WatchConfig::default());
+    let spec = fault_spec();
+    let (_, (before, after)) = exoshuffle::rt::run(cfg, |rt: &RtHandle| {
+        rt.kill_node(
+            NodeId(3),
+            SimTime(2_000_000),
+            Some(SimDuration::from_secs(5)),
+        );
+        let before = rt.incidents_now();
+        let job = sort_job(spec);
+        let outs = run_shuffle(rt, &job, ShuffleVariant::PushStar { map_parallelism: 2 });
+        rt.wait_all(&outs);
+        (before, rt.incidents_now())
+    });
+    assert!(before.is_empty(), "nothing decided before work starts");
+    assert_eq!(after.len(), 1, "{after:?}");
+    assert_eq!(after[0].kind, IncidentKind::ReconstructionCascade);
+    assert_eq!(after[0].node, Some(3));
+    assert!(
+        after[0].t_close_us.is_none(),
+        "still open mid-run; only the end-of-run flush closes it"
+    );
+}
+
+#[test]
+fn unwatched_runs_query_empty() {
+    let cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::i3_2xlarge(), 2));
+    let (_, incs) = exoshuffle::rt::run(cfg, |rt: &RtHandle| rt.incidents_now());
+    assert!(incs.is_empty());
+}
