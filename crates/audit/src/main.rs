@@ -1,0 +1,85 @@
+//! CLI: `cargo run -p exo-audit -- [--deny] [--json PATH] [--root PATH]
+//! [--list-rules]`.
+//!
+//! Report mode (default) prints the findings and exits 0 — useful while
+//! burning a backlog down. `--deny` is the CI mode: any finding
+//! (including a malformed or unused `audit:allow`) exits 1. `--json`
+//! additionally writes the machine-readable report (CI uploads
+//! `results/audit.json` as an artifact).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use exo_audit::{audit_workspace, find_workspace_root, render_human, render_json, RULES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny" => deny = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --json requires a path");
+                        exit(2);
+                    }
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --root requires a path");
+                        exit(2);
+                    }
+                }
+            }
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{}  {}", r.id, r.summary);
+                }
+                exit(0);
+            }
+            other => {
+                eprintln!(
+                    "error: unknown flag {other}\n\
+                     usage: exo-audit [--deny] [--json PATH] [--root PATH] [--list-rules]"
+                );
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("error: no workspace root found (run from the repo, or pass --root)");
+        exit(2);
+    };
+
+    let report = audit_workspace(&root);
+    print!("{}", render_human(&report));
+    if let Some(path) = json_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, render_json(&report)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            exit(2);
+        }
+        eprintln!("exo-audit: wrote {}", path.display());
+    }
+    if deny && !report.findings.is_empty() {
+        exit(1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Report rendering: a human-readable listing grouped by rule, and a
+//! machine-readable JSON document (`results/audit.json` in CI). The
+//! JSON is hand-rendered — this crate is dependency-free by design —
+//! with key order fixed, so reruns on an unchanged tree are
+//! byte-identical.
+
+use crate::rules::RULES;
+use crate::AuditReport;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The human report: per-rule groups, then exemptions, then a one-line
+/// verdict.
+pub fn render_human(r: &AuditReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "exo-audit: scanned {} files — {} finding(s), {} justified exemption(s)\n",
+        r.files_scanned,
+        r.findings.len(),
+        r.exemptions.len()
+    ));
+    for rule in RULES {
+        let hits: Vec<_> = r.findings.iter().filter(|f| f.rule == rule.id).collect();
+        if hits.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\n{} — {}\n", rule.id, rule.summary));
+        for f in hits {
+            out.push_str(&format!("  {}:{}: {}\n", f.path, f.line, f.message));
+        }
+    }
+    if !r.exemptions.is_empty() {
+        out.push_str("\nexemptions (audit:allow):\n");
+        for e in &r.exemptions {
+            out.push_str(&format!(
+                "  {}:{}: {} — {}\n",
+                e.path, e.line, e.rule, e.justification
+            ));
+        }
+    }
+    if r.findings.is_empty() {
+        out.push_str("\nexo-audit: PASS\n");
+    } else {
+        out.push_str(&format!(
+            "\nexo-audit: FAIL — {} finding(s)\n",
+            r.findings.len()
+        ));
+    }
+    out
+}
+
+/// The JSON report.
+pub fn render_json(r: &AuditReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
+    out.push_str(&format!("  \"findings_total\": {},\n", r.findings.len()));
+    out.push_str(&format!(
+        "  \"exemptions_total\": {},\n",
+        r.exemptions.len()
+    ));
+    out.push_str("  \"rules\": {\n");
+    let by_f = r.findings_by_rule();
+    let by_e = r.exemptions_by_rule();
+    for (i, rule) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"findings\": {}, \"exemptions\": {}}}{}\n",
+            rule.id,
+            by_f[i].1,
+            by_e[i].1,
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in r.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            f.rule,
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            if i + 1 < r.findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"exemptions\": [\n");
+    for (i, e) in r.exemptions.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"justification\": \"{}\"}}{}\n",
+            json_escape(&e.rule),
+            json_escape(&e.path),
+            e.line,
+            json_escape(&e.justification),
+            if i + 1 < r.exemptions.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Exemption, Finding};
+
+    fn sample() -> AuditReport {
+        AuditReport {
+            findings: vec![Finding {
+                rule: "D01",
+                path: "crates/rt/src/x.rs".into(),
+                line: 7,
+                message: "iteration over unordered `m`".into(),
+            }],
+            exemptions: vec![Exemption {
+                rule: "P01".into(),
+                path: "crates/store/src/y.rs".into(),
+                line: 3,
+                justification: "count is order-free".into(),
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn human_report_groups_by_rule() {
+        let text = render_human(&sample());
+        assert!(text.contains("D01 —"));
+        assert!(text.contains("crates/rt/src/x.rs:7"));
+        assert!(text.contains("exemptions (audit:allow):"));
+        assert!(text.contains("FAIL — 1 finding(s)"));
+    }
+
+    #[test]
+    fn json_report_is_valid_shape() {
+        let j = render_json(&sample());
+        assert!(j.contains("\"findings_total\": 1"));
+        assert!(j.contains("\"exemptions_total\": 1"));
+        assert!(j.contains("\"D01\": {\"findings\": 1, \"exemptions\": 0}"));
+        // Every rule id appears, even at zero.
+        for r in RULES {
+            assert!(j.contains(&format!("\"{}\"", r.id)), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let mut r = sample();
+        r.findings[0].message = "say \"hi\" \\ done".into();
+        let j = render_json(&r);
+        assert!(j.contains(r#"say \"hi\" \\ done"#));
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: A01 — an allow without a justification is itself a finding,
+// and it suppresses nothing (the P01 below still fires).
+fn hot(v: &[u64]) -> u64 {
+    // audit:allow(P01)
+    v.first().copied().unwrap()
+}

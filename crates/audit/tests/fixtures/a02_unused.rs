@@ -1,0 +1,6 @@
+// Fixture: A02 — an allow whose target is clean suppresses nothing and
+// must be reported as dead weight.
+fn add(a: u64, b: u64) -> u64 {
+    // audit:allow(P01): nothing here can panic.
+    a.saturating_add(b)
+}

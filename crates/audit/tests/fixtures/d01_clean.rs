@@ -1,0 +1,21 @@
+// Fixture: D01 clean — keyed lookups, order-free reductions, ordered
+// maps, and the collect-then-sort idiom are all permitted.
+use std::collections::{BTreeMap, HashMap};
+
+fn ordered_sum(m: &BTreeMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+fn keyed_lookup(m: &HashMap<u32, u64>, k: u32) -> Option<u64> {
+    m.get(&k).copied()
+}
+
+fn order_free_reduction(m: &HashMap<u32, u64>) -> (usize, u64) {
+    (m.len(), m.values().sum())
+}
+
+fn collect_then_sort(m: &HashMap<u32, u64>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}

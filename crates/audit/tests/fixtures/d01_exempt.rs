@@ -1,0 +1,12 @@
+// Fixture: D01 exempted — hash iteration with a justified inline allow.
+use std::collections::HashMap;
+
+fn drain_sum(m: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    // audit:allow(D01): addition is commutative, so visit order cannot
+    // affect the result.
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}

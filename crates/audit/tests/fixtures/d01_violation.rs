@@ -1,0 +1,15 @@
+// Fixture: D01 violations — unordered hash iteration in a deterministic
+// crate. Scanned by tests/golden.rs as crate "sim"; never compiled.
+use std::collections::{HashMap, HashSet};
+
+fn sum_values(m: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in m {
+        total += v;
+    }
+    total
+}
+
+fn first_member(s: &HashSet<u32>) -> Option<u32> {
+    s.iter().next().copied()
+}

@@ -1,0 +1,10 @@
+// Fixture: D02 clean — timestamps flow from the virtual sim clock.
+struct SimTime(u64);
+
+fn stamp(now: SimTime) -> u64 {
+    now.0
+}
+
+fn elapsed(start: SimTime, now: SimTime) -> u64 {
+    now.0.saturating_sub(start.0)
+}

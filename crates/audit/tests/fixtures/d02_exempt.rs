@@ -1,0 +1,7 @@
+// Fixture: D02 exempted — a justified wall-clock read.
+fn wall_secs() -> u64 {
+    // audit:allow(D02): this feeds a human-facing progress banner only —
+    // nothing derived from it enters the simulation state.
+    let wall = std::time::Instant::now();
+    wall.elapsed().as_secs()
+}

@@ -1,0 +1,11 @@
+// Fixture: D02 violations — wall-clock reads in a deterministic crate.
+fn stamp_micros() -> u64 {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let since = wall
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let _ = t0;
+    since
+}

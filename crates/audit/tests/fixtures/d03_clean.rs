@@ -1,0 +1,19 @@
+// Fixture: D03 clean — all randomness flows from an explicit seed.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn seeded(seed: u64) -> SplitMix {
+        SplitMix(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    }
+}
+
+fn draw(seed: u64) -> u64 {
+    SplitMix::seeded(seed).next()
+}

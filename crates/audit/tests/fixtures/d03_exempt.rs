@@ -1,0 +1,7 @@
+// Fixture: D03 exempted — a justified ambient-randomness use.
+fn session_nonce() -> u64 {
+    // audit:allow(D03): the nonce names a log file; it never influences
+    // scheduling, placement, or any simulated outcome.
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,10 @@
+// Fixture: D03 violations — ambient randomness in a deterministic crate.
+use std::collections::hash_map::RandomState;
+
+fn ambient() -> u64 {
+    let _state = RandomState::new();
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let _ = &mut rng;
+    x
+}

@@ -1,0 +1,18 @@
+// Fixture: D04 clean — exhaustive matches over trace enums; wildcards on
+// non-trace enums are out of scope.
+fn route(k: &EventKind) -> u32 {
+    match k {
+        EventKind::Task(_) => 1,
+        EventKind::Object(_) => 2,
+        EventKind::Dep(_) | EventKind::FetchWait(_) => 3,
+        EventKind::Io(_) | EventKind::Resource(_) => 4,
+        EventKind::Failure(_) | EventKind::Incident(_) => 5,
+    }
+}
+
+fn other_enum(v: &Option<u32>) -> u32 {
+    match v {
+        Some(x) => *x,
+        _ => 0,
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: D04 exempted — a justified wildcard on a trace-enum match.
+fn is_task(k: &EventKind) -> bool {
+    match k {
+        EventKind::Task(_) => true,
+        // audit:allow(D04): this predicate asks one yes/no question; a
+        // new variant is by definition not Task and belongs here.
+        _ => false,
+    }
+}

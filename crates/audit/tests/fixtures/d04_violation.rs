@@ -1,0 +1,19 @@
+// Fixture: D04 violations — wildcard arms on trace-enum matches.
+fn route(k: &EventKind) -> u32 {
+    match k {
+        EventKind::Task(_) => 1,
+        EventKind::Object(_) => 2,
+        _ => 0,
+    }
+}
+
+fn severity(k: &IncidentKind) -> u32 {
+    match k {
+        IncidentKind::FetchStall => 3,
+        other => drop_of(other),
+    }
+}
+
+fn drop_of(_k: &IncidentKind) -> u32 {
+    0
+}

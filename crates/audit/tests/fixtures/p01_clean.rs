@@ -1,0 +1,20 @@
+// Fixture: P01 clean — hot-path code returns typed errors instead of
+// panicking, and `unwrap_or`-style total methods are fine.
+enum HotError {
+    Empty,
+    Inverted,
+}
+
+fn hot(v: &[u64]) -> Result<u64, HotError> {
+    let (Some(first), Some(last)) = (v.first(), v.last()) else {
+        return Err(HotError::Empty);
+    };
+    if *first > *last {
+        return Err(HotError::Inverted);
+    }
+    Ok(first + last)
+}
+
+fn total_methods(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0) + v.last().copied().unwrap_or_default()
+}

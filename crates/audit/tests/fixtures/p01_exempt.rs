@@ -1,0 +1,18 @@
+// Fixture: P01 exempted — justified panics, including a leading allow
+// that must cover an `.expect()` several lines below the statement head.
+fn trailing(v: &[u64]) -> u64 {
+    let n = v.len();
+    // audit:allow(P01): callers uphold the non-empty contract; the len
+    // check above makes the unwrap total.
+    if n > 0 { *v.first().unwrap() } else { 0 }
+}
+
+fn leading_multiline(pairs: &[(u64, u64)]) -> u64 {
+    // audit:allow(P01): `pairs` is built two lines up from a non-empty
+    // literal, so min over it always exists.
+    pairs
+        .iter()
+        .map(|(a, b)| a + b)
+        .min()
+        .expect("non-empty input")
+}

@@ -1,0 +1,21 @@
+// Fixture: P01 violations — panicking constructs in an engine hot path.
+// Scanned as crate "rt".
+fn hot(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("nonempty");
+    if *first > *last {
+        panic!("inverted slice");
+    }
+    *first + *last
+}
+
+fn unfinished() -> u64 {
+    todo!()
+}
+
+fn impossible(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

@@ -35,6 +35,31 @@ use exo_bench::gate::{
 use exo_bench::profdiff::{diff_profiles, extract_profile, render_diff};
 use exo_rt::trace::Json;
 
+/// Audit posture of the sources the numbers were taken from: total and
+/// per-rule finding/exemption counts. `None` when not run inside a
+/// workspace checkout. Returns the JSON block plus the two totals for
+/// the summary line.
+fn audit_snapshot() -> Option<(Json, usize, usize)> {
+    let cwd = std::env::current_dir().ok()?;
+    let root = exo_audit::find_workspace_root(&cwd)?;
+    let report = exo_audit::audit_workspace(&root);
+    let exemptions = report.exemptions_by_rule();
+    let mut by_rule = Json::obj();
+    for (rule, f) in report.findings_by_rule() {
+        let e = exemptions
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        by_rule = by_rule.set(rule, Json::obj().set("findings", f).set("exemptions", e));
+    }
+    let json = Json::obj()
+        .set("findings", report.findings.len())
+        .set("exemptions", report.exemptions.len())
+        .set("by_rule", by_rule);
+    Some((json, report.findings.len(), report.exemptions.len()))
+}
+
 fn load_profile(path: &str) -> Json {
     let raw = std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("error: reading {path}: {e}");
@@ -224,7 +249,14 @@ fn main() {
     }
 
     let date = today_string();
-    let current = run_cases().set("date", date.clone());
+    let mut current = run_cases().set("date", date.clone());
+    // The static-audit posture rides along in the readings, so a
+    // BENCH_<date>.json records how many deliberate determinism/panic
+    // exemptions the sources carried when the numbers were taken.
+    let audit = audit_snapshot();
+    if let Some((block, _, _)) = &audit {
+        current = current.set("audit", block.clone());
+    }
 
     let out_path = out_path.unwrap_or_else(|| PathBuf::from(format!("BENCH_{date}.json")));
     if let Err(e) = std::fs::write(&out_path, current.render_pretty()) {
@@ -267,8 +299,12 @@ fn main() {
 
     let violations = compare(&current, &baseline);
     if violations.is_empty() {
+        let audit_note = match &audit {
+            Some((_, f, e)) => format!(" — audit: {f} finding(s), {e} exemption(s)"),
+            None => String::new(),
+        };
         println!(
-            "bench_gate: PASS — all metrics within tolerance of {}",
+            "bench_gate: PASS — all metrics within tolerance of {}{audit_note}",
             baseline_path.display()
         );
     } else {

@@ -240,7 +240,16 @@ impl RollingBounds {
                 }
                 _ => {}
             },
-            _ => {}
+            // Deps, fetch-waits, failures, and incident edges carry no
+            // device occupancy; enumerated so a new variant is a compile
+            // error. (Out-of-range Resource/Io nodes fall here via their
+            // guards — there is no bucket to credit them to.)
+            EventKind::Resource(_)
+            | EventKind::Io(_)
+            | EventKind::Dep(_)
+            | EventKind::FetchWait(_)
+            | EventKind::Failure(_)
+            | EventKind::Incident(_) => {}
         }
     }
 

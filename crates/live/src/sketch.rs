@@ -248,7 +248,14 @@ impl LatencySketches {
                     self.fetch_wait_us.record(ev.at_us.saturating_sub(b));
                 }
             }
-            _ => {}
+            // No latency intervals live in these; enumerated so a new
+            // variant is a compile error, not a silently unmeasured one.
+            EventKind::Object(_)
+            | EventKind::Dep(_)
+            | EventKind::Io(_)
+            | EventKind::Resource(_)
+            | EventKind::Failure(_)
+            | EventKind::Incident(_) => {}
         }
     }
 

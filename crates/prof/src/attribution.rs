@@ -240,7 +240,18 @@ fn attribute_selected(
                 }
                 _ => {}
             },
-            _ => {}
+            // Task lifecycle, deps, fetch-waits, failures, and incident
+            // edges don't move bytes through the devices this profile
+            // attributes; enumerated so a new variant is a compile
+            // error. (Unselected Resource/Io events fall here too via
+            // their guards — deliberately unattributed.)
+            EventKind::Task(_)
+            | EventKind::Dep(_)
+            | EventKind::FetchWait(_)
+            | EventKind::Io(_)
+            | EventKind::Resource(_)
+            | EventKind::Failure(_)
+            | EventKind::Incident(_) => {}
         }
     }
 

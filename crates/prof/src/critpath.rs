@@ -10,7 +10,7 @@
 //! actually gated job completion". Each critical task's contribution is
 //! the wall-clock interval it exclusively owned on that path.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use exo_trace::{DepKind, Event, EventKind, TaskPhase};
 
@@ -107,8 +107,10 @@ struct TaskTimes {
 /// The per-task facts both path analyses start from, folded from the
 /// raw stream in one pass.
 struct Folded {
-    /// Lifecycle keyed by (task, attempt).
-    times: HashMap<(u64, u32), TaskTimes>,
+    /// Lifecycle keyed by (task, attempt). Ordered: both path analyses
+    /// iterate it, and tie-breaks (equal finish times) must not depend
+    /// on hash order.
+    times: BTreeMap<(u64, u32), TaskTimes>,
     /// task -> argument objects.
     args: HashMap<u64, Vec<u64>>,
     /// object -> producing task.
@@ -118,12 +120,13 @@ struct Folded {
 }
 
 fn fold_events(events: &[Event]) -> Folded {
-    let mut times: HashMap<(u64, u32), TaskTimes> = HashMap::new();
+    let mut times: BTreeMap<(u64, u32), TaskTimes> = BTreeMap::new();
     let mut args: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut producer: HashMap<u64, u64> = HashMap::new();
-    // (task, object) -> open fetch-wait begin; task -> closed intervals.
+    // (task, object) -> open fetch-wait begin; task -> closed intervals
+    // (ordered — unioned below by iterating).
     let mut open_wait: HashMap<(u64, u64), u64> = HashMap::new();
-    let mut wait_ivals: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut wait_ivals: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
 
     for ev in events {
         match &ev.kind {
@@ -158,7 +161,14 @@ fn fold_events(events: &[Event]) -> Folded {
                     }
                 }
             }
-            _ => {}
+            // Object/store, I/O, resource, failure, and incident events
+            // carry no lifecycle or dependency facts; enumerated so a
+            // new variant is a compile error, not a silent drop.
+            EventKind::Object(_)
+            | EventKind::Io(_)
+            | EventKind::Resource(_)
+            | EventKind::Failure(_)
+            | EventKind::Incident(_) => {}
         }
     }
 
@@ -192,8 +202,10 @@ pub fn critical_path(events: &[Event]) -> CritPath {
         fetch_wait,
     } = fold_events(events);
 
-    // Best (latest-finishing) finished attempt per task.
-    let mut best: HashMap<u64, TaskTimes> = HashMap::new();
+    // Best (latest-finishing) finished attempt per task. Ordered, and
+    // fed from the ordered fold, so equal finish times resolve to the
+    // lowest attempt on every run rather than whichever hashed first.
+    let mut best: BTreeMap<u64, TaskTimes> = BTreeMap::new();
     for (&(task, _), &tt) in &times {
         if tt.finished.is_none() {
             continue;

@@ -139,7 +139,16 @@ pub fn placement_quality(events: &[Event]) -> PlacementQuality {
                 q.transfer_bytes += total - local;
                 q.avoidable_bytes += best - local;
             }
-            _ => {}
+            // Non-Scheduled task phases and everything else carry no
+            // placement evidence; enumerated so a new variant is a
+            // compile error, not a silently unscored event.
+            EventKind::Task(_)
+            | EventKind::Dep(_)
+            | EventKind::FetchWait(_)
+            | EventKind::Io(_)
+            | EventKind::Resource(_)
+            | EventKind::Failure(_)
+            | EventKind::Incident(_) => {}
         }
     }
     q

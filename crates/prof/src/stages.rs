@@ -6,7 +6,7 @@
 //! (max/mean across tasks — the partitioning-quality signal, joined
 //! from [`DepKind::Output`] edges and `Created` object sizes).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use exo_trace::{DepKind, Event, EventKind, ObjectPhase, TaskPhase};
 
@@ -60,8 +60,9 @@ pub fn stage_stats(events: &[Event]) -> Vec<StageStats> {
     let mut started: HashMap<(u64, u32), u64> = HashMap::new();
     let mut durations: HashMap<&'static str, Vec<u64>> = HashMap::new();
     let mut order: Vec<&'static str> = Vec::new();
-    // Output-bytes join: task -> produced objects; object -> bytes.
-    let mut outputs: HashMap<u64, Vec<u64>> = HashMap::new();
+    // Output-bytes join: task -> produced objects (ordered — iterated
+    // for the per-label grouping below); object -> bytes.
+    let mut outputs: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     let mut obj_bytes: HashMap<u64, u64> = HashMap::new();
     let mut task_label: HashMap<u64, &'static str> = HashMap::new();
 
@@ -92,7 +93,16 @@ pub fn stage_stats(events: &[Event]) -> Vec<StageStats> {
                 // with the same size).
                 obj_bytes.insert(o.object, o.bytes);
             }
-            _ => {}
+            // Other dep kinds and object phases, waits, I/O, resource,
+            // failure, and incident events carry nothing stage stats
+            // report; enumerated so a new variant is a compile error.
+            EventKind::Dep(_)
+            | EventKind::Object(_)
+            | EventKind::FetchWait(_)
+            | EventKind::Io(_)
+            | EventKind::Resource(_)
+            | EventKind::Failure(_)
+            | EventKind::Incident(_) => {}
         }
     }
 

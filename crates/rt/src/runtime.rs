@@ -279,6 +279,18 @@ struct TaskEntry {
     reconstructing: bool,
 }
 
+impl TaskEntry {
+    /// Node this attempt is assigned to. Callers are execution-phase
+    /// handlers, which run strictly after `try_schedule` placed the task;
+    /// events from a stale assignment are discarded by epoch checks
+    /// before the entry is consulted.
+    fn node(&self) -> NodeId {
+        // audit:allow(P01): placement precedes every execution phase —
+        // see the doc comment above.
+        self.node.expect("execution phases run after placement")
+    }
+}
+
 struct ObjEntry {
     logical: u64,
     payload: Option<Bytes>,
@@ -620,38 +632,53 @@ impl Runtime {
         // Hold the args on behalf of this consumer.
         for &a in &unique_args {
             self.emit_dep(task, a, DepKind::Arg);
-            self.ensure_obj_entry(a);
-            self.objects.get_mut(&a).expect("ensured").task_refs += 1;
+            self.ensure_obj_entry(a).task_refs += 1;
         }
         self.try_schedule(ctx, task);
         outputs
     }
 
     /// Recreate a GC'd object entry from lineage (size/payload unknown
-    /// until reproduced).
-    fn ensure_obj_entry(&mut self, obj: ObjectId) {
-        if self.objects.contains_key(&obj) {
-            return;
-        }
+    /// until reproduced) and return it, so callers that need the entry
+    /// right after ensuring it never have to re-look it up fallibly.
+    fn ensure_obj_entry(&mut self, obj: ObjectId) -> &mut ObjEntry {
         let producer = self.lineage.get(&obj).copied();
-        self.objects.insert(
-            obj,
-            ObjEntry {
-                logical: 0,
-                payload: None,
-                copies: BTreeSet::new(),
-                producer,
-                driver_refs: 0,
-                task_refs: 0,
-                waiting_tasks: Vec::new(),
-                waiting_waiters: Vec::new(),
-            },
-        );
+        self.objects.entry(obj).or_insert_with(|| ObjEntry {
+            logical: 0,
+            payload: None,
+            copies: BTreeSet::new(),
+            producer,
+            driver_refs: 0,
+            task_refs: 0,
+            waiting_tasks: Vec::new(),
+            waiting_waiters: Vec::new(),
+        })
+    }
+
+    /// Look up a task entry. Task entries are created at submission and
+    /// retained for the whole run (lineage reconstruction can re-execute
+    /// any finished task), so a `TaskId` carried by an in-flight event or
+    /// queue always resolves.
+    fn task(&self, task: TaskId) -> &TaskEntry {
+        // audit:allow(P01): task entries are never removed from the map
+        // during a run — see the doc comment above.
+        self.tasks
+            .get(&task)
+            .expect("task entries are never removed")
+    }
+
+    /// Mutable variant of [`Runtime::task`]; same retention invariant.
+    fn task_mut(&mut self, task: TaskId) -> &mut TaskEntry {
+        // audit:allow(P01): task entries are never removed from the map
+        // during a run — see `Runtime::task`.
+        self.tasks
+            .get_mut(&task)
+            .expect("task entries are never removed")
     }
 
     /// Try to move a task from WaitingArgs to a node queue.
     fn try_schedule(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
-        let entry = self.tasks.get(&task).expect("task exists");
+        let entry = self.task(task);
         if entry.state != TaskState::WaitingArgs {
             return;
         }
@@ -666,7 +693,7 @@ impl Runtime {
         if !missing.is_empty() {
             for a in missing {
                 self.ensure_available(ctx, a);
-                let o = self.objects.get_mut(&a).expect("ensured");
+                let o = self.ensure_obj_entry(a);
                 if !o.waiting_tasks.contains(&task) {
                     o.waiting_tasks.push(task);
                 }
@@ -714,7 +741,7 @@ impl Runtime {
             return; // no node alive; retried when a node restarts
         };
         let node = placed.node;
-        let entry = self.tasks.get_mut(&task).expect("task exists");
+        let entry = self.task_mut(task);
         entry.state = TaskState::Queued;
         entry.node = Some(node);
         entry.epoch += 1;
@@ -756,8 +783,7 @@ impl Runtime {
     /// Ensure an object is available or on its way: trigger lineage
     /// reconstruction if its producer finished but the copies are gone.
     fn ensure_available(&mut self, ctx: &mut Ctx<'_, RtEvent>, obj: ObjectId) {
-        self.ensure_obj_entry(obj);
-        let entry = self.objects.get(&obj).expect("ensured");
+        let entry = self.ensure_obj_entry(obj);
         if entry.available() {
             return;
         }
@@ -775,7 +801,7 @@ impl Runtime {
 
     /// Re-execute a finished task to reconstruct lost outputs (§4.2.3).
     fn resubmit(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
-        let entry = self.tasks.get_mut(&task).expect("lineage task exists");
+        let entry = self.task_mut(task);
         if entry.state != TaskState::Done {
             return; // already being re-run
         }
@@ -790,8 +816,7 @@ impl Runtime {
         // Re-acquire holds on the args.
         let args = entry.spec.object_args();
         for &a in &args {
-            self.ensure_obj_entry(a);
-            self.objects.get_mut(&a).expect("ensured").task_refs += 1;
+            self.ensure_obj_entry(a).task_refs += 1;
         }
         self.try_schedule(ctx, task);
     }
@@ -868,13 +893,13 @@ impl Runtime {
                 let Some(&head) = self.nodes[node.0].queue.front() else {
                     break;
                 };
-                let entry = self.tasks.get(&head).expect("queued task exists");
+                let entry = self.task(head);
                 if entry.unstaged.is_empty() {
                     self.nodes[node.0].queue.pop_front();
-                    let e = self.tasks.get_mut(&head).expect("exists");
+                    let e = self.task_mut(head);
                     if !e.slot_held {
                         self.nodes[node.0].slots_free -= 1;
-                        let e = self.tasks.get(&head).expect("exists");
+                        let e = self.task(head);
                         self.emit_task(
                             head,
                             TaskPhase::Dequeued,
@@ -888,7 +913,7 @@ impl Runtime {
                     self.start_exec(ctx, head);
                 } else if !entry.slot_held {
                     self.nodes[node.0].slots_free -= 1;
-                    let e = self.tasks.get_mut(&head).expect("exists");
+                    let e = self.task_mut(head);
                     e.slot_held = true;
                     let (label, attempt) = (e.spec.opts.label, e.attempt);
                     self.emit_task(head, TaskPhase::Dequeued, node, label, attempt, false, None);
@@ -902,7 +927,7 @@ impl Runtime {
     }
 
     fn start_staging(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
-        let entry = self.tasks.get_mut(&task).expect("task exists");
+        let entry = self.task_mut(task);
         entry.staging_started = true;
         let args: Vec<ObjectId> = entry.unstaged.iter().copied().collect();
         for a in args {
@@ -937,7 +962,7 @@ impl Runtime {
             // the per-node window, and the store overcommits stuck
             // restores, so pinning here cannot wedge the node).
             n.store.pin(obj.0);
-            let e = self.tasks.get_mut(&task).expect("exists");
+            let e = self.task_mut(task);
             e.unstaged.remove(&obj);
             e.pinned.push(obj);
             self.try_start_staged(ctx, task, node);
@@ -953,7 +978,7 @@ impl Runtime {
                         v.retain(|t| *t != task);
                     }
                     n.store.pin(obj.0);
-                    let e = self.tasks.get_mut(&task).expect("exists");
+                    let e = self.task_mut(task);
                     e.unstaged.remove(&obj);
                     e.pinned.push(obj);
                     self.try_start_staged(ctx, task, node);
@@ -977,6 +1002,9 @@ impl Runtime {
                     // the pump so a quiescent node still makes progress.
                     self.pump_store(ctx, node);
                 }
+                // audit:allow(P01): `Lost` is only returned when the store
+                // has no record of the object, and `contains()` was checked
+                // before requesting the restore above.
                 RestoreDecision::Lost => unreachable!("contains() checked"),
             }
             return;
@@ -994,7 +1022,7 @@ impl Runtime {
             .unwrap_or(false);
         if !available {
             self.ensure_available(ctx, obj);
-            let o = self.objects.get_mut(&obj).expect("ensured");
+            let o = self.ensure_obj_entry(obj);
             if !o.waiting_tasks.contains(&task) {
                 o.waiting_tasks.push(task);
             }
@@ -1117,10 +1145,10 @@ impl Runtime {
             n.store.unpin(obj.0); // creator pin
             n.store.forget(obj.0);
         }
-        let waiters: Vec<TaskId> = n.arg_waiters.get(&obj).cloned().unwrap_or_default();
+        let woken: Vec<TaskId> = n.arg_waiters.get(&obj).cloned().unwrap_or_default();
         self.ensure_available(ctx, obj);
         if let Some(o) = self.objects.get_mut(&obj) {
-            for t in waiters {
+            for t in woken {
                 if !o.waiting_tasks.contains(&t) {
                     o.waiting_tasks.push(t);
                 }
@@ -1154,8 +1182,8 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn start_exec(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
-        let entry = self.tasks.get_mut(&task).expect("task exists");
-        let node = entry.node.expect("assigned");
+        let entry = self.task_mut(task);
+        let node = entry.node();
         entry.state = TaskState::Running;
         entry.slot_held = true;
         let epoch = entry.epoch;
@@ -1177,11 +1205,14 @@ impl Runtime {
     /// Run the closure (real compute, zero virtual time) and schedule the
     /// modelled CPU phase.
     fn exec_compute(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
-        let entry = self.tasks.get(&task).expect("task exists");
-        let node = entry.node.expect("assigned");
+        let entry = self.task(task);
+        let node = entry.node();
         let epoch = entry.epoch;
         let attempt = entry.attempt;
         // Resolve args.
+        // audit:allow(P01): compute starts only after every object arg was
+        // staged and pinned resident on the node, so each entry exists and
+        // carries a payload.
         let args: Vec<Payload> = entry
             .spec
             .args
@@ -1226,7 +1257,7 @@ impl Runtime {
         );
         let generator = entry.spec.opts.generator;
         let n_out = outputs.len();
-        let entry = self.tasks.get_mut(&task).expect("exists");
+        let entry = self.task_mut(task);
         entry.pending_outputs = outputs.into_iter().map(Some).collect();
         entry.outputs_pending = n_out;
         entry.cpu_done = false;
@@ -1250,10 +1281,13 @@ impl Runtime {
 
     /// Allocate + seal one output into the local store.
     fn alloc_output(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, idx: usize) {
-        let entry = self.tasks.get(&task).expect("task exists");
-        let node = entry.node.expect("assigned");
+        let entry = self.task(task);
+        let node = entry.node();
         let epoch = entry.epoch;
         let obj = entry.outputs[idx];
+        // audit:allow(P01): `exec_compute` parks every produced output in
+        // `pending_outputs` before scheduling the alloc event for its index,
+        // and the slot is only taken later by `seal_output`.
         let logical = entry.pending_outputs[idx]
             .as_ref()
             .expect("output produced")
@@ -1290,9 +1324,12 @@ impl Runtime {
 
     /// Mark an output as sealed in its node's store and publish it.
     fn seal_output(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, idx: usize) {
-        let entry = self.tasks.get_mut(&task).expect("task exists");
-        let node = entry.node.expect("assigned");
+        let entry = self.task_mut(task);
+        let node = entry.node();
         let obj = entry.outputs[idx];
+        // audit:allow(P01): each output index is sealed exactly once per
+        // attempt — the alloc path fires one seal per parked payload, and a
+        // dead attempt clears `pending_outputs` before any re-run.
         let payload = entry.pending_outputs[idx].take().expect("output pending");
         entry.outputs_pending -= 1;
         let reconstructing = entry.reconstructing;
@@ -1328,12 +1365,12 @@ impl Runtime {
 
     /// Object now has a copy on `node`: wake waiters and dependents.
     fn on_object_available(&mut self, ctx: &mut Ctx<'_, RtEvent>, obj: ObjectId, node: NodeId) {
-        {
-            let o = self.objects.get_mut(&obj).expect("object exists");
-            o.copies.insert(node);
-        }
         let (waiting_tasks, waiting_waiters) = {
-            let o = self.objects.get_mut(&obj).expect("object exists");
+            // audit:allow(P01): a copy only lands on behalf of a consumer
+            // holding a reference (task_refs, driver_refs, or a registered
+            // waiter), and referenced entries are never GC'd.
+            let o = self.objects.get_mut(&obj).expect("referenced entry");
+            o.copies.insert(node);
             (
                 std::mem::take(&mut o.waiting_tasks),
                 std::mem::take(&mut o.waiting_waiters),
@@ -1361,10 +1398,10 @@ impl Runtime {
         if !self.nodes[node.0].store.in_memory(obj.0) {
             return;
         }
-        let Some(waiters) = self.nodes[node.0].arg_waiters.remove(&obj) else {
+        let Some(woken) = self.nodes[node.0].arg_waiters.remove(&obj) else {
             return;
         };
-        for t in waiters {
+        for t in woken {
             let Some(entry) = self.tasks.get_mut(&t) else {
                 continue;
             };
@@ -1380,7 +1417,7 @@ impl Runtime {
     }
 
     fn check_task_completion(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
-        let entry = self.tasks.get(&task).expect("task exists");
+        let entry = self.task(task);
         if entry.state != TaskState::Running
             || !entry.cpu_done
             || entry.outputs_pending > 0
@@ -1389,11 +1426,11 @@ impl Runtime {
             return;
         }
         let writes = entry.spec.opts.writes_output;
-        let node = entry.node.expect("assigned");
+        let node = entry.node();
         let epoch = entry.epoch;
         // `output_written` marks the final phase as initiated so this
         // function is idempotent while the write is in flight.
-        self.tasks.get_mut(&task).expect("exists").output_written = true;
+        self.task_mut(task).output_written = true;
         if writes > 0 {
             let end = self.nodes[node.0]
                 .disk
@@ -1406,8 +1443,8 @@ impl Runtime {
     }
 
     fn complete_task(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
-        let entry = self.tasks.get_mut(&task).expect("task exists");
-        let node = entry.node.expect("assigned");
+        let entry = self.task_mut(task);
+        let node = entry.node();
         entry.state = TaskState::Done;
         entry.reconstructing = false;
         let label = entry.spec.opts.label;
@@ -1593,11 +1630,14 @@ impl Runtime {
             self.failed = Some(err);
         }
         // Resolve every pending waiter so drivers see the failure instead
-        // of hanging.
-        let wids: Vec<u64> = self.waiters.keys().copied().collect();
+        // of hanging. Sorted: reply order must not depend on hash order.
+        let mut wids: Vec<u64> = self.waiters.keys().copied().collect();
+        wids.sort_unstable();
         for wid in wids {
             match self.waiters.remove(&wid) {
                 Some(Waiter::Get { reply, .. }) => {
+                    // audit:allow(P01): `fail_job` stores the error into
+                    // `self.failed` before resolving any waiter.
                     let e = self.failed.clone().expect("set above");
                     ctx.reply(reply, Err(e));
                 }
@@ -1634,6 +1674,9 @@ impl Runtime {
                     let Some(Waiter::Get { objs, reply }) = self.waiters.remove(&wid) else {
                         return;
                     };
+                    // audit:allow(P01): this branch runs only when every
+                    // watched object was just confirmed available, and an
+                    // available object has an entry with a payload.
                     let payloads: Vec<Payload> = objs
                         .iter()
                         .map(|o| {
@@ -1722,6 +1765,8 @@ impl Runtime {
         running.sort();
         // Drop object copies hosted here.
         let mut lost_with_interest = Vec::new();
+        // audit:allow(D01): every entry is updated independently and the
+        // collected ids are sorted before any order-sensitive use below.
         for (id, o) in self.objects.iter_mut() {
             if o.copies.remove(&node)
                 && o.copies.is_empty()
@@ -1794,7 +1839,7 @@ impl Runtime {
                     self.nodes[node.0].store.unpin(a.0);
                 }
             }
-            let e = self.tasks.get_mut(&t).expect("exists");
+            let e = self.task_mut(t);
             // Unsealed outputs created by the dead attempt are discarded.
             let outputs = e.outputs.clone();
             e.state = TaskState::WaitingArgs;
@@ -1934,9 +1979,15 @@ impl Runtime {
     /// [`exo_sim::Deadlock`] report handed back to drivers.
     fn stall_report(&self) -> Vec<String> {
         let mut lines = Vec::new();
-        let mut by_state: HashMap<&'static str, usize> = HashMap::new();
+        // BTreeMap: the counts are printed with `{:?}` below, and the
+        // whole report must be reproducible across reruns.
+        let mut by_state: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
         let mut shown = 0;
-        for (id, t) in &self.tasks {
+        let mut ids: Vec<TaskId> = self.tasks.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let t = &self.tasks[&id];
             let k = match t.state {
                 TaskState::WaitingArgs => "WaitingArgs",
                 TaskState::Queued => "Queued",
@@ -1959,8 +2010,10 @@ impl Runtime {
             }
         }
         lines.push(format!("task states: {by_state:?}"));
-        for (wid, w) in &self.waiters {
-            match w {
+        let mut wids: Vec<u64> = self.waiters.keys().copied().collect();
+        wids.sort_unstable();
+        for wid in wids {
+            match &self.waiters[&wid] {
                 Waiter::Get { objs, .. } => {
                     let missing: Vec<_> = objs
                         .iter()
@@ -2061,15 +2114,10 @@ impl Simulation for Runtime {
                 let wid = self.next_waiter;
                 self.next_waiter += 1;
                 for &o in &objs {
-                    self.ensure_obj_entry(o);
-                    if !self.objects[&o].available() {
+                    if !self.ensure_obj_entry(o).available() {
                         self.ensure_available(ctx, o);
                     }
-                    self.objects
-                        .get_mut(&o)
-                        .expect("ensured")
-                        .waiting_waiters
-                        .push(wid);
+                    self.ensure_obj_entry(o).waiting_waiters.push(wid);
                 }
                 self.waiters.insert(wid, Waiter::Get { objs, reply });
                 self.check_waiter(ctx, wid);
@@ -2084,15 +2132,10 @@ impl Simulation for Runtime {
                 self.next_waiter += 1;
                 let num_ready = num_ready.min(objs.len());
                 for &o in &objs {
-                    self.ensure_obj_entry(o);
-                    if !self.objects[&o].available() {
+                    if !self.ensure_obj_entry(o).available() {
                         self.ensure_available(ctx, o);
                     }
-                    self.objects
-                        .get_mut(&o)
-                        .expect("ensured")
-                        .waiting_waiters
-                        .push(wid);
+                    self.ensure_obj_entry(o).waiting_waiters.push(wid);
                 }
                 self.waiters.insert(
                     wid,
@@ -2210,10 +2253,10 @@ impl Simulation for Runtime {
                     return;
                 }
                 let (generator, n_out) = {
-                    let e = self.tasks.get(&task).expect("exists");
+                    let e = self.task(task);
                     (e.spec.opts.generator, e.outputs.len())
                 };
-                self.tasks.get_mut(&task).expect("exists").cpu_done = true;
+                self.task_mut(task).cpu_done = true;
                 if !generator {
                     for i in 0..n_out {
                         self.alloc_output(ctx, task, i);
@@ -2231,16 +2274,15 @@ impl Simulation for Runtime {
                 if !valid {
                     return;
                 }
+                // audit:allow(P01): the event carries (task, obj) minted
+                // together at submission — `obj` is one of `task`'s
+                // declared outputs by construction.
                 let idx = self
-                    .tasks
-                    .get(&task)
-                    .map(|e| {
-                        e.outputs
-                            .iter()
-                            .position(|o| *o == obj)
-                            .expect("output of task")
-                    })
-                    .expect("task exists");
+                    .task(task)
+                    .outputs
+                    .iter()
+                    .position(|o| *o == obj)
+                    .expect("output of task");
                 self.seal_output(ctx, task, idx);
             }
             RtEvent::OutputWriteDone { task, epoch } => {

@@ -201,10 +201,16 @@ impl<C: Send + 'static> DriverConn<C> {
             driver: self.inner.id,
             tx,
         });
+        // audit:allow(P01): cross-thread channel to the engine — a dead
+        // engine is unrecoverable for the driver, and aborting with
+        // context beats hanging on a channel that will never drain.
         self.inner
             .tx
             .send(EngineMsg::Cmd(cmd))
             .expect("engine terminated while driver still issuing commands");
+        // audit:allow(P01): a dropped reply means the engine died or the
+        // simulation deadlocked; there is no value to return and no
+        // caller that could recover.
         rx.recv()
             .expect("engine dropped a pending reply (simulation bug or deadlock)")
     }
@@ -253,6 +259,8 @@ impl<C: Send + 'static> DriverSpawner<C> {
             self.next_id
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         );
+        // audit:allow(P01): attaching to a dead engine is a driver
+        // lifecycle bug; no connection can be handed back.
         self.tx.send(EngineMsg::Attach).expect("engine terminated");
         DriverConn {
             inner: std::sync::Arc::new(ConnInner {
@@ -471,9 +479,15 @@ where
         let joined = handle.join();
         match run {
             Ok((sim, end)) => {
+                // audit:allow(P01): re-raises the driver thread's own
+                // panic on the caller; suppressing it would report a
+                // bogus success.
                 let result = joined.expect("driver thread panicked");
                 (sim, end, result)
             }
+            // audit:allow(P01): a deadlock is terminal — the virtual
+            // clock cannot advance and there is no resume path; the
+            // panic carries the full stall diagnostic.
             Err(dl) => panic!("{dl}"),
         }
     })

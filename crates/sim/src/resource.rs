@@ -125,6 +125,8 @@ impl Resource {
     pub fn submit(&mut self, now: SimTime, size: u64, kind: IoKind) -> SimTime {
         let service = self.service_time(size, kind);
         // Earliest-free server.
+        // audit:allow(P01): `new` asserts servers >= 1, so `free_at` is
+        // never empty and min always exists.
         let (idx, &free) = self
             .free_at
             .iter()
@@ -144,6 +146,8 @@ impl Resource {
     /// Submit an op with an explicit service duration (for CPU-slot style
     /// resources where the caller computed the cost itself).
     pub fn submit_duration(&mut self, now: SimTime, dur: SimDuration) -> SimTime {
+        // audit:allow(P01): `new` asserts servers >= 1, so `free_at` is
+        // never empty and min always exists.
         let (idx, &free) = self
             .free_at
             .iter()
@@ -186,6 +190,7 @@ impl Resource {
 
     /// Earliest time any server is free (≥ `now` means fully busy).
     pub fn earliest_free(&self) -> SimTime {
+        // audit:allow(P01): `new` asserts servers >= 1 — min always exists.
         *self.free_at.iter().min().expect("at least one server")
     }
 

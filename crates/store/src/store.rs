@@ -330,6 +330,9 @@ impl<T> NodeStore<T> {
     /// Mark an object's payload complete. Sealed, unpinned objects become
     /// spill candidates.
     pub fn seal(&mut self, id: ObjId) {
+        // audit:allow(P01): API contract — callers seal only ids this
+        // store granted; an unknown id is a runtime accounting bug that
+        // must stop the sim, not limp on with corrupt state.
         let slot = self.slots.get_mut(&id).expect("seal of unknown object");
         assert!(!slot.sealed, "double seal of object {id}");
         slot.sealed = true;
@@ -341,12 +344,16 @@ impl<T> NodeStore<T> {
     /// Pin an object (task argument or output in active use). Pinned
     /// objects are never spilled or freed.
     pub fn pin(&mut self, id: ObjId) {
+        // audit:allow(P01): API contract — pinning an id this store
+        // never granted is a runtime refcount bug; see `seal`.
         self.slots.get_mut(&id).expect("pin of unknown object").pins += 1;
     }
 
     /// Release one pin. If the object was doomed (refcount hit zero while
     /// pinned), the last unpin frees it.
     pub fn unpin(&mut self, id: ObjId) {
+        // audit:allow(P01): API contract — unpin must pair with a pin on
+        // a live slot; see `seal`.
         let slot = self.slots.get_mut(&id).expect("unpin of unknown object");
         assert!(slot.pins > 0, "unpin without pin on object {id}");
         slot.pins -= 1;
@@ -366,14 +373,16 @@ impl<T> NodeStore<T> {
     /// immediately unless pins hold it, in which case it is doomed and
     /// freed at last unpin.
     pub fn forget(&mut self, id: ObjId) {
-        let Some(slot) = self.slots.get_mut(&id) else {
-            return;
+        let slot = match self.slots.entry(id) {
+            std::collections::hash_map::Entry::Vacant(_) => return,
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if e.get().pins > 0 {
+                    e.get_mut().doomed = true;
+                    return;
+                }
+                e.remove()
+            }
         };
-        if slot.pins > 0 {
-            slot.doomed = true;
-            return;
-        }
-        let slot = self.slots.remove(&id).expect("checked above");
         match slot.residency {
             Residency::Memory { .. } | Residency::Restoring => {
                 self.used -= slot.size;
@@ -428,6 +437,9 @@ impl<T> NodeStore<T> {
                 if size <= self.free() && self.queue_high.is_empty() {
                     self.used += size;
                     self.metrics.peak_used = self.metrics.peak_used.max(self.used);
+                    // audit:allow(P01): the slot was fetched at the top of
+                    // this match and nothing in between removes it; the
+                    // refetch only converts the borrow to mutable.
                     self.slots.get_mut(&id).expect("present").residency = Residency::Restoring;
                     RestoreDecision::Granted
                 } else {
@@ -446,6 +458,8 @@ impl<T> NodeStore<T> {
 
     /// Acknowledge a finished restore read.
     pub fn restore_complete(&mut self, id: ObjId) {
+        // audit:allow(P01): API contract — restore completions are only
+        // scheduled for slots this store moved to Restoring; see `seal`.
         let slot = self
             .slots
             .get_mut(&id)
@@ -635,6 +649,8 @@ impl<T> NodeStore<T> {
                 } else {
                     &mut self.queue_low
                 };
+                // audit:allow(P01): `front()` returned Some on this
+                // same queue above; the re-select only re-borrows it.
                 let p = queue.pop_front().expect("head checked");
                 self.queued_bytes -= p.size;
                 match p.kind {
@@ -672,6 +688,8 @@ impl<T> NodeStore<T> {
             } else {
                 &mut self.queue_low
             };
+            // audit:allow(P01): `front()` returned Some on this same
+            // queue above; the re-select only re-borrows it.
             let p = queue.pop_front().expect("head checked");
             self.queued_bytes -= p.size;
             match p.kind {

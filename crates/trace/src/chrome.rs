@@ -10,7 +10,7 @@
 //! are global instants. Output is sorted by timestamp, so every track's
 //! timestamps are monotonically non-decreasing.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -59,7 +59,10 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     }
     let mut open: HashMap<(u64, u32), Open> = HashMap::new();
     // Incident open edges awaiting their close: id → (t_open, event).
-    let mut open_incidents: HashMap<u32, (u64, crate::event::IncidentEvent)> = HashMap::new();
+    // Ordered: stray opens are flushed by iterating this map, and the
+    // final sort is stable, so same-ts spans would otherwise come out
+    // in hash order and the rendered bytes would differ across runs.
+    let mut open_incidents: BTreeMap<u32, (u64, crate::event::IncidentEvent)> = BTreeMap::new();
     let mut any_incident = false;
     struct Span {
         node: u32,
@@ -235,7 +238,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     // render side by side like CPU slots.
     spans.sort_by_key(|s| s.start);
     let mut lanes_free: HashMap<u32, Vec<u64>> = HashMap::new(); // node -> end time per lane
-    let mut lane_count: HashMap<u32, u32> = HashMap::new();
+                                                                 // Ordered: iterated below to emit thread_name metadata, all at ts 0,
+                                                                 // where the stable sort preserves emission order.
+    let mut lane_count: BTreeMap<u32, u32> = BTreeMap::new();
     for s in &spans {
         note_node(&mut entries, &mut nodes_seen, s.node);
         let free = lanes_free.entry(s.node).or_default();

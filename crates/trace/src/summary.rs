@@ -1,7 +1,7 @@
 //! End-of-run text summary derived from the event stream: top-5 longest
 //! task executions, per-node busy fraction, and spill/restore totals.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::event::{Event, EventKind, ObjectPhase, TaskPhase};
@@ -93,7 +93,9 @@ impl TraceSummary {
 pub fn summarize(events: &[Event]) -> TraceSummary {
     let mut s = TraceSummary::default();
     let mut started: HashMap<(u64, u32), u64> = HashMap::new();
-    let mut busy: HashMap<u32, NodeBusy> = HashMap::new();
+    // Keyed by node id; ordered so `per_node` comes out sorted without a
+    // separate pass and the report is independent of event order.
+    let mut busy: BTreeMap<u32, NodeBusy> = BTreeMap::new();
     for ev in events {
         s.end_us = s.end_us.max(ev.at_us);
         match &ev.kind {
@@ -145,11 +147,18 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
                 e.slots_total = e.slots_total.max(r.cpu_slots_total);
             }
             EventKind::Failure(_) => s.failures += 1,
-            _ => {}
+            // Deps, fetch-waits, I/O completions, and incident edges
+            // carry nothing this summary reports; enumerate them so a
+            // new variant is a compile error, not a silent drop.
+            EventKind::Dep(_)
+            | EventKind::FetchWait(_)
+            | EventKind::Io(_)
+            | EventKind::Incident(_) => {}
         }
     }
     s.longest.sort_by_key(|t| std::cmp::Reverse(t.dur_us));
     s.longest.truncate(5);
+    // BTreeMap iteration is already node-ordered.
     s.per_node = busy
         .into_iter()
         .map(|(node, mut nb)| {
@@ -157,7 +166,6 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
             nb
         })
         .collect();
-    s.per_node.sort_by_key(|n| n.node);
     s
 }
 

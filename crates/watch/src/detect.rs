@@ -225,7 +225,16 @@ impl Recorder {
                     retries: 0,
                 });
             }
-            _ => {}
+            // Non-spill object transitions, deps, fetch-waits, I/O and
+            // resource samples feed only the rolling bounds (handled
+            // above); incident edges are detector *output*, never input.
+            // Enumerated so a new variant is a compile error here.
+            EventKind::Object(_)
+            | EventKind::Dep(_)
+            | EventKind::FetchWait(_)
+            | EventKind::Io(_)
+            | EventKind::Resource(_)
+            | EventKind::Incident(_) => {}
         }
     }
 

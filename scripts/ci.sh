@@ -5,6 +5,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> exo-audit --deny (static determinism & safety audit)"
+mkdir -p results
+cargo run -q -p exo-audit -- --deny --json results/audit.json
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
