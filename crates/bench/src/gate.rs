@@ -169,6 +169,23 @@ fn ml_loader_small() -> Vec<(&'static str, f64)> {
     ]
 }
 
+/// Shuffle-as-a-service-shaped: the small multi-tenant arrival stream
+/// (3 tenants, 6 mixed jobs) pinned end to end — stream-wide JCT
+/// percentiles, network volume, and the hard invariants that the
+/// scheduler never exceeded a cpu quota (`isolation_violations`) and
+/// how often the store routed an over-quota tenant to fallback
+/// (`quota_denials`).
+fn multitenant_small() -> Vec<(&'static str, f64)> {
+    let r = crate::service::run_multitenant(&crate::service::MtParams::gate_small());
+    vec![
+        ("jct_p50_s", r.jct_quantile_us(0.50) as f64 / 1e6),
+        ("jct_p99_s", r.jct_quantile_us(0.99) as f64 / 1e6),
+        ("net_bytes", r.metrics.net_bytes as f64),
+        ("isolation_violations", r.isolation_violations as f64),
+        ("quota_denials", r.metrics.store.quota_denials as f64),
+    ]
+}
+
 /// The pinned gate suite. Append-only: removing or resizing a case
 /// invalidates the committed baseline.
 pub const CASES: &[GateCase] = &[
@@ -191,6 +208,10 @@ pub const CASES: &[GateCase] = &[
     GateCase {
         name: "ml_loader_small",
         run: ml_loader_small,
+    },
+    GateCase {
+        name: "multitenant_small",
+        run: multitenant_small,
     },
 ];
 

@@ -18,6 +18,7 @@
 //! | `fig9` | 4-node distributed training (full vs partial shuffle) |
 //! | `ablations` | Design-choice ablations called out in DESIGN.md |
 //! | `hetero` | Heterogeneous presets: mixed HDD+SSD sort, g4dn+r6i ML loader |
+//! | `multitenant` | Shuffle-as-a-service: open-loop multi-tenant job stream |
 //!
 //! All binaries accept `--quick` to shrink the sweep for smoke-testing;
 //! EXPERIMENTS.md records full-run outputs. Criterion microbenches for the
@@ -27,6 +28,7 @@ pub mod gate;
 pub mod obs;
 pub mod profdiff;
 pub mod runs;
+pub mod service;
 pub mod table;
 
 pub use obs::{
@@ -34,6 +36,7 @@ pub use obs::{
     sort_result_json, without_trace, write_results, Obs,
 };
 pub use runs::{run_es_sort, run_es_sort_on, EsSortParams, SortRunResult};
+pub use service::{run_multitenant, MtJobPlan, MtKind, MtParams, MtReport};
 pub use table::Table;
 
 /// True when `--quick` was passed (shrunken sweeps for smoke tests).

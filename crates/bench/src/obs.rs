@@ -290,6 +290,7 @@ fn incident_edge_events(inc: &exo_rt::watch::Incident) -> [Event; 2] {
         },
         kind: EventKind::Incident(IncidentEvent {
             id: inc.id,
+            tenant: inc.tenant,
             kind: inc.kind,
             open,
             severity: inc.severity,

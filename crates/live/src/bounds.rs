@@ -249,7 +249,8 @@ impl RollingBounds {
             | EventKind::Dep(_)
             | EventKind::FetchWait(_)
             | EventKind::Failure(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
 
@@ -552,6 +553,7 @@ mod tests {
         let span = |phase, at_us| Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task: 7,
                 phase,
                 node: 0,

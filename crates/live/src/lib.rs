@@ -25,7 +25,9 @@ pub mod snapshot;
 
 pub use bounds::{BoundKind, NodeWindow, RollingBounds, StageWindow};
 pub use sketch::{BaselineSketch, LatencySketches, QuantileSketch, RELATIVE_ERROR};
-pub use snapshot::{counters_from_json, counters_to_json, MetricsSnapshot, SketchStat, StageStat};
+pub use snapshot::{
+    counters_from_json, counters_to_json, MetricsSnapshot, SketchStat, StageStat, TenantStat,
+};
 
 use std::sync::{Arc, Mutex};
 
@@ -71,6 +73,14 @@ struct Recorder {
     last_counters: TraceCounters,
     snapshots: Vec<MetricsSnapshot>,
     progress: bool,
+    /// Job → tenant, learned from [`exo_trace::JobEvent`]s.
+    job_tenant: std::collections::HashMap<u32, u32>,
+    /// Start time of in-flight tasks (removed at finish): bounded by
+    /// task concurrency, not event count.
+    started: std::collections::HashMap<u64, u64>,
+    /// Cumulative per-tenant work. Jobs with no job event (pure
+    /// single-job runs) bill tenant 0.
+    by_tenant: std::collections::BTreeMap<u32, TenantStat>,
 }
 
 impl Recorder {
@@ -78,6 +88,36 @@ impl Recorder {
         self.counters.apply(&ev.kind);
         self.bounds.on_event(ev);
         self.sketches.on_event(ev);
+        match &ev.kind {
+            exo_trace::EventKind::Job(j) => {
+                self.job_tenant.insert(j.job, j.tenant);
+            }
+            exo_trace::EventKind::Task(t) => match t.phase {
+                exo_trace::TaskPhase::Started => {
+                    self.started.insert(t.task, ev.at_us);
+                }
+                exo_trace::TaskPhase::Finished => {
+                    let tenant = self.job_tenant.get(&t.job).copied().unwrap_or(0);
+                    let stat = self.by_tenant.entry(tenant).or_insert(TenantStat {
+                        tenant,
+                        tasks_finished: 0,
+                        exec_us: 0,
+                    });
+                    stat.tasks_finished += 1;
+                    if let Some(start) = self.started.remove(&t.task) {
+                        stat.exec_us += ev.at_us.saturating_sub(start);
+                    }
+                }
+                _ => {}
+            },
+            exo_trace::EventKind::Object(_)
+            | exo_trace::EventKind::Dep(_)
+            | exo_trace::EventKind::FetchWait(_)
+            | exo_trace::EventKind::Io(_)
+            | exo_trace::EventKind::Resource(_)
+            | exo_trace::EventKind::Failure(_)
+            | exo_trace::EventKind::Incident(_) => {}
+        }
     }
 
     fn take_snapshot(&mut self, at_us: u64) -> &MetricsSnapshot {
@@ -99,12 +139,20 @@ impl Recorder {
                 exec: SketchStat::of(sketch),
             })
             .collect();
+        // Emitted only in genuinely multi-tenant runs: single-tenant
+        // timeseries stay byte-identical with pre-multi-job output.
+        let tenants = if self.by_tenant.len() > 1 {
+            self.by_tenant.values().copied().collect()
+        } else {
+            Vec::new()
+        };
         self.snapshots.push(MetricsSnapshot {
             at_us,
             counters: self.counters,
             delta,
             nodes: self.bounds.snapshot(at_us),
             stages,
+            tenants,
             task_us: SketchStat::of(&self.sketches.task_us),
             fetch_wait_us: SketchStat::of(&self.sketches.fetch_wait_us),
             queue_us: SketchStat::of(&self.sketches.queue_us),
@@ -139,6 +187,9 @@ impl LiveHandle {
             last_counters: TraceCounters::default(),
             snapshots: Vec::new(),
             progress: cfg.progress,
+            job_tenant: std::collections::HashMap::new(),
+            started: std::collections::HashMap::new(),
+            by_tenant: std::collections::BTreeMap::new(),
         };
         LiveHandle {
             cfg,

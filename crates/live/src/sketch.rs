@@ -255,7 +255,8 @@ impl LatencySketches {
             | EventKind::Io(_)
             | EventKind::Resource(_)
             | EventKind::Failure(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
 
@@ -402,6 +403,7 @@ mod tests {
         let span = |task, phase, at_us| Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase,
                 node: 0,

@@ -58,6 +58,18 @@ pub struct StageStat {
     pub exec: SketchStat,
 }
 
+/// One tenant's cumulative line in a snapshot. Only populated when the
+/// run has seen more than one tenant (multi-tenant service mode), so
+/// single-job timeseries stay byte-identical with pre-multi-job output.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantStat {
+    pub tenant: u32,
+    /// Tasks finished so far across all the tenant's jobs (cumulative).
+    pub tasks_finished: u64,
+    /// Total execution time (started → finished) so far, µs.
+    pub exec_us: u64,
+}
+
 /// One line of the live timeseries.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -72,6 +84,8 @@ pub struct MetricsSnapshot {
     /// Sliding-window bound profile, one entry per node.
     pub nodes: Vec<NodeWindow>,
     pub stages: Vec<StageStat>,
+    /// Per-tenant cumulative work; empty unless >1 tenant was observed.
+    pub tenants: Vec<TenantStat>,
     pub task_us: SketchStat,
     pub fetch_wait_us: SketchStat,
     pub queue_us: SketchStat,
@@ -142,13 +156,26 @@ impl MetricsSnapshot {
                     .set("exec", s.exec.to_json())
             })
             .collect::<Vec<_>>();
-        Json::obj()
+        let mut doc = Json::obj()
             .set("at_us", self.at_us)
             .set("counters", counters_to_json(&self.counters))
             .set("delta", counters_to_json(&self.delta))
             .set("nodes", nodes)
-            .set("stages", stages)
-            .set("task_us", self.task_us.to_json())
+            .set("stages", stages);
+        if !self.tenants.is_empty() {
+            let tenants = self
+                .tenants
+                .iter()
+                .map(|t| {
+                    Json::obj()
+                        .set("tenant", t.tenant)
+                        .set("tasks_finished", t.tasks_finished)
+                        .set("exec_us", t.exec_us)
+                })
+                .collect::<Vec<_>>();
+            doc = doc.set("tenants", tenants);
+        }
+        doc.set("task_us", self.task_us.to_json())
             .set("fetch_wait_us", self.fetch_wait_us.to_json())
             .set("queue_us", self.queue_us.to_json())
     }
@@ -217,6 +244,7 @@ mod tests {
             delta: TraceCounters::default(),
             nodes: Vec::new(),
             stages: Vec::new(),
+            tenants: Vec::new(),
             task_us: SketchStat::default(),
             fetch_wait_us: SketchStat::default(),
             queue_us: SketchStat::default(),

@@ -251,7 +251,8 @@ fn attribute_selected(
             | EventKind::Io(_)
             | EventKind::Resource(_)
             | EventKind::Failure(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
 

@@ -168,7 +168,8 @@ fn fold_events(events: &[Event]) -> Folded {
             | EventKind::Io(_)
             | EventKind::Resource(_)
             | EventKind::Failure(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
 
@@ -493,6 +494,7 @@ mod tests {
         let mk = |phase, at_us| Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase,
                 node,
@@ -622,6 +624,7 @@ mod tests {
         events.push(Event {
             at_us: 0,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task: 0,
                 phase: TaskPhase::Scheduled,
                 node: 0,
@@ -652,6 +655,7 @@ mod tests {
         let mk = |phase, at_us| Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase,
                 node,

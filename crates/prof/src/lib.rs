@@ -27,12 +27,14 @@
 
 pub mod attribution;
 pub mod critpath;
+pub mod jobs;
 pub mod placement;
 pub mod report;
 pub mod stages;
 
 pub use attribution::{attribute, attribute_per_node, Bound, BoundProfile, Interval};
 pub use critpath::{critical_path, longest_paths, CritPath, CritTask, NearPath, PathAnalysis};
+pub use jobs::{job_stats, JobStat};
 pub use placement::{placement_quality, PlacementQuality};
 pub use report::{profile, ProfileReport};
 pub use stages::{stage_stats, StageStats};

@@ -148,7 +148,8 @@ pub fn placement_quality(events: &[Event]) -> PlacementQuality {
             | EventKind::Io(_)
             | EventKind::Resource(_)
             | EventKind::Failure(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
     q
@@ -187,6 +188,7 @@ mod tests {
         Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase: TaskPhase::Scheduled,
                 node,
@@ -253,6 +255,7 @@ mod tests {
             Event {
                 at_us: 20,
                 kind: EventKind::Task(TaskSpan {
+                    job: 0,
                     task: 7,
                     phase: TaskPhase::Scheduled,
                     node: 0,

@@ -9,6 +9,7 @@ use exo_trace::{Event, Json};
 
 use crate::attribution::{attribute, attribute_per_node, Bound, BoundProfile};
 use crate::critpath::{critical_path, longest_paths, CritPath, PathAnalysis};
+use crate::jobs::{job_stats, JobStat};
 use crate::placement::{placement_quality, PlacementQuality};
 use crate::stages::{stage_stats, StageStats};
 
@@ -27,6 +28,10 @@ pub struct ProfileReport {
     pub stages: Vec<StageStats>,
     /// How well the placement policy kept argument bytes local.
     pub placement: PlacementQuality,
+    /// Per-job timing and critical paths. Rendered/serialised only
+    /// when the trace carries more than one job, so single-job report
+    /// output stays byte-identical.
+    pub jobs: Vec<JobStat>,
 }
 
 /// Runs the full analysis over a retained trace stream.
@@ -38,6 +43,7 @@ pub fn profile(events: &[Event], caps: &DeviceCaps) -> ProfileReport {
         per_node_bounds: attribute_per_node(events, caps),
         stages: stage_stats(events),
         placement: placement_quality(events),
+        jobs: job_stats(events),
     }
 }
 
@@ -101,56 +107,80 @@ impl ProfileReport {
                     .set("bound_profile", fractions)
             })
             .collect();
-        Json::obj()
+        let mut doc = Json::obj()
             .set("dominant_bound", self.bounds.dominant().name())
             .set("bound_profile", bounds)
             .set("per_node_bounds", per_node)
-            .set("placement", self.placement.to_json())
-            .set(
-                "critical_path",
-                Json::obj()
-                    .set("end_us", self.critpath.end_us)
-                    .set("covered_us", self.critpath.covered_us)
-                    .set("coverage", self.critpath.coverage())
-                    .set("tasks_on_path", self.critpath.tasks.len())
-                    .set("queue_us", queue)
-                    .set("stage_us", stage)
-                    .set("exec_us", exec)
-                    .set("fetch_wait_us", fetch)
-                    .set("tasks", crit_tasks),
-            )
-            .set(
-                "paths",
-                Json::obj()
-                    .set(
-                        "longest",
-                        Json::obj()
-                            .set("end_us", self.paths.longest.end_us)
-                            .set("covered_us", self.paths.longest.covered_us)
-                            .set("coverage", self.paths.longest.coverage())
-                            .set("tasks_on_path", self.paths.longest.tasks.len()),
-                    )
-                    .set(
-                        "near",
-                        self.paths
-                            .near
-                            .iter()
-                            .map(|n| {
-                                Json::obj()
-                                    .set("end_task", n.end_task)
-                                    .set("end_label", n.end_label)
-                                    .set("end_us", n.end_us)
-                                    .set("covered_us", n.covered_us)
-                                    .set("slack_us", n.slack_us)
-                                    .set(
-                                        "tasks",
-                                        n.tasks.iter().map(|&t| Json::from(t)).collect::<Vec<_>>(),
-                                    )
-                            })
-                            .collect::<Vec<_>>(),
-                    ),
-            )
-            .set("stages", stages)
+            .set("placement", self.placement.to_json());
+        if self.jobs.len() > 1 {
+            let jobs: Vec<Json> = self
+                .jobs
+                .iter()
+                .map(|j| {
+                    Json::obj()
+                        .set("job", j.job)
+                        .set("tenant", j.tenant)
+                        .set("label", j.label)
+                        .set("admitted_us", j.admitted_us)
+                        .set("finished_us", j.finished_us)
+                        .set("jct_us", j.jct_us())
+                        .set("tasks_finished", j.tasks_finished)
+                        .set(
+                            "critical_path",
+                            Json::obj()
+                                .set("end_us", j.critpath.end_us)
+                                .set("covered_us", j.critpath.covered_us)
+                                .set("tasks_on_path", j.critpath.tasks.len()),
+                        )
+                })
+                .collect();
+            doc = doc.set("jobs", jobs);
+        }
+        doc.set(
+            "critical_path",
+            Json::obj()
+                .set("end_us", self.critpath.end_us)
+                .set("covered_us", self.critpath.covered_us)
+                .set("coverage", self.critpath.coverage())
+                .set("tasks_on_path", self.critpath.tasks.len())
+                .set("queue_us", queue)
+                .set("stage_us", stage)
+                .set("exec_us", exec)
+                .set("fetch_wait_us", fetch)
+                .set("tasks", crit_tasks),
+        )
+        .set(
+            "paths",
+            Json::obj()
+                .set(
+                    "longest",
+                    Json::obj()
+                        .set("end_us", self.paths.longest.end_us)
+                        .set("covered_us", self.paths.longest.covered_us)
+                        .set("coverage", self.paths.longest.coverage())
+                        .set("tasks_on_path", self.paths.longest.tasks.len()),
+                )
+                .set(
+                    "near",
+                    self.paths
+                        .near
+                        .iter()
+                        .map(|n| {
+                            Json::obj()
+                                .set("end_task", n.end_task)
+                                .set("end_label", n.end_label)
+                                .set("end_us", n.end_us)
+                                .set("covered_us", n.covered_us)
+                                .set("slack_us", n.slack_us)
+                                .set(
+                                    "tasks",
+                                    n.tasks.iter().map(|&t| Json::from(t)).collect::<Vec<_>>(),
+                                )
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+        )
+        .set("stages", stages)
     }
 }
 
@@ -242,6 +272,21 @@ impl fmt::Display for ProfileReport {
                 )?;
             }
         }
+        if self.jobs.len() > 1 {
+            writeln!(f, "  jobs:")?;
+            for j in &self.jobs {
+                writeln!(
+                    f,
+                    "    job{:<3} tenant{:<3} {:<16} jct {:>8.3} s  {:>5} tasks  critpath {:.3} s",
+                    j.job,
+                    j.tenant,
+                    j.label,
+                    secs(j.jct_us()),
+                    j.tasks_finished,
+                    secs(j.critpath.covered_us)
+                )?;
+            }
+        }
         if !self.stages.is_empty() {
             writeln!(f, "  stages:")?;
             for s in &self.stages {
@@ -313,6 +358,7 @@ mod tests {
                 events.push(Event {
                     at_us: at,
                     kind: EventKind::Task(TaskSpan {
+                        job: 0,
                         task,
                         phase,
                         node: 0,

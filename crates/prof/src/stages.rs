@@ -102,7 +102,8 @@ pub fn stage_stats(events: &[Event]) -> Vec<StageStats> {
             | EventKind::Io(_)
             | EventKind::Resource(_)
             | EventKind::Failure(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
 
@@ -154,6 +155,7 @@ mod tests {
         let mk = |phase, at_us| Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase,
                 node: 0,

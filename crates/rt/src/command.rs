@@ -3,7 +3,8 @@
 use exo_sim::engine::Reply;
 use exo_sim::{SimDuration, SimTime};
 
-use crate::ids::{NodeId, ObjectId};
+use crate::ids::{JobId, NodeId, ObjectId};
+use crate::jobs::JobParams;
 use crate::metrics::RtMetrics;
 use crate::object::Payload;
 use crate::task::TaskSpec;
@@ -39,8 +40,36 @@ impl std::error::Error for RtError {}
 /// Commands the driver can issue. Every command carries a reply so the
 /// virtual-time engine can account for parked drivers deterministically.
 pub enum RtCommand {
+    /// Register a job with the runtime. The reply is parked until the
+    /// job is *admitted* — under store pressure the job manager queues
+    /// registrations, so this doubles as admission control's backpressure
+    /// surface.
+    RegisterJob {
+        /// Tenant, priority and label for the new job.
+        params: JobParams,
+        /// The admitted job's id.
+        reply: Reply<JobId>,
+    },
+    /// Mark a job finished: its driver has returned and no more commands
+    /// will arrive for it. Unblocks queued admissions.
+    FinishJob {
+        /// The finished job.
+        job: JobId,
+        /// Ack.
+        reply: Reply<()>,
+    },
+    /// Park until a job finishes (coordinator-side join that keeps the
+    /// virtual clock advancing; replies immediately if already finished).
+    AwaitJob {
+        /// The job to wait for.
+        job: JobId,
+        /// Resolved at `FinishJob`.
+        reply: Reply<()>,
+    },
     /// Submit a task; replies with the ids of its return objects.
     Submit {
+        /// Job submitting the task.
+        job: JobId,
         /// Task to run.
         spec: TaskSpec,
         /// Return-object ids (one per declared return).
@@ -48,6 +77,8 @@ pub enum RtCommand {
     },
     /// Put an inline value into the cluster from the driver.
     Put {
+        /// Job owning the new object.
+        job: JobId,
         /// The value.
         value: Payload,
         /// The new object's id.
@@ -55,6 +86,8 @@ pub enum RtCommand {
     },
     /// Block until all objects are available, then fetch their payloads.
     Get {
+        /// Job issuing the get (scopes failure reporting).
+        job: JobId,
         /// Objects to fetch.
         objs: Vec<ObjectId>,
         /// Payloads in request order, or an error.
@@ -63,6 +96,8 @@ pub enum RtCommand {
     /// Block until `num_ready` of the objects are available or the timeout
     /// elapses; replies with (ready, pending) index lists.
     Wait {
+        /// Job issuing the wait.
+        job: JobId,
         /// Objects to watch.
         objs: Vec<ObjectId>,
         /// How many must be ready before returning (clamped to len).

@@ -47,6 +47,7 @@
 mod command;
 mod driver;
 mod ids;
+mod jobs;
 mod metrics;
 mod object;
 mod runtime;
@@ -54,8 +55,11 @@ mod scheduler;
 mod task;
 
 pub use command::RtError;
-pub use driver::{run, RtHandle, RunReport, TaskBuilder};
-pub use ids::{NodeId, ObjectId, TaskId};
+pub use driver::{
+    run, run_service, JobHandle, JobResult, RtHandle, RunReport, ServiceHandle, TaskBuilder,
+};
+pub use ids::{JobId, NodeId, ObjectId, TaskId, TenantId};
+pub use jobs::{JobParams, TenantQuota};
 pub use metrics::RtMetrics;
 pub use object::{ObjectRef, Payload};
 pub use runtime::RtConfig;

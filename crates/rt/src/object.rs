@@ -87,6 +87,11 @@ impl ObjectRef {
     pub fn id(&self) -> ObjectId {
         self.inner.id
     }
+
+    /// The job that owns the referenced object.
+    pub fn job(&self) -> crate::ids::JobId {
+        self.inner.id.job()
+    }
 }
 
 impl std::fmt::Debug for ObjectRef {

@@ -22,7 +22,8 @@ use exo_trace::{
 use exo_watch::{WatchConfig, WatchHandle};
 
 use crate::command::{RtCommand, RtError};
-use crate::ids::{NodeId, ObjectId, TaskId};
+use crate::ids::{job_of, JobId, NodeId, ObjectId, TaskId, TenantId, JOB_SEQ_BITS};
+use crate::jobs::{Admission, JobManager, TenantQuota};
 use crate::metrics::{ProgressSample, RtMetrics};
 use crate::object::Payload;
 use crate::scheduler::{place, LoadBalance, NodeSnapshot, PlacementPolicy};
@@ -69,6 +70,13 @@ pub struct RtConfig {
     /// `NodeAffinity` are explicit application requests and bypass it).
     /// Defaults to [`LoadBalance`], the historical behaviour.
     pub placement: Arc<dyn PlacementPolicy>,
+    /// Per-tenant quotas and fair-share weights for multi-job service
+    /// mode. Tenants not listed get a default quota (weight 1, no caps).
+    pub tenants: Vec<(TenantId, TenantQuota)>,
+    /// Admission control: new non-priority jobs queue while any alive
+    /// node's store utilisation exceeds this fraction, or while a
+    /// spill-storm incident is open (requires [`RtConfig::watch`]).
+    pub admission_pressure: f64,
 }
 
 impl RtConfig {
@@ -86,7 +94,16 @@ impl RtConfig {
             live: None,
             watch: None,
             placement: Arc::new(LoadBalance),
+            tenants: Vec::new(),
+            admission_pressure: 0.9,
         }
+    }
+
+    /// Configure a tenant's quota and fair-share weight.
+    pub fn with_tenant(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
+        self.tenants.retain(|(t, _)| *t != tenant);
+        self.tenants.push((tenant, quota));
+        self
     }
 
     /// Swap the placement policy for `Default`-strategy tasks.
@@ -200,6 +217,10 @@ pub enum RtEvent {
     /// boundaries; this tick only moves already-decided verdicts into
     /// the event stream, so its cadence cannot change what is detected.
     WatchTick,
+    /// Fair-share dispatch sweep (service mode only): drain the job
+    /// manager's ready pools onto node queues, one pick per free slot.
+    /// Deduplicated — at most one pass is in the queue at a time.
+    DispatchPass,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -335,9 +356,10 @@ pub struct Runtime {
     lineage: HashMap<ObjectId, (TaskId, usize)>,
     tasks: HashMap<TaskId, TaskEntry>,
     waiters: HashMap<u64, Waiter>,
-    next_obj: u64,
-    next_task: u64,
-    next_waiter: u64,
+    /// Per-job state, id minting, tenant quotas, fair-share picking and
+    /// admission control. While only one job has ever been live the
+    /// manager stays in legacy mode and scheduling is inline.
+    jobs: JobManager,
     rr_cursor: usize,
     /// The trace sink: single source of truth for the scalar counters in
     /// [`RtMetrics`] (derived by folding emitted events) and, when
@@ -360,8 +382,10 @@ pub struct Runtime {
     watch: Option<WatchHandle>,
     /// A `WatchTick` is already in the event queue.
     watch_scheduled: bool,
-    /// Fatal job error (OOM); fails all subsequent gets.
-    failed: Option<RtError>,
+    /// A `DispatchPass` is already in the event queue.
+    dispatch_scheduled: bool,
+    /// Parked `AwaitJob` replies, resolved when the job finishes.
+    job_waiters: HashMap<u32, Vec<Reply<()>>>,
 }
 
 impl Runtime {
@@ -433,16 +457,15 @@ impl Runtime {
                 }
             })
             .collect();
-        Runtime {
+        let jobs = JobManager::new(&cfg.tenants);
+        let mut rt = Runtime {
             cfg,
             nodes,
             objects: HashMap::new(),
             lineage: HashMap::new(),
             tasks: HashMap::new(),
             waiters: HashMap::new(),
-            next_obj: 0,
-            next_task: 0,
-            next_waiter: 0,
+            jobs,
             rr_cursor: 0,
             sink,
             progress: Vec::new(),
@@ -451,8 +474,44 @@ impl Runtime {
             live_scheduled: false,
             watch,
             watch_scheduled: false,
-            failed: None,
+            dispatch_scheduled: false,
+            job_waiters: HashMap::new(),
+        };
+        rt.apply_store_quotas();
+        rt
+    }
+
+    /// Push configured per-tenant store-byte quotas into every node's
+    /// store (owner-keyed by tenant id). Re-run after `kill_node`
+    /// rebuilds a store.
+    fn apply_store_quotas(&mut self) {
+        let quotas: Vec<(u32, u64)> = self
+            .cfg
+            .tenants
+            .iter()
+            .filter_map(|(t, q)| q.store_bytes.map(|b| (t.0, b)))
+            .collect();
+        for n in &mut self.nodes {
+            for &(owner, bytes) in &quotas {
+                n.store.set_owner_quota(owner, bytes);
+            }
         }
+    }
+
+    /// Tenant a task bills to (default tenant for unknown jobs).
+    fn tenant_of(&self, task: TaskId) -> TenantId {
+        self.jobs
+            .job(task.job())
+            .map(|j| j.tenant)
+            .unwrap_or_default()
+    }
+
+    /// Tenant an object bills to.
+    fn tenant_of_obj(&self, obj: ObjectId) -> TenantId {
+        self.jobs
+            .job(obj.job())
+            .map(|j| j.tenant)
+            .unwrap_or_default()
     }
 
     /// The live-observability handle, when configured. Mid-run callers
@@ -523,6 +582,7 @@ impl Runtime {
     ) {
         self.sink.emit(EventKind::Task(TaskSpan {
             task: task.0,
+            job: (task.0 >> JOB_SEQ_BITS) as u32,
             phase,
             node: node.0 as u32,
             label,
@@ -530,6 +590,25 @@ impl Runtime {
             retry,
             reason,
         }));
+    }
+
+    /// Job lifecycle event (admitted / finished). Gated like fetch-waits:
+    /// retained streams and live observers both consume these (observers
+    /// build the job → tenant map from them); with neither, skip.
+    fn emit_job(&self, job: JobId, phase: exo_trace::JobPhase) {
+        if self.sink.retaining() || self.sink.observing() {
+            let (tenant, label) = self
+                .jobs
+                .job(job)
+                .map(|j| (j.tenant.0, j.label))
+                .unwrap_or((0, "job"));
+            self.sink.emit(EventKind::Job(exo_trace::JobEvent {
+                job: job.0,
+                tenant,
+                phase,
+                label,
+            }));
+        }
     }
 
     fn emit_io(&self, node: NodeId, dir: IoDir, bytes: u64) {
@@ -573,21 +652,18 @@ impl Runtime {
         }
     }
 
-    fn fresh_obj(&mut self) -> ObjectId {
-        let id = ObjectId(self.next_obj);
-        self.next_obj += 1;
-        id
+    fn fresh_obj(&mut self, job: JobId) -> ObjectId {
+        ObjectId(self.jobs.ensure(job).fresh_obj_raw(job))
     }
 
     // ------------------------------------------------------------------
     // Submission & scheduling
     // ------------------------------------------------------------------
 
-    fn submit(&mut self, ctx: &mut Ctx<'_, RtEvent>, spec: TaskSpec) -> Vec<ObjectId> {
-        let task = TaskId(self.next_task);
-        self.next_task += 1;
+    fn submit(&mut self, ctx: &mut Ctx<'_, RtEvent>, job: JobId, spec: TaskSpec) -> Vec<ObjectId> {
+        let task = self.jobs.ensure(job).fresh_task(job);
         let outputs: Vec<ObjectId> = (0..spec.opts.num_returns)
-            .map(|_| self.fresh_obj())
+            .map(|_| self.fresh_obj(job))
             .collect();
         for (idx, &o) in outputs.iter().enumerate() {
             self.lineage.insert(o, (task, idx));
@@ -634,8 +710,74 @@ impl Runtime {
             self.emit_dep(task, a, DepKind::Arg);
             self.ensure_obj_entry(a).task_refs += 1;
         }
-        self.try_schedule(ctx, task);
+        self.enqueue_ready(ctx, task);
         outputs
+    }
+
+    /// Route a schedulable task: inline `try_schedule` in legacy mode
+    /// (bit-identical to the single-job runtime), or park it in its
+    /// job's ready pool for the fair-share dispatcher in service mode.
+    fn enqueue_ready(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId) {
+        if !self.jobs.service_mode() {
+            self.try_schedule(ctx, task);
+            return;
+        }
+        let entry = self.task(task);
+        if entry.state != TaskState::WaitingArgs {
+            return;
+        }
+        // Args-availability half of `try_schedule`: tasks with missing
+        // args register interest and re-enter here once produced.
+        let args = entry.spec.object_args();
+        let mut missing = Vec::new();
+        for &a in &args {
+            let avail = self.objects.get(&a).map(|o| o.available()).unwrap_or(false);
+            if !avail {
+                missing.push(a);
+            }
+        }
+        if !missing.is_empty() {
+            for a in missing {
+                self.ensure_available(ctx, a);
+                let o = self.ensure_obj_entry(a);
+                if !o.waiting_tasks.contains(&task) {
+                    o.waiting_tasks.push(task);
+                }
+            }
+            return;
+        }
+        self.jobs.push_ready(task);
+        self.schedule_dispatch(ctx);
+    }
+
+    /// Arm a deduplicated `DispatchPass` at the current instant.
+    fn schedule_dispatch(&mut self, ctx: &mut Ctx<'_, RtEvent>) {
+        if self.dispatch_scheduled {
+            return;
+        }
+        self.dispatch_scheduled = true;
+        ctx.schedule(SimDuration::from_micros(0), RtEvent::DispatchPass);
+    }
+
+    /// Fair-share dispatch: while any alive node has a free cpu slot,
+    /// pick the next task per the job manager's priority + weighted
+    /// round-robin policy and place it. One pick per free slot keeps
+    /// tasks centrally queued (where fair-share can reorder them)
+    /// instead of committed to node queues.
+    fn dispatch_pass(&mut self, ctx: &mut Ctx<'_, RtEvent>) {
+        loop {
+            let free: usize = self
+                .nodes
+                .iter()
+                .filter(|n| n.alive)
+                .map(|n| n.slots_free)
+                .sum();
+            if free == 0 {
+                return;
+            }
+            let Some(task) = self.jobs.pick() else { return };
+            self.try_schedule(ctx, task);
+        }
     }
 
     /// Recreate a GC'd object entry from lineage (size/payload unknown
@@ -741,6 +883,8 @@ impl Runtime {
             return; // no node alive; retried when a node restarts
         };
         let node = placed.node;
+        let tenant = self.tenant_of(task);
+        self.jobs.task_scheduled(tenant);
         let entry = self.task_mut(task);
         entry.state = TaskState::Queued;
         entry.node = Some(node);
@@ -818,7 +962,7 @@ impl Runtime {
         for &a in &args {
             self.ensure_obj_entry(a).task_refs += 1;
         }
-        self.try_schedule(ctx, task);
+        self.enqueue_ready(ctx, task);
     }
 
     // ------------------------------------------------------------------
@@ -1050,11 +1194,12 @@ impl Runtime {
         } else {
             exo_store::Priority::Low
         };
+        let owner = self.tenant_of_obj(obj).0;
         let n = &mut self.nodes[node.0];
         n.fetching.insert(obj, FetchState::AllocPending);
-        let decision = n
-            .store
-            .request_create(obj.0, size, AllocTag::Fetch { obj }, prio);
+        let decision =
+            n.store
+                .request_create_owned(obj.0, size, AllocTag::Fetch { obj }, prio, owner);
         match decision {
             AllocDecision::Granted => self.start_transfer(ctx, node, obj),
             AllocDecision::Fallback => {
@@ -1064,7 +1209,7 @@ impl Runtime {
             }
             AllocDecision::Queued => {}
             AllocDecision::Fail => {
-                self.fail_job(ctx, RtError::OutOfMemory { node });
+                self.fail_job(ctx, obj.job(), RtError::OutOfMemory { node });
             }
         }
         self.pump_store(ctx, node);
@@ -1301,11 +1446,13 @@ impl Runtime {
             self.seal_output(ctx, task, idx);
             return;
         }
-        match self.nodes[node.0].store.request_create(
+        let owner = self.tenant_of(task).0;
+        match self.nodes[node.0].store.request_create_owned(
             obj.0,
             logical,
             AllocTag::Output { task, idx, epoch },
             exo_store::Priority::High,
+            owner,
         ) {
             AllocDecision::Granted => self.seal_output(ctx, task, idx),
             AllocDecision::Fallback => {
@@ -1317,7 +1464,7 @@ impl Runtime {
                 ctx.schedule_at(end, RtEvent::OutputFallbackDone { task, obj, epoch });
             }
             AllocDecision::Queued => {}
-            AllocDecision::Fail => self.fail_job(ctx, RtError::OutOfMemory { node }),
+            AllocDecision::Fail => self.fail_job(ctx, task.job(), RtError::OutOfMemory { node }),
         }
         self.pump_store(ctx, node);
     }
@@ -1378,7 +1525,7 @@ impl Runtime {
         };
         for t in waiting_tasks {
             match self.tasks.get(&t).map(|e| e.state) {
-                Some(TaskState::WaitingArgs) => self.try_schedule(ctx, t),
+                Some(TaskState::WaitingArgs) => self.enqueue_ready(ctx, t),
                 Some(TaskState::Queued) | Some(TaskState::Running) => {
                     // Staging was blocked on availability: retry.
                     self.stage_arg(ctx, t, obj);
@@ -1482,6 +1629,12 @@ impl Runtime {
                 label,
             });
         }
+        let tenant = self.tenant_of(task);
+        self.jobs.task_unscheduled(tenant);
+        if self.jobs.service_mode() && self.jobs.ready_len() > 0 {
+            // A slot (and possibly a tenant quota slot) just freed up.
+            self.schedule_dispatch(ctx);
+        }
         self.pump_store(ctx, node);
         self.pump_node(ctx, node);
     }
@@ -1546,10 +1699,10 @@ impl Runtime {
             }
             self.dispatch_grants(ctx, node, granted);
             // Failures (only with fallback disabled; shared-memory mode
-            // never fails).
+            // never fails). Each failed allocation fails its own job.
             let failed = self.nodes[node.0].store.take_failed();
-            if !failed.is_empty() {
-                self.fail_job(ctx, RtError::OutOfMemory { node });
+            for (oid, _tag) in failed {
+                self.fail_job(ctx, ObjectId(oid).job(), RtError::OutOfMemory { node });
             }
             if !progress {
                 return;
@@ -1625,20 +1778,43 @@ impl Runtime {
         }
     }
 
-    fn fail_job(&mut self, ctx: &mut Ctx<'_, RtEvent>, err: RtError) {
-        if self.failed.is_none() {
-            self.failed = Some(err);
+    fn fail_job(&mut self, ctx: &mut Ctx<'_, RtEvent>, job: JobId, err: RtError) {
+        let st = self.jobs.ensure(job);
+        if st.failed.is_none() {
+            st.failed = Some(err);
         }
-        // Resolve every pending waiter so drivers see the failure instead
-        // of hanging. Sorted: reply order must not depend on hash order.
-        let mut wids: Vec<u64> = self.waiters.keys().copied().collect();
+        // Purge the failed job's parked ready tasks: the fair-share
+        // dispatcher must never spend cluster slots on work whose job
+        // can no longer finish.
+        let stale: Vec<TaskId> = self
+            .jobs
+            .job_mut(job)
+            .map(|st| st.ready.iter().copied().collect())
+            .unwrap_or_default();
+        for t in stale {
+            self.jobs.remove_ready(t);
+        }
+        // Resolve the failed job's pending waiters so its driver sees the
+        // failure instead of hanging — other jobs' waiters are untouched
+        // (one tenant's OOM must not fail another's get). Sorted: reply
+        // order must not depend on hash order.
+        let mut wids: Vec<u64> = self
+            .waiters
+            .keys()
+            .copied()
+            .filter(|w| job_of(*w) == job)
+            .collect();
         wids.sort_unstable();
         for wid in wids {
             match self.waiters.remove(&wid) {
                 Some(Waiter::Get { reply, .. }) => {
                     // audit:allow(P01): `fail_job` stores the error into
-                    // `self.failed` before resolving any waiter.
-                    let e = self.failed.clone().expect("set above");
+                    // the job's `failed` before resolving any waiter.
+                    let e = self
+                        .jobs
+                        .job(job)
+                        .and_then(|j| j.failed.clone())
+                        .expect("set above");
                     ctx.reply(reply, Err(e));
                 }
                 Some(w @ Waiter::Wait { .. }) => {
@@ -1647,6 +1823,44 @@ impl Runtime {
                 }
                 None => {}
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Admission control
+    // ------------------------------------------------------------------
+
+    /// Live store-pressure signal for admission control: any alive
+    /// node's store utilisation above the configured fraction, or an
+    /// open spill-storm incident from the online detectors.
+    fn store_pressured(&self) -> bool {
+        for n in &self.nodes {
+            if !n.alive {
+                continue;
+            }
+            let cap = n.store.config().capacity;
+            if cap > 0 && n.store.used() as f64 / cap as f64 > self.cfg.admission_pressure {
+                return true;
+            }
+        }
+        self.watch.as_ref().is_some_and(|w| {
+            w.incidents_now()
+                .iter()
+                .any(|i| i.kind == exo_trace::IncidentKind::SpillStorm && i.t_close_us.is_none())
+        })
+    }
+
+    /// Re-evaluate parked registrations (FIFO) against current pressure
+    /// and admit what now fits.
+    fn drain_admission(&mut self, ctx: &mut Ctx<'_, RtEvent>) {
+        if self.jobs.pending_admissions() == 0 {
+            return;
+        }
+        let pressured = self.store_pressured();
+        let now_us = ctx.now().as_micros();
+        for (id, reply) in self.jobs.drain_admission(now_us, pressured) {
+            self.emit_job(id, exo_trace::JobPhase::Admitted);
+            ctx.reply(reply, id);
         }
     }
 
@@ -1660,8 +1874,10 @@ impl Runtime {
         };
         match w {
             Waiter::Get { objs, .. } => {
-                if let Some(err) = &self.failed {
-                    let err = err.clone();
+                // Waiter ids are job-scoped; only the owning job's
+                // failure fails this get.
+                let failed = self.jobs.job(job_of(wid)).and_then(|j| j.failed.clone());
+                if let Some(err) = failed {
                     if let Some(Waiter::Get { reply, .. }) = self.waiters.remove(&wid) {
                         ctx.reply(reply, Err(err));
                     }
@@ -1776,6 +1992,8 @@ impl Runtime {
             }
         }
         lost_with_interest.sort();
+        // The rebuilt store starts without owner quotas; re-apply them.
+        self.apply_store_quotas();
         // Requeue the node's tasks elsewhere.
         for t in queued.into_iter().chain(running) {
             let Some(e) = self.tasks.get_mut(&t) else {
@@ -1784,6 +2002,7 @@ impl Runtime {
             if e.state == TaskState::Done {
                 continue;
             }
+            let was_in_service = matches!(e.state, TaskState::Queued | TaskState::Running);
             e.state = TaskState::WaitingArgs;
             e.node = None;
             e.epoch += 1;
@@ -1797,9 +2016,16 @@ impl Runtime {
             e.outputs_pending = 0;
             e.cpu_done = false;
             e.output_written = false;
-            self.try_schedule(ctx, t);
+            if was_in_service {
+                let tenant = self.tenant_of(t);
+                self.jobs.task_unscheduled(tenant);
+            }
+            self.enqueue_ready(ctx, t);
         }
-        // Kick reconstruction for lost-but-needed objects.
+        // Kick reconstruction for lost-but-needed objects. Only jobs
+        // whose objects were actually lost see lineage resubmission —
+        // `lost_with_interest` is exactly the set with no surviving copy
+        // and a live consumer, so unaffected jobs are untouched.
         for obj in lost_with_interest {
             self.ensure_available(ctx, obj);
         }
@@ -1868,7 +2094,10 @@ impl Runtime {
                     store.forget(o.0);
                 }
             }
-            self.try_schedule(ctx, t);
+            // The dead attempt was Running, i.e. in service.
+            let tenant = self.tenant_of(t);
+            self.jobs.task_unscheduled(tenant);
+            self.enqueue_ready(ctx, t);
         }
         self.pump_store(ctx, node);
         self.pump_node(ctx, node);
@@ -1878,7 +2107,10 @@ impl Runtime {
         let n = &mut self.nodes[node.0];
         n.alive = true;
         n.epoch += 1;
-        let _ = ctx; // nothing to schedule; scheduler will use it again
+        if self.jobs.service_mode() && self.jobs.ready_len() > 0 {
+            // Fresh capacity: let the fair-share dispatcher use it.
+            self.schedule_dispatch(ctx);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2010,6 +2242,25 @@ impl Runtime {
             }
         }
         lines.push(format!("task states: {by_state:?}"));
+        if self.jobs.live_jobs() > 0 || self.jobs.pending_admissions() > 0 {
+            lines.push(format!(
+                "jobs: live={} queued_admissions={}",
+                self.jobs.live_jobs(),
+                self.jobs.pending_admissions()
+            ));
+            for (id, st) in self.jobs.iter() {
+                lines.push(format!(
+                    "{:?} tenant={} label={} admitted_at_us={} finished={} ready={} failed={:?}",
+                    id,
+                    st.tenant.0,
+                    st.label,
+                    st.admitted_at_us,
+                    st.finished,
+                    st.ready.len(),
+                    st.failed
+                ));
+            }
+        }
         let mut wids: Vec<u64> = self.waiters.keys().copied().collect();
         wids.sort_unstable();
         for wid in wids {
@@ -2067,12 +2318,41 @@ impl Simulation for Runtime {
         self.maybe_schedule_live(ctx);
         self.maybe_schedule_watch(ctx);
         match cmd {
-            RtCommand::Submit { spec, reply } => {
-                let ids = self.submit(ctx, spec);
+            RtCommand::RegisterJob { params, reply } => {
+                let pressured = self.store_pressured();
+                let now_us = ctx.now().as_micros();
+                match self.jobs.register(params, reply, now_us, pressured) {
+                    Admission::Admitted(id, reply) => {
+                        self.emit_job(id, exo_trace::JobPhase::Admitted);
+                        ctx.reply(reply, id);
+                    }
+                    Admission::Queued => {} // reply parked until pressure clears
+                }
+            }
+            RtCommand::FinishJob { job, reply } => {
+                self.jobs.finish(job);
+                self.emit_job(job, exo_trace::JobPhase::Finished);
+                for w in self.job_waiters.remove(&job.0).unwrap_or_default() {
+                    ctx.reply(w, ());
+                }
+                self.drain_admission(ctx);
+                ctx.reply(reply, ());
+            }
+            RtCommand::AwaitJob { job, reply } => {
+                let finished = self.jobs.job(job).map(|j| j.finished).unwrap_or(true);
+                if finished {
+                    ctx.reply(reply, ());
+                } else {
+                    self.job_waiters.entry(job.0).or_default().push(reply);
+                }
+            }
+            RtCommand::Submit { job, spec, reply } => {
+                let ids = self.submit(ctx, job, spec);
                 ctx.reply(reply, ids);
             }
-            RtCommand::Put { value, reply } => {
-                let id = self.fresh_obj();
+            RtCommand::Put { job, value, reply } => {
+                let id = self.fresh_obj(job);
+                let owner = self.tenant_of_obj(id).0;
                 // Driver-put values live on node 0 (the head node) with no
                 // lineage; paper applications only put small config values.
                 self.objects.insert(
@@ -2090,13 +2370,15 @@ impl Simulation for Runtime {
                 );
                 // Account for it in node 0's store so locality and memory
                 // pressure see it.
+                let logical = self.objects[&id].logical;
                 let n = &mut self.nodes[0];
                 if matches!(
-                    n.store.request_create(
+                    n.store.request_create_owned(
                         id.0,
-                        self.objects[&id].logical,
+                        logical,
                         AllocTag::Fetch { obj: id },
                         exo_store::Priority::High,
+                        owner,
                     ),
                     AllocDecision::Granted | AllocDecision::Fallback
                 ) {
@@ -2106,13 +2388,13 @@ impl Simulation for Runtime {
                 self.pump_store(ctx, NodeId(0));
                 ctx.reply(reply, id);
             }
-            RtCommand::Get { objs, reply } => {
-                if let Some(err) = &self.failed {
-                    ctx.reply(reply, Err(err.clone()));
+            RtCommand::Get { job, objs, reply } => {
+                let failed = self.jobs.job(job).and_then(|j| j.failed.clone());
+                if let Some(err) = failed {
+                    ctx.reply(reply, Err(err));
                     return;
                 }
-                let wid = self.next_waiter;
-                self.next_waiter += 1;
+                let wid = self.jobs.ensure(job).fresh_waiter(job);
                 for &o in &objs {
                     if !self.ensure_obj_entry(o).available() {
                         self.ensure_available(ctx, o);
@@ -2123,13 +2405,13 @@ impl Simulation for Runtime {
                 self.check_waiter(ctx, wid);
             }
             RtCommand::Wait {
+                job,
                 objs,
                 num_ready,
                 timeout,
                 reply,
             } => {
-                let wid = self.next_waiter;
-                self.next_waiter += 1;
+                let wid = self.jobs.ensure(job).fresh_waiter(job);
                 let num_ready = num_ready.min(objs.len());
                 for &o in &objs {
                     if !self.ensure_obj_entry(o).available() {
@@ -2388,6 +2670,13 @@ impl Simulation for Runtime {
             RtEvent::WatchTick => {
                 self.watch_scheduled = false;
                 self.drain_watch();
+                // Store pressure may have cleared since a registration
+                // was parked; ticks are the periodic re-check.
+                self.drain_admission(ctx);
+            }
+            RtEvent::DispatchPass => {
+                self.dispatch_scheduled = false;
+                self.dispatch_pass(ctx);
             }
         }
     }

@@ -27,4 +27,7 @@ pub struct StoreMetrics {
     /// Objects evicted without any disk write because their reference count
     /// dropped to zero first (the ES-push* `del` saving).
     pub evicted_unwritten: u64,
+    /// Creates routed to the fallback path because the owner's byte quota
+    /// was exhausted (multi-tenant isolation enforcement).
+    pub quota_denials: u64,
 }

@@ -1,6 +1,6 @@
 //! The store state machine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use exo_trace::{EventKind, ObjectEvent, ObjectPhase, TraceSink};
 
@@ -147,6 +147,8 @@ struct Slot {
     doomed: bool,
     /// Whether this object has ever been written to disk (metrics).
     ever_on_disk: bool,
+    /// Tenant the object's bytes bill to (0 = unowned/default tenant).
+    owner: u32,
 }
 
 #[derive(Debug)]
@@ -155,6 +157,7 @@ struct Pending<T> {
     size: u64,
     tag: T,
     kind: PendingKind,
+    owner: u32,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,6 +192,15 @@ pub struct NodeStore<T> {
     failed: Vec<(ObjId, T)>,
     next_file: u64,
     metrics: StoreMetrics,
+    /// Per-tenant live bytes on this node (any residency), keyed by
+    /// owner id. Billed at admit, credited when the slot is removed.
+    owner_used: BTreeMap<u32, u64>,
+    /// Per-tenant cumulative bytes spilled from this node.
+    owner_spilled: BTreeMap<u32, u64>,
+    /// Per-tenant byte quotas. An over-quota create is routed to the
+    /// filesystem fallback (disk speed, no shared-memory pressure) when
+    /// fallback is enabled; quota enforcement is best-effort otherwise.
+    owner_quota: BTreeMap<u32, u64>,
     /// Trace sink (shares the runtime's stream when constructed with
     /// [`NodeStore::with_trace`]; a private disabled sink otherwise). The
     /// sink carries its own virtual-time clock, so the time-free store
@@ -220,9 +232,27 @@ impl<T> NodeStore<T> {
             failed: Vec::new(),
             next_file: 0,
             metrics: StoreMetrics::default(),
+            owner_used: BTreeMap::new(),
+            owner_spilled: BTreeMap::new(),
+            owner_quota: BTreeMap::new(),
             sink,
             node,
         }
+    }
+
+    /// Set (or replace) the byte quota billed against `owner`.
+    pub fn set_owner_quota(&mut self, owner: u32, bytes: u64) {
+        self.owner_quota.insert(owner, bytes);
+    }
+
+    /// Live bytes currently billed to `owner` on this node.
+    pub fn owner_used(&self, owner: u32) -> u64 {
+        self.owner_used.get(&owner).copied().unwrap_or(0)
+    }
+
+    /// Cumulative bytes spilled from this node billed to `owner`.
+    pub fn owner_spilled(&self, owner: u32) -> u64 {
+        self.owner_spilled.get(&owner).copied().unwrap_or(0)
     }
 
     fn emit_obj(&self, id: ObjId, phase: ObjectPhase, bytes: u64) {
@@ -245,9 +275,32 @@ impl<T> NodeStore<T> {
         tag: T,
         priority: Priority,
     ) -> AllocDecision {
+        self.request_create_owned(id, size, tag, priority, 0)
+    }
+
+    /// [`NodeStore::request_create`], billing the bytes to `owner`. When
+    /// the owner has a quota and this allocation would exceed it, the
+    /// object is routed to the filesystem fallback instead of shared
+    /// memory (when fallback is enabled) — over-quota tenants degrade to
+    /// disk speed rather than squeezing other tenants out of memory.
+    pub fn request_create_owned(
+        &mut self,
+        id: ObjId,
+        size: u64,
+        tag: T,
+        priority: Priority,
+        owner: u32,
+    ) -> AllocDecision {
         assert!(!self.slots.contains_key(&id), "object {id} already present");
+        if let Some(&quota) = self.owner_quota.get(&owner) {
+            if self.owner_used(owner) + size > quota && self.cfg.fallback_enabled {
+                self.metrics.quota_denials += 1;
+                self.admit_fallback(id, size, owner);
+                return AllocDecision::Fallback;
+            }
+        }
         if size <= self.free() && self.queue_high.is_empty() {
-            self.admit(id, size, Residency::Memory { on_disk: false }, false);
+            self.admit(id, size, Residency::Memory { on_disk: false }, false, owner);
             return AllocDecision::Granted;
         }
         // Can this request ever be satisfied by waiting? (If the head of
@@ -261,6 +314,7 @@ impl<T> NodeStore<T> {
                 size,
                 tag,
                 kind: PendingKind::Create,
+                owner,
             };
             self.queued_bytes += size;
             match priority {
@@ -270,7 +324,7 @@ impl<T> NodeStore<T> {
             return AllocDecision::Queued;
         }
         if self.cfg.fallback_enabled {
-            self.admit_fallback(id, size);
+            self.admit_fallback(id, size, owner);
             return AllocDecision::Fallback;
         }
         // Without spilling, waiting could still help if memory is merely
@@ -282,6 +336,7 @@ impl<T> NodeStore<T> {
                 size,
                 tag,
                 kind: PendingKind::Create,
+                owner,
             };
             self.queued_bytes += size;
             match priority {
@@ -293,9 +348,10 @@ impl<T> NodeStore<T> {
         AllocDecision::Fail
     }
 
-    fn admit(&mut self, id: ObjId, size: u64, residency: Residency, sealed: bool) {
+    fn admit(&mut self, id: ObjId, size: u64, residency: Residency, sealed: bool, owner: u32) {
         self.used += size;
         self.metrics.peak_used = self.metrics.peak_used.max(self.used);
+        *self.owner_used.entry(owner).or_insert(0) += size;
         self.emit_obj(id, ObjectPhase::Created, size);
         self.slots.insert(
             id,
@@ -306,13 +362,15 @@ impl<T> NodeStore<T> {
                 residency,
                 doomed: false,
                 ever_on_disk: false,
+                owner,
             },
         );
     }
 
-    fn admit_fallback(&mut self, id: ObjId, size: u64) {
+    fn admit_fallback(&mut self, id: ObjId, size: u64, owner: u32) {
         self.metrics.fallback_bytes += size;
         self.metrics.fallback_allocs += 1;
+        *self.owner_used.entry(owner).or_insert(0) += size;
         self.emit_obj(id, ObjectPhase::Fallback, size);
         self.slots.insert(
             id,
@@ -323,6 +381,7 @@ impl<T> NodeStore<T> {
                 residency: Residency::Disk,
                 doomed: false,
                 ever_on_disk: true,
+                owner,
             },
         );
     }
@@ -383,6 +442,9 @@ impl<T> NodeStore<T> {
                 e.remove()
             }
         };
+        if let Some(u) = self.owner_used.get_mut(&slot.owner) {
+            *u = u.saturating_sub(slot.size);
+        }
         match slot.residency {
             Residency::Memory { .. } | Residency::Restoring => {
                 self.used -= slot.size;
@@ -443,12 +505,14 @@ impl<T> NodeStore<T> {
                     self.slots.get_mut(&id).expect("present").residency = Residency::Restoring;
                     RestoreDecision::Granted
                 } else {
+                    let owner = self.slots.get(&id).map(|s| s.owner).unwrap_or(0);
                     self.queued_bytes += size;
                     self.queue_high.push_back(Pending {
                         id,
                         size,
                         tag,
                         kind: PendingKind::Restore,
+                        owner,
                     });
                     RestoreDecision::Queued
                 }
@@ -568,7 +632,8 @@ impl<T> NodeStore<T> {
                 slot.residency = Residency::Disk;
                 self.used -= slot.size;
                 self.spilling_bytes = self.spilling_bytes.saturating_sub(slot.size);
-                let size = slot.size;
+                let (size, owner) = (slot.size, slot.owner);
+                *self.owner_spilled.entry(owner).or_insert(0) += size;
                 self.emit_obj(id, ObjectPhase::Spilled, size);
             }
         }
@@ -656,7 +721,7 @@ impl<T> NodeStore<T> {
                 match p.kind {
                     PendingKind::Create => {
                         if self.cfg.fallback_enabled {
-                            self.admit_fallback(p.id, p.size);
+                            self.admit_fallback(p.id, p.size, p.owner);
                             self.granted.push((p.id, p.tag, GrantKind::CreateFallback));
                         } else {
                             self.failed.push((p.id, p.tag));
@@ -698,7 +763,13 @@ impl<T> NodeStore<T> {
                         // Forgotten-and-recreated or stale entry; skip.
                         continue;
                     }
-                    self.admit(p.id, p.size, Residency::Memory { on_disk: false }, false);
+                    self.admit(
+                        p.id,
+                        p.size,
+                        Residency::Memory { on_disk: false },
+                        false,
+                        p.owner,
+                    );
                     self.granted.push((p.id, p.tag, GrantKind::Create));
                 }
                 PendingKind::Restore => {

@@ -25,6 +25,17 @@ const STORE_LANE: u32 = 1000;
 /// `exo-watch`), above any plausible node id.
 const INCIDENTS_PID: u32 = 9999;
 
+/// Pseudo-process id for the `jobs` track (job lifecycle edges under the
+/// multi-job runtime), one lane per tenant.
+const JOBS_PID: u32 = 9998;
+
+/// In multi-job traces each (job, node) pair gets its own process so a
+/// job's tasks render as one group; single-job traces keep the legacy
+/// `pid = node` layout byte-for-byte.
+fn job_pid(job: u32, node: u32) -> u32 {
+    (job + 1) * 10_000 + node
+}
+
 /// Serialises `events` as a Chrome trace-event JSON array.
 pub fn chrome_trace_json(events: &[Event]) -> String {
     // (sort key ts, serialized object) — metadata first at ts 0.
@@ -57,6 +68,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         started: Option<u64>,
         reason: Option<(&'static str, &'static str)>,
     }
+    let mut jobs_seen: BTreeMap<u32, u32> = BTreeMap::new(); // job -> tenant
+    let mut any_job_event = false;
     let mut open: HashMap<(u64, u32), Open> = HashMap::new();
     // Incident open edges awaiting their close: id → (t_open, event).
     // Ordered: stray opens are flushed by iterating this map, and the
@@ -74,6 +87,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         attempt: u32,
         reason: Option<(&'static str, &'static str)>,
         task: u64,
+        job: u32,
     }
     let mut spans: Vec<Span> = Vec::new();
 
@@ -129,7 +143,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                                 attempt: t.attempt,
                                 reason: o.reason,
                                 task: t.task,
+                                job: t.job,
                             });
+                            jobs_seen.entry(t.job).or_insert(0);
                         }
                     }
                 }
@@ -199,6 +215,23 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                     entries.push((t_open, incident_span(t_open, ev.at_us, inc)));
                 }
             }
+            EventKind::Job(j) => {
+                any_job_event = true;
+                jobs_seen.insert(j.job, j.tenant);
+                entries.push((
+                    ev.at_us,
+                    format!(
+                        r#"{{"name":"job{} {}","cat":"job","ph":"i","ts":{},"pid":{JOBS_PID},"tid":{},"s":"p","args":{{"job":{},"tenant":{},"label":"{}"}}}}"#,
+                        j.job,
+                        j.phase.name(),
+                        ev.at_us,
+                        j.tenant,
+                        j.job,
+                        j.tenant,
+                        escape(j.label)
+                    ),
+                ));
+            }
             // Dependency edges and fetch-wait intervals are analysis
             // inputs (exo-prof); they stay out of the rendered timeline
             // but remain available in the JSONL sibling.
@@ -234,16 +267,66 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
         }
     }
 
-    // Pass 2: greedy lane assignment per node so overlapping executions
-    // render side by side like CPU slots.
+    // Pass 2: greedy lane assignment per process so overlapping
+    // executions render side by side like CPU slots. With more than one
+    // job in the stream, each (job, node) pair becomes its own process
+    // so a job's tasks group together; single-job traces keep the
+    // legacy `pid = node` layout exactly.
+    let multi_job = jobs_seen.len() > 1;
+    if any_job_event {
+        let tenants: std::collections::BTreeSet<u32> = jobs_seen.values().copied().collect();
+        for tenant in tenants {
+            entries.push((
+                0,
+                format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":{JOBS_PID},"tid":{tenant},"args":{{"name":"tenant{tenant}"}}}}"#
+                ),
+            ));
+        }
+        entries.push((
+            0,
+            format!(
+                r#"{{"name":"process_name","ph":"M","pid":{JOBS_PID},"tid":0,"args":{{"name":"jobs"}}}}"#
+            ),
+        ));
+        entries.push((
+            0,
+            format!(
+                r#"{{"name":"process_sort_index","ph":"M","pid":{JOBS_PID},"tid":0,"args":{{"sort_index":{JOBS_PID}}}}}"#
+            ),
+        ));
+    }
     spans.sort_by_key(|s| s.start);
-    let mut lanes_free: HashMap<u32, Vec<u64>> = HashMap::new(); // node -> end time per lane
+    let mut lanes_free: HashMap<u32, Vec<u64>> = HashMap::new(); // pid -> end time per lane
                                                                  // Ordered: iterated below to emit thread_name metadata, all at ts 0,
                                                                  // where the stable sort preserves emission order.
     let mut lane_count: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut job_pids_named: Vec<u32> = Vec::new();
     for s in &spans {
-        note_node(&mut entries, &mut nodes_seen, s.node);
-        let free = lanes_free.entry(s.node).or_default();
+        let pid = if multi_job {
+            let pid = job_pid(s.job, s.node);
+            if !job_pids_named.contains(&pid) {
+                job_pids_named.push(pid);
+                entries.push((
+                    0,
+                    format!(
+                        r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"job{} node{}"}}}}"#,
+                        s.job, s.node
+                    ),
+                ));
+                entries.push((
+                    0,
+                    format!(
+                        r#"{{"name":"process_sort_index","ph":"M","pid":{pid},"tid":0,"args":{{"sort_index":{pid}}}}}"#
+                    ),
+                ));
+            }
+            pid
+        } else {
+            note_node(&mut entries, &mut nodes_seen, s.node);
+            s.node
+        };
+        let free = lanes_free.entry(pid).or_default();
         let lane = match free.iter().position(|&end| end <= s.start) {
             Some(i) => {
                 free[i] = s.end;
@@ -254,12 +337,15 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                 (free.len() - 1) as u32
             }
         };
-        let lc = lane_count.entry(s.node).or_insert(0);
+        let lc = lane_count.entry(pid).or_insert(0);
         *lc = (*lc).max(lane + 1);
         let mut args = format!(
             r#""task":{},"attempt":{},"queue_wait_us":{},"stage_wait_us":{}"#,
             s.task, s.attempt, s.queue_wait, s.stage_wait
         );
+        if multi_job {
+            let _ = write!(args, r#","job":{}"#, s.job);
+        }
         if let Some((r, policy)) = s.reason {
             let _ = write!(args, r#","placed":"{r}","policy":"{policy}""#);
         }
@@ -270,7 +356,7 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
                 escape(s.label),
                 s.start,
                 s.end.saturating_sub(s.start).max(1),
-                s.node,
+                pid,
                 lane,
                 args
             ),
@@ -278,12 +364,12 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     }
 
     // Lane names.
-    for (&node, &count) in &lane_count {
+    for (&pid, &count) in &lane_count {
         for lane in 0..count {
             entries.push((
                 0,
                 format!(
-                    r#"{{"name":"thread_name","ph":"M","pid":{node},"tid":{lane},"args":{{"name":"cpu slot {lane}"}}}}"#
+                    r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{lane},"args":{{"name":"cpu slot {lane}"}}}}"#
                 ),
             ));
         }
@@ -334,6 +420,9 @@ fn incident_span(t_open: u64, t_close: u64, inc: &crate::event::IncidentEvent) -
     if let Some(task) = inc.task {
         let _ = write!(args, r#","task":{task}"#);
     }
+    if let Some(tenant) = inc.tenant {
+        let _ = write!(args, r#","tenant":{tenant}"#);
+    }
     format!(
         r#"{{"name":"{}","cat":"incident","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{{}}}}}"#,
         inc.kind.name(),
@@ -359,6 +448,7 @@ mod tests {
         Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase,
                 node,

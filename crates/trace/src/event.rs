@@ -77,6 +77,9 @@ pub struct TaskSpan {
     pub task: u64,
     pub phase: TaskPhase,
     pub node: u32,
+    /// Job the task belongs to (0 for single-job runs; the JSONL exporter
+    /// omits the field when 0 so legacy traces are byte-identical).
+    pub job: u32,
     pub label: &'static str,
     /// Execution attempt (0 for the first run; bumped on any retry,
     /// including executor-failure re-runs).
@@ -183,6 +186,33 @@ pub struct ResourceSample {
     pub nic_bytes_in_flight: u64,
 }
 
+/// Job lifecycle phases under the multi-job runtime. `Submitted` exists
+/// for external producers (e.g. bench harnesses annotating arrival
+/// times); the runtime itself emits `Admitted` (registration passed
+/// admission control, ids assigned) and `Finished` (driver returned,
+/// `FinishJob` processed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Registration arrived (may still be queued by admission control).
+    Submitted,
+    /// Admission control let the job in; its id is now live.
+    Admitted,
+    /// The job's driver returned and the runtime retired it.
+    Finished,
+}
+
+/// A job lifecycle edge. Ties a job id to its tenant and label so
+/// downstream consumers (per-job critical paths, per-tenant snapshots,
+/// isolation detectors) can group task spans without out-of-band state.
+#[derive(Debug, Clone, Copy)]
+pub struct JobEvent {
+    pub job: u32,
+    /// Tenant the job bills to.
+    pub tenant: u32,
+    pub phase: JobPhase,
+    pub label: &'static str,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailureKind {
     /// Whole node killed (store contents lost).
@@ -214,6 +244,10 @@ pub enum IncidentKind {
     QueueDelay,
     /// Re-executed tasks after a failure exceeded the direct-loss set.
     ReconstructionCascade,
+    /// A tenant held more concurrent CPU slots than its configured quota
+    /// at a detector evaluation boundary — the multi-tenant isolation
+    /// guarantee was observably violated.
+    IsolationViolation,
 }
 
 /// The open or close edge of one detected incident. Emitted into the
@@ -239,6 +273,8 @@ pub struct IncidentEvent {
     pub stage: Option<&'static str>,
     /// Task scope, for per-task incidents.
     pub task: Option<u64>,
+    /// Tenant scope, for multi-tenant isolation incidents.
+    pub tenant: Option<u32>,
     /// The observed quantity that triggered (or peaked during) the
     /// incident, in the detector's native unit (µs, bytes, utilisation).
     pub value: f64,
@@ -256,6 +292,7 @@ pub enum EventKind {
     Resource(ResourceSample),
     Failure(FailureEvent),
     Incident(IncidentEvent),
+    Job(JobEvent),
 }
 
 /// A timestamped event. `at_us` is virtual time in microseconds.
@@ -312,6 +349,16 @@ impl DepKind {
     }
 }
 
+impl JobPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPhase::Submitted => "submitted",
+            JobPhase::Admitted => "admitted",
+            JobPhase::Finished => "finished",
+        }
+    }
+}
+
 impl FailureKind {
     pub fn name(self) -> &'static str {
         match self {
@@ -330,15 +377,17 @@ impl IncidentKind {
             IncidentKind::SpillStorm => "spill_storm",
             IncidentKind::QueueDelay => "queue_delay",
             IncidentKind::ReconstructionCascade => "reconstruction_cascade",
+            IncidentKind::IsolationViolation => "isolation_violation",
         }
     }
 
-    pub const ALL: [IncidentKind; 6] = [
+    pub const ALL: [IncidentKind; 7] = [
         IncidentKind::Straggler,
         IncidentKind::DiskHotspot,
         IncidentKind::NetHotspot,
         IncidentKind::SpillStorm,
         IncidentKind::QueueDelay,
         IncidentKind::ReconstructionCascade,
+        IncidentKind::IsolationViolation,
     ];
 }

@@ -24,6 +24,11 @@ pub fn event_json(ev: &Event) -> String {
                 escape(t.label),
                 t.attempt
             );
+            // Emitted only for non-zero jobs so single-job traces stay
+            // byte-identical with pre-multi-job exports.
+            if t.job != 0 {
+                let _ = write!(s, r#","job":{}"#, t.job);
+            }
             if t.retry {
                 s.push_str(r#","retry":true"#);
             }
@@ -122,6 +127,19 @@ pub fn event_json(ev: &Event) -> String {
             if let Some(task) = inc.task {
                 let _ = write!(s, r#","task":{task}"#);
             }
+            if let Some(tenant) = inc.tenant {
+                let _ = write!(s, r#","tenant":{tenant}"#);
+            }
+        }
+        EventKind::Job(j) => {
+            let _ = write!(
+                s,
+                r#","type":"job","phase":"{}","job":{},"tenant":{},"label":"{}""#,
+                j.phase.name(),
+                j.job,
+                j.tenant,
+                escape(j.label)
+            );
         }
     }
     s.push('}');

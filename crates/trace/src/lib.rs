@@ -33,8 +33,8 @@ pub mod summary;
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use event::{
     DepEvent, DepKind, Event, EventKind, FailureEvent, FailureKind, FetchWaitEvent, IncidentEvent,
-    IncidentKind, IoDir, IoEvent, ObjectEvent, ObjectPhase, PlaceReason, Placement, ResourceSample,
-    TaskPhase, TaskSpan,
+    IncidentKind, IoDir, IoEvent, JobEvent, JobPhase, ObjectEvent, ObjectPhase, PlaceReason,
+    Placement, ResourceSample, TaskPhase, TaskSpan,
 };
 pub use json::Json;
 pub use jsonl::{jsonl_string, write_jsonl};

@@ -118,7 +118,8 @@ impl TraceCounters {
             EventKind::Dep(_)
             | EventKind::FetchWait(_)
             | EventKind::Resource(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
 
@@ -361,6 +362,7 @@ mod tests {
             bytes: 7,
         }));
         sink.emit(EventKind::Task(TaskSpan {
+            job: 0,
             task: 1,
             phase: TaskPhase::Finished,
             node: 0,
@@ -441,6 +443,7 @@ mod tests {
     fn reexecution_and_reconstruction_fold() {
         let mut c = TraceCounters::default();
         c.apply(&EventKind::Task(TaskSpan {
+            job: 0,
             task: 3,
             phase: TaskPhase::Scheduled,
             node: 1,

@@ -153,7 +153,8 @@ pub fn summarize(events: &[Event]) -> TraceSummary {
             EventKind::Dep(_)
             | EventKind::FetchWait(_)
             | EventKind::Io(_)
-            | EventKind::Incident(_) => {}
+            | EventKind::Incident(_)
+            | EventKind::Job(_) => {}
         }
     }
     s.longest.sort_by_key(|t| std::cmp::Reverse(t.dur_us));
@@ -272,6 +273,7 @@ mod tests {
         let mk = |phase, at_us| Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase,
                 node,

@@ -31,6 +31,8 @@ enum Key {
     Queue,
     /// Per failure, by index into `cascades`.
     Cascade(u32),
+    /// Per tenant: concurrent running tasks exceeded the slot quota.
+    Isolation(u32),
 }
 
 /// What we remember about a not-yet-finished task.
@@ -38,6 +40,8 @@ enum Key {
 struct TaskState {
     node: u32,
     label: &'static str,
+    /// Owning job (resolves to a tenant via the admitted-job table).
+    job: u32,
     scheduled_us: u64,
     started_us: Option<u64>,
 }
@@ -113,6 +117,10 @@ pub(crate) struct Recorder {
     stage_exec: HashMap<&'static str, QuantileSketch>,
     tasks: HashMap<u64, TaskState>,
     cascades: Vec<Cascade>,
+    /// Job → tenant, learned from `JobEvent::Admitted` edges.
+    job_tenant: HashMap<u32, u32>,
+    /// Tenant → currently running (Started, not Finished) task count.
+    tenant_running: HashMap<u32, u64>,
     /// Since when the hotspot condition has held, per node × {disk,net}.
     hot_since: Vec<[Option<u64>; 2]>,
     incidents: Vec<Incident>,
@@ -135,6 +143,8 @@ impl Recorder {
             stage_exec: HashMap::new(),
             tasks: HashMap::new(),
             cascades: Vec::new(),
+            job_tenant: HashMap::new(),
+            tenant_running: HashMap::new(),
             hot_since: vec![[None; 2]; nodes],
             incidents: Vec::new(),
             open: HashMap::new(),
@@ -177,15 +187,21 @@ impl Recorder {
                     // supersedes the old attempt; a straggler verdict
                     // on it closes here.
                     self.close(Key::Straggler(t.task), ev.at_us);
-                    self.tasks.insert(
+                    let old = self.tasks.insert(
                         t.task,
                         TaskState {
                             node: t.node,
                             label: t.label,
+                            job: t.job,
                             scheduled_us: ev.at_us,
                             started_us: None,
                         },
                     );
+                    // A superseded attempt that had started never got a
+                    // Finished edge — release its running-count slot.
+                    if let Some(o) = old.filter(|o| o.started_us.is_some()) {
+                        self.tenant_dec(o.job);
+                    }
                 }
                 TaskPhase::Dequeued => {
                     if let Some(st) = self.tasks.get(&t.task) {
@@ -196,6 +212,9 @@ impl Recorder {
                     if let Some(st) = self.tasks.get_mut(&t.task) {
                         st.node = t.node;
                         st.started_us = Some(ev.at_us);
+                        let job = st.job;
+                        let tenant = self.job_tenant.get(&job).copied().unwrap_or(0);
+                        *self.tenant_running.entry(tenant).or_insert(0) += 1;
                     }
                 }
                 TaskPhase::Finished => {
@@ -205,6 +224,7 @@ impl Recorder {
                                 .entry(st.label)
                                 .or_default()
                                 .record(ev.at_us - s);
+                            self.tenant_dec(st.job);
                         }
                     }
                     self.close(Key::Straggler(t.task), ev.at_us);
@@ -224,6 +244,11 @@ impl Recorder {
                     direct_loss: direct,
                     retries: 0,
                 });
+            }
+            EventKind::Job(j) => {
+                // Any lifecycle edge ties the job to its tenant; the
+                // Admitted edge is the first one the runtime emits.
+                self.job_tenant.insert(j.job, j.tenant);
             }
             // Non-spill object transitions, deps, fetch-waits, I/O and
             // resource samples feed only the rolling bounds (handled
@@ -258,10 +283,19 @@ impl Recorder {
                     Some(node),
                     None,
                     None,
+                    None,
                     retries,
                     threshold,
                 );
             }
+        }
+    }
+
+    /// Release one running-task slot billed to `job`'s tenant.
+    fn tenant_dec(&mut self, job: u32) {
+        let tenant = self.job_tenant.get(&job).copied().unwrap_or(0);
+        if let Some(n) = self.tenant_running.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
         }
     }
 
@@ -272,6 +306,35 @@ impl Recorder {
         self.eval_queue(t);
         self.eval_stragglers(t);
         self.eval_cascades(t);
+        self.eval_isolation(t);
+    }
+
+    /// Concurrent-slot isolation: a tenant running more tasks than its
+    /// configured quota at an evaluation boundary is a violation of the
+    /// fair-share guarantee the scheduler is supposed to enforce.
+    fn eval_isolation(&mut self, t: u64) {
+        if self.cfg.tenant_slot_quotas.is_empty() {
+            return;
+        }
+        let quotas = self.cfg.tenant_slot_quotas.clone();
+        for (tenant, quota) in quotas {
+            let running = self.tenant_running.get(&tenant).copied().unwrap_or(0);
+            if running > quota as u64 {
+                self.open_or_peak(
+                    Key::Isolation(tenant),
+                    t,
+                    IncidentKind::IsolationViolation,
+                    None,
+                    None,
+                    None,
+                    Some(tenant),
+                    running as f64,
+                    quota as f64,
+                );
+            } else {
+                self.close(Key::Isolation(tenant), t);
+            }
+        }
     }
 
     fn eval_hotspots(&mut self, t: u64) {
@@ -305,6 +368,7 @@ impl Recorder {
                             Some(w.node),
                             None,
                             None,
+                            None,
                             util,
                             self.cfg.hotspot_util,
                         );
@@ -327,6 +391,7 @@ impl Recorder {
                     t,
                     IncidentKind::SpillStorm,
                     Some(node as u32),
+                    None,
                     None,
                     None,
                     bytes,
@@ -354,6 +419,7 @@ impl Recorder {
                 Key::Queue,
                 t,
                 IncidentKind::QueueDelay,
+                None,
                 None,
                 None,
                 None,
@@ -397,6 +463,7 @@ impl Recorder {
                     Some(st.node),
                     Some(st.label),
                     Some(task),
+                    None,
                     elapsed,
                     threshold,
                 );
@@ -425,6 +492,7 @@ impl Recorder {
         node: Option<u32>,
         stage: Option<&'static str>,
         task: Option<u64>,
+        tenant: Option<u32>,
         value: f64,
         threshold: f64,
     ) {
@@ -448,6 +516,7 @@ impl Recorder {
             node,
             stage,
             task,
+            tenant,
             value,
             threshold,
             severity,
@@ -462,6 +531,7 @@ impl Recorder {
                 node,
                 stage,
                 task,
+                tenant,
                 value,
                 threshold,
             },
@@ -486,6 +556,7 @@ impl Recorder {
                 node: inc.node,
                 stage: inc.stage,
                 task: inc.task,
+                tenant: inc.tenant,
                 value: inc.value,
                 threshold: inc.threshold,
             },
@@ -554,6 +625,7 @@ mod tests {
         Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task: id,
                 phase,
                 node,

@@ -95,6 +95,11 @@ pub struct WatchConfig {
     /// Cascade: lineage resubmits are attributed to a failure for this
     /// long after it.
     pub cascade_window_us: u64,
+    /// Per-tenant concurrent CPU-slot quotas `(tenant, slots)`. At each
+    /// evaluation boundary a tenant running more tasks than its quota
+    /// opens an [`IncidentKind::IsolationViolation`]. Empty (the
+    /// default) disables the detector.
+    pub tenant_slot_quotas: Vec<(u32, u32)>,
 }
 
 impl Default for WatchConfig {
@@ -114,6 +119,7 @@ impl Default for WatchConfig {
             queue_min_count: 64,
             queue_min_us: 50_000,
             cascade_window_us: 5_000_000,
+            tenant_slot_quotas: Vec::new(),
         }
     }
 }
@@ -132,6 +138,8 @@ pub struct Incident {
     pub node: Option<u32>,
     pub stage: Option<&'static str>,
     pub task: Option<u64>,
+    /// Tenant scope, for multi-tenant isolation incidents.
+    pub tenant: Option<u32>,
     /// Peak observed value, in the detector's native unit.
     pub value: f64,
     /// The threshold the value is measured against.
@@ -164,6 +172,9 @@ impl Incident {
         }
         if let Some(task) = self.task {
             j = j.set("task", task);
+        }
+        if let Some(tenant) = self.tenant {
+            j = j.set("tenant", tenant);
         }
         j
     }
@@ -233,6 +244,9 @@ pub fn progress_line(at_us: u64, ev: &IncidentEvent) -> String {
     }
     if let Some(task) = ev.task {
         s.push_str(&format!(" task={task}"));
+    }
+    if let Some(tenant) = ev.tenant {
+        s.push_str(&format!(" tenant={tenant}"));
     }
     s
 }

@@ -21,6 +21,13 @@ cargo test -q --workspace
 echo "==> bench_gate (perf-regression gate vs bench/baseline.json)"
 ./scripts/bench_gate.sh
 
+echo "==> multi-tenant service smoke (open-loop 3-tenant job stream)"
+cargo run --release -p exo-bench --bin multitenant -- --quick
+grep -q '"isolation_violations":0' results/multitenant.json || {
+    echo "FAIL: multi-tenant run reported isolation violations" >&2
+    exit 1
+}
+
 echo "==> heterogeneous smoke (mixed HDD+SSD sort + g4dn/r6i ML loader)"
 cargo run --release -p exo-bench --bin hetero -- --quick
 

@@ -287,6 +287,7 @@ mod watch_quiescence {
         Event {
             at_us,
             kind: EventKind::Task(TaskSpan {
+                job: 0,
                 task,
                 phase,
                 node,
