@@ -43,7 +43,7 @@ fn run(
         scale: (data / 50_000_000).max(1),
         seed: 7,
     };
-    let (report, jct) = exo_rt::run(cfg, |rt| {
+    let (report, jct) = exo_bench::timed_run(cfg, |rt| {
         let job = sort_job(spec);
         let t0 = rt.now();
         let outs = f(rt, &job);

@@ -48,7 +48,7 @@ fn main() {
     rt_cfg.watch = obs.watch_cfg();
 
     println!("# Figure 5 — online aggregation, 10× r6i.2xlarge\n");
-    let (report, (t_batch, samples, t_stream)) = exo_rt::run(rt_cfg, |rt| {
+    let (report, (t_batch, samples, t_stream)) = exo_bench::timed_run(rt_cfg, |rt| {
         let (t_batch, truth) = regular_aggregation(rt, &cfg);
         let (samples, t_stream) = streaming_aggregation(rt, &cfg, &truth);
         (t_batch, samples, t_stream)

@@ -28,7 +28,7 @@ fn run_once(obj_bytes: u64, fuse: bool, prefetch: bool, total_bytes: u64) -> f64
     let returns_per_task = 64usize;
     let n_objs = (total_bytes / obj_bytes) as usize;
     let n_tasks = n_objs.div_ceil(returns_per_task);
-    let (report, _) = exo_rt::run(cfg, |rt| {
+    let (report, _) = exo_bench::timed_run(cfg, |rt| {
         // Produce: hold all refs so memory pressure must spill.
         let mut refs = Vec::with_capacity(n_objs);
         for _ in 0..n_tasks {

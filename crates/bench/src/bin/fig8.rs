@@ -62,7 +62,7 @@ fn main() {
     es_rt_cfg.trace = obs.cfg.clone();
     es_rt_cfg.live = obs.live_cfg();
     es_rt_cfg.watch = obs.watch_cfg();
-    let (es_report, es) = exo_rt::run(es_rt_cfg, |rt| exoshuffle_training(rt, &es_cfg));
+    let (es_report, es) = exo_bench::timed_run(es_rt_cfg, |rt| exoshuffle_training(rt, &es_cfg));
     obs.finish(&es_report, &caps);
 
     let ps_cfg = PetastormConfig {
@@ -74,7 +74,7 @@ fn main() {
         gpu_ns_per_sample: gpu_ns,
         decode_throughput: 20.0 * 1e6, // single-process Parquet decode
     };
-    let (_r, ps) = exo_rt::run(rt_cfg(), |rt| petastorm_training(rt, &ps_cfg));
+    let (_r, ps) = exo_bench::timed_run(rt_cfg(), |rt| petastorm_training(rt, &ps_cfg));
     let ps = ps.expect("9% buffer fits");
 
     println!(

@@ -46,11 +46,12 @@ fn main() {
     full_rt_cfg.trace = obs.cfg.clone();
     full_rt_cfg.live = obs.live_cfg();
     full_rt_cfg.watch = obs.watch_cfg();
-    let (full_rep, full) = exo_rt::run(full_rt_cfg, |rt| exoshuffle_training(rt, &base));
+    let (full_rep, full) = exo_bench::timed_run(full_rt_cfg, |rt| exoshuffle_training(rt, &base));
     obs.finish(&full_rep, &caps);
     let mut windowed_cfg = base;
     windowed_cfg.window = ShuffleWindow::Window { partitions: 4 }; // per-node batches only
-    let (win_rep, win) = exo_rt::run(rt_cfg(), |rt| exoshuffle_training(rt, &windowed_cfg));
+    let (win_rep, win) =
+        exo_bench::timed_run(rt_cfg(), |rt| exoshuffle_training(rt, &windowed_cfg));
 
     let avg = |xs: &[exo_sim::SimDuration]| {
         xs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / xs.len() as f64

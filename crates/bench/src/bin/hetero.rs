@@ -70,7 +70,7 @@ fn run_policy_sort(
         scale: exo_bench::runs::default_scale(data),
         seed: 7,
     };
-    let (report, jct) = exo_rt::run(cfg, |rt| {
+    let (report, jct) = exo_bench::timed_run(cfg, |rt| {
         let job = sort_job(spec);
         let t0 = rt.now();
         let outs = run_shuffle(rt, &job, ShuffleVariant::Simple);
@@ -215,7 +215,7 @@ fn hetero_sort() {
         scale: exo_bench::runs::default_scale(data),
         seed: 7,
     };
-    let (report, jct) = exo_rt::run(cfg, |rt| {
+    let (report, jct) = exo_bench::timed_run(cfg, |rt| {
         let job = sort_job(spec);
         let t0 = rt.now();
         let outs = run_shuffle(rt, &job, ShuffleVariant::PushStar { map_parallelism: 2 });
@@ -287,7 +287,7 @@ fn hetero_ml() {
         window: ShuffleWindow::Full,
         gpu_ns_per_sample: 40_000.0,
     };
-    let (report, out) = exo_rt::run(cfg, |rt| exoshuffle_training(rt, &train_cfg));
+    let (report, out) = exo_bench::timed_run(cfg, |rt| exoshuffle_training(rt, &train_cfg));
 
     println!(
         "{}",

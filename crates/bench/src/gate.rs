@@ -140,7 +140,8 @@ fn agg_small() -> Vec<(&'static str, f64)> {
         rounds: 3,
     };
     let rt_cfg = RtConfig::new(ClusterSpec::homogeneous(NodeSpec::r6i_2xlarge(), 4));
-    let (report, (t_batch, _truth)) = exo_rt::run(rt_cfg, |rt| regular_aggregation(rt, &cfg));
+    let (report, (t_batch, _truth)) =
+        crate::runs::timed_run(rt_cfg, |rt| regular_aggregation(rt, &cfg));
     vec![
         ("jct_s", t_batch.as_secs_f64()),
         ("net_bytes", report.metrics.net_bytes as f64),
@@ -162,7 +163,7 @@ fn ml_loader_small() -> Vec<(&'static str, f64)> {
         window: ShuffleWindow::Full,
         gpu_ns_per_sample: 40_000.0,
     };
-    let (report, out) = exo_rt::run(cfg, |rt| exoshuffle_training(rt, &train_cfg));
+    let (report, out) = crate::runs::timed_run(cfg, |rt| exoshuffle_training(rt, &train_cfg));
     vec![
         ("jct_s", out.total_time.as_secs_f64()),
         ("net_bytes", report.metrics.net_bytes as f64),

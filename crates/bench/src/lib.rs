@@ -30,12 +30,16 @@ pub mod profdiff;
 pub mod runs;
 pub mod service;
 pub mod table;
+pub mod xl;
 
 pub use obs::{
     claim_obs, claim_trace, export_trace, export_trace_with_caps, live_flag, obs_not_applicable,
     sort_result_json, without_trace, write_results, Obs,
 };
-pub use runs::{run_es_sort, run_es_sort_on, EsSortParams, SortRunResult};
+pub use runs::{
+    peak_rss_bytes, perf_json, run_es_sort, run_es_sort_on, timed_run, timed_run_service,
+    EsSortParams, SortRunResult,
+};
 pub use service::{run_multitenant, MtJobPlan, MtKind, MtParams, MtReport};
 pub use table::Table;
 

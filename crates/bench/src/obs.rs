@@ -547,6 +547,10 @@ pub fn write_results(name: &str, doc: Json) {
         Some(watch) => doc.set("incidents", watch),
         None => doc,
     };
+    // Every results file carries the process-wide perf block (engine
+    // events dispatched, sim-events/sec, peak RSS) so the perf
+    // trajectory is visible across all bins, not just cloudsort_xl.
+    let doc = doc.set("perf", crate::runs::perf_json());
     let dir = Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("failed to create {}: {e}", dir.display());

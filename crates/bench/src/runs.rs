@@ -1,9 +1,78 @@
 //! Shared experiment runners.
 
-use exo_rt::{NodeId, RtConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use exo_rt::trace::Json;
+use exo_rt::{NodeId, RtConfig, RtHandle, RunReport, ServiceHandle};
 use exo_shuffle::{run_shuffle, ShuffleVariant};
 use exo_sim::{ClusterSpec, NodeSpec, SimDuration, SimTime};
 use exo_sort::{sort_job, SortSpec};
+
+/// Wall nanoseconds this process has spent inside engine runs (the
+/// denominator of `sim_events_per_sec`); accumulated by [`timed_run`]
+/// and [`timed_run_service`], paired with `exo_sim::dispatch_total()`
+/// as the numerator.
+static RUN_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// [`exo_rt::run`] under wall-clock accounting, so the bin's
+/// `results/<name>.json` can report sim-events/sec (see [`perf_json`]).
+/// All bench bins should enter the runtime through this (or
+/// [`timed_run_service`]) rather than `exo_rt::run` directly.
+pub fn timed_run<R: Send>(
+    cfg: RtConfig,
+    driver: impl FnOnce(&RtHandle) -> R + Send,
+) -> (RunReport, R) {
+    let t0 = Instant::now();
+    let out = exo_rt::run(cfg, driver);
+    RUN_WALL_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// [`exo_rt::run_service`] under the same wall-clock accounting as
+/// [`timed_run`].
+pub fn timed_run_service<R: Send>(
+    cfg: RtConfig,
+    coordinator: impl FnOnce(&ServiceHandle) -> R + Send,
+) -> (RunReport, R) {
+    let t0 = Instant::now();
+    let out = exo_rt::run_service(cfg, coordinator);
+    RUN_WALL_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// The process-wide perf block embedded under `"perf"` in every bench
+/// bin's `results/<name>.json`: engine events dispatched, wall seconds
+/// spent dispatching them, the resulting sim-events/sec, and peak RSS.
+pub fn perf_json() -> Json {
+    let events = exo_sim::dispatch_total();
+    let wall_s = RUN_WALL_NANOS.load(Ordering::Relaxed) as f64 / 1e9;
+    let eps = if wall_s > 0.0 {
+        events as f64 / wall_s
+    } else {
+        0.0
+    };
+    Json::obj()
+        .set("sim_events", events)
+        .set("run_wall_s", wall_s)
+        .set("sim_events_per_sec", eps)
+        .set("peak_rss_bytes", peak_rss_bytes())
+}
 
 /// Parameters for one Exoshuffle sort run.
 #[derive(Clone, Copy, Debug)]
@@ -103,7 +172,7 @@ fn run_es_sort_inner(
         scale: p.scale,
         seed: 7,
     };
-    let (report, jct) = exo_rt::run(cfg, |rt| {
+    let (report, jct) = timed_run(cfg, |rt| {
         if let Some((victim, at, restart)) = p.failure {
             rt.kill_node(NodeId(victim), at, Some(restart));
         }

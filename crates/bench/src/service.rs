@@ -11,7 +11,7 @@
 use exo_agg::{regular_aggregation, AggConfig, PageviewSpec};
 use exo_ml::{exoshuffle_training, DatasetSpec, TrainConfig};
 use exo_rt::trace::Json;
-use exo_rt::{run_service, JobParams, RtConfig, RtMetrics, TenantId, TenantQuota};
+use exo_rt::{JobParams, RtConfig, RtMetrics, TenantId, TenantQuota};
 use exo_shuffle::{run_shuffle, ShuffleVariant, ShuffleWindow};
 use exo_sim::{ClusterSpec, NodeSpec, SimDuration, SplitMix64};
 use exo_sort::{sort_job, SortSpec};
@@ -326,7 +326,7 @@ pub fn run_multitenant(p: &MtParams) -> MtReport {
     cfg.watch = Some(watch);
     let caps = cfg.cluster.device_caps();
 
-    let (report, outcomes) = run_service(cfg, |svc| {
+    let (report, outcomes) = crate::runs::timed_run_service(cfg, |svc| {
         let mut handles = Vec::with_capacity(plans.len());
         for plan in &plans {
             let plan = *plan;

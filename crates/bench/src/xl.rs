@@ -1,0 +1,118 @@
+//! The `cloudsort_xl` case: CloudSort-record cluster geometry (100
+//! d3.2xlarge nodes, 100 TB logical dataset — the scale at which
+//! Exoshuffle-CloudSort set the 2022 record) with the partition count
+//! scaled down proportionally so the engine still sees tens of millions
+//! of tasks/objects rather than the record run's billions. This is the
+//! workload the engine-core refactor (calendar queue, arena tables,
+//! batched tracing) is sized against: the shared [`run_xl`] runner
+//! reports sim-events/sec and wall-clock alongside the usual sort
+//! metrics, and reruns must be bit-identical.
+
+use std::time::Instant;
+
+use exo_shuffle::ShuffleVariant;
+use exo_sim::NodeSpec;
+
+use crate::runs::{default_scale, run_es_sort, EsSortParams, SortRunResult};
+
+/// Nodes in the CloudSort geometry (matches fig4d / the record run).
+pub const XL_NODES: usize = 100;
+
+/// Logical dataset bytes: the full 100 TB CloudSort input.
+pub const XL_DATA_BYTES: u64 = 100_000_000_000_000;
+
+/// Sim-events/sec floor asserted by the bench gate on the smoke
+/// geometry. The pre-refactor engine (BinaryHeap queue, HashMap
+/// tables, per-event tracing, per-call arg-set rebuilds) measured
+/// ~21 k events/s on this case on the reference machine; the
+/// refactored engine measures ~180 k. The floor sits at ~4.7× the
+/// pre-refactor rate — far above any pre-refactor regression, with
+/// ~45% headroom below the measured rate for slow CI machines.
+pub const XL_EVENTS_PER_SEC_FLOOR: f64 = 100_000.0;
+
+/// The xl sort parameters. `smoke` shrinks the partition count (same
+/// 100-node cluster, same data:store ratio per partition) so the case
+/// fits in the bench gate's time budget; the full geometry is what
+/// `results/cloudsort_xl.json` records.
+pub fn xl_params(smoke: bool) -> EsSortParams {
+    // Full: 3200 partitions → ~10 M shuffle-block transfers across the
+    // all-to-all; smoke: 400 partitions → 160 k blocks, a few seconds.
+    // The Simple (unfused, all-to-all) variant maximises engine-table
+    // and event-queue churn per simulated second, which is exactly what
+    // this case exists to stress.
+    let partitions = if smoke { 400 } else { 3200 };
+    // Scale the dataset with the partition count so per-partition bytes
+    // (and the data:store ratio driving the out-of-core spill behaviour)
+    // stay at the record run's proportions.
+    let data_bytes = XL_DATA_BYTES / 3200 * partitions as u64;
+    EsSortParams {
+        node: NodeSpec::d3_2xlarge(),
+        nodes: XL_NODES,
+        data_bytes,
+        partitions,
+        scale: default_scale(data_bytes),
+        variant: ShuffleVariant::Simple,
+        failure: None,
+        in_memory: false,
+        store_capacity: None,
+    }
+}
+
+/// One measured xl run: sort metrics plus engine throughput.
+#[derive(Clone, Debug)]
+pub struct XlStats {
+    pub result: SortRunResult,
+    /// Engine events + commands dispatched by this run.
+    pub events: u64,
+    /// Wall seconds for this run.
+    pub wall_s: f64,
+}
+
+impl XlStats {
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the case once under event/wall accounting.
+pub fn run_xl(p: EsSortParams) -> XlStats {
+    let e0 = exo_sim::dispatch_total();
+    let t0 = Instant::now();
+    let result = run_es_sort(p);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let events = exo_sim::dispatch_total() - e0;
+    XlStats {
+        result,
+        events,
+        wall_s,
+    }
+}
+
+/// Metric-by-metric bit-identity check between two runs of the same
+/// parameters; returns the differing metric names (empty = identical).
+pub fn rerun_diffs(a: &SortRunResult, b: &SortRunResult) -> Vec<&'static str> {
+    let mut diffs = Vec::new();
+    if a.jct != b.jct {
+        diffs.push("jct");
+    }
+    if a.spilled != b.spilled {
+        diffs.push("spilled");
+    }
+    if a.net != b.net {
+        diffs.push("net");
+    }
+    if a.disk_read != b.disk_read {
+        diffs.push("disk_read");
+    }
+    if a.disk_write != b.disk_write {
+        diffs.push("disk_write");
+    }
+    if a.reexecuted != b.reexecuted {
+        diffs.push("reexecuted");
+    }
+    diffs
+}

@@ -9,9 +9,11 @@
 
 use exo_bench::gate::CASES;
 
-/// The committed `bench/baseline.json` readings for every homogeneous
-/// gate case (the heterogeneous `ml_loader_small` case is covered by
-/// the tolerance gate, not pinned here).
+/// The committed `bench/baseline.json` readings for every gate case —
+/// all six, including the heterogeneous `ml_loader_small` cluster and
+/// the `multitenant_small` arrival stream, so an engine-core change
+/// that perturbs any scheduling path fails here exactly rather than
+/// merely drifting inside the tolerance gate's bands.
 const PINNED: &[(&str, &[(&str, f64)])] = &[
     (
         "sort_hdd_small",
@@ -40,6 +42,20 @@ const PINNED: &[(&str, &[(&str, f64)])] = &[
     (
         "agg_small",
         &[("jct_s", 7.714392), ("net_bytes", 2_976_559_488.0)],
+    ),
+    (
+        "ml_loader_small",
+        &[("jct_s", 4.055345), ("net_bytes", 125_000_000.0)],
+    ),
+    (
+        "multitenant_small",
+        &[
+            ("jct_p50_s", 3.576761),
+            ("jct_p99_s", 6.802835),
+            ("net_bytes", 5_341_017_369.0),
+            ("isolation_violations", 0.0),
+            ("quota_denials", 0.0),
+        ],
     ),
 ];
 

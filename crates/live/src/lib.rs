@@ -406,6 +406,9 @@ mod tests {
                 dir: IoDir::Read,
                 bytes: 10,
             }));
+            // Like the runtime's LiveSnapshot arm: settle the sink's
+            // pending block before snapshotting observer-fed state.
+            sink.flush();
             handle.tick(i * 100 + 50);
         }
         let series = handle.finish(1000);

@@ -126,8 +126,7 @@ const TARGET_SLICES: u64 = 120;
 /// Classifies the run in `events` against the cluster-wide capacities in
 /// `caps` (per-node capacities summed).
 pub fn attribute(events: &[Event], caps: &DeviceCaps) -> BoundProfile {
-    let end_us = events.iter().map(|e| e.at_us).max().unwrap_or(0);
-    attribute_selected(events, caps, end_us, None)
+    AttributionPass::scan(events, caps).cluster(caps)
 }
 
 /// Per-node bound profiles, one per node in id order. Each node's slices
@@ -137,198 +136,320 @@ pub fn attribute(events: &[Event], caps: &DeviceCaps) -> BoundProfile {
 /// the run's global end time and slice grid, so each node's fractions
 /// tile the makespan and sum to 1.
 pub fn attribute_per_node(events: &[Event], caps: &DeviceCaps) -> Vec<BoundProfile> {
-    let end_us = events.iter().map(|e| e.at_us).max().unwrap_or(0);
+    let pass = AttributionPass::scan(events, caps);
     (0..caps.nodes())
-        .map(|n| attribute_selected(events, caps, end_us, Some(n as u32)))
+        .map(|n| pass.node(caps, n as u32))
         .collect()
 }
 
-/// Shared engine behind [`attribute`] (whole cluster, `sel == None`) and
-/// [`attribute_per_node`] (one node). Capacities are summed over the
-/// selected nodes; store occupancy is tracked per node (carry-forward
-/// between samples) and summed, never extrapolated from one node — the
-/// nodes are not assumed symmetric.
-fn attribute_selected(
-    events: &[Event],
-    caps: &DeviceCaps,
+/// The cluster profile and every per-node profile from **one** scan of
+/// the event stream — what `profile()` / report builders should call.
+/// Equivalent to `(attribute(..), attribute_per_node(..))` bit for bit,
+/// without the 1 + N re-scans.
+pub fn attribute_all(events: &[Event], caps: &DeviceCaps) -> (BoundProfile, Vec<BoundProfile>) {
+    let pass = AttributionPass::scan(events, caps);
+    let per_node = (0..caps.nodes())
+        .map(|n| pass.node(caps, n as u32))
+        .collect();
+    (pass.cluster(caps), per_node)
+}
+
+/// Per-slice accumulation for one node (or, for `net_cluster`, the whole
+/// wire). All fields are exact-integer sums (CPU slot counts are small
+/// integers widened to `f64`), so summing them across nodes at readout
+/// is order-independent and reproduces the old event-order folds bit for
+/// bit.
+#[derive(Default, Clone, Copy)]
+struct Acc {
+    cpu_busy: f64,
+    cpu_total: f64,
+    samples: u64,
+    disk_bytes: u64,
+    net_bytes: u64,
+    spill_ops: u64,
+}
+
+/// The memoized single pass behind [`attribute`], [`attribute_per_node`]
+/// and [`attribute_all`]: one sweep over the events fills per-slice,
+/// per-node accumulators plus a cluster-wide transfer track; every view
+/// (whole cluster or a single node) is then a cheap readout over the
+/// accumulators. Previously each view re-scanned the full stream — the
+/// per-node report on an N-node cluster cost N + 1 passes.
+struct AttributionPass {
     end_us: u64,
-    sel: Option<u32>,
-) -> BoundProfile {
-    if end_us == 0 {
-        return BoundProfile::default();
-    }
-    let slice_us = (end_us / TARGET_SLICES).max(1);
-    let slices = end_us.div_ceil(slice_us) as usize;
-    let selected = |node: u32| sel.is_none_or(|s| s == node);
+    slice_us: u64,
+    slices: usize,
+    nodes: usize,
+    /// `[slice * nodes + node]` — everything attributable to one node.
+    /// Transfer bytes are credited to *both* endpoints' cells (their
+    /// single-node views each count the wire), matching the old
+    /// per-selection scan.
+    per_node: Vec<Acc>,
+    /// Per-slice transfer bytes counted **once** per transfer — the
+    /// cluster view's net track (endpoints within the cluster share the
+    /// same wire, so summing the per-node cells would double-count).
+    net_cluster: Vec<u64>,
+    /// Events whose node id falls outside the capacity card (possible in
+    /// synthetic streams). The cluster view counts them — it always did;
+    /// no single-node view can claim them.
+    slop: Vec<Acc>,
+    /// Per-slice, per-node peak store sample (`None` = node not sampled
+    /// in that slice; its last known level carries forward at readout).
+    store_peak: Vec<Option<u64>>,
+}
 
-    #[derive(Default, Clone, Copy)]
-    struct Acc {
-        cpu_busy: f64,
-        cpu_total: f64,
-        samples: u64,
-        disk_bytes: u64,
-        net_bytes: u64,
-        spill_ops: u64,
-    }
-    let mut acc = vec![Acc::default(); slices];
-    // Per-slice, per-node peak store sample (`None` = node not sampled in
-    // that slice; its last known level carries forward at readout).
-    let nodes = caps.nodes();
-    let mut store_peak: Vec<Option<u64>> = vec![None; slices * nodes];
-    let idx = |at_us: u64| (((at_us.min(end_us - 1)) / slice_us) as usize).min(slices - 1);
-
-    // Reconstructed per-node FIFO transmit cursor. Transfer events carry
-    // their *submit* time, and staging submits whole stages in bursts at
-    // a single instant — crediting the bytes to the submit slice would
-    // read as one absurd spike followed by silence. Replaying the
-    // source's transmit queue (transfers serve back-to-back at the NIC's
-    // bandwidth, exactly the runtime's model) recovers when each
-    // transfer actually occupied the wire, and the bytes are smeared
-    // over that service window.
-    let mut tx_free: Vec<u64> = vec![0; nodes];
-    // Add `bytes` to the slices overlapping [start, end) µs, pro rata.
-    let spread = |acc: &mut Vec<Acc>, start: u64, end: u64, bytes: u64| {
-        let dur = (end - start).max(1);
-        let last = end.min(end_us);
-        let (i0, i1) = (idx(start), idx(last.saturating_sub(1)));
-        for (i, slot) in acc.iter_mut().enumerate().take(i1 + 1).skip(i0) {
-            let s = (i as u64 * slice_us).max(start);
-            let e = ((i as u64 + 1) * slice_us).min(last);
-            let share = (bytes as u128 * (e.saturating_sub(s)) as u128 / dur as u128) as u64;
-            slot.net_bytes += share;
+impl AttributionPass {
+    fn scan(events: &[Event], caps: &DeviceCaps) -> AttributionPass {
+        let end_us = events.iter().map(|e| e.at_us).max().unwrap_or(0);
+        let nodes = caps.nodes();
+        if end_us == 0 {
+            return AttributionPass {
+                end_us,
+                slice_us: 1,
+                slices: 0,
+                nodes,
+                per_node: Vec::new(),
+                net_cluster: Vec::new(),
+                slop: Vec::new(),
+                store_peak: Vec::new(),
+            };
         }
-    };
-    for ev in events {
-        let i = idx(ev.at_us);
-        match &ev.kind {
-            EventKind::Resource(r) if selected(r.node) => {
-                let a = &mut acc[i];
-                a.cpu_busy += r.cpu_slots_busy as f64;
-                a.cpu_total += r.cpu_slots_total.max(1) as f64;
-                a.samples += 1;
-                if (r.node as usize) < nodes {
-                    let cell = &mut store_peak[i * nodes + r.node as usize];
-                    *cell = Some(cell.unwrap_or(0).max(r.store_used));
+        let slice_us = (end_us / TARGET_SLICES).max(1);
+        let slices = end_us.div_ceil(slice_us) as usize;
+        let mut pass = AttributionPass {
+            end_us,
+            slice_us,
+            slices,
+            nodes,
+            per_node: vec![Acc::default(); slices * nodes],
+            net_cluster: vec![0; slices],
+            slop: vec![Acc::default(); slices],
+            store_peak: vec![None; slices * nodes],
+        };
+        let idx = |at_us: u64| (((at_us.min(end_us - 1)) / slice_us) as usize).min(slices - 1);
+
+        // Reconstructed per-node FIFO transmit cursor. Transfer events
+        // carry their *submit* time, and staging submits whole stages in
+        // bursts at a single instant — crediting the bytes to the submit
+        // slice would read as one absurd spike followed by silence.
+        // Replaying the source's transmit queue (transfers serve
+        // back-to-back at the NIC's bandwidth, exactly the runtime's
+        // model) recovers when each transfer actually occupied the wire,
+        // and the bytes are smeared over that service window.
+        let mut tx_free: Vec<u64> = vec![0; nodes];
+        for ev in events {
+            let i = idx(ev.at_us);
+            match &ev.kind {
+                EventKind::Resource(r) => {
+                    let a = if (r.node as usize) < nodes {
+                        let cell = &mut pass.store_peak[i * nodes + r.node as usize];
+                        *cell = Some(cell.unwrap_or(0).max(r.store_used));
+                        &mut pass.per_node[i * nodes + r.node as usize]
+                    } else {
+                        &mut pass.slop[i]
+                    };
+                    a.cpu_busy += r.cpu_slots_busy as f64;
+                    a.cpu_total += r.cpu_slots_total.max(1) as f64;
+                    a.samples += 1;
                 }
-            }
-            // Restore reads + output/spill writes all queue on the same
-            // disks; direction doesn't matter for saturation.
-            EventKind::Io(io) if selected(io.node) => acc[i].disk_bytes += io.bytes,
-            EventKind::Object(o) => match o.phase {
-                // A transfer occupies the receiver's rx direction and the
-                // sender's tx direction; count it against whichever
-                // selected node touched it (once for the cluster view).
-                // The queue cursor advances on *every* transfer — the
-                // wire is shared whether or not this view selects it.
-                ObjectPhase::Transferred => {
-                    let window = o.src.filter(|s| (*s as usize) < nodes).map(|s| {
-                        let bw = caps.per_node[s as usize].nic_bw.max(1.0);
-                        let start = ev.at_us.max(tx_free[s as usize]);
-                        let end = start + ((o.bytes as f64 * 1e6 / bw).ceil() as u64).max(1);
-                        tx_free[s as usize] = end;
-                        (start, end)
-                    });
-                    if selected(o.node) || o.src.is_some_and(selected) {
+                // Restore reads + output/spill writes all queue on the
+                // same disks; direction doesn't matter for saturation.
+                EventKind::Io(io) => {
+                    let a = if (io.node as usize) < nodes {
+                        &mut pass.per_node[i * nodes + io.node as usize]
+                    } else {
+                        &mut pass.slop[i]
+                    };
+                    a.disk_bytes += io.bytes;
+                }
+                EventKind::Object(o) => match o.phase {
+                    // A transfer occupies the receiver's rx direction and
+                    // the sender's tx direction: credit the service
+                    // window's bytes to both endpoints' cells (each
+                    // single-node view sees its share of the wire) and
+                    // once to the cluster track.
+                    ObjectPhase::Transferred => {
+                        let window = o.src.filter(|s| (*s as usize) < nodes).map(|s| {
+                            let bw = caps.per_node[s as usize].nic_bw.max(1.0);
+                            let start = ev.at_us.max(tx_free[s as usize]);
+                            let end = start + ((o.bytes as f64 * 1e6 / bw).ceil() as u64).max(1);
+                            tx_free[s as usize] = end;
+                            (start, end)
+                        });
                         let (start, end) = window.unwrap_or((ev.at_us, ev.at_us + 1));
-                        spread(&mut acc, start, end, o.bytes);
+                        pass.spread(start, end, o.bytes, o.node, o.src);
                     }
-                }
-                ObjectPhase::Spilled | ObjectPhase::Restored | ObjectPhase::Fallback
-                    if selected(o.node) =>
-                {
-                    acc[i].spill_ops += 1;
-                }
-                _ => {}
-            },
-            // Task lifecycle, deps, fetch-waits, failures, and incident
-            // edges don't move bytes through the devices this profile
-            // attributes; enumerated so a new variant is a compile
-            // error. (Unselected Resource/Io events fall here too via
-            // their guards — deliberately unattributed.)
-            EventKind::Task(_)
-            | EventKind::Dep(_)
-            | EventKind::FetchWait(_)
-            | EventKind::Io(_)
-            | EventKind::Resource(_)
-            | EventKind::Failure(_)
-            | EventKind::Incident(_)
-            | EventKind::Job(_) => {}
-        }
-    }
-
-    // Capacities of the selected nodes per slice.
-    let slice_secs = slice_us as f64 / 1e6;
-    let sel_caps = || {
-        caps.per_node
-            .iter()
-            .enumerate()
-            .filter(|(n, _)| selected(*n as u32))
-    };
-    let disk_cap = sel_caps().map(|(_, c)| c.disk_seq_bw).sum::<f64>() * slice_secs;
-    let net_cap = sel_caps().map(|(_, c)| c.nic_bw).sum::<f64>() * slice_secs;
-    let store_cap = (sel_caps().map(|(_, c)| c.store_bytes).sum::<u64>() as f64).max(1.0);
-
-    let mut profile = BoundProfile {
-        intervals: Vec::with_capacity(slices),
-        end_us,
-    };
-    let mut last_cpu = 0.0;
-    let mut store_level: Vec<u64> = vec![0; nodes];
-    for (i, a) in acc.iter().enumerate() {
-        // Samples arrive every resource_sample_us; slices without one
-        // carry the previous slice's levels (they describe occupancy,
-        // not flow).
-        let cpu_util = if a.samples > 0 {
-            a.cpu_busy / a.cpu_total.max(1.0)
-        } else {
-            last_cpu
-        };
-        last_cpu = cpu_util;
-        // Store occupancy: sum each selected node's latest known level.
-        for (n, level) in store_level.iter_mut().enumerate() {
-            if let Some(peak) = store_peak[i * nodes + n] {
-                *level = peak;
+                    ObjectPhase::Spilled | ObjectPhase::Restored | ObjectPhase::Fallback => {
+                        let a = if (o.node as usize) < nodes {
+                            &mut pass.per_node[i * nodes + o.node as usize]
+                        } else {
+                            &mut pass.slop[i]
+                        };
+                        a.spill_ops += 1;
+                    }
+                    _ => {}
+                },
+                // Task lifecycle, deps, fetch-waits, failures, and
+                // incident edges don't move bytes through the devices
+                // this profile attributes; enumerated so a new variant is
+                // a compile error.
+                EventKind::Task(_)
+                | EventKind::Dep(_)
+                | EventKind::FetchWait(_)
+                | EventKind::Failure(_)
+                | EventKind::Incident(_)
+                | EventKind::Job(_) => {}
             }
         }
-        let store_used: u64 = store_level
-            .iter()
-            .enumerate()
-            .filter(|(n, _)| selected(*n as u32))
-            .map(|(_, l)| *l)
-            .sum();
-        let store_frac = (store_used as f64 / store_cap).min(1.0);
-        let disk_util = a.disk_bytes as f64 / disk_cap.max(1.0);
-        let net_util = a.net_bytes as f64 / net_cap.max(1.0);
-
-        let bound = if store_frac >= STORE_FULL_FRAC && a.spill_ops > 0 {
-            Bound::AllocStall
-        } else {
-            // Highest utilisation wins if anything is near capacity;
-            // ties break toward disk (the paper's usual suspect).
-            let scored = [
-                (Bound::Disk, disk_util),
-                (Bound::Net, net_util),
-                (Bound::Cpu, cpu_util),
-            ];
-            scored
-                .into_iter()
-                .filter(|(_, u)| *u >= BOUND_THRESHOLD)
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .map(|(b, _)| b)
-                .unwrap_or(Bound::Idle)
-        };
-
-        profile.intervals.push(Interval {
-            start_us: i as u64 * slice_us,
-            end_us: ((i as u64 + 1) * slice_us).min(end_us),
-            bound,
-            cpu_util,
-            disk_util,
-            net_util,
-            store_frac,
-        });
+        pass
     }
-    profile
+
+    /// Adds a transfer's bytes to the slices overlapping `[start, end)`
+    /// µs, pro rata: once to the cluster track, once to each (distinct)
+    /// endpoint's per-node cell.
+    fn spread(&mut self, start: u64, end: u64, bytes: u64, dst: u32, src: Option<u32>) {
+        let dur = (end - start).max(1);
+        let last = end.min(self.end_us);
+        let idx = |at_us: u64| {
+            (((at_us.min(self.end_us - 1)) / self.slice_us) as usize).min(self.slices - 1)
+        };
+        let (i0, i1) = (idx(start), idx(last.saturating_sub(1)));
+        for i in i0..=i1 {
+            let s = (i as u64 * self.slice_us).max(start);
+            let e = ((i as u64 + 1) * self.slice_us).min(last);
+            let share = (bytes as u128 * (e.saturating_sub(s)) as u128 / dur as u128) as u64;
+            self.net_cluster[i] += share;
+            if (dst as usize) < self.nodes {
+                self.per_node[i * self.nodes + dst as usize].net_bytes += share;
+            }
+            if let Some(s_node) = src {
+                if s_node != dst && (s_node as usize) < self.nodes {
+                    self.per_node[i * self.nodes + s_node as usize].net_bytes += share;
+                }
+            }
+        }
+    }
+
+    /// The whole-cluster readout.
+    fn cluster(&self, caps: &DeviceCaps) -> BoundProfile {
+        self.readout(caps, None)
+    }
+
+    /// One node's readout, classified against that node's capacities.
+    fn node(&self, caps: &DeviceCaps, n: u32) -> BoundProfile {
+        self.readout(caps, Some(n))
+    }
+
+    fn readout(&self, caps: &DeviceCaps, sel: Option<u32>) -> BoundProfile {
+        if self.end_us == 0 {
+            return BoundProfile::default();
+        }
+        let selected = |node: u32| sel.is_none_or(|s| s == node);
+        let nodes = self.nodes;
+
+        // Capacities of the selected nodes per slice.
+        let slice_secs = self.slice_us as f64 / 1e6;
+        let sel_caps = || {
+            caps.per_node
+                .iter()
+                .enumerate()
+                .filter(|(n, _)| selected(*n as u32))
+        };
+        let disk_cap = sel_caps().map(|(_, c)| c.disk_seq_bw).sum::<f64>() * slice_secs;
+        let net_cap = sel_caps().map(|(_, c)| c.nic_bw).sum::<f64>() * slice_secs;
+        let store_cap = (sel_caps().map(|(_, c)| c.store_bytes).sum::<u64>() as f64).max(1.0);
+
+        let mut profile = BoundProfile {
+            intervals: Vec::with_capacity(self.slices),
+            end_us: self.end_us,
+        };
+        let mut last_cpu = 0.0;
+        let mut store_level: Vec<u64> = vec![0; nodes];
+        for i in 0..self.slices {
+            // Fold the selected nodes' cells. All fields are exact
+            // integer sums, so this reproduces the old event-order
+            // accumulation regardless of summation order.
+            let mut a = Acc::default();
+            for n in 0..nodes {
+                if !selected(n as u32) {
+                    continue;
+                }
+                let cell = &self.per_node[i * nodes + n];
+                a.cpu_busy += cell.cpu_busy;
+                a.cpu_total += cell.cpu_total;
+                a.samples += cell.samples;
+                a.disk_bytes += cell.disk_bytes;
+                a.spill_ops += cell.spill_ops;
+                a.net_bytes += cell.net_bytes;
+            }
+            if sel.is_none() {
+                // Cluster view: each transfer counts once (not once per
+                // endpoint), and out-of-card events count here — no
+                // single-node view can claim them.
+                a.net_bytes = self.net_cluster[i];
+                let s = &self.slop[i];
+                a.cpu_busy += s.cpu_busy;
+                a.cpu_total += s.cpu_total;
+                a.samples += s.samples;
+                a.disk_bytes += s.disk_bytes;
+                a.spill_ops += s.spill_ops;
+            }
+            // Samples arrive every resource_sample_us; slices without
+            // one carry the previous slice's levels (they describe
+            // occupancy, not flow).
+            let cpu_util = if a.samples > 0 {
+                a.cpu_busy / a.cpu_total.max(1.0)
+            } else {
+                last_cpu
+            };
+            last_cpu = cpu_util;
+            // Store occupancy: sum each selected node's latest known
+            // level.
+            for (n, level) in store_level.iter_mut().enumerate() {
+                if let Some(peak) = self.store_peak[i * nodes + n] {
+                    *level = peak;
+                }
+            }
+            let store_used: u64 = store_level
+                .iter()
+                .enumerate()
+                .filter(|(n, _)| selected(*n as u32))
+                .map(|(_, l)| *l)
+                .sum();
+            let store_frac = (store_used as f64 / store_cap).min(1.0);
+            let disk_util = a.disk_bytes as f64 / disk_cap.max(1.0);
+            let net_util = a.net_bytes as f64 / net_cap.max(1.0);
+
+            let bound = if store_frac >= STORE_FULL_FRAC && a.spill_ops > 0 {
+                Bound::AllocStall
+            } else {
+                // Highest utilisation wins if anything is near capacity;
+                // ties break toward disk (the paper's usual suspect).
+                let scored = [
+                    (Bound::Disk, disk_util),
+                    (Bound::Net, net_util),
+                    (Bound::Cpu, cpu_util),
+                ];
+                scored
+                    .into_iter()
+                    .filter(|(_, u)| *u >= BOUND_THRESHOLD)
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .map(|(b, _)| b)
+                    .unwrap_or(Bound::Idle)
+            };
+
+            profile.intervals.push(Interval {
+                start_us: i as u64 * self.slice_us,
+                end_us: ((i as u64 + 1) * self.slice_us).min(self.end_us),
+                bound,
+                cpu_util,
+                disk_util,
+                net_util,
+                store_frac,
+            });
+        }
+        profile
+    }
 }
 
 #[cfg(test)]
@@ -518,5 +639,263 @@ mod tests {
         let p = attribute(&[], &caps());
         assert!(p.intervals.is_empty());
         assert_eq!(p.one_line(), "no data");
+    }
+
+    /// The pre-memoization implementation: one full stream scan per
+    /// selection. Kept verbatim as the oracle for the single-pass
+    /// rewrite — every view must match it bit for bit.
+    fn naive_attribute_selected(
+        events: &[Event],
+        caps: &DeviceCaps,
+        end_us: u64,
+        sel: Option<u32>,
+    ) -> BoundProfile {
+        if end_us == 0 {
+            return BoundProfile::default();
+        }
+        let slice_us = (end_us / TARGET_SLICES).max(1);
+        let slices = end_us.div_ceil(slice_us) as usize;
+        let selected = |node: u32| sel.is_none_or(|s| s == node);
+
+        let mut acc = vec![Acc::default(); slices];
+        let nodes = caps.nodes();
+        let mut store_peak: Vec<Option<u64>> = vec![None; slices * nodes];
+        let idx = |at_us: u64| (((at_us.min(end_us - 1)) / slice_us) as usize).min(slices - 1);
+        let mut tx_free: Vec<u64> = vec![0; nodes];
+        let spread = |acc: &mut Vec<Acc>, start: u64, end: u64, bytes: u64| {
+            let dur = (end - start).max(1);
+            let last = end.min(end_us);
+            let (i0, i1) = (idx(start), idx(last.saturating_sub(1)));
+            for (i, slot) in acc.iter_mut().enumerate().take(i1 + 1).skip(i0) {
+                let s = (i as u64 * slice_us).max(start);
+                let e = ((i as u64 + 1) * slice_us).min(last);
+                let share = (bytes as u128 * (e.saturating_sub(s)) as u128 / dur as u128) as u64;
+                slot.net_bytes += share;
+            }
+        };
+        for ev in events {
+            let i = idx(ev.at_us);
+            match &ev.kind {
+                EventKind::Resource(r) if selected(r.node) => {
+                    let a = &mut acc[i];
+                    a.cpu_busy += r.cpu_slots_busy as f64;
+                    a.cpu_total += r.cpu_slots_total.max(1) as f64;
+                    a.samples += 1;
+                    if (r.node as usize) < nodes {
+                        let cell = &mut store_peak[i * nodes + r.node as usize];
+                        *cell = Some(cell.unwrap_or(0).max(r.store_used));
+                    }
+                }
+                EventKind::Io(io) if selected(io.node) => acc[i].disk_bytes += io.bytes,
+                EventKind::Object(o) => match o.phase {
+                    ObjectPhase::Transferred => {
+                        let window = o.src.filter(|s| (*s as usize) < nodes).map(|s| {
+                            let bw = caps.per_node[s as usize].nic_bw.max(1.0);
+                            let start = ev.at_us.max(tx_free[s as usize]);
+                            let end = start + ((o.bytes as f64 * 1e6 / bw).ceil() as u64).max(1);
+                            tx_free[s as usize] = end;
+                            (start, end)
+                        });
+                        if selected(o.node) || o.src.is_some_and(selected) {
+                            let (start, end) = window.unwrap_or((ev.at_us, ev.at_us + 1));
+                            spread(&mut acc, start, end, o.bytes);
+                        }
+                    }
+                    ObjectPhase::Spilled | ObjectPhase::Restored | ObjectPhase::Fallback
+                        if selected(o.node) =>
+                    {
+                        acc[i].spill_ops += 1;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+
+        let slice_secs = slice_us as f64 / 1e6;
+        let sel_caps = || {
+            caps.per_node
+                .iter()
+                .enumerate()
+                .filter(|(n, _)| selected(*n as u32))
+        };
+        let disk_cap = sel_caps().map(|(_, c)| c.disk_seq_bw).sum::<f64>() * slice_secs;
+        let net_cap = sel_caps().map(|(_, c)| c.nic_bw).sum::<f64>() * slice_secs;
+        let store_cap = (sel_caps().map(|(_, c)| c.store_bytes).sum::<u64>() as f64).max(1.0);
+
+        let mut profile = BoundProfile {
+            intervals: Vec::with_capacity(slices),
+            end_us,
+        };
+        let mut last_cpu = 0.0;
+        let mut store_level: Vec<u64> = vec![0; nodes];
+        for (i, a) in acc.iter().enumerate() {
+            let cpu_util = if a.samples > 0 {
+                a.cpu_busy / a.cpu_total.max(1.0)
+            } else {
+                last_cpu
+            };
+            last_cpu = cpu_util;
+            for (n, level) in store_level.iter_mut().enumerate() {
+                if let Some(peak) = store_peak[i * nodes + n] {
+                    *level = peak;
+                }
+            }
+            let store_used: u64 = store_level
+                .iter()
+                .enumerate()
+                .filter(|(n, _)| selected(*n as u32))
+                .map(|(_, l)| *l)
+                .sum();
+            let store_frac = (store_used as f64 / store_cap).min(1.0);
+            let disk_util = a.disk_bytes as f64 / disk_cap.max(1.0);
+            let net_util = a.net_bytes as f64 / net_cap.max(1.0);
+            let bound = if store_frac >= STORE_FULL_FRAC && a.spill_ops > 0 {
+                Bound::AllocStall
+            } else {
+                let scored = [
+                    (Bound::Disk, disk_util),
+                    (Bound::Net, net_util),
+                    (Bound::Cpu, cpu_util),
+                ];
+                scored
+                    .into_iter()
+                    .filter(|(_, u)| *u >= BOUND_THRESHOLD)
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .map(|(b, _)| b)
+                    .unwrap_or(Bound::Idle)
+            };
+            profile.intervals.push(Interval {
+                start_us: i as u64 * slice_us,
+                end_us: ((i as u64 + 1) * slice_us).min(end_us),
+                bound,
+                cpu_util,
+                disk_util,
+                net_util,
+                store_frac,
+            });
+        }
+        profile
+    }
+
+    fn profiles_identical(a: &BoundProfile, b: &BoundProfile) -> bool {
+        a.end_us == b.end_us
+            && a.intervals.len() == b.intervals.len()
+            && a.intervals.iter().zip(&b.intervals).all(|(x, y)| {
+                x.start_us == y.start_us
+                    && x.end_us == y.end_us
+                    && x.bound == y.bound
+                    && x.cpu_util.to_bits() == y.cpu_util.to_bits()
+                    && x.disk_util.to_bits() == y.disk_util.to_bits()
+                    && x.net_util.to_bits() == y.net_util.to_bits()
+                    && x.store_frac.to_bits() == y.store_frac.to_bits()
+            })
+    }
+
+    /// Deterministic generator for a large synthetic trace mixing every
+    /// attributable event shape: bursty cross-node transfers (shared
+    /// tx queues), disk traffic, resource samples, spills, and a few
+    /// deliberately out-of-card node ids.
+    fn synthetic_trace(n_events: u64, nodes: u32) -> Vec<Event> {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        let mut events = Vec::new();
+        for k in 0..n_events {
+            // Bursty timestamps: many events share an instant, like a
+            // stage submitting all its transfers at once.
+            let at_us = 1 + (k / 7) * (1 + next() % 900);
+            let node = (next() % (nodes as u64 + 2)) as u32; // sometimes out of card
+            let bytes = next() % 200_000_000;
+            let ev = match next() % 5 {
+                0 => EventKind::Io(IoEvent {
+                    node,
+                    dir: if bytes % 2 == 0 {
+                        IoDir::Read
+                    } else {
+                        IoDir::Write
+                    },
+                    bytes,
+                }),
+                1 => EventKind::Resource(ResourceSample {
+                    node,
+                    cpu_slots_busy: (next() % 9) as u32,
+                    cpu_slots_total: 8,
+                    store_used: bytes,
+                    disk_queue_depth: 0,
+                    nic_bytes_in_flight: 0,
+                }),
+                2 | 3 => EventKind::Object(ObjectEvent {
+                    object: k,
+                    phase: ObjectPhase::Transferred,
+                    node,
+                    src: if next() % 4 == 0 {
+                        None
+                    } else {
+                        Some((next() % (nodes as u64 + 1)) as u32)
+                    },
+                    bytes,
+                }),
+                _ => EventKind::Object(ObjectEvent {
+                    object: k,
+                    phase: match next() % 3 {
+                        0 => ObjectPhase::Spilled,
+                        1 => ObjectPhase::Restored,
+                        _ => ObjectPhase::Fallback,
+                    },
+                    node,
+                    src: None,
+                    bytes,
+                }),
+            };
+            events.push(Event { at_us, kind: ev });
+        }
+        events.sort_by_key(|e| e.at_us);
+        events
+    }
+
+    #[test]
+    fn single_pass_matches_per_selection_scans_bit_for_bit() {
+        let nodes = 7u32;
+        let events = synthetic_trace(50_000, nodes);
+        let caps = {
+            let per_node = (0..nodes as usize)
+                .map(|i| NodeCaps {
+                    cpu_slots: 4 + 4 * (i % 3),
+                    disk_seq_bw: 100e6 * (1 + i % 5) as f64,
+                    disk_random_iops: 1500.0,
+                    disk_devices: 1 + i % 4,
+                    nic_bw: 250e6 * (1 + i % 3) as f64,
+                    store_bytes: 1 << (27 + i % 3),
+                })
+                .collect();
+            DeviceCaps { per_node }
+        };
+        let end_us = events.iter().map(|e| e.at_us).max().unwrap_or(0);
+        let (cluster, per_node) = attribute_all(&events, &caps);
+        assert!(
+            profiles_identical(
+                &cluster,
+                &naive_attribute_selected(&events, &caps, end_us, None)
+            ),
+            "cluster profile diverged from the per-selection oracle"
+        );
+        assert_eq!(per_node.len(), nodes as usize);
+        for (n, p) in per_node.iter().enumerate() {
+            assert!(
+                profiles_identical(
+                    p,
+                    &naive_attribute_selected(&events, &caps, end_us, Some(n as u32))
+                ),
+                "node {n} profile diverged from the per-selection oracle"
+            );
+        }
+        // And the public single-view entry points agree with the
+        // memoized pair.
+        assert!(profiles_identical(&cluster, &attribute(&events, &caps)));
     }
 }

@@ -32,7 +32,9 @@ pub mod placement;
 pub mod report;
 pub mod stages;
 
-pub use attribution::{attribute, attribute_per_node, Bound, BoundProfile, Interval};
+pub use attribution::{
+    attribute, attribute_all, attribute_per_node, Bound, BoundProfile, Interval,
+};
 pub use critpath::{critical_path, longest_paths, CritPath, CritTask, NearPath, PathAnalysis};
 pub use jobs::{job_stats, JobStat};
 pub use placement::{placement_quality, PlacementQuality};

@@ -7,7 +7,7 @@ use std::fmt;
 use exo_sim::DeviceCaps;
 use exo_trace::{Event, Json};
 
-use crate::attribution::{attribute, attribute_per_node, Bound, BoundProfile};
+use crate::attribution::{attribute_all, Bound, BoundProfile};
 use crate::critpath::{critical_path, longest_paths, CritPath, PathAnalysis};
 use crate::jobs::{job_stats, JobStat};
 use crate::placement::{placement_quality, PlacementQuality};
@@ -36,11 +36,14 @@ pub struct ProfileReport {
 
 /// Runs the full analysis over a retained trace stream.
 pub fn profile(events: &[Event], caps: &DeviceCaps) -> ProfileReport {
+    // One memoized scan yields both the cluster and the per-node bound
+    // profiles; re-deriving them separately costs 1 + N stream passes.
+    let (bounds, per_node_bounds) = attribute_all(events, caps);
     ProfileReport {
         critpath: critical_path(events),
         paths: longest_paths(events, 3),
-        bounds: attribute(events, caps),
-        per_node_bounds: attribute_per_node(events, caps),
+        bounds,
+        per_node_bounds,
         stages: stage_stats(events),
         placement: placement_quality(events),
         jobs: job_stats(events),

@@ -1,0 +1,155 @@
+//! Engine-table microbenches: the arena-indexed tables
+//! (`exo_rt::arena::{DenseArena, SlotArena}`) against the `HashMap`s
+//! they replaced, on the id shapes the runtime actually produces.
+//!
+//! Runtime ids are packed `job << 40 | seq` with *dense per-job seq
+//! counters*, so an arena lookup is two bounds-checked indexes while a
+//! `HashMap` lookup pays SipHash plus a probe. Patterns:
+//!
+//! - `task_churn`: append-only inserts then hot sequential+strided
+//!   lookups — the task-table life cycle (tasks are never removed).
+//! - `object_lifecycle`: insert, a burst of lookups, then remove — the
+//!   object-table life cycle under refcount GC.
+//! - `sweep`: full-table iteration in ascending-id order (the
+//!   `kill_node` loss sweep). The HashMap side must collect-and-sort to
+//!   match the determinism the engine requires, and pays for it.
+//!
+//! Run with `cargo bench -p exo-rt --bench tables`.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use exo_rt::arena::{DenseArena, SlotArena};
+
+const JOB: u64 = 3;
+
+fn pack(seq: u64) -> u64 {
+    (JOB << 40) | seq
+}
+
+fn bench_task_churn(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("task_churn");
+    g.throughput(Throughput::Elements(N * 3));
+    g.bench_function("dense_arena", |b| {
+        b.iter(|| {
+            let mut t: DenseArena<u64> = DenseArena::new();
+            for i in 0..N {
+                t.insert(pack(i), i);
+            }
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(*t.get(pack(i)).unwrap());
+            }
+            for i in (0..N).step_by(97) {
+                acc = acc.wrapping_add(*t.get(pack(i)).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("hashmap", |b| {
+        b.iter(|| {
+            let mut t: HashMap<u64, u64> = HashMap::new();
+            for i in 0..N {
+                t.insert(pack(i), i);
+            }
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(*t.get(&pack(i)).unwrap());
+            }
+            for i in (0..N).step_by(97) {
+                acc = acc.wrapping_add(*t.get(&pack(i)).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_object_lifecycle(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    const LOOKUPS_PER: u64 = 4;
+    let mut g = c.benchmark_group("object_lifecycle");
+    g.throughput(Throughput::Elements(N * (2 + LOOKUPS_PER)));
+    g.bench_function("slot_arena", |b| {
+        b.iter(|| {
+            let mut t: SlotArena<u64> = SlotArena::new();
+            let mut acc = 0u64;
+            for i in 0..N {
+                t.insert(pack(i), i);
+                // Consumers read the entry a few times, then GC removes
+                // an older one (a sliding live window, like refcounts).
+                for k in 0..LOOKUPS_PER {
+                    acc = acc.wrapping_add(*t.get(pack(i.saturating_sub(k))).unwrap());
+                }
+                if i >= 1024 {
+                    t.remove(pack(i - 1024));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("hashmap", |b| {
+        b.iter(|| {
+            let mut t: HashMap<u64, u64> = HashMap::new();
+            let mut acc = 0u64;
+            for i in 0..N {
+                t.insert(pack(i), i);
+                for k in 0..LOOKUPS_PER {
+                    acc = acc.wrapping_add(*t.get(&pack(i.saturating_sub(k))).unwrap());
+                }
+                if i >= 1024 {
+                    t.remove(&pack(i - 1024));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("sweep_ordered");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("slot_arena", |b| {
+        let mut t: SlotArena<u64> = SlotArena::new();
+        for i in 0..N {
+            t.insert(pack(i), i);
+        }
+        b.iter(|| {
+            // Arena iteration is ascending by construction.
+            let mut acc = 0u64;
+            for (id, v) in t.iter() {
+                acc = acc.wrapping_add(id ^ *v);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("hashmap_sorted", |b| {
+        let mut t: HashMap<u64, u64> = HashMap::new();
+        for i in 0..N {
+            t.insert(pack(i), i);
+        }
+        b.iter(|| {
+            // What the engine had to do pre-refactor: collect keys and
+            // sort to get a deterministic sweep order.
+            let mut ids: Vec<u64> = t.keys().copied().collect();
+            ids.sort_unstable();
+            let mut acc = 0u64;
+            for id in ids {
+                acc = acc.wrapping_add(id ^ t[&id]);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_task_churn,
+    bench_object_lifecycle,
+    bench_sweep
+);
+criterion_main!(benches);

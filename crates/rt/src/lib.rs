@@ -44,6 +44,7 @@
 //! assert!(report.end_time.as_secs_f64() >= 0.0);
 //! ```
 
+pub mod arena;
 mod command;
 mod driver;
 mod ids;

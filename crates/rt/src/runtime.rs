@@ -6,7 +6,7 @@
 //! [`Runtime::on_command`] / [`Runtime::on_event`], so behaviour is a
 //! deterministic function of the driver program.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -21,6 +21,7 @@ use exo_trace::{
 };
 use exo_watch::{WatchConfig, WatchHandle};
 
+use crate::arena::{DenseArena, SlotArena};
 use crate::command::{RtCommand, RtError};
 use crate::ids::{job_of, JobId, NodeId, ObjectId, TaskId, TenantId, JOB_SEQ_BITS};
 use crate::jobs::{Admission, JobManager, TenantQuota};
@@ -244,10 +245,6 @@ struct Node {
     /// Assigned tasks not yet running, FIFO.
     queue: VecDeque<TaskId>,
     running: BTreeSet<TaskId>,
-    /// In-flight inbound object fetches (dedup + failure invalidation).
-    fetching: HashMap<ObjectId, FetchState>,
-    /// Tasks waiting for an object to become memory-resident here.
-    arg_waiters: HashMap<ObjectId, Vec<TaskId>>,
 }
 
 impl Node {
@@ -270,6 +267,11 @@ enum TaskState {
 
 struct TaskEntry {
     spec: TaskSpec,
+    /// Unique object args (deduplicated once at submit, `spec.args`
+    /// order). `try_schedule` re-runs every time an arg lands, so for a
+    /// p-ary reducer recomputing this from `spec` is O(p²) hashing per
+    /// task — cache it instead.
+    obj_args: Vec<ObjectId>,
     outputs: Vec<ObjectId>,
     state: TaskState,
     attempt: u32,
@@ -312,25 +314,87 @@ impl TaskEntry {
     }
 }
 
+#[derive(Default)]
 struct ObjEntry {
     logical: u64,
     payload: Option<Bytes>,
     /// Nodes whose store currently holds the object (any residency).
-    copies: BTreeSet<NodeId>,
-    /// Producing task and return index (lineage).
-    producer: Option<(TaskId, usize)>,
-    driver_refs: u64,
+    /// Kept sorted ascending so every iteration site sees the same
+    /// order the old `BTreeSet` produced.
+    copies: Vec<NodeId>,
+    driver_refs: u32,
     /// In-flight consumer tasks.
-    task_refs: u64,
+    task_refs: u32,
     /// Tasks to poke when the object becomes available anywhere.
     waiting_tasks: Vec<TaskId>,
     /// Waiters (get/wait) watching this object.
     waiting_waiters: Vec<u64>,
+    /// In-flight inbound fetches, keyed by destination node (dedup +
+    /// failure invalidation). Rides the object entry instead of a
+    /// per-node map: nearly always empty or one entry.
+    fetching: Vec<(NodeId, FetchState)>,
+    /// Local tasks waiting for this object to become memory-resident,
+    /// as `(node, task)` in registration order (preserves the per-node
+    /// FIFO drain order of the old per-node map).
+    arg_waiters: Vec<(NodeId, TaskId)>,
 }
 
 impl ObjEntry {
     fn available(&self) -> bool {
         !self.copies.is_empty()
+    }
+
+    fn has_copy(&self, node: NodeId) -> bool {
+        self.copies.binary_search(&node).is_ok()
+    }
+
+    fn add_copy(&mut self, node: NodeId) {
+        if let Err(i) = self.copies.binary_search(&node) {
+            self.copies.insert(i, node);
+        }
+    }
+
+    fn del_copy(&mut self, node: NodeId) -> bool {
+        match self.copies.binary_search(&node) {
+            Ok(i) => {
+                self.copies.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn fetch_state(&self, node: NodeId) -> Option<FetchState> {
+        self.fetching
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, s)| s)
+    }
+
+    fn set_fetch_state(&mut self, node: NodeId, st: FetchState) {
+        match self.fetching.iter_mut().find(|(n, _)| *n == node) {
+            Some(slot) => slot.1 = st,
+            None => self.fetching.push((node, st)),
+        }
+    }
+
+    fn clear_fetch_state(&mut self, node: NodeId) {
+        self.fetching.retain(|(n, _)| *n != node);
+    }
+
+    /// Remove and return `node`'s registered arg waiters, preserving
+    /// registration (FIFO) order.
+    fn take_arg_waiters(&mut self, node: NodeId) -> Vec<TaskId> {
+        let mut woken = Vec::new();
+        self.arg_waiters.retain(|&(n, t)| {
+            if n == node {
+                woken.push(t);
+                false
+            } else {
+                true
+            }
+        });
+        woken
     }
 }
 
@@ -350,12 +414,17 @@ enum Waiter {
 pub struct Runtime {
     cfg: RtConfig,
     nodes: Vec<Node>,
-    objects: HashMap<ObjectId, ObjEntry>,
+    /// Object directory, arena-indexed by the packed id's `(job, seq)`.
+    /// Entries are GC'd (tombstoned) and re-created via
+    /// [`Runtime::ensure_obj_entry`].
+    objects: SlotArena<ObjEntry>,
     /// Permanent object → producer map (survives entry GC so lineage can
     /// recreate entries).
-    lineage: HashMap<ObjectId, (TaskId, usize)>,
-    tasks: HashMap<TaskId, TaskEntry>,
-    waiters: HashMap<u64, Waiter>,
+    lineage: SlotArena<(TaskId, usize)>,
+    /// Task table; entries are never removed (lineage reconstruction can
+    /// re-execute any finished task), so the arena is append-only.
+    tasks: DenseArena<TaskEntry>,
+    waiters: SlotArena<Waiter>,
     /// Per-job state, id minting, tenant quotas, fair-share picking and
     /// admission control. While only one job has ever been live the
     /// manager stays in legacy mode and scheduling is inline.
@@ -384,8 +453,9 @@ pub struct Runtime {
     watch_scheduled: bool,
     /// A `DispatchPass` is already in the event queue.
     dispatch_scheduled: bool,
-    /// Parked `AwaitJob` replies, resolved when the job finishes.
-    job_waiters: HashMap<u32, Vec<Reply<()>>>,
+    /// Parked `AwaitJob` replies, indexed by job id and resolved when
+    /// the job finishes.
+    job_waiters: Vec<Vec<Reply<()>>>,
 }
 
 impl Runtime {
@@ -452,8 +522,6 @@ impl Runtime {
                     slots_free: node_spec.cpus,
                     queue: VecDeque::new(),
                     running: BTreeSet::new(),
-                    fetching: HashMap::new(),
-                    arg_waiters: HashMap::new(),
                 }
             })
             .collect();
@@ -461,10 +529,10 @@ impl Runtime {
         let mut rt = Runtime {
             cfg,
             nodes,
-            objects: HashMap::new(),
-            lineage: HashMap::new(),
-            tasks: HashMap::new(),
-            waiters: HashMap::new(),
+            objects: SlotArena::new(),
+            lineage: SlotArena::new(),
+            tasks: DenseArena::new(),
+            waiters: SlotArena::new(),
             jobs,
             rr_cursor: 0,
             sink,
@@ -475,7 +543,7 @@ impl Runtime {
             watch,
             watch_scheduled: false,
             dispatch_scheduled: false,
-            job_waiters: HashMap::new(),
+            job_waiters: Vec::new(),
         };
         rt.apply_store_quotas();
         rt
@@ -666,24 +734,19 @@ impl Runtime {
             .map(|_| self.fresh_obj(job))
             .collect();
         for (idx, &o) in outputs.iter().enumerate() {
-            self.lineage.insert(o, (task, idx));
+            self.lineage.insert(o.0, (task, idx));
             self.objects.insert(
-                o,
+                o.0,
                 ObjEntry {
-                    logical: 0,
-                    payload: None,
-                    copies: BTreeSet::new(),
-                    producer: Some((task, idx)),
                     driver_refs: 1,
-                    task_refs: 0,
-                    waiting_tasks: Vec::new(),
-                    waiting_waiters: Vec::new(),
+                    ..ObjEntry::default()
                 },
             );
         }
         let unique_args = spec.object_args();
         let entry = TaskEntry {
             pending_outputs: (0..spec.opts.num_returns).map(|_| None).collect(),
+            obj_args: unique_args.clone(),
             spec,
             outputs: outputs.clone(),
             state: TaskState::WaitingArgs,
@@ -700,7 +763,7 @@ impl Runtime {
             retry_pending: false,
             reconstructing: false,
         };
-        self.tasks.insert(task, entry);
+        self.tasks.insert(task.0, entry);
         // Record the task's dependency edges for offline DAG analysis.
         for &o in &outputs {
             self.emit_dep(task, o, DepKind::Output);
@@ -728,10 +791,13 @@ impl Runtime {
         }
         // Args-availability half of `try_schedule`: tasks with missing
         // args register interest and re-enter here once produced.
-        let args = entry.spec.object_args();
         let mut missing = Vec::new();
-        for &a in &args {
-            let avail = self.objects.get(&a).map(|o| o.available()).unwrap_or(false);
+        for &a in &entry.obj_args {
+            let avail = self
+                .objects
+                .get(a.0)
+                .map(|o| o.available())
+                .unwrap_or(false);
             if !avail {
                 missing.push(a);
             }
@@ -784,17 +850,7 @@ impl Runtime {
     /// until reproduced) and return it, so callers that need the entry
     /// right after ensuring it never have to re-look it up fallibly.
     fn ensure_obj_entry(&mut self, obj: ObjectId) -> &mut ObjEntry {
-        let producer = self.lineage.get(&obj).copied();
-        self.objects.entry(obj).or_insert_with(|| ObjEntry {
-            logical: 0,
-            payload: None,
-            copies: BTreeSet::new(),
-            producer,
-            driver_refs: 0,
-            task_refs: 0,
-            waiting_tasks: Vec::new(),
-            waiting_waiters: Vec::new(),
-        })
+        self.objects.or_insert_with(obj.0, ObjEntry::default)
     }
 
     /// Look up a task entry. Task entries are created at submission and
@@ -805,7 +861,7 @@ impl Runtime {
         // audit:allow(P01): task entries are never removed from the map
         // during a run — see the doc comment above.
         self.tasks
-            .get(&task)
+            .get(task.0)
             .expect("task entries are never removed")
     }
 
@@ -814,7 +870,7 @@ impl Runtime {
         // audit:allow(P01): task entries are never removed from the map
         // during a run — see `Runtime::task`.
         self.tasks
-            .get_mut(&task)
+            .get_mut(task.0)
             .expect("task entries are never removed")
     }
 
@@ -824,10 +880,13 @@ impl Runtime {
         if entry.state != TaskState::WaitingArgs {
             return;
         }
-        let args = entry.spec.object_args();
         let mut missing = Vec::new();
-        for &a in &args {
-            let avail = self.objects.get(&a).map(|o| o.available()).unwrap_or(false);
+        for &a in &entry.obj_args {
+            let avail = self
+                .objects
+                .get(a.0)
+                .map(|o| o.available())
+                .unwrap_or(false);
             if !avail {
                 missing.push(a);
             }
@@ -842,7 +901,9 @@ impl Runtime {
             }
             return;
         }
-        // Place.
+        // Place. Cloned here (not above) so the hot all-args-missing
+        // re-checks never allocate.
+        let args = self.task(task).obj_args.clone();
         let now = ctx.now();
         let snapshots: Vec<NodeSnapshot> = self
             .nodes
@@ -856,8 +917,8 @@ impl Runtime {
                 local_arg_bytes: args
                     .iter()
                     .filter_map(|a| {
-                        let o = self.objects.get(a)?;
-                        o.copies.contains(&n.id).then_some(o.logical)
+                        let o = self.objects.get(a.0)?;
+                        o.has_copy(n.id).then_some(o.logical)
                     })
                     .sum(),
                 caps: self.cfg.cluster.node(n.id.0).caps(),
@@ -867,7 +928,7 @@ impl Runtime {
             .collect();
         let total_arg_bytes: u64 = args
             .iter()
-            .filter_map(|a| self.objects.get(a).map(|o| o.logical))
+            .filter_map(|a| self.objects.get(a.0).map(|o| o.logical))
             .sum();
         let strategy = entry.spec.opts.strategy;
         let shape = entry.spec.opts.shape;
@@ -931,11 +992,11 @@ impl Runtime {
         if entry.available() {
             return;
         }
-        let Some((producer, _)) = entry.producer else {
+        let Some(&(producer, _)) = self.lineage.get(obj.0) else {
             // A driver-put object with no lineage: unrecoverable.
             return;
         };
-        let pstate = self.tasks.get(&producer).map(|t| t.state);
+        let pstate = self.tasks.get(producer.0).map(|t| t.state);
         match pstate {
             Some(TaskState::Done) => self.resubmit(ctx, producer),
             Some(_) => {} // in flight; will seal
@@ -958,7 +1019,7 @@ impl Runtime {
         entry.retry_pending = true;
         entry.reconstructing = true;
         // Re-acquire holds on the args.
-        let args = entry.spec.object_args();
+        let args = entry.obj_args.clone();
         for &a in &args {
             self.ensure_obj_entry(a).task_refs += 1;
         }
@@ -991,7 +1052,7 @@ impl Runtime {
             for t in queued {
                 let started = self
                     .tasks
-                    .get(&t)
+                    .get(t.0)
                     .map(|e| e.staging_started)
                     .unwrap_or(true);
                 if !started {
@@ -1006,7 +1067,7 @@ impl Runtime {
                 }
                 let pos = self.nodes[node.0].queue.iter().position(|t| {
                     self.tasks
-                        .get(t)
+                        .get(t.0)
                         .map(|e| e.unstaged.is_empty())
                         .unwrap_or(false)
                 });
@@ -1015,7 +1076,7 @@ impl Runtime {
                 let removed = self.nodes[node.0].queue.remove(pos);
                 debug_assert_eq!(removed, Some(t));
                 self.nodes[node.0].slots_free -= 1;
-                if let Some(e) = self.tasks.get(&t) {
+                if let Some(e) = self.tasks.get(t.0) {
                     self.emit_task(
                         t,
                         TaskPhase::Dequeued,
@@ -1078,10 +1139,10 @@ impl Runtime {
             self.stage_arg(ctx, task, a);
         }
         // Zero-arg tasks become runnable immediately.
-        if let Some(node) = self.tasks.get(&task).and_then(|e| e.node) {
+        if let Some(node) = self.tasks.get(task.0).and_then(|e| e.node) {
             if self
                 .tasks
-                .get(&task)
+                .get(task.0)
                 .map(|e| e.unstaged.is_empty())
                 .unwrap_or(false)
             {
@@ -1092,36 +1153,40 @@ impl Runtime {
 
     /// Bring one argument into local memory and pin it.
     fn stage_arg(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, obj: ObjectId) {
-        let Some(entry) = self.tasks.get(&task) else {
+        let Some(entry) = self.tasks.get(task.0) else {
             return;
         };
         let Some(node) = entry.node else { return };
         if !entry.unstaged.contains(&obj) {
             return;
         }
-        let n = &mut self.nodes[node.0];
-        if n.store.in_memory(obj.0) {
+        if self.nodes[node.0].store.in_memory(obj.0) {
             // Resident: pin for this task so staged arguments cannot be
             // spilled out from under it (staging admission is bounded by
             // the per-node window, and the store overcommits stuck
             // restores, so pinning here cannot wedge the node).
-            n.store.pin(obj.0);
+            self.nodes[node.0].store.pin(obj.0);
             let e = self.task_mut(task);
             e.unstaged.remove(&obj);
             e.pinned.push(obj);
             self.try_start_staged(ctx, task, node);
             return;
         }
-        if n.store.contains(obj.0) {
-            // Spilled locally: restore.
-            n.arg_waiters.entry(obj).or_default().push(task);
-            match n.store.request_restore(obj.0, AllocTag::Restore { obj }) {
+        if self.nodes[node.0].store.contains(obj.0) {
+            // Spilled locally: restore. (The task holds a consumer ref on
+            // the entry, so it cannot be GC'd while registered here.)
+            self.ensure_obj_entry(obj).arg_waiters.push((node, task));
+            let decision = self.nodes[node.0]
+                .store
+                .request_restore(obj.0, AllocTag::Restore { obj });
+            match decision {
                 RestoreDecision::InMemory => {
                     // Raced with another path; redo as memory-resident.
-                    if let Some(v) = n.arg_waiters.get_mut(&obj) {
-                        v.retain(|t| *t != task);
+                    if let Some(o) = self.objects.get_mut(obj.0) {
+                        o.arg_waiters
+                            .retain(|&(n2, t2)| !(n2 == node && t2 == task));
                     }
-                    n.store.pin(obj.0);
+                    self.nodes[node.0].store.pin(obj.0);
                     let e = self.task_mut(task);
                     e.unstaged.remove(&obj);
                     e.pinned.push(obj);
@@ -1129,7 +1194,7 @@ impl Runtime {
                 }
                 RestoreDecision::Granted => {
                     self.emit_fetch_wait(task, obj, node, true);
-                    let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
+                    let size = self.objects.get(obj.0).map(|o| o.logical).unwrap_or(0);
                     let end = self.nodes[node.0]
                         .disk
                         .submit(ctx.now(), size, IoKind::Random);
@@ -1154,14 +1219,18 @@ impl Runtime {
             return;
         }
         // Remote or missing: register interest, then fetch if possible.
-        n.arg_waiters.entry(obj).or_default().push(task);
+        self.ensure_obj_entry(obj).arg_waiters.push((node, task));
         self.emit_fetch_wait(task, obj, node, true);
-        if self.nodes[node.0].fetching.contains_key(&obj) {
+        let in_flight = self
+            .objects
+            .get(obj.0)
+            .is_some_and(|o| o.fetch_state(node).is_some());
+        if in_flight {
             return; // a fetch is already on its way
         }
         let available = self
             .objects
-            .get(&obj)
+            .get(obj.0)
             .map(|o| o.available())
             .unwrap_or(false);
         if !available {
@@ -1177,14 +1246,14 @@ impl Runtime {
 
     /// Start pulling a remote object to `node` (allocation first).
     fn begin_fetch(&mut self, ctx: &mut Ctx<'_, RtEvent>, node: NodeId, obj: ObjectId) {
-        let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
+        let size = self.objects.get(obj.0).map(|o| o.logical).unwrap_or(0);
         // Allocation priority: arguments of soon-to-run tasks are High;
         // deeper prefetch is Low so it only consumes spare memory.
         let near_head = {
             let n = &self.nodes[node.0];
             n.queue.iter().take(n.slots_free.max(1) * 2).any(|t| {
                 self.tasks
-                    .get(t)
+                    .get(t.0)
                     .map(|e| e.unstaged.contains(&obj))
                     .unwrap_or(false)
             }) || n.queue.is_empty()
@@ -1195,11 +1264,15 @@ impl Runtime {
             exo_store::Priority::Low
         };
         let owner = self.tenant_of_obj(obj).0;
-        let n = &mut self.nodes[node.0];
-        n.fetching.insert(obj, FetchState::AllocPending);
-        let decision =
-            n.store
-                .request_create_owned(obj.0, size, AllocTag::Fetch { obj }, prio, owner);
+        self.ensure_obj_entry(obj)
+            .set_fetch_state(node, FetchState::AllocPending);
+        let decision = self.nodes[node.0].store.request_create_owned(
+            obj.0,
+            size,
+            AllocTag::Fetch { obj },
+            prio,
+            owner,
+        );
         match decision {
             AllocDecision::Granted => self.start_transfer(ctx, node, obj),
             AllocDecision::Fallback => {
@@ -1217,7 +1290,7 @@ impl Runtime {
 
     /// Charge the network (and source disk, if spilled) for a transfer.
     fn start_transfer(&mut self, ctx: &mut Ctx<'_, RtEvent>, dst: NodeId, obj: ObjectId) {
-        let Some(o) = self.objects.get(&obj) else {
+        let Some(o) = self.objects.get(obj.0) else {
             return;
         };
         // Prefer a source with a memory-resident copy.
@@ -1266,9 +1339,8 @@ impl Runtime {
         }));
         let src_epoch = self.nodes[src.0].epoch;
         let epoch = self.nodes[dst.0].epoch;
-        self.nodes[dst.0]
-            .fetching
-            .insert(obj, FetchState::Transferring { src, src_epoch });
+        self.ensure_obj_entry(obj)
+            .set_fetch_state(dst, FetchState::Transferring { src, src_epoch });
         ctx.schedule_at(
             rx_end,
             RtEvent::FetchDone {
@@ -1284,15 +1356,24 @@ impl Runtime {
     /// A fetch can no longer proceed (source died). Roll back the local
     /// allocation and requeue interest through reconstruction.
     fn abort_fetch(&mut self, ctx: &mut Ctx<'_, RtEvent>, dst: NodeId, obj: ObjectId) {
+        let woken: Vec<TaskId> = match self.objects.get_mut(obj.0) {
+            Some(o) => {
+                o.clear_fetch_state(dst);
+                o.arg_waiters
+                    .iter()
+                    .filter(|&&(n, _)| n == dst)
+                    .map(|&(_, t)| t)
+                    .collect()
+            }
+            None => Vec::new(),
+        };
         let n = &mut self.nodes[dst.0];
-        n.fetching.remove(&obj);
         if n.store.contains(obj.0) {
             n.store.unpin(obj.0); // creator pin
             n.store.forget(obj.0);
         }
-        let woken: Vec<TaskId> = n.arg_waiters.get(&obj).cloned().unwrap_or_default();
         self.ensure_available(ctx, obj);
-        if let Some(o) = self.objects.get_mut(&obj) {
+        if let Some(o) = self.objects.get_mut(obj.0) {
             for t in woken {
                 if !o.waiting_tasks.contains(&t) {
                     o.waiting_tasks.push(t);
@@ -1304,7 +1385,7 @@ impl Runtime {
 
     /// If the task's staging is complete, let the node try to run it.
     fn try_start_staged(&mut self, ctx: &mut Ctx<'_, RtEvent>, task: TaskId, node: NodeId) {
-        let Some(entry) = self.tasks.get(&task) else {
+        let Some(entry) = self.tasks.get(task.0) else {
             return;
         };
         if entry.state != TaskState::Queued || !entry.unstaged.is_empty() {
@@ -1365,7 +1446,7 @@ impl Runtime {
             .map(|a| match a {
                 ArgSpec::Inline(p) => p.clone(),
                 ArgSpec::Object(id) => {
-                    let o = self.objects.get(id).expect("staged arg exists");
+                    let o = self.objects.get(id.0).expect("staged arg exists");
                     Payload {
                         data: o.payload.clone().expect("staged arg has payload"),
                         logical: o.logical,
@@ -1484,7 +1565,7 @@ impl Runtime {
         if store.contains(obj.0) && !store.sealed(obj.0) {
             store.seal(obj.0);
         }
-        match self.objects.get_mut(&obj) {
+        match self.objects.get_mut(obj.0) {
             Some(o) => {
                 o.logical = payload.logical;
                 o.payload = Some(payload.data);
@@ -1516,15 +1597,15 @@ impl Runtime {
             // audit:allow(P01): a copy only lands on behalf of a consumer
             // holding a reference (task_refs, driver_refs, or a registered
             // waiter), and referenced entries are never GC'd.
-            let o = self.objects.get_mut(&obj).expect("referenced entry");
-            o.copies.insert(node);
+            let o = self.objects.get_mut(obj.0).expect("referenced entry");
+            o.add_copy(node);
             (
                 std::mem::take(&mut o.waiting_tasks),
                 std::mem::take(&mut o.waiting_waiters),
             )
         };
         for t in waiting_tasks {
-            match self.tasks.get(&t).map(|e| e.state) {
+            match self.tasks.get(t.0).map(|e| e.state) {
                 Some(TaskState::WaitingArgs) => self.enqueue_ready(ctx, t),
                 Some(TaskState::Queued) | Some(TaskState::Running) => {
                     // Staging was blocked on availability: retry.
@@ -1545,11 +1626,12 @@ impl Runtime {
         if !self.nodes[node.0].store.in_memory(obj.0) {
             return;
         }
-        let Some(woken) = self.nodes[node.0].arg_waiters.remove(&obj) else {
-            return;
+        let woken = match self.objects.get_mut(obj.0) {
+            Some(o) => o.take_arg_waiters(node),
+            None => return,
         };
         for t in woken {
-            let Some(entry) = self.tasks.get_mut(&t) else {
+            let Some(entry) = self.tasks.get_mut(t.0) else {
                 continue;
             };
             if entry.node != Some(node) || !entry.unstaged.contains(&obj) {
@@ -1598,7 +1680,7 @@ impl Runtime {
         let attempt = entry.attempt;
         let pinned = std::mem::take(&mut entry.pinned);
         let outputs = entry.outputs.clone();
-        let args = entry.spec.object_args();
+        let args = entry.obj_args.clone();
         self.nodes[node.0].running.remove(&task);
         self.nodes[node.0].slots_free += 1;
         // Unpin outputs (creator pins) — they stay sealed in the store.
@@ -1614,7 +1696,7 @@ impl Runtime {
             }
         }
         for &a in &args {
-            if let Some(o) = self.objects.get_mut(&a) {
+            if let Some(o) = self.objects.get_mut(a.0) {
                 o.task_refs = o.task_refs.saturating_sub(1);
             }
             self.maybe_gc(a);
@@ -1644,7 +1726,7 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn maybe_gc(&mut self, obj: ObjectId) {
-        let Some(o) = self.objects.get(&obj) else {
+        let Some(o) = self.objects.get(obj.0) else {
             return;
         };
         if o.driver_refs > 0
@@ -1654,12 +1736,14 @@ impl Runtime {
         {
             return;
         }
-        let copies: Vec<NodeId> = o.copies.iter().copied().collect();
+        let copies: Vec<NodeId> = o.copies.clone();
         for c in copies {
             self.nodes[c.0].store.forget(obj.0);
-            self.nodes[c.0].fetching.remove(&obj);
         }
-        self.objects.remove(&obj);
+        // Removing the entry also drops any in-flight fetch state — a
+        // fetch destination without a consumer ref can only exist on a
+        // path that already has no live waiter.
+        self.objects.remove(obj.0);
     }
 
     // ------------------------------------------------------------------
@@ -1722,7 +1806,7 @@ impl Runtime {
                 AllocTag::Output { task, idx, epoch } => {
                     let valid = self
                         .tasks
-                        .get(&task)
+                        .get(task.0)
                         .map(|e| e.epoch == epoch && e.node == Some(node))
                         .unwrap_or(false);
                     if !valid {
@@ -1733,7 +1817,7 @@ impl Runtime {
                     if kind == exo_store::GrantKind::CreateFallback {
                         let logical = self
                             .tasks
-                            .get(&task)
+                            .get(task.0)
                             .and_then(|e| e.pending_outputs[idx].as_ref().map(|p| p.logical))
                             .unwrap_or(0);
                         let end =
@@ -1741,7 +1825,7 @@ impl Runtime {
                                 .disk
                                 .submit(ctx.now(), logical, IoKind::Sequential);
                         self.emit_io(node, IoDir::Write, logical);
-                        let tep = self.tasks.get(&task).map(|e| e.epoch).unwrap_or(0);
+                        let tep = self.tasks.get(task.0).map(|e| e.epoch).unwrap_or(0);
                         ctx.schedule_at(
                             end,
                             RtEvent::OutputFallbackDone {
@@ -1756,7 +1840,9 @@ impl Runtime {
                 }
                 AllocTag::Fetch { obj: fobj } => {
                     debug_assert_eq!(obj, fobj);
-                    if self.nodes[node.0].fetching.get(&obj) == Some(&FetchState::AllocPending) {
+                    let pending = self.objects.get(obj.0).and_then(|o| o.fetch_state(node))
+                        == Some(FetchState::AllocPending);
+                    if pending {
                         self.start_transfer(ctx, node, obj);
                     } else {
                         // Stale grant for an aborted fetch.
@@ -1766,7 +1852,7 @@ impl Runtime {
                 }
                 AllocTag::Restore { obj: robj } => {
                     debug_assert_eq!(obj, robj);
-                    let size = self.objects.get(&obj).map(|o| o.logical).unwrap_or(0);
+                    let size = self.objects.get(obj.0).map(|o| o.logical).unwrap_or(0);
                     let end = self.nodes[node.0]
                         .disk
                         .submit(ctx.now(), size, IoKind::Random);
@@ -1796,17 +1882,12 @@ impl Runtime {
         }
         // Resolve the failed job's pending waiters so its driver sees the
         // failure instead of hanging — other jobs' waiters are untouched
-        // (one tenant's OOM must not fail another's get). Sorted: reply
-        // order must not depend on hash order.
-        let mut wids: Vec<u64> = self
-            .waiters
-            .keys()
-            .copied()
-            .filter(|w| job_of(*w) == job)
-            .collect();
-        wids.sort_unstable();
+        // (one tenant's OOM must not fail another's get). The arena's
+        // per-job listing is ascending by id, matching the sorted order
+        // the HashMap-based table had to produce explicitly.
+        let wids: Vec<u64> = self.waiters.job_keys(job.0);
         for wid in wids {
-            match self.waiters.remove(&wid) {
+            match self.waiters.remove(wid) {
                 Some(Waiter::Get { reply, .. }) => {
                     // audit:allow(P01): `fail_job` stores the error into
                     // the job's `failed` before resolving any waiter.
@@ -1869,7 +1950,7 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn check_waiter(&mut self, ctx: &mut Ctx<'_, RtEvent>, wid: u64) {
-        let Some(w) = self.waiters.get(&wid) else {
+        let Some(w) = self.waiters.get(wid) else {
             return;
         };
         match w {
@@ -1878,16 +1959,19 @@ impl Runtime {
                 // failure fails this get.
                 let failed = self.jobs.job(job_of(wid)).and_then(|j| j.failed.clone());
                 if let Some(err) = failed {
-                    if let Some(Waiter::Get { reply, .. }) = self.waiters.remove(&wid) {
+                    if let Some(Waiter::Get { reply, .. }) = self.waiters.remove(wid) {
                         ctx.reply(reply, Err(err));
                     }
                     return;
                 }
-                let all = objs
-                    .iter()
-                    .all(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false));
+                let all = objs.iter().all(|o| {
+                    self.objects
+                        .get(o.0)
+                        .map(|e| e.available())
+                        .unwrap_or(false)
+                });
                 if all {
-                    let Some(Waiter::Get { objs, reply }) = self.waiters.remove(&wid) else {
+                    let Some(Waiter::Get { objs, reply }) = self.waiters.remove(wid) else {
                         return;
                     };
                     // audit:allow(P01): this branch runs only when every
@@ -1896,7 +1980,7 @@ impl Runtime {
                     let payloads: Vec<Payload> = objs
                         .iter()
                         .map(|o| {
-                            let e = self.objects.get(o).expect("available");
+                            let e = self.objects.get(o.0).expect("available");
                             Payload {
                                 data: e.payload.clone().expect("available object has payload"),
                                 logical: e.logical,
@@ -1904,7 +1988,7 @@ impl Runtime {
                         })
                         .collect();
                     for o in objs {
-                        if let Some(e) = self.objects.get_mut(&o) {
+                        if let Some(e) = self.objects.get_mut(o.0) {
                             e.waiting_waiters.retain(|x| *x != wid);
                         }
                         self.maybe_gc(o);
@@ -1917,7 +2001,12 @@ impl Runtime {
             } => {
                 let ready = objs
                     .iter()
-                    .filter(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                    .filter(|o| {
+                        self.objects
+                            .get(o.0)
+                            .map(|e| e.available())
+                            .unwrap_or(false)
+                    })
                     .count();
                 if ready >= *num_ready {
                     self.finish_wait(ctx, wid);
@@ -1927,20 +2016,25 @@ impl Runtime {
     }
 
     fn finish_wait(&mut self, ctx: &mut Ctx<'_, RtEvent>, wid: u64) {
-        let Some(Waiter::Wait { objs, reply, .. }) = self.waiters.remove(&wid) else {
+        let Some(Waiter::Wait { objs, reply, .. }) = self.waiters.remove(wid) else {
             return;
         };
         let mut ready = Vec::new();
         let mut pending = Vec::new();
         for (i, o) in objs.iter().enumerate() {
-            if self.objects.get(o).map(|e| e.available()).unwrap_or(false) {
+            if self
+                .objects
+                .get(o.0)
+                .map(|e| e.available())
+                .unwrap_or(false)
+            {
                 ready.push(i);
             } else {
                 pending.push(i);
             }
         }
         for o in objs {
-            if let Some(e) = self.objects.get_mut(&o) {
+            if let Some(e) = self.objects.get_mut(o.0) {
                 e.waiting_waiters.retain(|x| *x != wid);
             }
             self.maybe_gc(o);
@@ -1973,30 +2067,30 @@ impl Runtime {
         n.disk.reset(ctx.now());
         n.nic_tx.reset(ctx.now());
         n.nic_rx.reset(ctx.now());
-        n.fetching.clear();
-        n.arg_waiters.clear();
         n.slots_free = cpus;
         let queued: Vec<TaskId> = n.queue.drain(..).collect();
         let mut running: Vec<TaskId> = std::mem::take(&mut n.running).into_iter().collect();
         running.sort();
-        // Drop object copies hosted here.
+        // Drop object copies hosted here, along with any fetch state or
+        // arg-waiter registrations targeting the dead node. Arena
+        // iteration is ascending by id, so `lost_with_interest` comes
+        // out sorted by construction.
         let mut lost_with_interest = Vec::new();
-        // audit:allow(D01): every entry is updated independently and the
-        // collected ids are sorted before any order-sensitive use below.
         for (id, o) in self.objects.iter_mut() {
-            if o.copies.remove(&node)
+            o.clear_fetch_state(node);
+            o.arg_waiters.retain(|&(n2, _)| n2 != node);
+            if o.del_copy(node)
                 && o.copies.is_empty()
                 && (!o.waiting_tasks.is_empty() || !o.waiting_waiters.is_empty() || o.task_refs > 0)
             {
-                lost_with_interest.push(*id);
+                lost_with_interest.push(ObjectId(id));
             }
         }
-        lost_with_interest.sort();
         // The rebuilt store starts without owner quotas; re-apply them.
         self.apply_store_quotas();
         // Requeue the node's tasks elsewhere.
         for t in queued.into_iter().chain(running) {
-            let Some(e) = self.tasks.get_mut(&t) else {
+            let Some(e) = self.tasks.get_mut(t.0) else {
                 continue;
             };
             if e.state == TaskState::Done {
@@ -2052,7 +2146,7 @@ impl Runtime {
         running.sort();
         self.nodes[node.0].slots_free = self.cfg.cluster.node(node.0).cpus;
         for t in running {
-            let Some(e) = self.tasks.get_mut(&t) else {
+            let Some(e) = self.tasks.get_mut(t.0) else {
                 continue;
             };
             if e.state != TaskState::Running {
@@ -2086,8 +2180,8 @@ impl Runtime {
                 if store.contains(o.0)
                     && !self
                         .objects
-                        .get(&o)
-                        .map(|e| e.copies.contains(&node))
+                        .get(o.0)
+                        .map(|e| e.has_copy(node))
                         .unwrap_or(false)
                 {
                     store.unpin(o.0);
@@ -2216,10 +2310,10 @@ impl Runtime {
         let mut by_state: std::collections::BTreeMap<&'static str, usize> =
             std::collections::BTreeMap::new();
         let mut shown = 0;
-        let mut ids: Vec<TaskId> = self.tasks.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let t = &self.tasks[&id];
+        // Arena iteration is ascending by id — the sorted order the
+        // report needs for reproducibility.
+        for (id, t) in self.tasks.iter() {
+            let id = TaskId(id);
             let k = match t.state {
                 TaskState::WaitingArgs => "WaitingArgs",
                 TaskState::Queued => "Queued",
@@ -2261,14 +2355,18 @@ impl Runtime {
                 ));
             }
         }
-        let mut wids: Vec<u64> = self.waiters.keys().copied().collect();
-        wids.sort_unstable();
-        for wid in wids {
-            match &self.waiters[&wid] {
+        for (wid, w) in self.waiters.iter() {
+            match w {
                 Waiter::Get { objs, .. } => {
                     let missing: Vec<_> = objs
                         .iter()
-                        .filter(|o| !self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                        .filter(|o| {
+                            !self
+                                .objects
+                                .get(o.0)
+                                .map(|e| e.available())
+                                .unwrap_or(false)
+                        })
                         .collect();
                     lines.push(format!("pending get (waiter {wid}): missing {missing:?}"));
                 }
@@ -2277,7 +2375,12 @@ impl Runtime {
                 } => {
                     let ready = objs
                         .iter()
-                        .filter(|o| self.objects.get(o).map(|e| e.available()).unwrap_or(false))
+                        .filter(|o| {
+                            self.objects
+                                .get(o.0)
+                                .map(|e| e.available())
+                                .unwrap_or(false)
+                        })
                         .count();
                     lines.push(format!(
                         "pending wait (waiter {wid}): {ready}/{num_ready} of {} ready",
@@ -2332,7 +2435,12 @@ impl Simulation for Runtime {
             RtCommand::FinishJob { job, reply } => {
                 self.jobs.finish(job);
                 self.emit_job(job, exo_trace::JobPhase::Finished);
-                for w in self.job_waiters.remove(&job.0).unwrap_or_default() {
+                let woken = self
+                    .job_waiters
+                    .get_mut(job.0 as usize)
+                    .map(std::mem::take)
+                    .unwrap_or_default();
+                for w in woken {
                     ctx.reply(w, ());
                 }
                 self.drain_admission(ctx);
@@ -2343,7 +2451,11 @@ impl Simulation for Runtime {
                 if finished {
                     ctx.reply(reply, ());
                 } else {
-                    self.job_waiters.entry(job.0).or_default().push(reply);
+                    let slot = job.0 as usize;
+                    if self.job_waiters.len() <= slot {
+                        self.job_waiters.resize_with(slot + 1, Vec::new);
+                    }
+                    self.job_waiters[slot].push(reply);
                 }
             }
             RtCommand::Submit { job, spec, reply } => {
@@ -2355,22 +2467,19 @@ impl Simulation for Runtime {
                 let owner = self.tenant_of_obj(id).0;
                 // Driver-put values live on node 0 (the head node) with no
                 // lineage; paper applications only put small config values.
+                let logical = value.logical;
                 self.objects.insert(
-                    id,
+                    id.0,
                     ObjEntry {
-                        logical: value.logical,
+                        logical,
                         payload: Some(value.data),
-                        copies: std::iter::once(NodeId(0)).collect(),
-                        producer: None,
+                        copies: vec![NodeId(0)],
                         driver_refs: 1,
-                        task_refs: 0,
-                        waiting_tasks: Vec::new(),
-                        waiting_waiters: Vec::new(),
+                        ..ObjEntry::default()
                     },
                 );
                 // Account for it in node 0's store so locality and memory
                 // pressure see it.
-                let logical = self.objects[&id].logical;
                 let n = &mut self.nodes[0];
                 if matches!(
                     n.store.request_create_owned(
@@ -2433,7 +2542,7 @@ impl Simulation for Runtime {
                 self.check_waiter(ctx, wid);
             }
             RtCommand::Release { obj } => {
-                if let Some(o) = self.objects.get_mut(&obj) {
+                if let Some(o) = self.objects.get_mut(obj.0) {
                     o.driver_refs = o.driver_refs.saturating_sub(1);
                 }
                 self.maybe_gc(obj);
@@ -2448,8 +2557,8 @@ impl Simulation for Runtime {
             RtCommand::Locations { obj, reply } => {
                 let locs = self
                     .objects
-                    .get(&obj)
-                    .map(|o| o.copies.iter().copied().collect())
+                    .get(obj.0)
+                    .map(|o| o.copies.to_vec())
                     .unwrap_or_default();
                 ctx.reply(reply, locs);
             }
@@ -2525,12 +2634,12 @@ impl Simulation for Runtime {
         }
         match ev {
             RtEvent::TaskInputDone { task, epoch } => {
-                if self.tasks.get(&task).map(|e| e.epoch) == Some(epoch) {
+                if self.tasks.get(task.0).map(|e| e.epoch) == Some(epoch) {
                     self.exec_compute(ctx, task);
                 }
             }
             RtEvent::TaskCpuDone { task, epoch } => {
-                let valid = self.tasks.get(&task).map(|e| e.epoch) == Some(epoch);
+                let valid = self.tasks.get(task.0).map(|e| e.epoch) == Some(epoch);
                 if !valid {
                     return;
                 }
@@ -2547,12 +2656,12 @@ impl Simulation for Runtime {
                 self.check_task_completion(ctx, task);
             }
             RtEvent::OutputReady { task, idx, epoch } => {
-                if self.tasks.get(&task).map(|e| e.epoch) == Some(epoch) {
+                if self.tasks.get(task.0).map(|e| e.epoch) == Some(epoch) {
                     self.alloc_output(ctx, task, idx);
                 }
             }
             RtEvent::OutputFallbackDone { task, obj, epoch } => {
-                let valid = self.tasks.get(&task).map(|e| e.epoch) == Some(epoch);
+                let valid = self.tasks.get(task.0).map(|e| e.epoch) == Some(epoch);
                 if !valid {
                     return;
                 }
@@ -2568,7 +2677,7 @@ impl Simulation for Runtime {
                 self.seal_output(ctx, task, idx);
             }
             RtEvent::OutputWriteDone { task, epoch } => {
-                if self.tasks.get(&task).map(|e| e.epoch) == Some(epoch) {
+                if self.tasks.get(task.0).map(|e| e.epoch) == Some(epoch) {
                     self.complete_task(ctx, task);
                 }
             }
@@ -2599,7 +2708,7 @@ impl Simulation for Runtime {
                 if self.nodes[node.0].epoch != epoch || !self.nodes[node.0].alive {
                     return;
                 }
-                let state = self.nodes[node.0].fetching.get(&obj).copied();
+                let state = self.objects.get(obj.0).and_then(|o| o.fetch_state(node));
                 let valid_state = matches!(
                     state,
                     Some(FetchState::Transferring { src: s, src_epoch: se })
@@ -2613,7 +2722,9 @@ impl Simulation for Runtime {
                     self.abort_fetch(ctx, node, obj);
                     return;
                 }
-                self.nodes[node.0].fetching.remove(&obj);
+                if let Some(o) = self.objects.get_mut(obj.0) {
+                    o.clear_fetch_state(node);
+                }
                 let store = &mut self.nodes[node.0].store;
                 if store.contains(obj.0) {
                     store.seal(obj.0);
@@ -2623,17 +2734,19 @@ impl Simulation for Runtime {
                 if !self.nodes[node.0].store.in_memory(obj.0) {
                     // Arrived via the fallback path (straight to disk);
                     // local waiters must go through restore.
-                    if let Some(ws) = self.nodes[node.0].arg_waiters.remove(&obj) {
-                        for t in ws {
-                            self.stage_arg(ctx, t, obj);
-                        }
+                    let ws = match self.objects.get_mut(obj.0) {
+                        Some(o) => o.take_arg_waiters(node),
+                        None => Vec::new(),
+                    };
+                    for t in ws {
+                        self.stage_arg(ctx, t, obj);
                     }
                 }
                 self.pump_store(ctx, node);
                 self.pump_node(ctx, node);
             }
             RtEvent::WaitDeadline { waiter } => {
-                if self.waiters.contains_key(&waiter) {
+                if self.waiters.contains(waiter) {
                     self.finish_wait(ctx, waiter);
                 }
             }
@@ -2662,6 +2775,10 @@ impl Simulation for Runtime {
             RtEvent::LiveSnapshot => {
                 self.live_scheduled = false;
                 if let Some(live) = &self.live {
+                    // Snapshots read observer-fed state; settle the
+                    // sink's pending block so the tick sees every event
+                    // emitted before this virtual instant.
+                    self.sink.flush();
                     if let Some(line) = live.tick(ctx.now().as_micros()) {
                         eprintln!("{line}");
                     }
@@ -2669,6 +2786,7 @@ impl Simulation for Runtime {
             }
             RtEvent::WatchTick => {
                 self.watch_scheduled = false;
+                self.sink.flush();
                 self.drain_watch();
                 // Store pressure may have cleared since a registration
                 // was parked; ticks are the periodic re-check.

@@ -271,6 +271,18 @@ impl<C: Send + 'static> DriverSpawner<C> {
     }
 }
 
+/// Process-wide total of events + commands dispatched by every engine
+/// run that has finished in this process. Flushed once per run (not per
+/// event) so the hot loop stays free of shared-memory traffic; benches
+/// read deltas around runs to report sim-events/sec.
+static DISPATCH_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Cumulative events + commands dispatched by completed engine runs in
+/// this process (monotone, never reset; see [`Engine::run`]).
+pub fn dispatch_total() -> u64 {
+    DISPATCH_TOTAL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The virtual-time event loop.
 pub struct Engine<S: Simulation> {
     sim: S,
@@ -336,6 +348,7 @@ impl<S: Simulation> Engine<S> {
                 // but that tail is bookkeeping, not program runtime.
                 let end = self.now;
                 self.drain_shutdown_events();
+                self.flush_dispatch_total();
                 return Ok((self.sim, end));
             }
             if self.running > 0 {
@@ -379,6 +392,7 @@ impl<S: Simulation> Engine<S> {
                 let progressed = self.sim.on_stalled(&mut ctx);
                 self.running += woken;
                 if !progressed && woken == 0 {
+                    self.flush_dispatch_total();
                     let deadlock = Deadlock {
                         at: self.now,
                         parked_drivers: self.live,
@@ -392,7 +406,19 @@ impl<S: Simulation> Engine<S> {
                 }
             }
         }
+        self.flush_dispatch_total();
         Ok((self.sim, self.now))
+    }
+
+    /// Folds this run's dispatch counters into the process-wide
+    /// [`dispatch_total`] exactly once, on every `run()` exit path.
+    fn flush_dispatch_total(&mut self) {
+        DISPATCH_TOTAL.fetch_add(
+            self.events_processed + self.commands_processed,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.events_processed = 0;
+        self.commands_processed = 0;
     }
 
     /// After the last driver detaches, run the in-flight completion events

@@ -38,7 +38,7 @@ pub mod rng;
 pub mod time;
 
 pub use device::{ClusterSpec, DeviceCaps, DiskSpec, NicSpec, NodeCaps, NodeSpec};
-pub use engine::{Ctx, DriverConn, Engine, Reply, Simulation};
+pub use engine::{dispatch_total, Ctx, DriverConn, Engine, Reply, Simulation};
 pub use queue::EventQueue;
 pub use resource::{IoKind, Resource};
 pub use rng::SplitMix64;

@@ -33,6 +33,7 @@
 //! ```
 
 mod metrics;
+pub mod seqmap;
 mod store;
 
 pub use metrics::StoreMetrics;

@@ -1,10 +1,11 @@
 //! The store state machine.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use exo_trace::{EventKind, ObjectEvent, ObjectPhase, TraceSink};
 
 use crate::metrics::StoreMetrics;
+use crate::seqmap::SeqMap;
 
 /// Object identifier. The runtime maps its own richer ids onto these.
 pub type ObjId = u64;
@@ -172,7 +173,10 @@ pub(crate) enum PendingKind {
 #[derive(Debug)]
 pub struct NodeStore<T> {
     cfg: StoreConfig,
-    slots: HashMap<ObjId, Slot>,
+    /// Slot table, open-addressed on the packed id (see [`SeqMap`]):
+    /// the ids are already well-distributed integers, so lookups skip
+    /// SipHash entirely on this hottest of store paths.
+    slots: SeqMap<Slot>,
     /// In-memory bytes (reserved + resident).
     used: u64,
     /// FIFO of waiting allocations, split by priority.
@@ -184,6 +188,13 @@ pub struct NodeStore<T> {
     queued_bytes: u64,
     /// Sealed objects in seal order — spill candidates (lazily cleaned).
     spill_order: VecDeque<ObjId>,
+    /// Exact count of spillable slots (sealed, unpinned,
+    /// memory-resident). `pump` consults `any_spillable` every time a
+    /// queued allocation does not fit, so it must be O(1), not a scan
+    /// of the slot table; every transition that changes a slot's
+    /// spillability maintains this counter (cross-checked against the
+    /// full scan by a `debug_assert`).
+    spillable: usize,
     /// Bytes currently being spilled (in-flight writes).
     spilling_bytes: u64,
     /// Grants ready for the runtime to collect.
@@ -221,12 +232,13 @@ impl<T> NodeStore<T> {
     pub fn with_trace(cfg: StoreConfig, sink: TraceSink, node: u32) -> Self {
         NodeStore {
             cfg,
-            slots: HashMap::new(),
+            slots: SeqMap::new(),
             used: 0,
             queue_high: VecDeque::new(),
             queue_low: VecDeque::new(),
             queued_bytes: 0,
             spill_order: VecDeque::new(),
+            spillable: 0,
             spilling_bytes: 0,
             granted: Vec::new(),
             failed: Vec::new(),
@@ -291,7 +303,7 @@ impl<T> NodeStore<T> {
         priority: Priority,
         owner: u32,
     ) -> AllocDecision {
-        assert!(!self.slots.contains_key(&id), "object {id} already present");
+        assert!(!self.slots.contains_key(id), "object {id} already present");
         if let Some(&quota) = self.owner_quota.get(&owner) {
             if self.owner_used(owner) + size > quota && self.cfg.fallback_enabled {
                 self.metrics.quota_denials += 1;
@@ -392,10 +404,13 @@ impl<T> NodeStore<T> {
         // audit:allow(P01): API contract — callers seal only ids this
         // store granted; an unknown id is a runtime accounting bug that
         // must stop the sim, not limp on with corrupt state.
-        let slot = self.slots.get_mut(&id).expect("seal of unknown object");
+        let slot = self.slots.get_mut(id).expect("seal of unknown object");
         assert!(!slot.sealed, "double seal of object {id}");
         slot.sealed = true;
         if matches!(slot.residency, Residency::Memory { .. }) {
+            if slot.pins == 0 {
+                self.spillable += 1;
+            }
             self.spill_order.push_back(id);
         }
     }
@@ -405,7 +420,11 @@ impl<T> NodeStore<T> {
     pub fn pin(&mut self, id: ObjId) {
         // audit:allow(P01): API contract — pinning an id this store
         // never granted is a runtime refcount bug; see `seal`.
-        self.slots.get_mut(&id).expect("pin of unknown object").pins += 1;
+        let slot = self.slots.get_mut(id).expect("pin of unknown object");
+        slot.pins += 1;
+        if slot.pins == 1 && slot.sealed && matches!(slot.residency, Residency::Memory { .. }) {
+            self.spillable -= 1;
+        }
     }
 
     /// Release one pin. If the object was doomed (refcount hit zero while
@@ -413,13 +432,20 @@ impl<T> NodeStore<T> {
     pub fn unpin(&mut self, id: ObjId) {
         // audit:allow(P01): API contract — unpin must pair with a pin on
         // a live slot; see `seal`.
-        let slot = self.slots.get_mut(&id).expect("unpin of unknown object");
+        let slot = self.slots.get_mut(id).expect("unpin of unknown object");
         assert!(slot.pins > 0, "unpin without pin on object {id}");
         slot.pins -= 1;
         if slot.pins == 0 {
-            if slot.doomed {
+            let doomed = slot.doomed;
+            let spillable = slot.sealed && matches!(slot.residency, Residency::Memory { .. });
+            if spillable {
+                // Counted even when doomed: `forget` below sees an
+                // unpinned memory-resident slot and decrements.
+                self.spillable += 1;
+            }
+            if doomed {
                 self.forget(id);
-            } else if slot.sealed && matches!(slot.residency, Residency::Memory { .. }) {
+            } else if spillable {
                 // (Re-)register as spill candidate; duplicates are cleaned
                 // lazily when popped.
                 self.spill_order.push_back(id);
@@ -432,16 +458,21 @@ impl<T> NodeStore<T> {
     /// immediately unless pins hold it, in which case it is doomed and
     /// freed at last unpin.
     pub fn forget(&mut self, id: ObjId) {
-        let slot = match self.slots.entry(id) {
-            std::collections::hash_map::Entry::Vacant(_) => return,
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                if e.get().pins > 0 {
-                    e.get_mut().doomed = true;
-                    return;
-                }
-                e.remove()
+        match self.slots.get_mut(id) {
+            None => return,
+            Some(slot) if slot.pins > 0 => {
+                slot.doomed = true;
+                return;
             }
-        };
+            Some(_) => {}
+        }
+        // audit:allow(P01): the match above saw a live, unpinned slot;
+        // this remove only re-resolves the same key.
+        let slot = self.slots.remove(id).expect("slot checked above");
+        if slot.sealed && matches!(slot.residency, Residency::Memory { .. }) {
+            // Pins are zero here (checked above / drained by `unpin`).
+            self.spillable -= 1;
+        }
         if let Some(u) = self.owner_used.get_mut(&slot.owner) {
             *u = u.saturating_sub(slot.size);
         }
@@ -466,29 +497,29 @@ impl<T> NodeStore<T> {
     /// True if the object has a readable in-memory copy.
     pub fn in_memory(&self, id: ObjId) -> bool {
         matches!(
-            self.slots.get(&id).map(|s| s.residency),
+            self.slots.get(id).map(|s| s.residency),
             Some(Residency::Memory { .. }) | Some(Residency::SpillingOut)
         )
     }
 
     /// True if this node holds the object in any residency.
     pub fn contains(&self, id: ObjId) -> bool {
-        self.slots.contains_key(&id)
+        self.slots.contains_key(id)
     }
 
     /// True if the object is present and sealed.
     pub fn sealed(&self, id: ObjId) -> bool {
-        self.slots.get(&id).map(|s| s.sealed).unwrap_or(false)
+        self.slots.get(id).map(|s| s.sealed).unwrap_or(false)
     }
 
     /// Residency of an object, if present.
     pub fn residency(&self, id: ObjId) -> Option<Residency> {
-        self.slots.get(&id).map(|s| s.residency)
+        self.slots.get(id).map(|s| s.residency)
     }
 
     /// Request that a spilled object be brought back to memory.
     pub fn request_restore(&mut self, id: ObjId, tag: T) -> RestoreDecision {
-        let Some(slot) = self.slots.get(&id) else {
+        let Some(slot) = self.slots.get(id) else {
             return RestoreDecision::Lost;
         };
         match slot.residency {
@@ -502,10 +533,10 @@ impl<T> NodeStore<T> {
                     // audit:allow(P01): the slot was fetched at the top of
                     // this match and nothing in between removes it; the
                     // refetch only converts the borrow to mutable.
-                    self.slots.get_mut(&id).expect("present").residency = Residency::Restoring;
+                    self.slots.get_mut(id).expect("present").residency = Residency::Restoring;
                     RestoreDecision::Granted
                 } else {
-                    let owner = self.slots.get(&id).map(|s| s.owner).unwrap_or(0);
+                    let owner = self.slots.get(id).map(|s| s.owner).unwrap_or(0);
                     self.queued_bytes += size;
                     self.queue_high.push_back(Pending {
                         id,
@@ -526,7 +557,7 @@ impl<T> NodeStore<T> {
         // scheduled for slots this store moved to Restoring; see `seal`.
         let slot = self
             .slots
-            .get_mut(&id)
+            .get_mut(id)
             .expect("restore_complete of unknown object");
         assert_eq!(
             slot.residency,
@@ -539,6 +570,7 @@ impl<T> NodeStore<T> {
         let (sealed, pins, size) = (slot.sealed, slot.pins, slot.size);
         self.emit_obj(id, ObjectPhase::Restored, size);
         if sealed && pins == 0 {
+            self.spillable += 1;
             self.spill_order.push_back(id);
         }
     }
@@ -563,7 +595,7 @@ impl<T> NodeStore<T> {
             let mut batch_bytes = 0u64;
             let mut postponed = Vec::new();
             while let Some(id) = self.spill_order.pop_front() {
-                let Some(slot) = self.slots.get_mut(&id) else {
+                let Some(slot) = self.slots.get_mut(id) else {
                     continue;
                 };
                 if slot.pins > 0 || !slot.sealed {
@@ -572,6 +604,7 @@ impl<T> NodeStore<T> {
                 match slot.residency {
                     Residency::Memory { on_disk: true } => {
                         slot.residency = Residency::Disk;
+                        self.spillable -= 1;
                         self.used -= slot.size;
                         self.metrics.spill_writes_elided += 1;
                         freed_any = true;
@@ -581,6 +614,7 @@ impl<T> NodeStore<T> {
                     }
                     Residency::Memory { on_disk: false } => {
                         slot.residency = Residency::SpillingOut;
+                        self.spillable -= 1;
                         slot.ever_on_disk = true;
                         batch_bytes += slot.size;
                         batch_objs.push(id);
@@ -625,7 +659,7 @@ impl<T> NodeStore<T> {
     /// Acknowledge a finished spill write: the batch's memory is freed.
     pub fn spill_complete(&mut self, batch: &SpillBatch) {
         for &id in &batch.objects {
-            let Some(slot) = self.slots.get_mut(&id) else {
+            let Some(slot) = self.slots.get_mut(id) else {
                 continue;
             }; // forgotten mid-flight
             if slot.residency == Residency::SpillingOut {
@@ -637,6 +671,7 @@ impl<T> NodeStore<T> {
                 self.emit_obj(id, ObjectPhase::Spilled, size);
             }
         }
+        self.debug_check_spillable();
         self.pump();
     }
 
@@ -734,7 +769,7 @@ impl<T> NodeStore<T> {
                         // liveness" — usage transiently exceeds capacity and
                         // the spilling subsystem works the excess back down
                         // as pins release.
-                        let Some(slot) = self.slots.get_mut(&p.id) else {
+                        let Some(slot) = self.slots.get_mut(p.id) else {
                             continue;
                         };
                         if slot.residency != Residency::Disk {
@@ -759,7 +794,7 @@ impl<T> NodeStore<T> {
             self.queued_bytes -= p.size;
             match p.kind {
                 PendingKind::Create => {
-                    if self.slots.contains_key(&p.id) {
+                    if self.slots.contains_key(p.id) {
                         // Forgotten-and-recreated or stale entry; skip.
                         continue;
                     }
@@ -773,7 +808,7 @@ impl<T> NodeStore<T> {
                     self.granted.push((p.id, p.tag, GrantKind::Create));
                 }
                 PendingKind::Restore => {
-                    let Some(slot) = self.slots.get_mut(&p.id) else {
+                    let Some(slot) = self.slots.get_mut(p.id) else {
                         continue;
                     };
                     if slot.residency != Residency::Disk {
@@ -816,11 +851,23 @@ impl<T> NodeStore<T> {
     }
 
     fn any_spillable(&self) -> bool {
-        self.cfg.spill_enabled
-            && self
-                .slots
+        self.debug_check_spillable();
+        self.cfg.spill_enabled && self.spillable > 0
+    }
+
+    /// Debug-build cross-check: the O(1) spillable counter must always
+    /// equal the full slot-table scan it replaced.
+    fn debug_check_spillable(&self) {
+        debug_assert_eq!(
+            self.spillable,
+            self.slots
                 .values()
-                .any(|s| s.sealed && s.pins == 0 && matches!(s.residency, Residency::Memory { .. }))
+                .filter(|s| {
+                    s.sealed && s.pins == 0 && matches!(s.residency, Residency::Memory { .. })
+                })
+                .count(),
+            "spillable counter out of sync with slot table"
+        );
     }
 }
 

@@ -13,10 +13,17 @@
 //! like the object store can emit correctly stamped events.
 //!
 //! Streaming consumers plug in through [`Observer`]: each registered
-//! observer sees every event as it is emitted, under the sink lock,
-//! without the stream being retained. With no observers registered the
-//! fan-out is a single branch on an empty `Vec` — the always-on cost
-//! class is unchanged.
+//! observer sees every event exactly once, in order, without the
+//! stream being retained. With no observers registered the fan-out is a
+//! single branch on an empty `Vec` — the always-on cost class is
+//! unchanged.
+//!
+//! Emission is **batched**: `emit` appends to a pending block and the
+//! counter fold, ring feed, retention copy and observer fan-out run
+//! once per [`BLOCK`]-sized block. Every reader (`counters`, `recent`,
+//! `len`, `take_events`, `with_events`) settles the block first, so the
+//! batching is invisible downstream — the same events, counters and
+//! ring contents fall out, bit for bit.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,14 +32,30 @@ use std::sync::{Arc, Mutex};
 use crate::event::{Event, EventKind, IoDir, ObjectPhase, TaskPhase};
 
 /// A streaming consumer of the event stream. Observers are invoked
-/// synchronously from [`TraceSink::emit_at`] while the sink lock is
+/// synchronously from the sink's block flush while the sink lock is
 /// held, so implementations must be cheap, must not block, and must not
 /// call back into the sink. They see every event exactly once, in
 /// emission order, whether or not the full stream is retained — this is
 /// how fixed-memory live observability (`exo-live`) taps the stream
 /// without O(events) retention.
+///
+/// Emission is batched: events accumulate in a pending block and are
+/// delivered via [`Observer::on_block`] when the block fills or any
+/// reader forces a flush. The default `on_block` replays the block
+/// through `on_event` one event at a time, so per-event observers see
+/// exactly the stream they saw before batching existed.
 pub trait Observer: Send {
     fn on_event(&mut self, ev: &Event);
+
+    /// Receives a whole flushed block in emission order. Override to
+    /// amortize per-event dispatch; the default delegates to
+    /// [`Observer::on_event`] per event, byte-identical to unbatched
+    /// delivery.
+    fn on_block(&mut self, evs: &[Event]) {
+        for ev in evs {
+            self.on_event(ev);
+        }
+    }
 }
 
 /// Tracing knobs, carried on `RtConfig`. Off by default.
@@ -164,11 +187,56 @@ impl TraceCounters {
     }
 }
 
+/// Pending-block capacity: emits cheaper than this just append; the
+/// counter fold, ring feed, retention copy and observer fan-out all run
+/// once per block instead of once per event.
+const BLOCK: usize = 256;
+
 struct SinkState {
+    /// Events emitted but not yet settled into counters/ring/stream.
+    pending: Vec<Event>,
     events: Vec<Event>,
     ring: VecDeque<Event>,
     counters: TraceCounters,
     observers: Vec<Box<dyn Observer>>,
+}
+
+impl SinkState {
+    /// Settles the pending block: folds counters, feeds the ring and the
+    /// retained stream, and hands observers the whole block. Every read
+    /// accessor calls this first, so batching is invisible downstream.
+    fn flush(&mut self, retain: bool, ring_cap: usize) {
+        if self.pending.is_empty() {
+            return;
+        }
+        for ev in &self.pending {
+            self.counters.apply(&ev.kind);
+        }
+        if ring_cap > 0 {
+            // Equivalent to pushing each event with pop-at-capacity: the
+            // ring ends holding the last `ring_cap` of (old ring ++ block).
+            if self.pending.len() >= ring_cap {
+                self.ring.clear();
+                let skip = self.pending.len() - ring_cap;
+                self.ring.extend(self.pending[skip..].iter().copied());
+            } else {
+                let excess = (self.ring.len() + self.pending.len()).saturating_sub(ring_cap);
+                for _ in 0..excess {
+                    self.ring.pop_front();
+                }
+                self.ring.extend(self.pending.iter().copied());
+            }
+        }
+        if retain {
+            self.events.extend_from_slice(&self.pending);
+        }
+        if !self.observers.is_empty() {
+            for obs in self.observers.iter_mut() {
+                obs.on_block(&self.pending);
+            }
+        }
+        self.pending.clear();
+    }
 }
 
 struct SinkInner {
@@ -198,6 +266,7 @@ impl TraceSink {
                 observing: AtomicBool::new(false),
                 now_us: AtomicU64::new(0),
                 state: Mutex::new(SinkState {
+                    pending: Vec::with_capacity(BLOCK),
                     events: Vec::new(),
                     ring: VecDeque::with_capacity(cfg.ring.min(1024)),
                     counters: TraceCounters::default(),
@@ -224,9 +293,10 @@ impl TraceSink {
     }
 
     /// Registers a streaming observer. It sees every event emitted from
-    /// this point on, in order, under the sink lock.
+    /// this point on, in order, under the sink lock. Any pending block
+    /// is flushed first so pre-registration events stay invisible to it.
     pub fn register_observer(&self, obs: Box<dyn Observer>) {
-        let mut st = self.inner.state.lock().expect("trace sink poisoned");
+        let mut st = self.lock_flushed();
         st.observers.push(obs);
         self.inner.observing.store(true, Ordering::Relaxed);
     }
@@ -259,51 +329,45 @@ impl TraceSink {
     }
 
     /// Records an event with an explicit timestamp (used when a
-    /// completion is known to happen at a future virtual time).
+    /// completion is known to happen at a future virtual time). The
+    /// event lands in the pending block; counters, ring, retention and
+    /// observers are settled when the block fills or a reader flushes.
     pub fn emit_at(&self, at_us: u64, kind: EventKind) {
         let ev = Event { at_us, kind };
         let mut st = self.inner.state.lock().expect("trace sink poisoned");
-        st.counters.apply(&ev.kind);
-        if self.inner.ring_cap > 0 {
-            if st.ring.len() == self.inner.ring_cap {
-                st.ring.pop_front();
-            }
-            st.ring.push_back(ev);
+        st.pending.push(ev);
+        if st.pending.len() >= BLOCK {
+            st.flush(self.inner.retain, self.inner.ring_cap);
         }
-        if self.inner.retain {
-            st.events.push(ev);
-        }
-        if !st.observers.is_empty() {
-            for obs in st.observers.iter_mut() {
-                obs.on_event(&ev);
-            }
-        }
+    }
+
+    /// Locks the sink state with the pending block settled — the entry
+    /// point for every reader, so batching never changes what they see.
+    fn lock_flushed(&self) -> std::sync::MutexGuard<'_, SinkState> {
+        let mut st = self.inner.state.lock().expect("trace sink poisoned");
+        st.flush(self.inner.retain, self.inner.ring_cap);
+        st
+    }
+
+    /// Forces the pending block out to counters, ring and observers.
+    pub fn flush(&self) {
+        drop(self.lock_flushed());
     }
 
     /// Current folded counters.
     pub fn counters(&self) -> TraceCounters {
-        self.inner
-            .state
-            .lock()
-            .expect("trace sink poisoned")
-            .counters
+        self.lock_flushed().counters
     }
 
     /// The most recent events (always available, even with retention
     /// off) — the deadlock dump source.
     pub fn recent(&self) -> Vec<Event> {
-        let st = self.inner.state.lock().expect("trace sink poisoned");
-        st.ring.iter().copied().collect()
+        self.lock_flushed().ring.iter().copied().collect()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("trace sink poisoned")
-            .events
-            .len()
+        self.lock_flushed().events.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -312,7 +376,7 @@ impl TraceSink {
 
     /// Drains and returns the retained event stream.
     pub fn take_events(&self) -> Vec<Event> {
-        std::mem::take(&mut self.inner.state.lock().expect("trace sink poisoned").events)
+        std::mem::take(&mut self.lock_flushed().events)
     }
 
     /// Runs `f` against the retained event stream by borrow, without
@@ -320,7 +384,7 @@ impl TraceSink {
     /// The sink lock is held for the duration of `f`, so `f` must not
     /// call back into the sink.
     pub fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> R {
-        let st = self.inner.state.lock().expect("trace sink poisoned");
+        let st = self.lock_flushed();
         f(&st.events)
     }
 }
@@ -437,6 +501,81 @@ mod tests {
         assert_eq!(recent.len(), 4);
         assert_eq!(recent[0].at_us, 6);
         assert_eq!(recent[3].at_us, 9);
+    }
+
+    #[test]
+    fn batched_emission_is_invisible_to_readers() {
+        // Emit far more than one block and interleave reads; counters,
+        // retained stream and ring must match an unbatched fold exactly.
+        let sink = TraceSink::new(&TraceConfig::on());
+        let mut expect = TraceCounters::default();
+        for i in 0..(3 * BLOCK as u64 + 17) {
+            sink.set_now(i);
+            let ev = obj(ObjectPhase::Transferred, i);
+            expect.apply(&ev);
+            sink.emit(ev);
+            if i == 100 {
+                // A mid-stream read flushes a partial block.
+                assert_eq!(sink.counters().net_ops, 101);
+            }
+        }
+        assert_eq!(sink.counters(), expect);
+        assert_eq!(sink.len(), 3 * BLOCK + 17);
+        let recent = sink.recent();
+        assert_eq!(recent.len(), TraceConfig::default().ring);
+        assert_eq!(recent.last().unwrap().at_us, 3 * BLOCK as u64 + 16);
+        assert_eq!(sink.with_events(TraceCounters::fold), expect);
+    }
+
+    #[test]
+    fn ring_feed_matches_per_event_semantics_across_blocks() {
+        // Flush with a block smaller than the ring capacity: the ring
+        // must behave as if each event were pushed individually.
+        let cfg = TraceConfig {
+            ring: 8,
+            ..TraceConfig::default()
+        };
+        let sink = TraceSink::new(&cfg);
+        for i in 0..5u64 {
+            sink.set_now(i);
+            sink.emit(obj(ObjectPhase::Created, i));
+        }
+        sink.flush();
+        for i in 5..11u64 {
+            sink.set_now(i);
+            sink.emit(obj(ObjectPhase::Created, i));
+        }
+        let recent = sink.recent();
+        assert_eq!(recent.len(), 8);
+        assert_eq!(recent[0].at_us, 3);
+        assert_eq!(recent[7].at_us, 10);
+    }
+
+    #[test]
+    fn observer_blocks_preserve_event_order() {
+        struct Blocks(std::sync::Arc<Mutex<(usize, Vec<u64>)>>);
+        impl Observer for Blocks {
+            fn on_event(&mut self, _ev: &Event) {
+                unreachable!("on_block override must shadow on_event");
+            }
+            fn on_block(&mut self, evs: &[Event]) {
+                let mut t = self.0.lock().unwrap();
+                t.0 += 1;
+                t.1.extend(evs.iter().map(|e| e.at_us));
+            }
+        }
+        let sink = TraceSink::disabled();
+        let seen = std::sync::Arc::new(Mutex::new((0usize, Vec::new())));
+        sink.register_observer(Box::new(Blocks(seen.clone())));
+        let n = BLOCK as u64 + 3;
+        for i in 0..n {
+            sink.set_now(i);
+            sink.emit(obj(ObjectPhase::Created, i));
+        }
+        sink.flush();
+        let t = seen.lock().unwrap();
+        assert_eq!(t.0, 2, "one full block plus one forced partial");
+        assert_eq!(t.1, (0..n).collect::<Vec<_>>());
     }
 
     #[test]

@@ -43,6 +43,9 @@ cargo run --release -p exo-bench --bin fig4c -- --quick --live results/fig4c.liv
 cargo run --release -p exo-bench --bin live_check -- \
     results/fig4c.live.jsonl results/fig4c.json
 
+echo "==> cloudsort_xl smoke (engine-core throughput case, rerun bit-identity)"
+cargo run --release -p exo-bench --bin cloudsort_xl -- --quick
+
 echo "==> incident gate (bench_gate --incidents-diff vs bench/incidents.json)"
 cargo run --release -p exo-bench --bin bench_gate -- --incidents-diff \
     --out results/INCIDENTS_ci.json
